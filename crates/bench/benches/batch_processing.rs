@@ -1,0 +1,56 @@
+//! End-to-end batch-processing benchmarks: the cost of one
+//! `DynFd::apply_batch` under different change mixes and pruning
+//! configurations (the microbench companion to Figures 8–11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynfd_bench::runner::run_dynfd;
+use dynfd_bench::strategies::strategy_sets;
+use dynfd_core::DynFdConfig;
+use dynfd_datagen::{DatasetProfile, GeneratedDataset};
+
+fn profile(name: &'static str, ins: f64, del: f64, upd: f64) -> DatasetProfile {
+    DatasetProfile {
+        name,
+        columns: 8,
+        initial_rows: 500,
+        changes: 1_000,
+        insert_pct: ins,
+        delete_pct: del,
+        update_pct: upd,
+        update_columns: 2,
+        seed: 0xBE7C,
+        bursts: 0,
+        burst_len: 0,
+    }
+}
+
+fn bench_change_mixes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apply_1000_changes_batch100");
+    group.sample_size(10);
+    for (label, p) in [
+        ("insert_heavy", profile("ins", 90.0, 5.0, 5.0)),
+        ("delete_heavy", profile("del", 10.0, 60.0, 30.0)),
+        ("update_heavy", profile("upd", 5.0, 5.0, 90.0)),
+    ] {
+        let data = GeneratedDataset::generate(&p);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &data, |b, data| {
+            b.iter(|| run_dynfd(data, 100, None, DynFdConfig::default()).total)
+        });
+    }
+    group.finish();
+}
+
+fn bench_strategy_ablation(c: &mut Criterion) {
+    let data = GeneratedDataset::generate(&profile("mix", 40.0, 20.0, 40.0));
+    let mut group = c.benchmark_group("strategy_ablation_batch100");
+    group.sample_size(10);
+    for (label, config) in strategy_sets() {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, &config| {
+            b.iter(|| run_dynfd(&data, 100, None, config).total)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_change_mixes, bench_strategy_ablation);
+criterion_main!(benches);

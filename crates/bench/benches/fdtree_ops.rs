@@ -1,0 +1,51 @@
+//! Microbenchmarks for FD prefix-tree lookups — the operations DynFD
+//! calls most frequently (generalization/specialization checks during
+//! induction and minimality/maximality pruning).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dynfd_common::AttrSet;
+use dynfd_lattice::FdTree;
+
+/// A deterministic pseudo-random tree over `arity` attributes.
+fn build_tree(arity: usize, n: usize) -> FdTree {
+    let mut tree = FdTree::new();
+    let mut x = 0x243F6A8885A308D3u64;
+    while tree.len() < n {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let rhs = ((x >> 7) % arity as u64) as usize;
+        let mask = (x >> 17) % (1 << arity.min(30));
+        let lhs: AttrSet = (0..arity)
+            .filter(|&a| a != rhs && mask >> a & 1 == 1)
+            .collect();
+        tree.add(lhs, rhs);
+    }
+    tree
+}
+
+fn bench_lookups(c: &mut Criterion) {
+    let arity = 20;
+    let tree = build_tree(arity, 2_000);
+    let probe: AttrSet = [1usize, 3, 5, 8, 13, 17].into_iter().collect();
+
+    c.bench_function("fdtree_contains_generalization", |b| {
+        b.iter(|| tree.contains_generalization(black_box(probe), black_box(0)))
+    });
+    c.bench_function("fdtree_contains_specialization", |b| {
+        b.iter(|| tree.contains_specialization(black_box(AttrSet::single(3)), black_box(0)))
+    });
+    c.bench_function("fdtree_get_level_3", |b| {
+        b.iter(|| tree.get_level(black_box(3)).len())
+    });
+    c.bench_function("fdtree_all_fds", |b| b.iter(|| tree.all_fds().len()));
+}
+
+fn bench_mutation(c: &mut Criterion) {
+    c.bench_function("fdtree_build_2k_fds_arity20", |b| {
+        b.iter(|| build_tree(20, 2_000).len())
+    });
+}
+
+criterion_group!(benches, bench_lookups, bench_mutation);
+criterion_main!(benches);

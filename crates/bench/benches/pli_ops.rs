@@ -1,0 +1,81 @@
+//! Microbenchmarks for the position-list-index maintenance hot path:
+//! the per-change cost of Step 1 of the DynFD pipeline.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynfd_common::{RecordId, Schema};
+use dynfd_relation::{DynamicRelation, Pli};
+
+fn bench_pli_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pli_insert");
+    for &clusters in &[10u32, 1_000, 100_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(clusters),
+            &clusters,
+            |b, &clusters| {
+                b.iter_batched(
+                    Pli::new,
+                    |mut pli| {
+                        for i in 0..10_000u64 {
+                            pli.insert((i % clusters as u64) as u32, RecordId(i));
+                        }
+                        pli
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pli_remove(c: &mut Criterion) {
+    c.bench_function("pli_remove_10k", |b| {
+        b.iter_batched(
+            || {
+                let mut pli = Pli::new();
+                for i in 0..10_000u64 {
+                    pli.insert((i % 64) as u32, RecordId(i));
+                }
+                pli
+            },
+            |mut pli| {
+                for i in 0..10_000u64 {
+                    pli.remove((i % 64) as u32, RecordId(i));
+                }
+                pli
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_record_roundtrip(c: &mut Criterion) {
+    c.bench_function("relation_insert_delete_1k_rows_8_cols", |b| {
+        let schema = Schema::anonymous("bench", 8);
+        let rows: Vec<Vec<String>> = (0..1_000)
+            .map(|i| {
+                (0..8)
+                    .map(|c| format!("v{}_{}", c, i % (10 + c * 13)))
+                    .collect()
+            })
+            .collect();
+        b.iter(|| {
+            let mut rel = DynamicRelation::new(schema.clone());
+            for row in &rows {
+                rel.insert_row(black_box(row)).unwrap();
+            }
+            for i in 0..1_000u64 {
+                rel.delete_record(RecordId(i)).unwrap();
+            }
+            rel.len()
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_pli_insert,
+    bench_pli_remove,
+    bench_record_roundtrip
+);
+criterion_main!(benches);

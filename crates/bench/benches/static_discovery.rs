@@ -1,0 +1,49 @@
+//! Static discovery benchmarks: HyFD vs. TANE vs. FDEP on the same
+//! relation, plus the cover-inversion step (Algorithm 1) that DynFD runs
+//! at bootstrap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynfd_common::Schema;
+use dynfd_lattice::invert_positive_cover;
+use dynfd_relation::DynamicRelation;
+
+fn build_relation(rows: usize, cols: usize) -> DynamicRelation {
+    let data: Vec<Vec<String>> = (0..rows)
+        .map(|i| {
+            (0..cols)
+                .map(|c| {
+                    let d = 3 + (c * 7) % 30;
+                    format!("v{}_{}", c, (i * (c + 1)) % d)
+                })
+                .collect()
+        })
+        .collect();
+    DynamicRelation::from_rows(Schema::anonymous("bench", cols), &data).unwrap()
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let rel = build_relation(400, 7);
+    let mut group = c.benchmark_group("static_discovery_400x7");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("hyfd"), |b| {
+        b.iter(|| dynfd_static::hyfd::discover(&rel).len())
+    });
+    group.bench_function(BenchmarkId::from_parameter("tane"), |b| {
+        b.iter(|| dynfd_static::tane::discover(&rel).len())
+    });
+    group.bench_function(BenchmarkId::from_parameter("fdep"), |b| {
+        b.iter(|| dynfd_static::fdep::discover(&rel).len())
+    });
+    group.finish();
+}
+
+fn bench_cover_inversion(c: &mut Criterion) {
+    let rel = build_relation(400, 10);
+    let fds = dynfd_static::hyfd::discover(&rel);
+    c.bench_function("cover_inversion_algorithm1", |b| {
+        b.iter(|| invert_positive_cover(&fds, rel.arity()).len())
+    });
+}
+
+criterion_group!(benches, bench_algorithms, bench_cover_inversion);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! The experiment harness binary: regenerates every table and figure of
+//! the DynFD evaluation.
+//!
+//! ```text
+//! cargo run --release -p dynfd-bench --bin experiments -- all
+//! cargo run --release -p dynfd-bench --bin experiments -- table4 fig7 --scale 0.25
+//! ```
+//!
+//! Options:
+//! * `--scale <f>` — scale every dataset's rows and changes by `f`
+//!   (default 1.0, i.e. the paper's shapes with `artist` at 120k rows).
+//! * `--full-artist` — use the original 1,122,887-row `artist`.
+//!
+//! Tables are printed to stdout and written as CSV under
+//! `EXPERIMENTS-results/`.
+
+use dynfd_bench::experiments::{self, Ctx};
+use dynfd_bench::report::Table;
+use std::time::Instant;
+
+const USAGE: &str =
+    "usage: experiments [all|table3|table4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|ext]... \
+                     [--scale <f>] [--full-artist]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 1.0f64;
+    let mut full_artist = false;
+    let mut selected: Vec<String> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_else(|| die("--scale needs a value"));
+                scale = v.parse().unwrap_or_else(|_| die("--scale needs a number"));
+                if scale <= 0.0 {
+                    die("--scale must be positive");
+                }
+            }
+            "--full-artist" => full_artist = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            name => selected.push(name.to_string()),
+        }
+    }
+    if selected.is_empty() {
+        println!("{USAGE}");
+        return;
+    }
+    if selected.iter().any(|s| s == "all") {
+        selected = [
+            "table3", "table4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ext",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    let ctx = Ctx::new(scale, full_artist);
+    for name in &selected {
+        let start = Instant::now();
+        match name.as_str() {
+            "table3" => emit(
+                "Table 3: dataset characteristics",
+                "table3",
+                experiments::table3::run(&ctx),
+            ),
+            "table4" => emit(
+                "Table 4: DynFD performance, batch size 100, ≤10,000 changes",
+                "table4",
+                experiments::table4::run(&ctx),
+            ),
+            "fig5" => {
+                let (summary, series) = experiments::fig5::run(&ctx);
+                emit(
+                    "Figure 5: per-batch runtimes on 'single' (summary)",
+                    "fig5_summary",
+                    summary,
+                );
+                let path = series.write_csv("fig5_series").expect("write CSV");
+                println!("[fig5] full per-batch series -> {}\n", path.display());
+            }
+            "fig6" => emit(
+                "Figure 6: average batch runtime vs. batch size",
+                "fig6",
+                experiments::fig6::run(&ctx),
+            ),
+            "fig7" => emit(
+                "Figure 7: speedup of DynFD over repeated HyFD (relative batch sizes)",
+                "fig7",
+                experiments::fig7::run(&ctx),
+            ),
+            "fig8" => emit(
+                "Figure 8: runtime by pruning strategies, batch size 1,000",
+                "fig8",
+                experiments::figs8_9::run_fig8(&ctx),
+            ),
+            "fig9" => emit(
+                "Figure 9: runtime by pruning strategies, batch size 10% of rows",
+                "fig9",
+                experiments::figs8_9::run_fig9(&ctx),
+            ),
+            "fig10" => emit(
+                "Figure 10: strategies vs. batch size on 'cpu'",
+                "fig10",
+                experiments::figs10_11::run_fig10(&ctx),
+            ),
+            "ext" => emit(
+                "Extensions ablation (Section 8 features, batch size 100)",
+                "ext",
+                experiments::ext::run(&ctx),
+            ),
+            "fig11" => emit(
+                "Figure 11: strategies vs. batch size on 'single'",
+                "fig11",
+                experiments::figs10_11::run_fig11(&ctx),
+            ),
+            other => die(&format!("unknown experiment {other:?}\n{USAGE}")),
+        }
+        eprintln!("[{name}] finished in {:.1}s", start.elapsed().as_secs_f64());
+    }
+}
+
+fn emit(title: &str, csv_name: &str, table: Table) {
+    println!("== {title} ==");
+    println!("{}", table.render());
+    match table.write_csv(csv_name) {
+        Ok(path) => println!("[csv] {}\n", path.display()),
+        Err(e) => eprintln!("[csv] failed to write {csv_name}: {e}\n"),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2)
+}

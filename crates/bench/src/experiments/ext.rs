@@ -1,0 +1,73 @@
+//! Extensions ablation (beyond the paper) — the Section 8 future-work
+//! features implemented in this reproduction:
+//!
+//! * **key-constraint pruning**: the generator's first column is a
+//!   surrogate key in every profile, so declaring it exercises the
+//!   pruning on every dataset;
+//! * **update pruning**: pays off on the update-heavy histories (`cpu`,
+//!   `disease`) where most batches are pure updates touching few
+//!   attributes.
+//!
+//! All four paper strategies stay enabled; rows compare the extensions
+//! on top. Skip counters quantify how much validation work each
+//! extension removes.
+
+use crate::experiments::{Ctx, CHANGE_CAP};
+use crate::report::{ms, Table};
+use crate::runner::run_dynfd;
+use dynfd_common::AttrSet;
+use dynfd_core::DynFdConfig;
+
+/// Runs the experiment and returns the rendered table.
+pub fn run(ctx: &Ctx) -> Table {
+    let mut table = Table::new(&[
+        "Dataset",
+        "Extensions",
+        "runtime[ms]",
+        "fd validations",
+        "non-FD validations",
+        "skipped(key)",
+        "skipped(update)",
+    ]);
+    for name in ctx.names() {
+        let data = ctx.dataset(name);
+        let variants: Vec<(&str, DynFdConfig)> = vec![
+            ("paper strategies only", DynFdConfig::default()),
+            (
+                "+ key constraint",
+                DynFdConfig {
+                    known_keys: AttrSet::single(0),
+                    ..DynFdConfig::default()
+                },
+            ),
+            (
+                "+ update pruning",
+                DynFdConfig {
+                    update_pruning: true,
+                    ..DynFdConfig::default()
+                },
+            ),
+            (
+                "+ both",
+                DynFdConfig {
+                    known_keys: AttrSet::single(0),
+                    update_pruning: true,
+                    ..DynFdConfig::default()
+                },
+            ),
+        ];
+        for (label, config) in variants {
+            let out = run_dynfd(&data, 100, Some(CHANGE_CAP), config);
+            table.row(vec![
+                name.to_string(),
+                label.to_string(),
+                ms(out.total.as_secs_f64() * 1_000.0),
+                out.metrics.fd_validations.to_string(),
+                out.metrics.non_fd_validations.to_string(),
+                out.metrics.skipped_by_key_constraint.to_string(),
+                out.metrics.skipped_by_update_pruning.to_string(),
+            ]);
+        }
+    }
+    table
+}

@@ -1,0 +1,51 @@
+//! Figure 5 — per-batch runtimes on `single` (batch size 100).
+//!
+//! The paper's plot shows a flat default batch time with occasional
+//! spikes orders of magnitude taller (batches whose FDs actually
+//! change). We emit the full series as CSV and summarize the spike
+//! structure in the printed table.
+
+use crate::experiments::Ctx;
+use crate::report::{ms, Table};
+use crate::runner::run_dynfd;
+use dynfd_core::DynFdConfig;
+
+/// Runs the experiment; returns (summary table, per-batch series table).
+pub fn run(ctx: &Ctx) -> (Table, Table) {
+    let data = ctx.dataset("single");
+    let outcome = run_dynfd(&data, 100, None, DynFdConfig::default());
+
+    let mut series = Table::new(&["batch", "time_ms"]);
+    for (i, t) in outcome.batch_times.iter().enumerate() {
+        series.row(vec![
+            i.to_string(),
+            format!("{:.3}", t.as_secs_f64() * 1_000.0),
+        ]);
+    }
+
+    let mut sorted = outcome.batch_times.clone();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2].as_secs_f64() * 1_000.0;
+    let max = sorted.last().map_or(0.0, |t| t.as_secs_f64() * 1_000.0);
+    let spikes = outcome
+        .batch_times
+        .iter()
+        .filter(|t| t.as_secs_f64() * 1_000.0 > 10.0 * median.max(f64::MIN_POSITIVE))
+        .count();
+
+    let mut summary = Table::new(&[
+        "batches",
+        "median[ms]",
+        "max[ms]",
+        "max/median",
+        "spikes(>10x median)",
+    ]);
+    summary.row(vec![
+        outcome.batch_times.len().to_string(),
+        ms(median),
+        ms(max),
+        format!("{:.1}", if median > 0.0 { max / median } else { 0.0 }),
+        spikes.to_string(),
+    ]);
+    (summary, series)
+}

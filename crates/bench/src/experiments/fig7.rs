@@ -1,0 +1,52 @@
+//! Figure 7 — speedup of DynFD over repeated executions of HyFD.
+//!
+//! Batch sizes are *relative* to the initial dataset size: 1 % → 1000 %
+//! of #Rows. For each dataset and ratio both systems process the same
+//! batches (up to the paper's 10,000-change cap); speedup is the ratio
+//! of total HyFD profiling time to total DynFD maintenance time.
+//!
+//! Expected shape vs. the paper: >10× speedups at small ratios,
+//! crossover (speedup ≈ 1) around 100 % — where a batch rewrites the
+//! whole dataset — `cpu` never ahead (62 rows: re-profiling is trivial),
+//! and `artist` degenerate beyond 10 % (its ratios cover the entire
+//! change history).
+
+use crate::experiments::{Ctx, CHANGE_CAP};
+use crate::report::{ratio, Table};
+use crate::runner::{run_dynfd, run_hyfd_repeated};
+use dynfd_core::DynFdConfig;
+
+/// Relative batch sizes in percent of the initial row count.
+pub const RATIOS: &[f64] = &[1.0, 5.0, 10.0, 50.0, 100.0, 1000.0];
+
+/// At most this many batches are timed per (dataset, ratio). The
+/// speedup is a per-batch ratio, so a 15-batch sample estimates it
+/// faithfully while keeping the repeated-HyFD side (which re-profiles
+/// the full relation every batch — tens of seconds each on `actor` and
+/// `artist`) within a practical budget. Documented in EXPERIMENTS.md.
+pub const MAX_BATCHES: usize = 15;
+
+/// Runs the experiment and returns the rendered table
+/// (rows = datasets, columns = ratios, cells = speedup).
+pub fn run(ctx: &Ctx) -> Table {
+    let mut header: Vec<String> = vec!["Dataset".into()];
+    header.extend(RATIOS.iter().map(|r| format!("speedup@{r}%")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(&header_refs);
+
+    for name in ctx.names() {
+        let data = ctx.dataset(name);
+        let rows = data.initial_rows.len();
+        let mut cells = vec![name.to_string()];
+        for &pct in RATIOS {
+            let batch_size = ((rows as f64 * pct / 100.0) as usize).max(1);
+            let limit = CHANGE_CAP.min(batch_size.saturating_mul(MAX_BATCHES));
+            let dynfd = run_dynfd(&data, batch_size, Some(limit), DynFdConfig::default());
+            let hyfd = run_hyfd_repeated(&data, batch_size, Some(limit));
+            let speedup = hyfd.total.as_secs_f64() / dynfd.total.as_secs_f64().max(1e-9);
+            cells.push(ratio(speedup));
+        }
+        table.row(cells);
+    }
+    table
+}

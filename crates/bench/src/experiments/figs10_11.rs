@@ -1,0 +1,49 @@
+//! Figures 10 and 11 — strategy compositions across batch sizes.
+//!
+//! Runtime of each strategy set for batch sizes 10 → 1,000 on `cpu`
+//! (Figure 10) and `single` (Figure 11). Expected shape vs. the paper:
+//! the all-strategies composition stays best or close to best across
+//! the whole batch-size range.
+
+use crate::experiments::{Ctx, CHANGE_CAP};
+use crate::report::{ms, Table};
+use crate::runner::run_dynfd;
+use crate::strategies::strategy_sets;
+
+/// Batch sizes swept (matching Figure 6's sweep).
+pub const BATCH_SIZES: &[usize] = &[10, 50, 100, 500, 1000];
+
+/// Cap on batches per cell (see `fig6::MAX_BATCHES` for the rationale;
+/// the runtime column is reported per batch-capped run, and all
+/// strategy rows of a column process identical batches, so relative
+/// comparisons — the figure's entire point — are unaffected).
+pub const MAX_BATCHES: usize = 100;
+
+/// Runs Figure 10 (`cpu`).
+pub fn run_fig10(ctx: &Ctx) -> Table {
+    run_on(ctx, "cpu")
+}
+
+/// Runs Figure 11 (`single`).
+pub fn run_fig11(ctx: &Ctx) -> Table {
+    run_on(ctx, "single")
+}
+
+fn run_on(ctx: &Ctx, name: &str) -> Table {
+    let data = ctx.dataset(name);
+    let mut header: Vec<String> = vec!["Strategies".into()];
+    header.extend(BATCH_SIZES.iter().map(|b| format!("{name}@{b}[ms]")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(&header_refs);
+
+    for (label, config) in strategy_sets() {
+        let mut cells = vec![label.to_string()];
+        for &batch_size in BATCH_SIZES {
+            let limit = CHANGE_CAP.min(batch_size.saturating_mul(MAX_BATCHES));
+            let outcome = run_dynfd(&data, batch_size, Some(limit), config);
+            cells.push(ms(outcome.total.as_secs_f64() * 1_000.0));
+        }
+        table.row(cells);
+    }
+    table
+}

@@ -1,0 +1,47 @@
+//! Figures 8 and 9 — total runtime per pruning-strategy composition.
+//!
+//! Figure 8 uses a fixed batch size of 1,000; Figure 9 a relative batch
+//! size of 10 % of the initial dataset. Rows are the eight strategy
+//! sets ("-" = the naive-sampling baseline, "4.3+5.3+4.2+5.2" = all
+//! strategies), columns the six datasets, cells the total maintenance
+//! runtime in milliseconds over the first 10,000 changes.
+//!
+//! Expected shape vs. the paper: the all-strategies composition is best
+//! or near-best on every dataset (reliably good rather than universally
+//! optimal); validation pruning (5.2) can hurt on the insert-only
+//! `claims` where annotations are maintained but never consulted.
+
+use crate::experiments::{Ctx, CHANGE_CAP};
+use crate::report::{ms, Table};
+use crate::runner::run_dynfd;
+use crate::strategies::strategy_sets;
+
+/// Runs the fixed-batch-size variant (Figure 8, batch = 1,000).
+pub fn run_fig8(ctx: &Ctx) -> Table {
+    run_with(ctx, |_| 1_000)
+}
+
+/// Runs the relative variant (Figure 9, batch = 10 % of #Rows).
+pub fn run_fig9(ctx: &Ctx) -> Table {
+    run_with(ctx, |rows| ((rows as f64) * 0.10) as usize)
+}
+
+fn run_with(ctx: &Ctx, batch_for: impl Fn(usize) -> usize) -> Table {
+    let names = ctx.names();
+    let mut header: Vec<String> = vec!["Strategies".into()];
+    header.extend(names.iter().map(|n| format!("{n}[ms]")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(&header_refs);
+
+    for (label, config) in strategy_sets() {
+        let mut cells = vec![label.to_string()];
+        for name in &names {
+            let data = ctx.dataset(name);
+            let batch_size = batch_for(data.initial_rows.len()).max(1);
+            let outcome = run_dynfd(&data, batch_size, Some(CHANGE_CAP), config);
+            cells.push(ms(outcome.total.as_secs_f64() * 1_000.0));
+        }
+        table.row(cells);
+    }
+    table
+}

@@ -1,0 +1,120 @@
+//! One module per paper artifact (tables 3–4, figures 5–11).
+
+pub mod ext;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod figs10_11;
+pub mod figs8_9;
+pub mod table3;
+pub mod table4;
+
+use dynfd_datagen::{DatasetProfile, GeneratedDataset, PAPER_PROFILES};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Shared harness context: scaling knobs and a dataset cache so each
+/// profile is generated exactly once per run.
+pub struct Ctx {
+    /// Row/change scale factor applied to every profile (1.0 = the
+    /// paper's shapes, with `artist` at its default 120k-row scaling).
+    pub scale: f64,
+    /// Use the full 1.1M-row `artist` instead of the scaled default.
+    pub full_artist: bool,
+    datasets: RefCell<HashMap<String, Rc<GeneratedDataset>>>,
+}
+
+impl Ctx {
+    /// Creates a context.
+    pub fn new(scale: f64, full_artist: bool) -> Self {
+        Ctx {
+            scale,
+            full_artist,
+            datasets: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The six evaluation profiles under the context's scaling.
+    pub fn profiles(&self) -> Vec<DatasetProfile> {
+        PAPER_PROFILES
+            .iter()
+            .map(|p| {
+                let p = if p.name == "artist" && self.full_artist {
+                    DatasetProfile::artist_full()
+                } else {
+                    p.clone()
+                };
+                if (self.scale - 1.0).abs() < f64::EPSILON {
+                    p
+                } else {
+                    p.scaled(self.scale)
+                }
+            })
+            .collect()
+    }
+
+    /// The generated dataset for `name`, cached.
+    pub fn dataset(&self, name: &str) -> Rc<GeneratedDataset> {
+        if let Some(d) = self.datasets.borrow().get(name) {
+            return Rc::clone(d);
+        }
+        let profile = self
+            .profiles()
+            .into_iter()
+            .find(|p| p.name == name)
+            .unwrap_or_else(|| panic!("unknown dataset {name}"));
+        eprintln!(
+            "[gen] {name}: {} cols, {} rows, {} changes",
+            profile.columns, profile.initial_rows, profile.changes
+        );
+        let data = Rc::new(GeneratedDataset::generate(&profile));
+        self.datasets
+            .borrow_mut()
+            .insert(name.to_string(), Rc::clone(&data));
+        data
+    }
+
+    /// Dataset names in the paper's order.
+    pub fn names(&self) -> Vec<&'static str> {
+        PAPER_PROFILES.iter().map(|p| p.name).collect()
+    }
+}
+
+/// The paper caps most experiments at the first 10,000 changes.
+pub const CHANGE_CAP: usize = 10_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_caches_datasets() {
+        let ctx = Ctx::new(0.02, false);
+        let a = ctx.dataset("cpu");
+        let b = ctx.dataset("cpu");
+        assert!(Rc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn scaling_applies() {
+        let ctx = Ctx::new(0.1, false);
+        let artist = ctx
+            .profiles()
+            .into_iter()
+            .find(|p| p.name == "artist")
+            .unwrap();
+        assert_eq!(artist.initial_rows, 12_000);
+    }
+
+    #[test]
+    fn full_artist_flag() {
+        let ctx = Ctx::new(1.0, true);
+        let artist = ctx
+            .profiles()
+            .into_iter()
+            .find(|p| p.name == "artist")
+            .unwrap();
+        assert_eq!(artist.initial_rows, 1_122_887);
+    }
+}

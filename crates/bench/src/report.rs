@@ -1,0 +1,161 @@
+//! Table printing and CSV output.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory the harness writes CSV series into.
+pub const RESULTS_DIR: &str = "EXPERIMENTS-results";
+
+/// A simple column-aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<w$}", cell, w = widths[i] + 2);
+                let _ = i; // widths index kept in lockstep
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.header);
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().map(|w| w + 2).sum::<usize>().min(120))
+        );
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        let _ = ncols;
+        out
+    }
+
+    /// The table serialized as RFC-4180 CSV.
+    pub fn to_csv_string(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut text = String::new();
+        let _ = writeln!(
+            text,
+            "{}",
+            self.header
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                text,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        text
+    }
+
+    /// Writes the table as CSV into [`RESULTS_DIR`]; returns the path.
+    pub fn write_csv(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = Path::new(RESULTS_DIR);
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        fs::write(&path, self.to_csv_string())?;
+        Ok(path)
+    }
+}
+
+/// Formats a millisecond value compactly.
+pub fn ms(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Formats a ratio/speedup compactly.
+pub fn ratio(v: f64) -> String {
+    if v >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn ragged_row_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new(&["x"]);
+        t.row(vec!["a,b \"q\"".into()]);
+        let text = t.to_csv_string();
+        assert_eq!(text, "x\n\"a,b \"\"q\"\"\"\n");
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ms(250.4), "250");
+        assert_eq!(ms(5.25), "5.2");
+        assert_eq!(ms(0.1234), "0.123");
+        assert_eq!(ratio(12.34), "12.3");
+        assert_eq!(ratio(1.234), "1.23");
+    }
+}

@@ -1,0 +1,174 @@
+//! Shared measurement drivers: DynFD maintenance runs and the
+//! repeated-HyFD baseline.
+
+use dynfd_core::{BatchMetrics, DynFd, DynFdConfig};
+use dynfd_datagen::GeneratedDataset;
+use std::time::{Duration, Instant};
+
+/// Timing record of one maintenance (or repeated-profiling) run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Wall-clock time per batch, in batch order.
+    pub batch_times: Vec<Duration>,
+    /// Sum of all batch times.
+    pub total: Duration,
+    /// Number of change operations processed.
+    pub changes: usize,
+    /// Minimal FD count after the last batch.
+    pub final_fd_count: usize,
+    /// Accumulated DynFD work counters (zeroed for the HyFD baseline).
+    pub metrics: BatchMetrics,
+}
+
+impl RunOutcome {
+    /// Average batch time in milliseconds.
+    pub fn avg_batch_ms(&self) -> f64 {
+        if self.batch_times.is_empty() {
+            return 0.0;
+        }
+        self.total.as_secs_f64() * 1_000.0 / self.batch_times.len() as f64
+    }
+
+    /// Throughput in changes per second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.total.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.changes as f64 / secs
+        }
+    }
+
+    /// The `q`-th percentile batch time in milliseconds (e.g. `0.99`).
+    pub fn percentile_ms(&self, q: f64) -> f64 {
+        if self.batch_times.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.batch_times.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1].as_secs_f64() * 1_000.0
+    }
+}
+
+/// Replays `data`'s change history through DynFD in batches of
+/// `batch_size` (up to `limit` changes) and times each batch.
+///
+/// The static bootstrap (HyFD + cover inversion over the initial tuples)
+/// is *excluded* from the timings, matching the paper's setup where the
+/// initial covers are given to DynFD as input.
+pub fn run_dynfd(
+    data: &GeneratedDataset,
+    batch_size: usize,
+    limit: Option<usize>,
+    config: DynFdConfig,
+) -> RunOutcome {
+    let mut dynfd = DynFd::new(data.to_relation(), config);
+    let batches = data.batches(batch_size, limit);
+    let mut batch_times = Vec::with_capacity(batches.len());
+    let mut total = Duration::ZERO;
+    let mut changes = 0usize;
+    let mut metrics = BatchMetrics::default();
+    for batch in &batches {
+        changes += batch.len();
+        let result = dynfd
+            .apply_batch(batch)
+            .expect("generated stream replays cleanly");
+        batch_times.push(result.metrics.wall_time);
+        total += result.metrics.wall_time;
+        metrics.absorb(&result.metrics);
+    }
+    RunOutcome {
+        batch_times,
+        total,
+        changes,
+        final_fd_count: dynfd.minimal_fds().len(),
+        metrics,
+    }
+}
+
+/// The paper's baseline: after each batch is applied to the relation,
+/// re-run the static HyFD from scratch. Only the profiling time (not
+/// the structure update) is charged, which is generous to the baseline.
+pub fn run_hyfd_repeated(
+    data: &GeneratedDataset,
+    batch_size: usize,
+    limit: Option<usize>,
+) -> RunOutcome {
+    let mut rel = data.to_relation();
+    let batches = data.batches(batch_size, limit);
+    let mut batch_times = Vec::with_capacity(batches.len());
+    let mut total = Duration::ZERO;
+    let mut changes = 0usize;
+    let mut final_fd_count = 0usize;
+    for batch in &batches {
+        changes += batch.len();
+        rel.apply_batch(batch)
+            .expect("generated stream replays cleanly");
+        let start = Instant::now();
+        let fds = dynfd_static::hyfd::discover(&rel);
+        let elapsed = start.elapsed();
+        batch_times.push(elapsed);
+        total += elapsed;
+        final_fd_count = fds.len();
+    }
+    RunOutcome {
+        batch_times,
+        total,
+        changes,
+        final_fd_count,
+        metrics: BatchMetrics::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynfd_datagen::DatasetProfile;
+
+    fn tiny() -> GeneratedDataset {
+        GeneratedDataset::generate(&DatasetProfile {
+            name: "tiny",
+            columns: 5,
+            initial_rows: 40,
+            changes: 120,
+            insert_pct: 50.0,
+            delete_pct: 10.0,
+            update_pct: 40.0,
+            update_columns: 2,
+            seed: 3,
+            bursts: 0,
+            burst_len: 0,
+        })
+    }
+
+    #[test]
+    fn dynfd_and_hyfd_agree_on_final_fd_count() {
+        let data = tiny();
+        let a = run_dynfd(&data, 30, None, DynFdConfig::default());
+        let b = run_hyfd_repeated(&data, 30, None);
+        assert_eq!(a.final_fd_count, b.final_fd_count);
+        assert_eq!(a.changes, b.changes);
+        assert_eq!(a.batch_times.len(), 4);
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let data = tiny();
+        let out = run_dynfd(&data, 25, Some(50), DynFdConfig::default());
+        assert_eq!(out.changes, 50);
+        assert_eq!(out.batch_times.len(), 2);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let data = tiny();
+        let out = run_dynfd(&data, 10, None, DynFdConfig::default());
+        let p99 = out.percentile_ms(0.99);
+        let p90 = out.percentile_ms(0.90);
+        let p50 = out.percentile_ms(0.50);
+        assert!(p99 >= p90 && p90 >= p50);
+        assert!(out.avg_batch_ms() > 0.0);
+        assert!(out.throughput() > 0.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! The pruning-strategy compositions of the §6.5 ablation (rows of
+//! Figures 8 and 9, lines of Figures 10 and 11).
+
+use dynfd_core::{DynFdConfig, SearchMode};
+
+/// The eight strategy sets evaluated in the paper, in Figure 8's row
+/// order: `-` (baseline), `4.3`, `5.3`, `4.2`, `5.2`, `4.3+5.3`,
+/// `4.3+5.3+4.2`, `4.3+5.3+4.2+5.2`.
+pub fn strategy_sets() -> Vec<(&'static str, DynFdConfig)> {
+    let base = DynFdConfig::baseline();
+    vec![
+        ("-", base),
+        (
+            "4.3",
+            DynFdConfig {
+                violation_search: SearchMode::Progressive,
+                ..base
+            },
+        ),
+        (
+            "5.3",
+            DynFdConfig {
+                depth_first_search: true,
+                ..base
+            },
+        ),
+        (
+            "4.2",
+            DynFdConfig {
+                cluster_pruning: true,
+                ..base
+            },
+        ),
+        (
+            "5.2",
+            DynFdConfig {
+                validation_pruning: true,
+                ..base
+            },
+        ),
+        (
+            "4.3+5.3",
+            DynFdConfig {
+                violation_search: SearchMode::Progressive,
+                depth_first_search: true,
+                ..base
+            },
+        ),
+        (
+            "4.3+5.3+4.2",
+            DynFdConfig {
+                violation_search: SearchMode::Progressive,
+                depth_first_search: true,
+                cluster_pruning: true,
+                ..base
+            },
+        ),
+        ("4.3+5.3+4.2+5.2", DynFdConfig::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_sets_with_paper_labels() {
+        let sets = strategy_sets();
+        assert_eq!(sets.len(), 8);
+        for (label, config) in &sets {
+            assert_eq!(&config.strategy_label(), label, "label must match config");
+        }
+        assert_eq!(sets[0].0, "-");
+        assert_eq!(sets[7].0, "4.3+5.3+4.2+5.2");
+    }
+}

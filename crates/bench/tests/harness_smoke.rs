@@ -1,0 +1,75 @@
+//! Smoke tests for the experiment harness at 1 % scale: every
+//! experiment module must run end to end and produce structurally
+//! sane tables. (The real numbers come from the release harness; these
+//! tests protect the code paths.)
+
+use dynfd_bench::experiments::{self, Ctx};
+
+fn tiny_ctx() -> Ctx {
+    // Debug builds run these paths an order of magnitude slower; shrink
+    // the datasets further so `cargo test --workspace` stays quick.
+    let scale = if cfg!(debug_assertions) { 0.004 } else { 0.01 };
+    Ctx::new(scale, false)
+}
+
+#[test]
+fn table3_runs_and_covers_all_datasets() {
+    let table = experiments::table3::run(&tiny_ctx());
+    let text = table.render();
+    for name in ["cpu", "disease", "actor", "single", "artist", "claims"] {
+        assert!(text.contains(name), "missing dataset {name}:\n{text}");
+    }
+    let csv = table.to_csv_string();
+    assert_eq!(csv.lines().count(), 7, "header + six datasets");
+}
+
+#[test]
+fn table4_reports_positive_throughput() {
+    let table = experiments::table4::run(&tiny_ctx());
+    let csv = table.to_csv_string();
+    assert_eq!(csv.lines().count(), 7);
+    // Every data row must have non-empty numeric cells.
+    for line in csv.lines().skip(1) {
+        let cells: Vec<&str> = line.split(',').collect();
+        assert_eq!(cells.len(), 7, "row arity: {line}");
+        let runtime: f64 = cells[1].parse().expect("runtime number");
+        assert!(runtime >= 0.0);
+    }
+}
+
+#[test]
+fn fig5_emits_summary_and_series() {
+    let (summary, series) = experiments::fig5::run(&tiny_ctx());
+    assert_eq!(summary.to_csv_string().lines().count(), 2);
+    assert!(series.to_csv_string().lines().count() > 1, "at least one batch");
+}
+
+#[test]
+fn fig7_speedups_are_positive() {
+    let ctx = tiny_ctx();
+    let table = experiments::fig7::run(&ctx);
+    let csv = table.to_csv_string();
+    for line in csv.lines().skip(1) {
+        for cell in line.split(',').skip(1) {
+            let v: f64 = cell.parse().expect("speedup number");
+            assert!(v > 0.0, "speedup must be positive: {line}");
+        }
+    }
+}
+
+#[test]
+fn fig8_has_eight_strategy_rows() {
+    let table = experiments::figs8_9::run_fig8(&tiny_ctx());
+    let csv = table.to_csv_string();
+    assert_eq!(csv.lines().count(), 9, "header + 8 strategy sets");
+    assert!(csv.contains("4.3+5.3+4.2+5.2"));
+    assert!(csv.lines().nth(1).unwrap().starts_with('-'), "baseline row first");
+}
+
+#[test]
+fn ext_rows_cover_all_variants() {
+    let table = experiments::ext::run(&tiny_ctx());
+    let csv = table.to_csv_string();
+    assert_eq!(csv.lines().count(), 1 + 6 * 4, "header + 6 datasets x 4 variants");
+    assert!(csv.contains("+ both"));
+}

@@ -1,0 +1,436 @@
+//! Fixed-width attribute bitsets.
+//!
+//! FD discovery reasons about subsets of a relation's attributes
+//! constantly: every lattice node is an attribute set, every
+//! generalization/specialization check is a subset test, and every
+//! record-pair comparison produces an *agree set*. A small, `Copy`,
+//! allocation-free bitset keeps all of these operations at a handful of
+//! word instructions.
+//!
+//! The widest dataset in the paper's evaluation (`actor`) has 83 columns;
+//! we size the set at 256 bits, which comfortably covers every dataset
+//! the original Metanome-based tooling handles.
+
+use std::fmt;
+
+/// Number of 64-bit words backing an [`AttrSet`].
+const WORDS: usize = 4;
+
+/// Maximum number of attributes (columns) an [`AttrSet`] can address.
+pub const MAX_ATTRS: usize = WORDS * 64;
+
+/// A set of attribute indices, represented as a 256-bit bitset.
+///
+/// `AttrSet` is `Copy` and totally ordered (lexicographically by words,
+/// lowest attribute index in the least significant bit), so it can be
+/// used directly as a map key or sorted deterministically.
+///
+/// # Examples
+///
+/// ```
+/// use dynfd_common::AttrSet;
+///
+/// let zip_city = AttrSet::from_iter([2usize, 3]);
+/// assert!(zip_city.contains(2));
+/// assert_eq!(zip_city.len(), 2);
+/// assert!(AttrSet::single(2).is_subset_of(&zip_city));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct AttrSet {
+    words: [u64; WORDS],
+}
+
+impl AttrSet {
+    /// The empty attribute set.
+    #[inline]
+    pub const fn empty() -> Self {
+        AttrSet { words: [0; WORDS] }
+    }
+
+    /// The set `{0, 1, ..., n-1}`, i.e. all attributes of an `n`-ary
+    /// relation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_ATTRS`.
+    pub fn full(n: usize) -> Self {
+        assert!(
+            n <= MAX_ATTRS,
+            "relation arity {n} exceeds MAX_ATTRS ({MAX_ATTRS})"
+        );
+        let mut s = AttrSet::empty();
+        for w in 0..WORDS {
+            let lo = w * 64;
+            if n >= lo + 64 {
+                s.words[w] = u64::MAX;
+            } else if n > lo {
+                s.words[w] = (1u64 << (n - lo)) - 1;
+            }
+        }
+        s
+    }
+
+    /// The singleton set `{attr}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attr >= MAX_ATTRS`.
+    #[inline]
+    pub fn single(attr: usize) -> Self {
+        let mut s = AttrSet::empty();
+        s.insert(attr);
+        s
+    }
+
+    /// Whether the set contains `attr`.
+    #[inline]
+    pub fn contains(&self, attr: usize) -> bool {
+        debug_assert!(attr < MAX_ATTRS);
+        (self.words[attr / 64] >> (attr % 64)) & 1 == 1
+    }
+
+    /// Inserts `attr` into the set (in place).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attr >= MAX_ATTRS`.
+    #[inline]
+    pub fn insert(&mut self, attr: usize) {
+        assert!(attr < MAX_ATTRS, "attribute index {attr} exceeds MAX_ATTRS");
+        self.words[attr / 64] |= 1 << (attr % 64);
+    }
+
+    /// Removes `attr` from the set (in place). Removing an absent
+    /// attribute is a no-op.
+    #[inline]
+    pub fn remove(&mut self, attr: usize) {
+        debug_assert!(attr < MAX_ATTRS);
+        self.words[attr / 64] &= !(1 << (attr % 64));
+    }
+
+    /// Returns a copy of the set with `attr` added.
+    #[inline]
+    pub fn with(&self, attr: usize) -> Self {
+        let mut s = *self;
+        s.insert(attr);
+        s
+    }
+
+    /// Returns a copy of the set with `attr` removed.
+    #[inline]
+    pub fn without(&self, attr: usize) -> Self {
+        let mut s = *self;
+        s.remove(attr);
+        s
+    }
+
+    /// Set union.
+    #[inline]
+    pub fn union(&self, other: &Self) -> Self {
+        let mut s = *self;
+        for w in 0..WORDS {
+            s.words[w] |= other.words[w];
+        }
+        s
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub fn intersect(&self, other: &Self) -> Self {
+        let mut s = *self;
+        for w in 0..WORDS {
+            s.words[w] &= other.words[w];
+        }
+        s
+    }
+
+    /// Set difference `self \ other`.
+    #[inline]
+    pub fn difference(&self, other: &Self) -> Self {
+        let mut s = *self;
+        for w in 0..WORDS {
+            s.words[w] &= !other.words[w];
+        }
+        s
+    }
+
+    /// Whether `self ⊆ other`.
+    #[inline]
+    pub fn is_subset_of(&self, other: &Self) -> bool {
+        (0..WORDS).all(|w| self.words[w] & !other.words[w] == 0)
+    }
+
+    /// Whether `self ⊂ other` (proper subset).
+    #[inline]
+    pub fn is_proper_subset_of(&self, other: &Self) -> bool {
+        self != other && self.is_subset_of(other)
+    }
+
+    /// Whether `self ⊇ other`.
+    #[inline]
+    pub fn is_superset_of(&self, other: &Self) -> bool {
+        other.is_subset_of(self)
+    }
+
+    /// Whether the two sets share no attribute.
+    #[inline]
+    pub fn is_disjoint(&self, other: &Self) -> bool {
+        (0..WORDS).all(|w| self.words[w] & other.words[w] == 0)
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of attributes in the set (population count).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Smallest attribute index in the set, or `None` if empty.
+    #[inline]
+    pub fn first(&self) -> Option<usize> {
+        for (w, &word) in self.words.iter().enumerate() {
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Largest attribute index in the set, or `None` if empty.
+    #[inline]
+    pub fn last(&self) -> Option<usize> {
+        for w in (0..WORDS).rev() {
+            if self.words[w] != 0 {
+                return Some(w * 64 + 63 - self.words[w].leading_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Iterates attribute indices in ascending order.
+    #[inline]
+    pub fn iter(&self) -> AttrSetIter {
+        AttrSetIter {
+            set: *self,
+            word: 0,
+        }
+    }
+
+    /// Collects the attribute indices into a `Vec`, ascending.
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+}
+
+impl FromIterator<usize> for AttrSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let mut s = AttrSet::empty();
+        for a in iter {
+            s.insert(a);
+        }
+        s
+    }
+}
+
+impl IntoIterator for AttrSet {
+    type Item = usize;
+    type IntoIter = AttrSetIter;
+
+    fn into_iter(self) -> AttrSetIter {
+        self.iter()
+    }
+}
+
+impl IntoIterator for &AttrSet {
+    type Item = usize;
+    type IntoIter = AttrSetIter;
+
+    fn into_iter(self) -> AttrSetIter {
+        self.iter()
+    }
+}
+
+/// Ascending iterator over the attribute indices of an [`AttrSet`].
+#[derive(Clone, Debug)]
+pub struct AttrSetIter {
+    set: AttrSet,
+    word: usize,
+}
+
+impl Iterator for AttrSetIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.word < WORDS {
+            let w = self.set.words[self.word];
+            if w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                self.set.words[self.word] &= w - 1; // clear lowest set bit
+                return Some(self.word * 64 + bit);
+            }
+            self.word += 1;
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.set.len();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for AttrSetIter {}
+
+impl fmt::Debug for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_has_no_members() {
+        let s = AttrSet::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.first(), None);
+        assert_eq!(s.last(), None);
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn single_and_contains() {
+        let s = AttrSet::single(7);
+        assert!(s.contains(7));
+        assert!(!s.contains(6));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.first(), Some(7));
+        assert_eq!(s.last(), Some(7));
+    }
+
+    #[test]
+    fn full_covers_word_boundaries() {
+        for n in [0, 1, 63, 64, 65, 127, 128, 200, 256] {
+            let s = AttrSet::full(n);
+            assert_eq!(s.len(), n, "full({n})");
+            for a in 0..n {
+                assert!(s.contains(a), "full({n}) missing {a}");
+            }
+            if n < MAX_ATTRS {
+                assert!(!s.contains(n));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_ATTRS")]
+    fn full_beyond_capacity_panics() {
+        let _ = AttrSet::full(MAX_ATTRS + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_ATTRS")]
+    fn insert_beyond_capacity_panics() {
+        let mut s = AttrSet::empty();
+        s.insert(MAX_ATTRS);
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = AttrSet::empty();
+        s.insert(3);
+        s.insert(70);
+        s.insert(255);
+        assert_eq!(s.to_vec(), vec![3, 70, 255]);
+        s.remove(70);
+        assert_eq!(s.to_vec(), vec![3, 255]);
+        s.remove(70); // no-op
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn with_without_do_not_mutate() {
+        let s = AttrSet::from_iter([1usize, 2]);
+        let t = s.with(5);
+        let u = s.without(2);
+        assert_eq!(s.to_vec(), vec![1, 2]);
+        assert_eq!(t.to_vec(), vec![1, 2, 5]);
+        assert_eq!(u.to_vec(), vec![1]);
+    }
+
+    #[test]
+    fn algebra() {
+        let a = AttrSet::from_iter([0usize, 1, 64, 130]);
+        let b = AttrSet::from_iter([1usize, 64, 200]);
+        assert_eq!(a.union(&b).to_vec(), vec![0, 1, 64, 130, 200]);
+        assert_eq!(a.intersect(&b).to_vec(), vec![1, 64]);
+        assert_eq!(a.difference(&b).to_vec(), vec![0, 130]);
+    }
+
+    #[test]
+    fn subset_relations() {
+        let a = AttrSet::from_iter([1usize, 2]);
+        let b = AttrSet::from_iter([1usize, 2, 3]);
+        assert!(a.is_subset_of(&b));
+        assert!(a.is_proper_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(b.is_superset_of(&a));
+        assert!(a.is_subset_of(&a));
+        assert!(!a.is_proper_subset_of(&a));
+        assert!(AttrSet::empty().is_subset_of(&a));
+    }
+
+    #[test]
+    fn disjointness() {
+        let a = AttrSet::from_iter([0usize, 100]);
+        let b = AttrSet::from_iter([1usize, 101]);
+        assert!(a.is_disjoint(&b));
+        assert!(!a.is_disjoint(&a.with(1)));
+        assert!(AttrSet::empty().is_disjoint(&a));
+    }
+
+    #[test]
+    fn iteration_order_is_ascending_across_words() {
+        let v = vec![0usize, 5, 63, 64, 65, 127, 128, 191, 192, 255];
+        let s: AttrSet = v.iter().copied().collect();
+        assert_eq!(s.to_vec(), v);
+        assert_eq!(s.iter().len(), v.len());
+    }
+
+    #[test]
+    fn ordering_is_total_and_consistent_with_eq() {
+        let a = AttrSet::single(0);
+        let b = AttrSet::single(1);
+        assert!(a < b);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn debug_format() {
+        let s = AttrSet::from_iter([2usize, 4]);
+        assert_eq!(format!("{s:?}"), "{2,4}");
+        assert_eq!(format!("{}", AttrSet::empty()), "{}");
+    }
+}

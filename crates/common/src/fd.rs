@@ -1,0 +1,175 @@
+//! Functional dependency values.
+
+use crate::{AttrSet, Schema};
+use std::fmt;
+
+/// Index of an attribute (column) within a relation's schema.
+pub type AttrId = usize;
+
+/// A functional dependency `lhs -> rhs` (Definition 1.1 of the paper).
+///
+/// The right-hand side is a single attribute; an FD with a composite
+/// right-hand side `X -> AB` is equivalent to the pair `X -> A`, `X -> B`,
+/// so discovery algorithms only ever materialize single-RHS dependencies.
+///
+/// An `Fd` is *non-trivial* iff `rhs ∉ lhs`; all construction paths in
+/// this workspace maintain that invariant, and [`Fd::new`] asserts it in
+/// debug builds.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fd {
+    /// Left-hand side: the determinant attribute set.
+    pub lhs: AttrSet,
+    /// Right-hand side: the (single) determined attribute.
+    pub rhs: AttrId,
+}
+
+impl Fd {
+    /// Creates the FD `lhs -> rhs`.
+    ///
+    /// Debug-asserts non-triviality (`rhs ∉ lhs`).
+    #[inline]
+    pub fn new(lhs: AttrSet, rhs: AttrId) -> Self {
+        debug_assert!(!lhs.contains(rhs), "trivial FD: {rhs} ∈ {lhs:?}");
+        Fd { lhs, rhs }
+    }
+
+    /// Number of attributes on the left-hand side; the FD's *level* in
+    /// the powerset lattice.
+    #[inline]
+    pub fn level(&self) -> usize {
+        self.lhs.len()
+    }
+
+    /// Whether `self` is a generalization of `other`, i.e. same RHS and
+    /// `self.lhs ⊂ other.lhs`.
+    #[inline]
+    pub fn is_generalization_of(&self, other: &Fd) -> bool {
+        self.rhs == other.rhs && self.lhs.is_proper_subset_of(&other.lhs)
+    }
+
+    /// Whether `self` is a specialization of `other`, i.e. same RHS and
+    /// `self.lhs ⊃ other.lhs`.
+    #[inline]
+    pub fn is_specialization_of(&self, other: &Fd) -> bool {
+        other.is_generalization_of(self)
+    }
+
+    /// All direct generalizations (LHS shrunk by one attribute).
+    pub fn direct_generalizations(&self) -> impl Iterator<Item = Fd> + '_ {
+        self.lhs
+            .iter()
+            .map(move |a| Fd::new(self.lhs.without(a), self.rhs))
+    }
+
+    /// All direct specializations within an `arity`-column relation (LHS
+    /// grown by one attribute not already in LHS ∪ {RHS}).
+    pub fn direct_specializations(&self, arity: usize) -> impl Iterator<Item = Fd> + '_ {
+        let rhs = self.rhs;
+        let lhs = self.lhs;
+        (0..arity)
+            .filter(move |&a| a != rhs && !lhs.contains(a))
+            .map(move |a| Fd::new(lhs.with(a), rhs))
+    }
+
+    /// Renders the FD with column names, e.g. `zip,city -> state`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> FdDisplay<'a> {
+        FdDisplay { fd: self, schema }
+    }
+}
+
+impl fmt::Debug for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}->{}", self.lhs, self.rhs)
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Helper returned by [`Fd::display`]: formats an FD with column names.
+pub struct FdDisplay<'a> {
+    fd: &'a Fd,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for FdDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.fd.lhs.is_empty() {
+            write!(f, "∅")?;
+        }
+        for (i, a) in self.fd.lhs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", self.schema.column_name(a))?;
+        }
+        write!(f, " -> {}", self.schema.column_name(self.fd.rhs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd(lhs: &[usize], rhs: usize) -> Fd {
+        Fd::new(lhs.iter().copied().collect(), rhs)
+    }
+
+    #[test]
+    fn level_is_lhs_cardinality() {
+        assert_eq!(fd(&[], 0).level(), 0);
+        assert_eq!(fd(&[1, 2, 3], 0).level(), 3);
+    }
+
+    #[test]
+    fn generalization_specialization() {
+        let general = fd(&[1], 0);
+        let special = fd(&[1, 2], 0);
+        assert!(general.is_generalization_of(&special));
+        assert!(special.is_specialization_of(&general));
+        assert!(!general.is_generalization_of(&general));
+        // different RHS never related
+        assert!(!fd(&[1], 0).is_generalization_of(&fd(&[1, 2], 3)));
+    }
+
+    #[test]
+    fn direct_generalizations_shrink_by_one() {
+        let f = fd(&[1, 2, 3], 0);
+        let gens: Vec<Fd> = f.direct_generalizations().collect();
+        assert_eq!(gens.len(), 3);
+        for g in &gens {
+            assert_eq!(g.level(), 2);
+            assert!(g.is_generalization_of(&f));
+        }
+    }
+
+    #[test]
+    fn direct_specializations_skip_lhs_and_rhs() {
+        let f = fd(&[1], 0);
+        let specs: Vec<Fd> = f.direct_specializations(4).collect();
+        // candidates: add 2 or 3 (not 0 = rhs, not 1 ∈ lhs)
+        assert_eq!(specs, vec![fd(&[1, 2], 0), fd(&[1, 3], 0)]);
+    }
+
+    #[test]
+    fn empty_lhs_has_no_generalizations() {
+        assert_eq!(fd(&[], 2).direct_generalizations().count(), 0);
+    }
+
+    #[test]
+    fn display_with_schema() {
+        let schema = Schema::new("people", vec!["first".into(), "zip".into(), "city".into()]);
+        assert_eq!(fd(&[1], 2).display(&schema).to_string(), "zip -> city");
+        assert_eq!(fd(&[], 0).display(&schema).to_string(), "∅ -> first");
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn trivial_fd_panics_in_debug() {
+        let _ = fd(&[0, 1], 0);
+    }
+}

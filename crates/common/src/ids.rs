@@ -1,0 +1,65 @@
+//! Record surrogate keys.
+
+use std::fmt;
+
+/// Surrogate key identifying a record in a dynamic relation.
+///
+/// Row positions are not stable when a table grows and shrinks, so DynFD
+/// assigns each record a *monotonically increasing* id that is never
+/// reused (paper, Section 3.1). Monotonicity is load-bearing: the
+/// *cluster pruning* optimization (Section 4.2) decides whether a PLI
+/// cluster can contain a freshly inserted record by comparing the
+/// cluster's largest id against the first id assigned in the current
+/// batch.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecordId(pub u64);
+
+impl RecordId {
+    /// The raw id value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The id following this one.
+    #[inline]
+    pub fn next(self) -> RecordId {
+        RecordId(self.0 + 1)
+    }
+}
+
+impl fmt::Debug for RecordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for RecordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u64> for RecordId {
+    fn from(v: u64) -> Self {
+        RecordId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(RecordId(1) < RecordId(2));
+        assert_eq!(RecordId(3).next(), RecordId(4));
+        assert_eq!(RecordId::from(7).raw(), 7);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(RecordId(42).to_string(), "r42");
+        assert_eq!(format!("{:?}", RecordId(0)), "r0");
+    }
+}

@@ -1,0 +1,127 @@
+//! Relation schemas.
+
+use crate::attrset::MAX_ATTRS;
+use crate::AttrSet;
+use std::fmt;
+
+/// Column names and arity of a relation.
+///
+/// The schema is fixed for the lifetime of a profiled relation: DynFD
+/// maintains FDs under *data* changes (inserts/updates/deletes), not
+/// schema changes, matching the paper's setting.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Schema {
+    name: String,
+    columns: Vec<String>,
+}
+
+impl Schema {
+    /// Creates a schema from a relation name and column names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more than [`MAX_ATTRS`] columns or duplicate
+    /// column names.
+    pub fn new(name: impl Into<String>, columns: Vec<String>) -> Self {
+        assert!(
+            columns.len() <= MAX_ATTRS,
+            "schema has {} columns; at most {MAX_ATTRS} supported",
+            columns.len()
+        );
+        for (i, c) in columns.iter().enumerate() {
+            assert!(
+                !columns[..i].contains(c),
+                "duplicate column name {c:?} in schema"
+            );
+        }
+        Schema {
+            name: name.into(),
+            columns,
+        }
+    }
+
+    /// Convenience constructor with `&str` column names.
+    pub fn of(name: &str, columns: &[&str]) -> Self {
+        Schema::new(name, columns.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// Schema with anonymous columns `c0..c{n-1}` (used by generators and
+    /// tests).
+    pub fn anonymous(name: &str, arity: usize) -> Self {
+        Schema::new(name, (0..arity).map(|i| format!("c{i}")).collect())
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Name of column `attr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attr` is out of range.
+    pub fn column_name(&self, attr: usize) -> &str {
+        &self.columns[attr]
+    }
+
+    /// All column names in order.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Index of the column with the given name, if present.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// The set of all attributes, `{0, ..., arity-1}`.
+    pub fn all_attrs(&self) -> AttrSet {
+        AttrSet::full(self.arity())
+    }
+}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.name, self.columns.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let s = Schema::of("people", &["first", "last", "zip", "city"]);
+        assert_eq!(s.name(), "people");
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.column_name(2), "zip");
+        assert_eq!(s.column_index("city"), Some(3));
+        assert_eq!(s.column_index("nope"), None);
+        assert_eq!(s.all_attrs().to_vec(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn anonymous_names() {
+        let s = Schema::anonymous("t", 3);
+        assert_eq!(s.columns(), &["c0", "c1", "c2"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column name")]
+    fn duplicate_columns_rejected() {
+        let _ = Schema::of("t", &["a", "b", "a"]);
+    }
+
+    #[test]
+    fn debug_format() {
+        let s = Schema::of("t", &["a", "b"]);
+        assert_eq!(format!("{s:?}"), "t(a, b)");
+    }
+}

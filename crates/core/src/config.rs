@@ -1,0 +1,148 @@
+//! DynFD configuration.
+
+use dynfd_common::AttrSet;
+
+/// How the insert-phase violation search compares record pairs
+/// (Section 4.3 / the §6.5 ablation baseline).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SearchMode {
+    /// The paper's optimized strategy: progressively growing windows
+    /// over similarity-sorted PLI clusters, stopping when fewer than the
+    /// efficiency threshold of comparisons reveal new violations.
+    Progressive,
+    /// The §6.5 baseline: changed records are compared only to their
+    /// direct neighbors (window 1) under the same sorting. The paper
+    /// keeps this minimal form even in the no-pruning baseline because
+    /// performance collapses without *any* violation search.
+    Naive,
+}
+
+/// Tuning and ablation knobs for [`DynFd`](crate::DynFd).
+///
+/// The defaults enable all four pruning strategies with the paper's
+/// hard-coded 10 % thresholds. The §6.5 experiments toggle each strategy
+/// independently; [`DynFdConfig::baseline`] reproduces the paper's "-"
+/// row (no strategy beyond naive sampling).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DynFdConfig {
+    /// §4.2 cluster pruning: insert-phase validations skip PLI clusters
+    /// that contain no newly inserted record.
+    pub cluster_pruning: bool,
+    /// §4.3 violation search mode: progressive windows (strategy on) or
+    /// the naive direct-neighbor sampling (strategy off / baseline).
+    pub violation_search: SearchMode,
+    /// §5.2 validation pruning: cache a violating record pair per
+    /// maximal non-FD and revalidate only when one of the two records
+    /// was deleted.
+    pub validation_pruning: bool,
+    /// §5.3 optimistic depth-first searches when a delete batch
+    /// validates many non-FDs.
+    pub depth_first_search: bool,
+    /// Fraction of invalid (resp. valid) outcomes per lattice level
+    /// beyond which the traversal is considered inefficient and the
+    /// violation search (resp. depth-first search) starts. 0.1 in the
+    /// paper (hard-coded there, citing [13] for why it is a good value).
+    pub inefficiency_threshold: f64,
+    /// Fraction of newly valid FDs used to seed depth-first searches
+    /// (0.1 in the paper).
+    pub dfs_seed_fraction: f64,
+    /// **Extension** (paper Section 8, item 2): attributes the user
+    /// declares to be keys *for the lifetime of the relation*. An FD
+    /// whose LHS contains a declared key can never be invalidated, so
+    /// the insert phase skips its validation entirely. Declaring a
+    /// column that can stop being unique is unsound — this encodes a
+    /// database `UNIQUE` constraint, not an observation.
+    pub known_keys: AttrSet,
+    /// **Extension** (paper Section 8, item 3): exploit that updates
+    /// usually change only a few attribute values. For a batch that
+    /// consists purely of updates, an FD or non-FD none of whose
+    /// attributes were touched by any update cannot change status and
+    /// is skipped in both phases. Off by default (the paper's evaluated
+    /// configuration).
+    pub update_pruning: bool,
+}
+
+impl Default for DynFdConfig {
+    fn default() -> Self {
+        DynFdConfig {
+            cluster_pruning: true,
+            violation_search: SearchMode::Progressive,
+            validation_pruning: true,
+            depth_first_search: true,
+            inefficiency_threshold: 0.1,
+            dfs_seed_fraction: 0.1,
+            known_keys: AttrSet::empty(),
+            update_pruning: false,
+        }
+    }
+}
+
+impl DynFdConfig {
+    /// The §6.5 baseline: all four strategies disabled. (The violation
+    /// search degrades to its naive direct-neighbor form rather than
+    /// vanishing entirely, exactly as the paper's baseline does.)
+    pub fn baseline() -> Self {
+        DynFdConfig {
+            cluster_pruning: false,
+            violation_search: SearchMode::Naive,
+            validation_pruning: false,
+            depth_first_search: false,
+            ..DynFdConfig::default()
+        }
+    }
+
+    /// Short human-readable label of the enabled strategy set, matching
+    /// the row labels of Figures 8/9 ("4.3+5.3+4.2+5.2" etc.).
+    pub fn strategy_label(&self) -> String {
+        let mut parts = Vec::new();
+        if self.violation_search == SearchMode::Progressive {
+            parts.push("4.3");
+        }
+        if self.depth_first_search {
+            parts.push("5.3");
+        }
+        if self.cluster_pruning {
+            parts.push("4.2");
+        }
+        if self.validation_pruning {
+            parts.push("5.2");
+        }
+        if parts.is_empty() {
+            "-".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_enables_everything() {
+        let c = DynFdConfig::default();
+        assert!(c.cluster_pruning && c.validation_pruning && c.depth_first_search);
+        assert_eq!(c.violation_search, SearchMode::Progressive);
+        assert_eq!(c.strategy_label(), "4.3+5.3+4.2+5.2");
+    }
+
+    #[test]
+    fn baseline_disables_everything() {
+        let c = DynFdConfig::baseline();
+        assert!(!c.cluster_pruning && !c.validation_pruning && !c.depth_first_search);
+        assert_eq!(c.violation_search, SearchMode::Naive);
+        assert_eq!(c.strategy_label(), "-");
+    }
+
+    #[test]
+    fn labels_match_figure_8_rows() {
+        let mut c = DynFdConfig::baseline();
+        c.violation_search = SearchMode::Progressive;
+        assert_eq!(c.strategy_label(), "4.3");
+        c.depth_first_search = true;
+        assert_eq!(c.strategy_label(), "4.3+5.3");
+        c.cluster_pruning = true;
+        assert_eq!(c.strategy_label(), "4.3+5.3+4.2");
+    }
+}

@@ -1,0 +1,100 @@
+//! FD change signalling (Step 4 of the paper's pipeline).
+
+use crate::BatchMetrics;
+use dynfd_common::Fd;
+use std::collections::BTreeSet;
+
+/// One evolution of the minimal FD set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FdChange {
+    /// The FD became a minimal FD in this batch.
+    Added(Fd),
+    /// The FD stopped being a minimal FD in this batch (it either grew
+    /// a violation or stopped being minimal).
+    Removed(Fd),
+}
+
+/// The outcome of one [`DynFd::apply_batch`](crate::DynFd::apply_batch)
+/// call: the delta of the minimal FD set plus work metrics.
+#[derive(Clone, Debug, Default)]
+pub struct BatchResult {
+    /// Minimal FDs that hold now but did not before the batch, sorted.
+    pub added: Vec<Fd>,
+    /// Minimal FDs that held before the batch but do not any more, sorted.
+    pub removed: Vec<Fd>,
+    /// Work counters for this batch.
+    pub metrics: BatchMetrics,
+}
+
+impl BatchResult {
+    /// Whether the batch changed the minimal FD set at all.
+    pub fn is_unchanged(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// The changes as a single ordered stream (removals first, matching
+    /// the delete-before-insert processing order).
+    pub fn changes(&self) -> impl Iterator<Item = FdChange> + '_ {
+        self.removed
+            .iter()
+            .map(|&fd| FdChange::Removed(fd))
+            .chain(self.added.iter().map(|&fd| FdChange::Added(fd)))
+    }
+}
+
+/// Computes the delta between two minimal-FD snapshots.
+pub(crate) fn diff_covers(before: &[Fd], after: &[Fd]) -> (Vec<Fd>, Vec<Fd>) {
+    let before: BTreeSet<Fd> = before.iter().copied().collect();
+    let after: BTreeSet<Fd> = after.iter().copied().collect();
+    let added = after.difference(&before).copied().collect();
+    let removed = before.difference(&after).copied().collect();
+    (added, removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynfd_common::AttrSet;
+
+    fn fd(lhs: &[usize], rhs: usize) -> Fd {
+        Fd::new(lhs.iter().copied().collect::<AttrSet>(), rhs)
+    }
+
+    #[test]
+    fn diff_finds_both_directions() {
+        let before = vec![fd(&[1], 0), fd(&[2], 3)];
+        let after = vec![fd(&[1], 0), fd(&[1, 2], 3), fd(&[4], 0)];
+        let (added, removed) = diff_covers(&before, &after);
+        // Sorted by (lhs-bitset, rhs): {1,2} < {4}.
+        assert_eq!(added, vec![fd(&[1, 2], 3), fd(&[4], 0)]);
+        assert_eq!(removed, vec![fd(&[2], 3)]);
+    }
+
+    #[test]
+    fn unchanged_batch() {
+        let fds = vec![fd(&[1], 0)];
+        let (added, removed) = diff_covers(&fds, &fds);
+        assert!(added.is_empty() && removed.is_empty());
+        let r = BatchResult {
+            added,
+            removed,
+            metrics: Default::default(),
+        };
+        assert!(r.is_unchanged());
+        assert_eq!(r.changes().count(), 0);
+    }
+
+    #[test]
+    fn change_stream_orders_removals_first() {
+        let r = BatchResult {
+            added: vec![fd(&[1], 0)],
+            removed: vec![fd(&[2], 0)],
+            metrics: Default::default(),
+        };
+        let changes: Vec<FdChange> = r.changes().collect();
+        assert_eq!(
+            changes,
+            vec![FdChange::Removed(fd(&[2], 0)), FdChange::Added(fd(&[1], 0))]
+        );
+    }
+}

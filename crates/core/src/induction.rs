@@ -1,0 +1,60 @@
+//! Dependency induction into DynFD's twin covers (Algorithms 3 and 6).
+
+use crate::DynFd;
+use dynfd_common::{AttrSet, Fd, RecordId};
+use dynfd_lattice::{generalize_into, specialize_into};
+
+impl DynFd {
+    /// Algorithm 3 — dependency induction from an observed **non-FD**:
+    /// the record pair `pair` agrees exactly on `agree`, witnessing the
+    /// non-FD `agree -> y` for every `y ∉ agree`.
+    ///
+    /// The positive cover specializes away every violated FD; the
+    /// negative cover gains the witnessed non-FDs where maximal (lines
+    /// 10–14), carrying the pair as a §5.2 surrogate violation.
+    ///
+    /// Returns `true` if either cover actually changed — the violation
+    /// search uses this as its per-comparison efficiency signal.
+    pub(crate) fn apply_non_fd_witness(
+        &mut self,
+        agree: AttrSet,
+        pair: (RecordId, RecordId),
+    ) -> bool {
+        let arity = self.rel.arity();
+        debug_assert!(agree.len() < arity, "a full agree set witnesses nothing");
+        let mut learned = false;
+        for y in 0..arity {
+            if agree.contains(y) {
+                continue;
+            }
+            let invalidated = specialize_into(&mut self.fds, agree, y, arity);
+            learned |= !invalidated.is_empty();
+            if self.non_fds.add_maximal_evicting(agree, y) {
+                learned = true;
+                if self.config.validation_pruning {
+                    self.violations.attach(Fd::new(agree, y), pair);
+                }
+            }
+        }
+        learned
+    }
+
+    /// Algorithm 6 (`deduceNonFds`) — dependency induction from an
+    /// observed **valid FD** `fd`:
+    ///
+    /// * negative cover: every specialization of `fd` is valid and is
+    ///   replaced by its direct generalizations dropping one attribute
+    ///   of `fd.lhs` (candidates validated at lower levels later);
+    /// * positive cover: `fd` enters as a minimal FD, evicting its
+    ///   now-non-minimal specializations (lines 10–12).
+    pub(crate) fn apply_valid_fd(&mut self, fd: Fd) {
+        let newly_valid = generalize_into(&mut self.non_fds, fd.lhs, fd.rhs);
+        for lhs in &newly_valid {
+            self.violations.detach(&Fd::new(*lhs, fd.rhs));
+        }
+        if !self.fds.contains_generalization(fd.lhs, fd.rhs) {
+            self.fds.remove_specializations(fd.lhs, fd.rhs);
+            self.fds.add(fd.lhs, fd.rhs);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Insert handling — the lattice-based FD validation of Algorithm 2.
+//!
+//! Inserts can only *invalidate* FDs (Definition 1.1: violations are
+//! introduced, never removed), so the positive cover is the right place
+//! to look. The traversal starts at the most general minimal FDs and
+//! descends: an invalidated FD moves to the negative cover and its
+//! minimal specializations become the new candidates, automatically
+//! validated on the next level. Two accelerations apply:
+//!
+//! * **cluster pruning** (§4.2): only PLI clusters containing at least
+//!   one newly inserted record can hide a new violation — sound because
+//!   every validated FD held over the pre-batch records;
+//! * **violation search** (§4.3): when >10 % of a level invalidates,
+//!   per-candidate validation is losing to the churn, and cheap record
+//!   pair comparisons find the remaining violations faster.
+
+use crate::{BatchMetrics, DynFd};
+use dynfd_common::{AttrSet, Fd, RecordId};
+use dynfd_relation::{validate, AppliedBatch, ValidationOptions};
+use std::collections::BTreeMap;
+
+impl DynFd {
+    /// Processes the batch's inserts (Algorithm 2).
+    pub(crate) fn process_inserts(&mut self, applied: &AppliedBatch, metrics: &mut BatchMetrics) {
+        let arity = self.rel.arity();
+        let first_new = applied
+            .first_new_id
+            .expect("insert phase only runs when the batch inserted records");
+        let opts = if self.config.cluster_pruning {
+            ValidationOptions::delta(first_new)
+        } else {
+            ValidationOptions::full()
+        };
+
+        let mut level = 0usize;
+        while self.fds.max_level().is_some_and(|max| level <= max) {
+            // Lines 2-5: validate the level, collecting invalid FDs.
+            let snapshot = self.fds.get_level(level);
+            let mut groups: BTreeMap<AttrSet, AttrSet> = BTreeMap::new();
+            for fd in &snapshot {
+                groups
+                    .entry(fd.lhs)
+                    .or_insert_with(AttrSet::empty)
+                    .insert(fd.rhs);
+            }
+            let mut total = 0usize;
+            let mut invalid: Vec<(Fd, (RecordId, RecordId))> = Vec::new();
+            for (lhs, rhs_set) in groups {
+                // §8 extension, key-constraint pruning: a declared key in
+                // the LHS makes the FD unfalsifiable — skip it outright.
+                if !lhs.is_disjoint(&self.config.known_keys) {
+                    metrics.skipped_by_key_constraint += rhs_set.len();
+                    continue;
+                }
+                // A violation search triggered at an earlier level may
+                // have evicted parts of this snapshot already.
+                let mut live: AttrSet = rhs_set
+                    .iter()
+                    .filter(|&r| self.fds.contains(lhs, r))
+                    .collect();
+                // §8 extension, update pruning: in a pure-update batch,
+                // candidates none of whose attributes changed in any
+                // update cannot change status.
+                if self.config.update_pruning
+                    && applied.update_only
+                    && lhs.is_disjoint(&applied.touched_attrs)
+                {
+                    let affected = live.intersect(&applied.touched_attrs);
+                    metrics.skipped_by_update_pruning += live.len() - affected.len();
+                    live = affected;
+                }
+                if live.is_empty() {
+                    continue;
+                }
+                metrics.fd_validations += 1;
+                total += live.len();
+                let result = validate(&self.rel, lhs, live, &opts);
+                metrics.clusters_pruned += result.stats.clusters_pruned;
+                metrics.clusters_visited += result.stats.clusters_visited;
+                for (r, a, b) in result.violations() {
+                    invalid.push((Fd::new(lhs, r), (a, b)));
+                }
+            }
+
+            // Lines 6-15: demote invalid FDs and specialize them.
+            let invalid_count = invalid.len();
+            for (fd, pair) in invalid {
+                self.fds.remove(fd.lhs, fd.rhs);
+                // The FD was valid a moment ago, so as a non-FD it is
+                // inevitably maximal; generalizations in the negative
+                // cover stop being maximal and are evicted (lines 8-9).
+                if self.non_fds.add_maximal_evicting(fd.lhs, fd.rhs)
+                    && self.config.validation_pruning
+                {
+                    self.violations.attach(fd, pair);
+                }
+                // Lines 10-15: minimal direct specializations.
+                for r in 0..arity {
+                    if r != fd.rhs && !fd.lhs.contains(r) {
+                        self.fds.add_minimal(fd.lhs.with(r), fd.rhs);
+                    }
+                }
+            }
+
+            // Lines 16-17: progressive violation search when the lattice
+            // traversal became inefficient.
+            if total > 0 && invalid_count as f64 / total as f64 > self.config.inefficiency_threshold
+            {
+                self.violation_search(&applied.inserted, metrics);
+            }
+            level += 1;
+        }
+    }
+}

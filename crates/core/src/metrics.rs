@@ -1,0 +1,93 @@
+//! Per-batch work metrics.
+
+use std::time::Duration;
+
+/// Counters describing the work one [`DynFd::apply_batch`]
+/// (crate::DynFd::apply_batch) call performed. The §6.5 ablation
+/// experiments read these to attribute runtime to the individual
+/// pruning strategies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchMetrics {
+    /// Wall-clock time of the whole batch (structure updates + both
+    /// maintenance phases).
+    pub wall_time: Duration,
+    /// Records inserted (updates count once here and once in `deletes`).
+    pub inserts: usize,
+    /// Records deleted.
+    pub deletes: usize,
+    /// FD candidate validations in the insert phase (Algorithm 2).
+    pub fd_validations: usize,
+    /// Non-FD candidate validations in the delete phase (Algorithm 4),
+    /// including those issued by depth-first searches.
+    pub non_fd_validations: usize,
+    /// Non-FD validations skipped because the cached violating record
+    /// pair survived the batch (§5.2 validation pruning).
+    pub validations_skipped: usize,
+    /// Insert-phase FD validations skipped because the LHS contains a
+    /// declared key (§8 extension: key-constraint pruning).
+    pub skipped_by_key_constraint: usize,
+    /// Candidate validations (both phases) skipped because a pure-update
+    /// batch touched none of the candidate's attributes (§8 extension:
+    /// update pruning).
+    pub skipped_by_update_pruning: usize,
+    /// PLI clusters skipped by cluster pruning (§4.2).
+    pub clusters_pruned: usize,
+    /// PLI clusters actually grouped and checked.
+    pub clusters_visited: usize,
+    /// Record-pair comparisons performed by the violation search (§4.3).
+    pub comparisons: usize,
+    /// Violation-search window rounds executed.
+    pub search_rounds: usize,
+    /// Depth-first searches launched (§5.3 seeds).
+    pub dfs_seeds: usize,
+    /// Minimal FDs that appeared in this batch.
+    pub added_fds: usize,
+    /// Minimal FDs that disappeared in this batch.
+    pub removed_fds: usize,
+}
+
+impl BatchMetrics {
+    /// Accumulates another batch's counters (used by the experiment
+    /// harness to report per-run totals).
+    pub fn absorb(&mut self, other: &BatchMetrics) {
+        self.wall_time += other.wall_time;
+        self.inserts += other.inserts;
+        self.deletes += other.deletes;
+        self.fd_validations += other.fd_validations;
+        self.non_fd_validations += other.non_fd_validations;
+        self.validations_skipped += other.validations_skipped;
+        self.skipped_by_key_constraint += other.skipped_by_key_constraint;
+        self.skipped_by_update_pruning += other.skipped_by_update_pruning;
+        self.clusters_pruned += other.clusters_pruned;
+        self.clusters_visited += other.clusters_visited;
+        self.comparisons += other.comparisons;
+        self.search_rounds += other.search_rounds;
+        self.dfs_seeds += other.dfs_seeds;
+        self.added_fds += other.added_fds;
+        self.removed_fds += other.removed_fds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = BatchMetrics {
+            inserts: 2,
+            comparisons: 10,
+            ..Default::default()
+        };
+        let b = BatchMetrics {
+            inserts: 3,
+            comparisons: 5,
+            wall_time: Duration::from_millis(7),
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.inserts, 5);
+        assert_eq!(a.comparisons, 15);
+        assert_eq!(a.wall_time, Duration::from_millis(7));
+    }
+}

@@ -1,0 +1,208 @@
+//! The DynFD maintenance pipeline (paper Figure 1).
+
+use crate::diff::diff_covers;
+use crate::{BatchMetrics, BatchResult, DynFdConfig, ViolationStore};
+use dynfd_common::{Fd, Result};
+use dynfd_lattice::{invert_positive_cover, FdTree};
+use dynfd_relation::{validate_fd, Batch, DynamicRelation, ValidationOptions};
+use std::time::Instant;
+
+/// Maintains the minimal, non-trivial FDs of a relation under batches of
+/// inserts, updates, and deletes.
+///
+/// Construction bootstraps the covers: the positive cover comes from a
+/// static HyFD run over the initial tuples (paper Section 2); the
+/// negative cover is derived from it by cover inversion (Algorithm 1).
+/// From then on, [`DynFd::apply_batch`] *evolves* the covers instead of
+/// recomputing them.
+///
+/// ```
+/// use dynfd_core::{DynFd, DynFdConfig};
+/// use dynfd_relation::{Batch, DynamicRelation};
+/// use dynfd_common::{RecordId, Schema};
+///
+/// let schema = Schema::of("people", &["firstname", "lastname", "zip", "city"]);
+/// let rel = DynamicRelation::from_rows(schema, &[
+///     vec!["Max", "Jones", "14482", "Potsdam"],
+///     vec!["Max", "Miller", "14482", "Potsdam"],
+///     vec!["Max", "Jones", "10115", "Berlin"],
+///     vec!["Anna", "Scott", "13591", "Berlin"],
+/// ]).unwrap();
+/// let mut dynfd = DynFd::new(rel, DynFdConfig::default());
+/// assert_eq!(dynfd.minimal_fds().len(), 5); // Figure 2 of the paper
+///
+/// // The batch of Table 1: delete tuple 3, insert tuples 5 and 6.
+/// let mut batch = Batch::new();
+/// batch.delete(RecordId(2))
+///      .insert(vec!["Marie", "Scott", "14467", "Potsdam"])
+///      .insert(vec!["Marie", "Gray", "14469", "Potsdam"]);
+/// let result = dynfd.apply_batch(&batch).unwrap();
+/// assert!(!result.is_unchanged());
+/// ```
+#[derive(Clone, Debug)]
+pub struct DynFd {
+    pub(crate) rel: DynamicRelation,
+    /// Positive cover: all minimal, non-trivial FDs.
+    pub(crate) fds: FdTree,
+    /// Negative cover: all maximal non-FDs.
+    pub(crate) non_fds: FdTree,
+    /// §5.2 surrogate violations for the negative cover.
+    pub(crate) violations: ViolationStore,
+    pub(crate) config: DynFdConfig,
+}
+
+impl DynFd {
+    /// Bootstraps DynFD over `rel`: runs HyFD for the positive cover and
+    /// inverts it into the negative cover.
+    pub fn new(rel: DynamicRelation, config: DynFdConfig) -> Self {
+        let fds = dynfd_static::hyfd::discover(&rel);
+        Self::with_cover(rel, fds, config)
+    }
+
+    /// Bootstraps DynFD from a pre-profiled positive cover (e.g. loaded
+    /// from a metadata store). The cover must be the *exact* set of
+    /// minimal, non-trivial FDs of `rel`; the negative cover is derived
+    /// via cover inversion (Algorithm 1).
+    pub fn with_cover(rel: DynamicRelation, fds: FdTree, config: DynFdConfig) -> Self {
+        let non_fds = invert_positive_cover(&fds, rel.arity());
+        DynFd {
+            rel,
+            fds,
+            non_fds,
+            violations: ViolationStore::new(),
+            config,
+        }
+    }
+
+    /// The maintained relation.
+    pub fn relation(&self) -> &DynamicRelation {
+        &self.rel
+    }
+
+    /// The current minimal, non-trivial FDs, sorted deterministically.
+    pub fn minimal_fds(&self) -> Vec<Fd> {
+        self.fds.all_fds()
+    }
+
+    /// The positive cover (all minimal FDs) as a prefix tree.
+    pub fn positive_cover(&self) -> &FdTree {
+        &self.fds
+    }
+
+    /// The negative cover (all maximal non-FDs) as a prefix tree.
+    pub fn negative_cover(&self) -> &FdTree {
+        &self.non_fds
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DynFdConfig {
+        &self.config
+    }
+
+    /// Number of §5.2 violation annotations currently cached.
+    pub fn annotation_count(&self) -> usize {
+        self.violations.len()
+    }
+
+    /// Processes one batch of change operations and returns the delta of
+    /// the minimal FD set (paper Figure 1, steps 1–4).
+    ///
+    /// On error (unknown record, arity mismatch) neither the relation
+    /// nor the covers are modified.
+    pub fn apply_batch(&mut self, batch: &Batch) -> Result<BatchResult> {
+        let start = Instant::now();
+        let before = self.fds.all_fds();
+
+        // Step 1: update the data structures.
+        let applied = self.rel.apply_batch(batch)?;
+        let mut metrics = BatchMetrics {
+            inserts: applied.inserted.len(),
+            deletes: applied.deleted.len(),
+            ..BatchMetrics::default()
+        };
+
+        // Deleted records invalidate their §5.2 annotations; the affected
+        // non-FDs will answer "needs validation" in the delete phase.
+        self.violations.purge_records(&applied.deleted);
+
+        // Step 2: deletes first (Section 2 explains the ordering), then
+        // Step 3: inserts.
+        if applied.has_deletes() {
+            self.process_deletes(&applied, &mut metrics);
+        }
+        if applied.has_inserts() {
+            self.process_inserts(&applied, &mut metrics);
+        }
+
+        // Step 4: signal the changed FDs.
+        let after = self.fds.all_fds();
+        let (added, removed) = diff_covers(&before, &after);
+        metrics.added_fds = added.len();
+        metrics.removed_fds = removed.len();
+        metrics.wall_time = start.elapsed();
+        Ok(BatchResult {
+            added,
+            removed,
+            metrics,
+        })
+    }
+
+    /// Exhaustively checks the internal invariants against the current
+    /// relation state (test oracle; exponential in arity — never call on
+    /// wide relations):
+    ///
+    /// * every positive-cover FD is valid and minimal;
+    /// * every negative-cover non-FD is invalid and maximal;
+    /// * the negative cover equals the inversion of the positive cover;
+    /// * every cached violation annotation references two live records
+    ///   that genuinely violate their non-FD.
+    pub fn verify_consistency(&self) -> std::result::Result<(), String> {
+        let full = ValidationOptions::full();
+        if !self.fds.is_antichain() {
+            return Err("positive cover is not an antichain".into());
+        }
+        if !self.non_fds.is_antichain() {
+            return Err("negative cover is not an antichain".into());
+        }
+        for fd in self.fds.all_fds() {
+            if !validate_fd(&self.rel, &fd, &full).is_valid() {
+                return Err(format!("positive cover holds invalid FD {fd:?}"));
+            }
+            for gen in fd.direct_generalizations() {
+                if validate_fd(&self.rel, &gen, &full).is_valid() {
+                    return Err(format!("{fd:?} is not minimal: {gen:?} holds"));
+                }
+            }
+        }
+        for nf in self.non_fds.all_fds() {
+            if validate_fd(&self.rel, &nf, &full).is_valid() {
+                return Err(format!("negative cover holds valid FD {nf:?}"));
+            }
+            for spec in nf.direct_specializations(self.rel.arity()) {
+                if !validate_fd(&self.rel, &spec, &full).is_valid() {
+                    return Err(format!("{nf:?} is not maximal: {spec:?} is also invalid"));
+                }
+            }
+        }
+        let inverted = invert_positive_cover(&self.fds, self.rel.arity());
+        if inverted != self.non_fds {
+            return Err(format!(
+                "negative cover diverged from inversion: have {:?}, want {:?}",
+                self.non_fds.all_fds(),
+                inverted.all_fds()
+            ));
+        }
+        for nf in self.non_fds.all_fds() {
+            if let Some((a, b)) = crate::ViolationStore::get(&self.violations, &nf) {
+                let (Some(ra), Some(rb)) = (self.rel.compressed(a), self.rel.compressed(b)) else {
+                    return Err(format!("annotation of {nf:?} references dead records"));
+                };
+                let agrees_on_lhs = nf.lhs.iter().all(|x| ra[x] == rb[x]);
+                if !agrees_on_lhs || ra[nf.rhs] == rb[nf.rhs] {
+                    return Err(format!("annotation of {nf:?} is not a violating pair"));
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,129 @@
+//! The progressive violation search (§4.3).
+//!
+//! When the insert-phase lattice traversal invalidates more than the
+//! threshold share of a level, most of the remaining candidates are
+//! probably invalid too — and record-pair comparisons expose violations
+//! far cheaper than per-candidate validations. A newly inserted record
+//! can only violate FDs together with *partner* records sharing at least
+//! one value, i.e. records in one of its PLI clusters. Comparing against
+//! all of them is quadratic, so the search compares only near neighbors
+//! under a similarity sort, widening the window while the yield (new
+//! non-FDs per comparison) stays above the efficiency threshold.
+//!
+//! The §6.5 baseline keeps a *naive* variant — window 1 only — because
+//! dropping the violation search entirely cripples the algorithm.
+
+use crate::config::SearchMode;
+use crate::{BatchMetrics, DynFd};
+use dynfd_common::RecordId;
+use dynfd_relation::agree_set;
+use std::collections::BTreeSet;
+
+/// A PLI cluster prepared for windowed comparisons.
+struct SortedCluster {
+    /// Cluster members, similarity-sorted (lexicographically by
+    /// compressed signature).
+    members: Vec<RecordId>,
+    /// `is_new[i]` marks members inserted by the current batch.
+    is_new: Vec<bool>,
+}
+
+impl DynFd {
+    /// Runs the violation search for the given batch of inserted records
+    /// (Algorithm 2 line 17). Discovered agree sets update both covers
+    /// via Algorithm 3.
+    pub(crate) fn violation_search(&mut self, inserted: &[RecordId], metrics: &mut BatchMetrics) {
+        let arity = self.rel.arity();
+        let new_ids: BTreeSet<RecordId> = inserted
+            .iter()
+            .copied()
+            .filter(|&r| self.rel.contains(r))
+            .collect();
+        if new_ids.is_empty() {
+            return;
+        }
+
+        // Collect each inserted record's partner clusters: for every
+        // attribute, the cluster holding the record's value. The same
+        // (attr, value) cluster is collected once even if several new
+        // records share it.
+        let mut clusters: Vec<SortedCluster> = Vec::new();
+        for attr in 0..arity {
+            let mut values: BTreeSet<u32> = BTreeSet::new();
+            for &rid in &new_ids {
+                let rec = self.rel.compressed(rid).expect("live inserted record");
+                values.insert(rec[attr]);
+            }
+            for value in values {
+                let cluster = self
+                    .rel
+                    .pli(attr)
+                    .cluster(value)
+                    .expect("inverted index hit");
+                if cluster.len() < 2 {
+                    continue;
+                }
+                let mut members = cluster.to_vec();
+                members.sort_by(|&x, &y| {
+                    self.rel
+                        .compressed(x)
+                        .expect("live")
+                        .cmp(self.rel.compressed(y).expect("live"))
+                });
+                let is_new = members.iter().map(|m| new_ids.contains(m)).collect();
+                clusters.push(SortedCluster { members, is_new });
+            }
+        }
+        if clusters.is_empty() {
+            return;
+        }
+
+        let max_dist = match self.config.violation_search {
+            SearchMode::Naive => 1,
+            SearchMode::Progressive => usize::MAX,
+        };
+
+        let mut dist = 1usize;
+        loop {
+            let mut comparisons = 0usize;
+            let mut learned = 0usize;
+            let mut any_window_applied = false;
+            for c in &clusters {
+                if c.members.len() <= dist {
+                    continue;
+                }
+                any_window_applied = true;
+                for i in 0..c.members.len() - dist {
+                    // Only pairs touching an inserted record can carry
+                    // *new* violations.
+                    if !c.is_new[i] && !c.is_new[i + dist] {
+                        continue;
+                    }
+                    let (a, b) = (c.members[i], c.members[i + dist]);
+                    comparisons += 1;
+                    let agree = agree_set(&self.rel, a, b).expect("live members");
+                    if agree.len() == arity {
+                        continue; // duplicates witness nothing
+                    }
+                    if self.apply_non_fd_witness(agree, (a, b)) {
+                        learned += 1;
+                    }
+                }
+            }
+            metrics.comparisons += comparisons;
+            metrics.search_rounds += 1;
+
+            if !any_window_applied || dist >= max_dist {
+                break;
+            }
+            // Progressive efficiency cut-off: stop once fewer than the
+            // threshold share of comparisons reveal something new.
+            if comparisons > 0
+                && (learned as f64 / comparisons as f64) < self.config.inefficiency_threshold
+            {
+                break;
+            }
+            dist += 1;
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Surrogate violation annotations (§5.2 validation pruning).
+//!
+//! Most delete-phase validations only confirm that a non-FD is still
+//! violated — expensive busywork. DynFD therefore attaches to every
+//! maximal non-FD one *violating record pair*: as long as both records
+//! are alive, the non-FD cannot have become valid and its validation is
+//! skipped. A reverse index (record id → annotated non-FDs) lets a batch
+//! of deletes invalidate exactly the affected annotations.
+
+use dynfd_common::{Fd, RecordId};
+use std::collections::{HashMap, HashSet};
+
+/// Bidirectional index of surrogate violations.
+#[derive(Clone, Debug, Default)]
+pub struct ViolationStore {
+    by_fd: HashMap<Fd, (RecordId, RecordId)>,
+    by_record: HashMap<RecordId, HashSet<Fd>>,
+}
+
+impl ViolationStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ViolationStore::default()
+    }
+
+    /// Number of annotated non-FDs.
+    pub fn len(&self) -> usize {
+        self.by_fd.len()
+    }
+
+    /// Whether no annotation is stored.
+    pub fn is_empty(&self) -> bool {
+        self.by_fd.is_empty()
+    }
+
+    /// The cached violating pair for `fd`, if a live one is attached.
+    pub fn get(&self, fd: &Fd) -> Option<(RecordId, RecordId)> {
+        self.by_fd.get(fd).copied()
+    }
+
+    /// Attaches (or replaces) the violating pair of `fd`.
+    pub fn attach(&mut self, fd: Fd, pair: (RecordId, RecordId)) {
+        if let Some(old) = self.by_fd.insert(fd, pair) {
+            self.unlink(old.0, &fd);
+            if old.1 != old.0 {
+                self.unlink(old.1, &fd);
+            }
+        }
+        self.by_record.entry(pair.0).or_default().insert(fd);
+        self.by_record.entry(pair.1).or_default().insert(fd);
+    }
+
+    /// Drops the annotation of `fd` (e.g. because the non-FD left the
+    /// negative cover). Absent annotations are ignored.
+    pub fn detach(&mut self, fd: &Fd) {
+        if let Some((a, b)) = self.by_fd.remove(fd) {
+            self.unlink(a, fd);
+            if b != a {
+                self.unlink(b, fd);
+            }
+        }
+    }
+
+    /// Invalidates every annotation that references one of the deleted
+    /// records. Returns how many annotations were dropped; the affected
+    /// non-FDs now answer [`ViolationStore::get`] with `None`, which the
+    /// delete phase reads as "needs validation".
+    pub fn purge_records(&mut self, deleted: &[RecordId]) -> usize {
+        let mut dropped = 0usize;
+        for rid in deleted {
+            let Some(fds) = self.by_record.remove(rid) else {
+                continue;
+            };
+            for fd in fds {
+                if let Some((a, b)) = self.by_fd.remove(&fd) {
+                    dropped += 1;
+                    // Unlink the partner record's reverse entry.
+                    let partner = if a == *rid { b } else { a };
+                    if partner != *rid {
+                        self.unlink(partner, &fd);
+                    }
+                }
+            }
+        }
+        dropped
+    }
+
+    /// Drops all annotations (used when covers are rebuilt wholesale).
+    pub fn clear(&mut self) {
+        self.by_fd.clear();
+        self.by_record.clear();
+    }
+
+    fn unlink(&mut self, rid: RecordId, fd: &Fd) {
+        if let Some(set) = self.by_record.get_mut(&rid) {
+            set.remove(fd);
+            if set.is_empty() {
+                self.by_record.remove(&rid);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynfd_common::AttrSet;
+
+    fn fd(lhs: &[usize], rhs: usize) -> Fd {
+        Fd::new(lhs.iter().copied().collect::<AttrSet>(), rhs)
+    }
+
+    fn r(i: u64) -> RecordId {
+        RecordId(i)
+    }
+
+    #[test]
+    fn attach_get_detach() {
+        let mut store = ViolationStore::new();
+        let f = fd(&[1], 0);
+        assert_eq!(store.get(&f), None);
+        store.attach(f, (r(1), r(2)));
+        assert_eq!(store.get(&f), Some((r(1), r(2))));
+        assert_eq!(store.len(), 1);
+        store.detach(&f);
+        assert_eq!(store.get(&f), None);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn purge_invalidates_touching_annotations_only() {
+        let mut store = ViolationStore::new();
+        let f1 = fd(&[1], 0);
+        let f2 = fd(&[2], 0);
+        let f3 = fd(&[3], 0);
+        store.attach(f1, (r(1), r(2)));
+        store.attach(f2, (r(2), r(3)));
+        store.attach(f3, (r(4), r(5)));
+        let dropped = store.purge_records(&[r(2)]);
+        assert_eq!(dropped, 2);
+        assert_eq!(store.get(&f1), None);
+        assert_eq!(store.get(&f2), None);
+        assert_eq!(store.get(&f3), Some((r(4), r(5))));
+    }
+
+    #[test]
+    fn reattach_replaces_pair_and_reverse_links() {
+        let mut store = ViolationStore::new();
+        let f = fd(&[1], 0);
+        store.attach(f, (r(1), r(2)));
+        store.attach(f, (r(3), r(4)));
+        assert_eq!(store.get(&f), Some((r(3), r(4))));
+        // Purging the *old* records must not disturb the new annotation.
+        assert_eq!(store.purge_records(&[r(1), r(2)]), 0);
+        assert_eq!(store.get(&f), Some((r(3), r(4))));
+        // Purging a new record drops it.
+        assert_eq!(store.purge_records(&[r(4)]), 1);
+        assert_eq!(store.get(&f), None);
+    }
+
+    #[test]
+    fn purge_of_unknown_record_is_noop() {
+        let mut store = ViolationStore::new();
+        store.attach(fd(&[1], 0), (r(1), r(2)));
+        assert_eq!(store.purge_records(&[r(99)]), 0);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn shared_record_across_many_fds() {
+        let mut store = ViolationStore::new();
+        for rhs in 1..5 {
+            store.attach(fd(&[0], rhs), (r(7), r(8)));
+        }
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.purge_records(&[r(7)]), 4);
+        assert!(store.is_empty());
+    }
+}

@@ -1,0 +1,236 @@
+//! Change-stream synthesis.
+
+use crate::{DatasetProfile, TableSpec};
+use dynfd_common::{RecordId, Schema};
+use dynfd_relation::{Batch, ChangeOp, DynamicRelation};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// A fully materialized synthetic dataset: initial rows plus the change
+/// history that will be replayed against them.
+///
+/// Record ids inside [`ChangeOp::Delete`] / [`ChangeOp::Update`] follow
+/// the deterministic id assignment of
+/// [`DynamicRelation`](dynfd_relation::DynamicRelation): initial rows
+/// get `0..n`, each subsequent insert (and each update's new version)
+/// the next id — the generator mirrors that assignment while choosing
+/// its victims.
+#[derive(Clone, Debug)]
+pub struct GeneratedDataset {
+    /// The relation schema.
+    pub schema: Schema,
+    /// Initial tuples (ids `0..initial_rows.len()`).
+    pub initial_rows: Vec<Vec<String>>,
+    /// The flat change stream, in order.
+    pub changes: Vec<ChangeOp>,
+    /// The profile this dataset was generated from.
+    pub profile: DatasetProfile,
+}
+
+impl GeneratedDataset {
+    /// Generates the dataset for `profile` (deterministic in the
+    /// profile's seed).
+    pub fn generate(profile: &DatasetProfile) -> Self {
+        let spec: TableSpec = profile.table_spec();
+        let mut rng = ChaCha8Rng::seed_from_u64(profile.seed);
+        let mut key_counter = 0u64;
+
+        let initial_rows: Vec<Vec<String>> = (0..profile.initial_rows)
+            .map(|_| spec.generate_row(&mut rng, &mut key_counter))
+            .collect();
+
+        // Mirror of the live relation: id → row values.
+        let mut live: Vec<RecordId> = (0..initial_rows.len() as u64).map(RecordId).collect();
+        let mut rows: HashMap<RecordId, Vec<String>> = initial_rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RecordId(i as u64), r.clone()))
+            .collect();
+        let mut next_id = initial_rows.len() as u64;
+
+        // Dirty-burst schedule: `bursts` windows of `burst_len` ops,
+        // evenly spread across the history (see DatasetProfile::bursts).
+        let burst_starts: Vec<usize> = (0..profile.bursts)
+            .map(|k| (k + 1) * profile.changes / (profile.bursts + 1))
+            .collect();
+        let in_burst = |pos: usize| {
+            burst_starts
+                .iter()
+                .any(|&s| pos >= s && pos < s + profile.burst_len)
+        };
+
+        let mut changes = Vec::with_capacity(profile.changes);
+        while changes.len() < profile.changes {
+            let dirty = in_burst(changes.len());
+            let roll = rng.gen::<f64>() * 100.0;
+            let op = if roll < profile.insert_pct || live.is_empty() {
+                let mut row = spec.generate_row(&mut rng, &mut key_counter);
+                if dirty {
+                    spec.scramble_correlated(&mut row, &mut rng);
+                }
+                let rid = RecordId(next_id);
+                next_id += 1;
+                live.push(rid);
+                rows.insert(rid, row.clone());
+                ChangeOp::Insert(row)
+            } else if roll < profile.insert_pct + profile.delete_pct {
+                let idx = rng.gen_range(0..live.len());
+                let rid = live.swap_remove(idx);
+                rows.remove(&rid);
+                ChangeOp::Delete(rid)
+            } else {
+                // Update: regenerate a few attributes of a live row.
+                let idx = rng.gen_range(0..live.len());
+                let rid = live.swap_remove(idx);
+                let mut row = rows.remove(&rid).expect("live row mirrored");
+                let touch = rng.gen_range(1..=profile.update_columns.max(1));
+                let mut cols: Vec<usize> =
+                    (0..touch).map(|_| rng.gen_range(0..spec.arity())).collect();
+                cols.sort_unstable();
+                cols.dedup();
+                // Rewrite dependents along with their sources so the
+                // updated row stays internally consistent (see
+                // TableSpec::update_closure for why).
+                let cols = spec.update_closure(&cols);
+                spec.regenerate_columns(&mut row, &cols, &mut rng, &mut key_counter);
+                if dirty {
+                    spec.scramble_correlated(&mut row, &mut rng);
+                }
+                let new_rid = RecordId(next_id);
+                next_id += 1;
+                live.push(new_rid);
+                rows.insert(new_rid, row.clone());
+                ChangeOp::Update(rid, row)
+            };
+            changes.push(op);
+        }
+
+        GeneratedDataset {
+            schema: spec.schema(),
+            initial_rows,
+            changes,
+            profile: profile.clone(),
+        }
+    }
+
+    /// Builds the initial [`DynamicRelation`].
+    pub fn to_relation(&self) -> DynamicRelation {
+        DynamicRelation::from_rows(self.schema.clone(), &self.initial_rows)
+            .expect("generated rows match the schema")
+    }
+
+    /// The change stream chunked into fixed-size batches, optionally
+    /// truncated to the first `limit` changes (the paper caps most
+    /// experiments at 10,000 changes).
+    pub fn batches(&self, batch_size: usize, limit: Option<usize>) -> Vec<Batch> {
+        let n = limit.unwrap_or(self.changes.len()).min(self.changes.len());
+        Batch::chunk(self.changes[..n].to_vec(), batch_size)
+    }
+
+    /// Observed change mix in percent (inserts, deletes, updates).
+    pub fn change_mix(&self) -> (f64, f64, f64) {
+        let n = self.changes.len().max(1) as f64;
+        let ins = self
+            .changes
+            .iter()
+            .filter(|c| matches!(c, ChangeOp::Insert(_)))
+            .count();
+        let del = self
+            .changes
+            .iter()
+            .filter(|c| matches!(c, ChangeOp::Delete(_)))
+            .count();
+        let upd = self
+            .changes
+            .iter()
+            .filter(|c| matches!(c, ChangeOp::Update(..)))
+            .count();
+        (
+            ins as f64 / n * 100.0,
+            del as f64 / n * 100.0,
+            upd as f64 / n * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PAPER_PROFILES;
+
+    fn small_profile() -> DatasetProfile {
+        DatasetProfile {
+            name: "unit",
+            columns: 5,
+            initial_rows: 30,
+            changes: 200,
+            insert_pct: 40.0,
+            delete_pct: 20.0,
+            update_pct: 40.0,
+            update_columns: 2,
+            seed: 11,
+            bursts: 0,
+            burst_len: 0,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = small_profile();
+        let a = GeneratedDataset::generate(&p);
+        let b = GeneratedDataset::generate(&p);
+        assert_eq!(a.initial_rows, b.initial_rows);
+        assert_eq!(a.changes, b.changes);
+    }
+
+    #[test]
+    fn change_stream_replays_cleanly() {
+        // The acid test: every Delete/Update must reference a live id at
+        // its position in the stream — replay the whole history.
+        let data = GeneratedDataset::generate(&small_profile());
+        let mut rel = data.to_relation();
+        for batch in data.batches(17, None) {
+            rel.apply_batch(&batch)
+                .expect("generated stream must replay");
+        }
+    }
+
+    #[test]
+    fn change_mix_approximates_profile() {
+        let data = GeneratedDataset::generate(&DatasetProfile {
+            changes: 2_000,
+            ..small_profile()
+        });
+        let (ins, del, upd) = data.change_mix();
+        assert!((ins - 40.0).abs() < 5.0, "inserts {ins}");
+        assert!((del - 20.0).abs() < 5.0, "deletes {del}");
+        assert!((upd - 40.0).abs() < 5.0, "updates {upd}");
+    }
+
+    #[test]
+    fn batches_respect_limit_and_size() {
+        let data = GeneratedDataset::generate(&small_profile());
+        let batches = data.batches(50, Some(120));
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 50);
+        assert_eq!(batches[2].len(), 20);
+    }
+
+    #[test]
+    fn paper_profiles_generate_and_replay_scaled_down() {
+        // Smoke-test every preset at reduced size so CI stays fast.
+        for p in PAPER_PROFILES {
+            let mut small = p.clone();
+            small.initial_rows = small.initial_rows.min(100);
+            small.changes = small.changes.min(150);
+            let data = GeneratedDataset::generate(&small);
+            assert_eq!(data.schema.arity(), p.columns, "{}", p.name);
+            let mut rel = data.to_relation();
+            for batch in data.batches(25, None) {
+                rel.apply_batch(&batch)
+                    .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            }
+        }
+    }
+}

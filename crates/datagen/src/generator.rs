@@ -1,0 +1,405 @@
+//! Column models and row generation.
+
+use crate::Zipf;
+use dynfd_common::Schema;
+use rand::Rng;
+
+/// How one column's values are produced.
+///
+/// The mix of models determines the dataset's FD landscape:
+/// [`ColumnModel::Derived`] plants exact dependencies (the paper's
+/// zip→city motivation), [`ColumnModel::Correlated`] plants *almost*-FDs
+/// whose violations appear and disappear as records come and go — the
+/// churn DynFD is built to track — and [`ColumnModel::Key`] /
+/// [`ColumnModel::Categorical`] control cluster sizes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ColumnModel {
+    /// A unique value per generated row version (`k0`, `k1`, …). Keys
+    /// make every other column functionally dependent on this one.
+    Key,
+    /// A category sampled Zipf-skewed from `cardinality` values.
+    Categorical {
+        /// Number of distinct values.
+        cardinality: usize,
+        /// Zipf exponent (0 = uniform, 1 = classic skew).
+        skew: f64,
+    },
+    /// A pure function of an earlier column's *value*: rows agreeing on
+    /// the source agree here, so `source -> this` holds structurally
+    /// (until updates desynchronize old rows — realistic FD churn).
+    Derived {
+        /// Index of the source column (must be `< this column's index`).
+        source: usize,
+        /// Number of distinct derived groups.
+        groups: usize,
+    },
+    /// Like [`ColumnModel::Derived`], but with probability `noise` the
+    /// value is drawn randomly instead — an almost-FD that flickers.
+    Correlated {
+        /// Index of the source column (must be `< this column's index`).
+        source: usize,
+        /// Number of distinct groups.
+        groups: usize,
+        /// Probability of a random (violating) value.
+        noise: f64,
+    },
+}
+
+/// A table layout: name plus one [`ColumnModel`] per column.
+#[derive(Clone, Debug)]
+pub struct TableSpec {
+    /// Relation name.
+    pub name: String,
+    /// Column models; `Derived`/`Correlated` sources must point to
+    /// earlier columns.
+    pub columns: Vec<ColumnModel>,
+    /// Cached Zipf samplers per categorical column (index-aligned).
+    zipfs: Vec<Option<Zipf>>,
+}
+
+impl TableSpec {
+    /// Builds a spec, validating model references.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Derived`/`Correlated` source does not precede its
+    /// column, or a cardinality/group count is zero.
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnModel>) -> Self {
+        for (i, c) in columns.iter().enumerate() {
+            match *c {
+                ColumnModel::Key => {}
+                ColumnModel::Categorical { cardinality, .. } => {
+                    assert!(cardinality > 0, "column {i}: zero cardinality");
+                }
+                ColumnModel::Derived { source, groups }
+                | ColumnModel::Correlated { source, groups, .. } => {
+                    assert!(source < i, "column {i}: source {source} must precede it");
+                    assert!(groups > 0, "column {i}: zero groups");
+                }
+            }
+        }
+        let zipfs = columns
+            .iter()
+            .map(|c| match *c {
+                ColumnModel::Categorical { cardinality, skew } => {
+                    Some(Zipf::new(cardinality, skew))
+                }
+                _ => None,
+            })
+            .collect();
+        TableSpec {
+            name: name.into(),
+            columns,
+            zipfs,
+        }
+    }
+
+    /// The corresponding schema (`c0..cN` column names).
+    pub fn schema(&self) -> Schema {
+        Schema::anonymous(&self.name, self.columns.len())
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Generates a full row. `key_counter` feeds [`ColumnModel::Key`]
+    /// columns and is advanced.
+    pub fn generate_row<R: Rng + ?Sized>(&self, rng: &mut R, key_counter: &mut u64) -> Vec<String> {
+        let mut row: Vec<String> = Vec::with_capacity(self.columns.len());
+        for i in 0..self.columns.len() {
+            let v = self.value_for(i, &row, rng, key_counter);
+            row.push(v);
+        }
+        row
+    }
+
+    /// Regenerates the columns listed in `cols` (ascending order) in
+    /// place — the few-attribute updates typical of real change
+    /// histories. Derived/correlated columns re-read the row's *current*
+    /// source values, so updating a source without its dependents breaks
+    /// the planted FD exactly like a real-world partial update would.
+    pub fn regenerate_columns<R: Rng + ?Sized>(
+        &self,
+        row: &mut [String],
+        cols: &[usize],
+        rng: &mut R,
+        key_counter: &mut u64,
+    ) {
+        debug_assert!(
+            cols.windows(2).all(|w| w[0] < w[1]),
+            "cols must be ascending"
+        );
+        for &i in cols {
+            row[i] = self.value_for(i, row, rng, key_counter);
+        }
+    }
+
+    /// Scrambles the row's [`ColumnModel::Correlated`] leaf columns:
+    /// each gets a uniformly random group value with probability ½. Used
+    /// by the change generator's *dirty bursts* — stretches of operations
+    /// from a faulty writer that violate the almost-FDs en masse, giving
+    /// per-batch costs the spiky profile of real histories (Figure 5).
+    pub fn scramble_correlated<R: Rng + ?Sized>(&self, row: &mut [String], rng: &mut R) {
+        for (i, model) in self.columns.iter().enumerate() {
+            if let ColumnModel::Correlated { groups, .. } = *model {
+                if rng.gen::<f64>() < 0.5 {
+                    row[i] = format!("x{}_{}", i, rng.gen_range(0..groups));
+                }
+            }
+        }
+    }
+
+    /// Closes a column set under *dependents*: every `Derived`/
+    /// `Correlated` column whose (transitive) source is in the set is
+    /// added. Change generators use this so an update rewrites a row
+    /// consistently — touching a source without its dependents would
+    /// leave a stale row whose agree sets decorrelate from everything,
+    /// which wide real-world tables do not exhibit at scale.
+    ///
+    /// Returns the closed set, ascending.
+    pub fn update_closure(&self, cols: &[usize]) -> Vec<usize> {
+        let mut in_set = vec![false; self.columns.len()];
+        for &c in cols {
+            in_set[c] = true;
+        }
+        // Sources always precede dependents, so one ascending pass closes
+        // the set transitively.
+        for i in 0..self.columns.len() {
+            if in_set[i] {
+                continue;
+            }
+            match self.columns[i] {
+                ColumnModel::Derived { source, .. } | ColumnModel::Correlated { source, .. }
+                    if in_set[source] =>
+                {
+                    in_set[i] = true;
+                }
+                _ => {}
+            }
+        }
+        (0..self.columns.len()).filter(|&i| in_set[i]).collect()
+    }
+
+    fn value_for<R: Rng + ?Sized>(
+        &self,
+        col: usize,
+        row: &[String],
+        rng: &mut R,
+        key_counter: &mut u64,
+    ) -> String {
+        match self.columns[col] {
+            ColumnModel::Key => {
+                let v = *key_counter;
+                *key_counter += 1;
+                format!("k{v}")
+            }
+            ColumnModel::Categorical { .. } => {
+                let z = self.zipfs[col]
+                    .as_ref()
+                    .expect("zipf cached for categorical");
+                format!("c{}_{}", col, z.sample(rng))
+            }
+            ColumnModel::Derived { source, groups } => {
+                format!(
+                    "d{}_{}",
+                    col,
+                    hash_to_group(&row[source], col as u64, groups)
+                )
+            }
+            ColumnModel::Correlated {
+                source,
+                groups,
+                noise,
+            } => {
+                if rng.gen::<f64>() < noise {
+                    format!("x{}_{}", col, rng.gen_range(0..groups))
+                } else {
+                    format!(
+                        "x{}_{}",
+                        col,
+                        hash_to_group(&row[source], col as u64, groups)
+                    )
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic value→group mapping (FNV-1a over the value bytes mixed
+/// with the column index).
+fn hash_to_group(value: &str, col: u64, groups: usize) -> usize {
+    let mut h: u64 = 0xcbf29ce484222325 ^ col.wrapping_mul(0x100000001b3);
+    for b in value.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h % groups as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn spec() -> TableSpec {
+        TableSpec::new(
+            "t",
+            vec![
+                ColumnModel::Key,
+                ColumnModel::Categorical {
+                    cardinality: 5,
+                    skew: 1.0,
+                },
+                ColumnModel::Derived {
+                    source: 1,
+                    groups: 2,
+                },
+                ColumnModel::Correlated {
+                    source: 1,
+                    groups: 3,
+                    noise: 0.0,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn rows_have_schema_arity() {
+        let s = spec();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut key = 0;
+        let row = s.generate_row(&mut rng, &mut key);
+        assert_eq!(row.len(), 4);
+        assert_eq!(s.schema().arity(), 4);
+        assert_eq!(key, 1, "one key consumed");
+    }
+
+    #[test]
+    fn key_column_is_unique() {
+        let s = spec();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut key = 0;
+        let keys: Vec<String> = (0..50)
+            .map(|_| s.generate_row(&mut rng, &mut key)[0].clone())
+            .collect();
+        let mut dedup = keys.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), keys.len());
+    }
+
+    #[test]
+    fn derived_column_is_a_function_of_its_source() {
+        let s = spec();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut key = 0;
+        let rows: Vec<Vec<String>> = (0..200)
+            .map(|_| s.generate_row(&mut rng, &mut key))
+            .collect();
+        for a in &rows {
+            for b in &rows {
+                if a[1] == b[1] {
+                    assert_eq!(a[2], b[2], "derived must agree when source agrees");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_noise_correlated_is_also_a_function() {
+        let s = spec();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut key = 0;
+        let rows: Vec<Vec<String>> = (0..100)
+            .map(|_| s.generate_row(&mut rng, &mut key))
+            .collect();
+        for a in &rows {
+            for b in &rows {
+                if a[1] == b[1] {
+                    assert_eq!(a[3], b[3]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_correlated_violates_sometimes() {
+        let s = TableSpec::new(
+            "t",
+            vec![
+                ColumnModel::Categorical {
+                    cardinality: 3,
+                    skew: 0.0,
+                },
+                ColumnModel::Correlated {
+                    source: 0,
+                    groups: 4,
+                    noise: 0.5,
+                },
+            ],
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut key = 0;
+        let rows: Vec<Vec<String>> = (0..300)
+            .map(|_| s.generate_row(&mut rng, &mut key))
+            .collect();
+        let mut violated = false;
+        'outer: for a in &rows {
+            for b in &rows {
+                if a[0] == b[0] && a[1] != b[1] {
+                    violated = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(violated, "noise 0.5 must break the dependency somewhere");
+    }
+
+    #[test]
+    fn regenerate_touches_only_requested_columns() {
+        let s = spec();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut key = 0;
+        let mut row = s.generate_row(&mut rng, &mut key);
+        let before = row.clone();
+        s.regenerate_columns(&mut row, &[1], &mut rng, &mut key);
+        assert_eq!(row[0], before[0]);
+        assert_eq!(
+            row[2], before[2],
+            "derived untouched (may now violate — intended)"
+        );
+        assert_eq!(row[3], before[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must precede")]
+    fn forward_reference_rejected() {
+        let _ = TableSpec::new(
+            "bad",
+            vec![
+                ColumnModel::Derived {
+                    source: 1,
+                    groups: 2,
+                },
+                ColumnModel::Key,
+            ],
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let s = spec();
+        let gen = |seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut key = 0;
+            (0..10)
+                .map(|_| s.generate_row(&mut rng, &mut key))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(gen(9), gen(9));
+        assert_ne!(gen(9), gen(10));
+    }
+}

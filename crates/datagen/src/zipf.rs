@@ -1,0 +1,122 @@
+//! A small Zipf sampler.
+//!
+//! Real categorical columns (city names, disease categories, label
+//! names) are heavily skewed; uniform sampling would produce PLIs with
+//! unrealistically even cluster sizes and understate the value of
+//! cluster pruning. A precomputed-CDF Zipf keeps sampling O(log k).
+
+use rand::Rng;
+
+/// Zipf distribution over `{0, 1, ..., k-1}` with exponent `s`
+/// (probability of rank `r` proportional to `1 / (r+1)^s`).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution for `k` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `s < 0`.
+    pub fn new(k: usize, s: f64) -> Self {
+        assert!(k > 0, "zipf needs at least one rank");
+        assert!(s >= 0.0, "zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(k);
+        let mut acc = 0.0;
+        for r in 0..k {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is over a single rank.
+    pub fn is_empty(&self) -> bool {
+        false // k > 0 is guaranteed by the constructor
+    }
+
+    /// Samples a rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("no NaN"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn samples_are_in_range_and_skewed() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 must dominate rank 9 heavily under s = 1.
+        assert!(counts[0] > counts[9] * 3, "counts: {counts:?}");
+        assert_eq!(counts.iter().sum::<usize>(), 10_000);
+    }
+
+    #[test]
+    fn zero_exponent_is_uniformish() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let mut counts = [0usize; 4];
+        for _ in 0..8_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (1600..2400).contains(&c),
+                "uniform-ish expected: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank() {
+        let z = Zipf::new(1, 1.5);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let z = Zipf::new(50, 1.2);
+        let a: Vec<usize> = (0..20)
+            .scan(ChaCha8Rng::seed_from_u64(3), |r, _| Some(z.sample(r)))
+            .collect();
+        let b: Vec<usize> = (0..20)
+            .scan(ChaCha8Rng::seed_from_u64(3), |r, _| Some(z.sample(r)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

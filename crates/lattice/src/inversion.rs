@@ -1,0 +1,175 @@
+//! Cover inversion — Algorithm 1 of the paper.
+//!
+//! Classic *dependency induction* derives the positive cover from a
+//! negative cover; DynFD needs the **opposite** direction at bootstrap
+//! time: given the minimal FDs (e.g. produced by HyFD), compute all
+//! maximal non-FDs. The paper presents the first algorithm for this
+//! step; this module implements it verbatim.
+
+use crate::FdTree;
+use dynfd_common::AttrSet;
+
+/// Derives the negative cover (all maximal non-FDs) from a positive
+/// cover of minimal FDs over an `arity`-column relation (Algorithm 1).
+///
+/// Starting from the most pessimistic assumption — for every attribute
+/// `A`, the most specific candidate `R \ {A} -> A` is a non-FD — every
+/// valid minimal FD successively refines the cover: any non-FD that is a
+/// specialization of a valid FD is in fact valid, so it is replaced by
+/// its direct generalizations (dropping one attribute of the valid FD's
+/// LHS at a time), kept only when maximal.
+///
+/// The result is exact: `nonFds` contains precisely the maximal LHS sets
+/// `Y` per RHS `A` such that `Y -> A` is *not* implied by `fds`.
+pub fn invert_positive_cover(fds: &FdTree, arity: usize) -> FdTree {
+    let mut non_fds = FdTree::new();
+    // Lines 2-4: initialize with the most specific non-FDs.
+    for a in 0..arity {
+        non_fds.add(AttrSet::full(arity).without(a), a);
+    }
+    // Lines 5-13: refine with every valid minimal FD.
+    for fd in fds.all_fds() {
+        let violated = non_fds.get_specializations(fd.lhs, fd.rhs);
+        for nf_lhs in violated {
+            non_fds.remove(nf_lhs, fd.rhs);
+            for l in fd.lhs.iter() {
+                // Dropping an attribute outside fd.lhs would leave the
+                // candidate a specialization of fd, hence valid.
+                non_fds.add_maximal(nf_lhs.without(l), fd.rhs);
+            }
+        }
+    }
+    non_fds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynfd_common::Fd;
+
+    fn s(attrs: &[usize]) -> AttrSet {
+        attrs.iter().copied().collect()
+    }
+
+    fn tree(fds: &[(&[usize], usize)]) -> FdTree {
+        fds.iter().map(|&(l, r)| Fd::new(s(l), r)).collect()
+    }
+
+    /// Implication check: `lhs -> rhs` follows from a positive cover iff
+    /// some stored generalization exists.
+    fn implied(fds: &FdTree, lhs: AttrSet, rhs: usize) -> bool {
+        fds.contains_generalization(lhs, rhs)
+    }
+
+    /// Brute-force negative cover: enumerate all non-trivial candidates,
+    /// keep the non-implied ones, reduce to maximal elements.
+    fn brute_force_invert(fds: &FdTree, arity: usize) -> FdTree {
+        let mut non_fds: Vec<Fd> = Vec::new();
+        for rhs in 0..arity {
+            for mask in 0..(1usize << arity) {
+                let lhs: AttrSet = (0..arity).filter(|&a| mask >> a & 1 == 1).collect();
+                if lhs.contains(rhs) || implied(fds, lhs, rhs) {
+                    continue;
+                }
+                non_fds.push(Fd::new(lhs, rhs));
+            }
+        }
+        let maximal: Vec<Fd> = non_fds
+            .iter()
+            .filter(|fd| !non_fds.iter().any(|o| fd.is_generalization_of(o)))
+            .copied()
+            .collect();
+        maximal.into_iter().collect()
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        // Section 3.2: minimal FDs of Table 1 (f=0, l=1, z=2, c=3):
+        // l→f, z→f, z→c, fc→z, lc→z. Expected maximal non-FDs:
+        // fzc→l, fl→z, fl→c, c→f, c→z.
+        let fds = tree(&[(&[1], 0), (&[2], 0), (&[2], 3), (&[0, 3], 2), (&[1, 3], 2)]);
+        let non_fds = invert_positive_cover(&fds, 4);
+        let expect = tree(&[
+            (&[0, 2, 3], 1), // fzc -> l
+            (&[0, 1], 2),    // fl -> z
+            (&[0, 1], 3),    // fl -> c
+            (&[3], 0),       // c -> f
+            (&[3], 2),       // c -> z
+        ]);
+        assert_eq!(non_fds, expect);
+    }
+
+    #[test]
+    fn empty_positive_cover_yields_most_specific_non_fds() {
+        let non_fds = invert_positive_cover(&FdTree::new(), 3);
+        let expect = tree(&[(&[1, 2], 0), (&[0, 2], 1), (&[0, 1], 2)]);
+        assert_eq!(non_fds, expect);
+    }
+
+    #[test]
+    fn all_fds_hold_yields_empty_negative_cover() {
+        // ∅ -> A for every A: everything is implied.
+        let fds = tree(&[(&[], 0), (&[], 1), (&[], 2)]);
+        let non_fds = invert_positive_cover(&fds, 3);
+        assert!(non_fds.is_empty());
+    }
+
+    #[test]
+    fn key_only_cover() {
+        // Attribute 0 is a key: 0 -> 1, 0 -> 2 (and nothing else holds).
+        let fds = tree(&[(&[0], 1), (&[0], 2)]);
+        let non_fds = invert_positive_cover(&fds, 3);
+        assert_eq!(non_fds, brute_force_invert(&fds, 3));
+        // Specifically: {1,2} -> 0 stays the maximal non-FD for RHS 0,
+        // and for RHS 1 the maximal non-FD is {2} (any set containing 0
+        // is valid).
+        assert!(non_fds.contains(s(&[1, 2]), 0));
+        assert!(non_fds.contains(s(&[2]), 1));
+        assert!(non_fds.contains(s(&[1]), 2));
+    }
+
+    #[test]
+    fn matches_brute_force_on_exhaustive_small_covers() {
+        // All positive covers generated from up to 3 random-ish minimal
+        // FDs over 4 attributes, kept antichain via add_minimal.
+        let arity = 4;
+        let mut cases = 0;
+        for seed in 0..200usize {
+            let mut fds = FdTree::new();
+            let mut x = seed;
+            for _ in 0..3 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let rhs = (x >> 8) % arity;
+                let mask = (x >> 16) % (1 << arity);
+                let lhs: AttrSet = (0..arity)
+                    .filter(|&a| mask >> a & 1 == 1 && a != rhs)
+                    .collect();
+                fds.add_minimal(lhs, rhs);
+            }
+            let got = invert_positive_cover(&fds, arity);
+            let want = brute_force_invert(&fds, arity);
+            assert_eq!(got, want, "cover {:?}", fds.all_fds());
+            cases += 1;
+        }
+        assert_eq!(cases, 200);
+    }
+
+    #[test]
+    fn inversion_output_is_an_antichain() {
+        let fds = tree(&[(&[1], 0), (&[2, 3], 0), (&[0], 2), (&[3], 1)]);
+        let non_fds = invert_positive_cover(&fds, 5);
+        assert!(non_fds.is_antichain());
+    }
+
+    #[test]
+    fn single_attribute_relation() {
+        // Arity 1: the initial non-FD for attribute 0 is ∅ -> 0.
+        let non_fds = invert_positive_cover(&FdTree::new(), 1);
+        assert_eq!(non_fds.all_fds(), vec![Fd::new(AttrSet::empty(), 0)]);
+        // If ∅ -> 0 holds (constant column), nothing remains.
+        let fds = tree(&[(&[], 0)]);
+        assert!(invert_positive_cover(&fds, 1).is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! A naive reference implementation of the cover interface.
+//!
+//! `NaiveCover` stores FDs in a flat, sorted `Vec` and answers every
+//! query by scanning. It is O(n) to O(n²) where [`FdTree`](crate::FdTree)
+//! is (poly-)logarithmic, but its correctness is obvious — which makes
+//! it the ideal oracle for the property-test suite that drives both
+//! structures with identical random operation sequences and demands
+//! identical answers.
+
+use dynfd_common::{AttrId, AttrSet, Fd};
+
+/// Flat-scan implementation of the FD cover interface (test oracle).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NaiveCover {
+    fds: Vec<Fd>,
+}
+
+impl NaiveCover {
+    /// Creates an empty cover.
+    pub fn new() -> Self {
+        NaiveCover::default()
+    }
+
+    /// Number of stored FDs.
+    pub fn len(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// Whether no FD is stored.
+    pub fn is_empty(&self) -> bool {
+        self.fds.is_empty()
+    }
+
+    /// Adds `lhs -> rhs`; `false` if already present.
+    pub fn add(&mut self, lhs: AttrSet, rhs: AttrId) -> bool {
+        let fd = Fd::new(lhs, rhs);
+        match self.fds.binary_search(&fd) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.fds.insert(pos, fd);
+                true
+            }
+        }
+    }
+
+    /// Removes `lhs -> rhs`; `false` if absent.
+    pub fn remove(&mut self, lhs: AttrSet, rhs: AttrId) -> bool {
+        match self.fds.binary_search(&Fd::new(lhs, rhs)) {
+            Ok(pos) => {
+                self.fds.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Whether exactly `lhs -> rhs` is stored.
+    pub fn contains(&self, lhs: AttrSet, rhs: AttrId) -> bool {
+        self.fds.binary_search(&Fd::new(lhs, rhs)).is_ok()
+    }
+
+    /// Whether some stored `lhs' ⊆ lhs` with this RHS exists.
+    pub fn contains_generalization(&self, lhs: AttrSet, rhs: AttrId) -> bool {
+        self.fds
+            .iter()
+            .any(|f| f.rhs == rhs && f.lhs.is_subset_of(&lhs))
+    }
+
+    /// All stored `lhs' ⊆ lhs` with this RHS.
+    pub fn get_generalizations(&self, lhs: AttrSet, rhs: AttrId) -> Vec<AttrSet> {
+        self.fds
+            .iter()
+            .filter(|f| f.rhs == rhs && f.lhs.is_subset_of(&lhs))
+            .map(|f| f.lhs)
+            .collect()
+    }
+
+    /// Whether some stored `lhs' ⊇ lhs` with this RHS exists.
+    pub fn contains_specialization(&self, lhs: AttrSet, rhs: AttrId) -> bool {
+        self.fds
+            .iter()
+            .any(|f| f.rhs == rhs && f.lhs.is_superset_of(&lhs))
+    }
+
+    /// All stored `lhs' ⊇ lhs` with this RHS.
+    pub fn get_specializations(&self, lhs: AttrSet, rhs: AttrId) -> Vec<AttrSet> {
+        self.fds
+            .iter()
+            .filter(|f| f.rhs == rhs && f.lhs.is_superset_of(&lhs))
+            .map(|f| f.lhs)
+            .collect()
+    }
+
+    /// Removes and returns all `lhs' ⊇ lhs` with this RHS.
+    pub fn remove_specializations(&mut self, lhs: AttrSet, rhs: AttrId) -> Vec<AttrSet> {
+        let out = self.get_specializations(lhs, rhs);
+        self.fds
+            .retain(|f| !(f.rhs == rhs && f.lhs.is_superset_of(&lhs)));
+        out
+    }
+
+    /// Removes and returns all `lhs' ⊆ lhs` with this RHS.
+    pub fn remove_generalizations(&mut self, lhs: AttrSet, rhs: AttrId) -> Vec<AttrSet> {
+        let out = self.get_generalizations(lhs, rhs);
+        self.fds
+            .retain(|f| !(f.rhs == rhs && f.lhs.is_subset_of(&lhs)));
+        out
+    }
+
+    /// All FDs at lattice level `level` (LHS cardinality).
+    pub fn get_level(&self, level: usize) -> Vec<Fd> {
+        self.fds
+            .iter()
+            .filter(|f| f.level() == level)
+            .copied()
+            .collect()
+    }
+
+    /// All stored FDs, sorted.
+    pub fn all_fds(&self) -> Vec<Fd> {
+        self.fds.clone()
+    }
+}
+
+impl FromIterator<Fd> for NaiveCover {
+    fn from_iter<T: IntoIterator<Item = Fd>>(iter: T) -> Self {
+        let mut c = NaiveCover::new();
+        for fd in iter {
+            c.add(fd.lhs, fd.rhs);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(attrs: &[usize]) -> AttrSet {
+        attrs.iter().copied().collect()
+    }
+
+    #[test]
+    fn mirror_of_tree_semantics() {
+        let mut c = NaiveCover::new();
+        assert!(c.add(s(&[1, 2]), 0));
+        assert!(!c.add(s(&[1, 2]), 0));
+        assert!(c.contains(s(&[1, 2]), 0));
+        assert!(c.contains_generalization(s(&[1, 2, 3]), 0));
+        assert!(c.contains_specialization(s(&[1]), 0));
+        assert!(!c.contains_specialization(s(&[3]), 0));
+        assert_eq!(c.get_level(2).len(), 1);
+        assert!(c.remove(s(&[1, 2]), 0));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn bulk_removals() {
+        let mut c: NaiveCover = [(s(&[1]), 0), (s(&[1, 2]), 0), (s(&[3]), 0), (s(&[1]), 2)]
+            .into_iter()
+            .map(|(l, r)| Fd::new(l, r))
+            .collect();
+        let gone = c.remove_specializations(s(&[1]), 0);
+        assert_eq!(gone.len(), 2);
+        assert_eq!(c.len(), 2);
+        let gone = c.remove_generalizations(s(&[1, 3]), 0);
+        assert_eq!(gone, vec![s(&[3])]);
+        assert!(c.contains(s(&[1]), 2));
+    }
+}

@@ -1,0 +1,188 @@
+//! Change batches.
+
+use dynfd_common::{AttrSet, RecordId};
+
+/// A single change operation against the profiled relation.
+///
+/// Updates are, per the paper (Section 2), expressed as a delete of the
+/// old record followed by an insert of the new version; [`ChangeOp::Update`]
+/// is provided as a convenience and is normalized during application.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChangeOp {
+    /// Insert a new row (one value per schema column).
+    Insert(Vec<String>),
+    /// Delete the record with the given surrogate id.
+    Delete(RecordId),
+    /// Replace the record with the given id by a new row. The new version
+    /// receives a fresh surrogate id.
+    Update(RecordId, Vec<String>),
+}
+
+impl ChangeOp {
+    /// Whether this op is (or contains) an insert.
+    pub fn inserts(&self) -> bool {
+        matches!(self, ChangeOp::Insert(_) | ChangeOp::Update(..))
+    }
+
+    /// Whether this op is (or contains) a delete.
+    pub fn deletes(&self) -> bool {
+        matches!(self, ChangeOp::Delete(_) | ChangeOp::Update(..))
+    }
+}
+
+/// A non-overlapping group of change operations, processed atomically by
+/// DynFD (paper Section 2). Batch boundaries trade metadata timeliness
+/// against maintenance cost; their size is at the user's discretion.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Batch {
+    ops: Vec<ChangeOp>,
+}
+
+impl Batch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Batch::default()
+    }
+
+    /// Creates a batch from a list of operations.
+    pub fn from_ops(ops: Vec<ChangeOp>) -> Self {
+        Batch { ops }
+    }
+
+    /// Appends an insert of `row`.
+    pub fn insert<S: Into<String>>(&mut self, row: Vec<S>) -> &mut Self {
+        self.ops
+            .push(ChangeOp::Insert(row.into_iter().map(Into::into).collect()));
+        self
+    }
+
+    /// Appends a delete of `rid`.
+    pub fn delete(&mut self, rid: RecordId) -> &mut Self {
+        self.ops.push(ChangeOp::Delete(rid));
+        self
+    }
+
+    /// Appends an update of `rid` to `row`.
+    pub fn update<S: Into<String>>(&mut self, rid: RecordId, row: Vec<S>) -> &mut Self {
+        self.ops.push(ChangeOp::Update(
+            rid,
+            row.into_iter().map(Into::into).collect(),
+        ));
+        self
+    }
+
+    /// The operations in arrival order.
+    pub fn ops(&self) -> &[ChangeOp] {
+        &self.ops
+    }
+
+    /// Number of operations (an update counts as one, matching how the
+    /// paper counts "changes").
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Splits a flat change stream into consecutive batches of at most
+    /// `size` operations (the fixed-size batching used throughout the
+    /// paper's evaluation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn chunk(ops: Vec<ChangeOp>, size: usize) -> Vec<Batch> {
+        assert!(size > 0, "batch size must be positive");
+        let mut batches = Vec::with_capacity(ops.len().div_ceil(size));
+        let mut current = Vec::with_capacity(size.min(ops.len()));
+        for op in ops {
+            current.push(op);
+            if current.len() == size {
+                batches.push(Batch::from_ops(std::mem::take(&mut current)));
+            }
+        }
+        if !current.is_empty() {
+            batches.push(Batch::from_ops(current));
+        }
+        batches
+    }
+}
+
+/// The effect of applying a [`Batch`] to a
+/// [`DynamicRelation`](crate::DynamicRelation): which records came and
+/// went, plus the watermarks the maintenance prunings key off.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AppliedBatch {
+    /// Ids of records inserted by the batch *and still present* after it
+    /// (a record inserted and deleted within one batch appears in
+    /// neither list).
+    pub inserted: Vec<RecordId>,
+    /// Ids of records that existed before the batch and were deleted by
+    /// it.
+    pub deleted: Vec<RecordId>,
+    /// The first surrogate id assigned while applying this batch, if any
+    /// insert happened. Every record with `id >= first_new_id` is "new"
+    /// for the purposes of cluster pruning (Section 4.2).
+    pub first_new_id: Option<RecordId>,
+    /// Whether every operation in the batch was an [`ChangeOp::Update`].
+    /// Only then is *update pruning* applicable (paper Section 8 item 3:
+    /// an FD whose attributes no update touched cannot change).
+    pub update_only: bool,
+    /// Attributes whose value actually changed in at least one update
+    /// (old vs. new version compared column-wise). Meaningful only when
+    /// [`AppliedBatch::update_only`] is `true`.
+    pub touched_attrs: AttrSet,
+}
+
+impl AppliedBatch {
+    /// Whether the batch performed any insert that survived the batch.
+    pub fn has_inserts(&self) -> bool {
+        !self.inserted.is_empty()
+    }
+
+    /// Whether the batch deleted any pre-existing record.
+    pub fn has_deletes(&self) -> bool {
+        !self.deleted.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_ops() {
+        let mut b = Batch::new();
+        b.insert(vec!["a", "b"])
+            .delete(RecordId(3))
+            .update(RecordId(1), vec!["c", "d"]);
+        assert_eq!(b.len(), 3);
+        assert!(b.ops()[0].inserts() && !b.ops()[0].deletes());
+        assert!(b.ops()[1].deletes() && !b.ops()[1].inserts());
+        assert!(b.ops()[2].inserts() && b.ops()[2].deletes());
+    }
+
+    #[test]
+    fn chunk_splits_evenly_with_remainder() {
+        let ops: Vec<ChangeOp> = (0..7).map(|i| ChangeOp::Delete(RecordId(i))).collect();
+        let batches = Batch::chunk(ops, 3);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 3);
+        assert_eq!(batches[1].len(), 3);
+        assert_eq!(batches[2].len(), 1);
+    }
+
+    #[test]
+    fn chunk_of_empty_stream_is_empty() {
+        assert!(Batch::chunk(vec![], 10).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn chunk_zero_panics() {
+        let _ = Batch::chunk(vec![], 0);
+    }
+}

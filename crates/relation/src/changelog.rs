@@ -1,0 +1,336 @@
+//! Change-log ingestion and auto-batching.
+//!
+//! The paper's input is "a stream [of changes] that is first transformed
+//! and then processed in batches ... e.g., equally sized groups of
+//! change operations or, alternatively, all operations from within a
+//! tumbling time window" (Section 2). This module provides both sides:
+//!
+//! * [`parse_changelog`] — a line-oriented text format for externally
+//!   recorded change histories (the role the paper's extracted
+//!   MusicBrainz/Wikipedia/TSA histories play);
+//! * [`Batcher`] — count-based auto-batching of a change stream;
+//! * [`WindowBatcher`] — tumbling windows over timestamped operations.
+//!
+//! ## Change-log format
+//!
+//! One operation per line, fields separated by `|` (values may contain
+//! commas; a literal `|` in a value is escaped as `\|`, a literal `\`
+//! as `\\`):
+//!
+//! ```text
+//! # comment
+//! I|Max|Jones|14482|Potsdam       insert a row
+//! D|3                             delete record id 3
+//! U|7|Max|Miller|10115|Berlin     update record id 7 to the new row
+//! ```
+
+use crate::batch::{Batch, ChangeOp};
+use dynfd_common::{DynError, RecordId, Result};
+
+/// Parses a change log in the format documented at module level.
+///
+/// `arity` is the relation's column count; every insert/update row is
+/// checked against it up front so malformed logs fail before anything
+/// is applied.
+pub fn parse_changelog(text: &str, arity: usize) -> Result<Vec<ChangeOp>> {
+    let mut ops = Vec::new();
+    for (line_no, raw) in text.lines().enumerate() {
+        // Values may carry significant leading/trailing whitespace, so
+        // only a trailing CR (CRLF logs) is stripped; comment/blank
+        // detection works on a trimmed view.
+        let line = raw.strip_suffix('\r').unwrap_or(raw);
+        let probe = line.trim();
+        if probe.is_empty() || probe.starts_with('#') {
+            continue;
+        }
+        let fields = split_fields(line, line_no + 1)?;
+        let op = match fields[0].as_str() {
+            "I" => {
+                let row = fields[1..].to_vec();
+                check_arity(&row, arity, line_no + 1)?;
+                ChangeOp::Insert(row)
+            }
+            "D" => {
+                if fields.len() != 2 {
+                    return Err(DynError::Parse(format!(
+                        "line {}: D takes exactly one record id",
+                        line_no + 1
+                    )));
+                }
+                ChangeOp::Delete(parse_rid(&fields[1], line_no + 1)?)
+            }
+            "U" => {
+                if fields.len() < 2 {
+                    return Err(DynError::Parse(format!(
+                        "line {}: U needs a record id and a row",
+                        line_no + 1
+                    )));
+                }
+                let rid = parse_rid(&fields[1], line_no + 1)?;
+                let row = fields[2..].to_vec();
+                check_arity(&row, arity, line_no + 1)?;
+                ChangeOp::Update(rid, row)
+            }
+            other => {
+                return Err(DynError::Parse(format!(
+                    "line {}: unknown op code {other:?} (expected I, D, or U)",
+                    line_no + 1
+                )))
+            }
+        };
+        ops.push(op);
+    }
+    Ok(ops)
+}
+
+/// Serializes operations back into the change-log format (inverse of
+/// [`parse_changelog`]).
+pub fn write_changelog(ops: &[ChangeOp]) -> String {
+    let mut out = String::new();
+    let esc = |v: &str| v.replace('\\', "\\\\").replace('|', "\\|");
+    for op in ops {
+        match op {
+            ChangeOp::Insert(row) => {
+                out.push('I');
+                for v in row {
+                    out.push('|');
+                    out.push_str(&esc(v));
+                }
+            }
+            ChangeOp::Delete(rid) => {
+                out.push_str(&format!("D|{}", rid.raw()));
+            }
+            ChangeOp::Update(rid, row) => {
+                out.push_str(&format!("U|{}", rid.raw()));
+                for v in row {
+                    out.push('|');
+                    out.push_str(&esc(v));
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn split_fields(line: &str, line_no: usize) -> Result<Vec<String>> {
+    let mut fields = vec![String::new()];
+    let mut chars = line.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => match chars.next() {
+                Some(e @ ('|' | '\\')) => fields.last_mut().expect("non-empty").push(e),
+                _ => {
+                    return Err(DynError::Parse(format!(
+                        "line {line_no}: dangling escape character"
+                    )))
+                }
+            },
+            '|' => fields.push(String::new()),
+            _ => fields.last_mut().expect("non-empty").push(c),
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_rid(text: &str, line_no: usize) -> Result<RecordId> {
+    text.trim()
+        .parse::<u64>()
+        .map(RecordId)
+        .map_err(|_| DynError::Parse(format!("line {line_no}: bad record id {text:?}")))
+}
+
+fn check_arity(row: &[String], arity: usize, line_no: usize) -> Result<()> {
+    if row.len() == arity {
+        Ok(())
+    } else {
+        Err(DynError::Parse(format!(
+            "line {line_no}: row has {} values, schema has {arity}",
+            row.len()
+        )))
+    }
+}
+
+/// Count-based auto-batching: groups a change stream into batches of a
+/// fixed capacity, the batching mode used throughout the paper's
+/// evaluation. Push operations in; a full [`Batch`] pops out every
+/// `capacity` ops; call [`Batcher::flush`] at stream end.
+#[derive(Clone, Debug)]
+pub struct Batcher {
+    capacity: usize,
+    pending: Vec<ChangeOp>,
+}
+
+impl Batcher {
+    /// Creates a batcher emitting batches of `capacity` operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "batch capacity must be positive");
+        Batcher {
+            capacity,
+            pending: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Adds one operation; returns a full batch when the capacity is
+    /// reached.
+    pub fn push(&mut self, op: ChangeOp) -> Option<Batch> {
+        self.pending.push(op);
+        if self.pending.len() == self.capacity {
+            Some(Batch::from_ops(std::mem::take(&mut self.pending)))
+        } else {
+            None
+        }
+    }
+
+    /// Emits whatever is pending as a final (possibly smaller) batch.
+    pub fn flush(&mut self) -> Option<Batch> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            Some(Batch::from_ops(std::mem::take(&mut self.pending)))
+        }
+    }
+
+    /// Operations currently buffered.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// Tumbling-window auto-batching over *timestamped* operations: all
+/// operations whose timestamp falls into the same `[k·width, (k+1)·width)`
+/// window form one batch — the paper's alternative batching mode.
+/// Timestamps must be non-decreasing (a change log is ordered).
+#[derive(Clone, Debug)]
+pub struct WindowBatcher {
+    width: u64,
+    current_window: Option<u64>,
+    pending: Vec<ChangeOp>,
+}
+
+impl WindowBatcher {
+    /// Creates a batcher with tumbling windows of `width` time units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(width: u64) -> Self {
+        assert!(width > 0, "window width must be positive");
+        WindowBatcher {
+            width,
+            current_window: None,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Adds an operation stamped `timestamp`; returns the previous
+    /// window's batch when the operation opens a new window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if timestamps go backwards across emitted windows.
+    pub fn push(&mut self, timestamp: u64, op: ChangeOp) -> Option<Batch> {
+        let window = timestamp / self.width;
+        let emitted = match self.current_window {
+            Some(w) if window < w => panic!("timestamps must be non-decreasing"),
+            Some(w) if window > w && !self.pending.is_empty() => {
+                Some(Batch::from_ops(std::mem::take(&mut self.pending)))
+            }
+            _ => None,
+        };
+        self.current_window = Some(window);
+        self.pending.push(op);
+        emitted
+    }
+
+    /// Emits the final window's batch.
+    pub fn flush(&mut self) -> Option<Batch> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            Some(Batch::from_ops(std::mem::take(&mut self.pending)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let ops = vec![
+            ChangeOp::Insert(vec!["Max".into(), "Jones".into()]),
+            ChangeOp::Delete(RecordId(3)),
+            ChangeOp::Update(RecordId(7), vec!["Max".into(), "Miller".into()]),
+        ];
+        let text = write_changelog(&ops);
+        assert_eq!(parse_changelog(&text, 2).unwrap(), ops);
+    }
+
+    #[test]
+    fn escapes_in_values() {
+        let ops = vec![ChangeOp::Insert(vec!["a|b".into(), "c\\d".into()])];
+        let text = write_changelog(&ops);
+        assert_eq!(text, "I|a\\|b|c\\\\d\n");
+        assert_eq!(parse_changelog(&text, 2).unwrap(), ops);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# history\n\nI|x|y\n  \nD|0\n";
+        let ops = parse_changelog(text, 2).unwrap();
+        assert_eq!(ops.len(), 2);
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        assert!(parse_changelog("X|a|b\n", 2).is_err(), "unknown op");
+        assert!(parse_changelog("I|only-one\n", 2).is_err(), "arity");
+        assert!(parse_changelog("D|notanumber\n", 2).is_err(), "bad id");
+        assert!(parse_changelog("D|1|2\n", 2).is_err(), "extra field");
+        assert!(parse_changelog("U|5\n", 2).is_err(), "missing row");
+        assert!(parse_changelog("I|a|b\\\n", 2).is_err(), "dangling escape");
+    }
+
+    #[test]
+    fn count_batcher() {
+        let mut b = Batcher::new(3);
+        assert!(b.push(ChangeOp::Delete(RecordId(0))).is_none());
+        assert!(b.push(ChangeOp::Delete(RecordId(1))).is_none());
+        let full = b.push(ChangeOp::Delete(RecordId(2))).expect("full batch");
+        assert_eq!(full.len(), 3);
+        assert_eq!(b.pending(), 0);
+        b.push(ChangeOp::Delete(RecordId(3)));
+        let rest = b.flush().expect("remainder");
+        assert_eq!(rest.len(), 1);
+        assert!(b.flush().is_none());
+    }
+
+    #[test]
+    fn window_batcher_tumbles() {
+        let mut b = WindowBatcher::new(10);
+        assert!(b.push(1, ChangeOp::Delete(RecordId(0))).is_none());
+        assert!(b.push(9, ChangeOp::Delete(RecordId(1))).is_none());
+        // t=10 opens window 1 → window 0's batch pops out.
+        let w0 = b.push(10, ChangeOp::Delete(RecordId(2))).expect("window 0");
+        assert_eq!(w0.len(), 2);
+        // Skipping windows entirely is fine.
+        let w1 = b.push(35, ChangeOp::Delete(RecordId(3))).expect("window 1");
+        assert_eq!(w1.len(), 1);
+        let tail = b.flush().expect("window 3");
+        assert_eq!(tail.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn window_batcher_rejects_time_travel() {
+        let mut b = WindowBatcher::new(10);
+        b.push(25, ChangeOp::Delete(RecordId(0)));
+        b.push(3, ChangeOp::Delete(RecordId(1)));
+    }
+}

@@ -1,0 +1,194 @@
+//! Minimal CSV ingestion (RFC 4180 subset).
+//!
+//! The evaluation datasets are tabular dumps; a hand-rolled reader keeps
+//! the workspace free of an extra dependency. Supported: quoted fields,
+//! escaped quotes (`""`), embedded commas/newlines in quoted fields,
+//! `\r\n` and `\n` line endings. Not supported (not needed): custom
+//! delimiters, comments.
+
+use dynfd_common::{DynError, Result, Schema};
+use std::path::Path;
+
+/// A parsed CSV: header + rows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsvTable {
+    /// Column names from the header line.
+    pub header: Vec<String>,
+    /// Data rows; every row has `header.len()` fields.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// Builds a [`Schema`] named `name` from the header.
+    pub fn schema(&self, name: &str) -> Schema {
+        Schema::new(name, self.header.clone())
+    }
+}
+
+/// Parses CSV text with a header line.
+pub fn parse_csv(text: &str) -> Result<CsvTable> {
+    let mut records = parse_records(text)?;
+    if records.is_empty() {
+        return Err(DynError::Parse("empty CSV input: missing header".into()));
+    }
+    let header = records.remove(0);
+    let arity = header.len();
+    for (i, row) in records.iter().enumerate() {
+        if row.len() != arity {
+            return Err(DynError::Parse(format!(
+                "row {} has {} fields, header has {arity}",
+                i + 2, // 1-based, counting the header line
+                row.len()
+            )));
+        }
+    }
+    Ok(CsvTable {
+        header,
+        rows: records,
+    })
+}
+
+/// Reads and parses a CSV file.
+pub fn read_csv_file(path: impl AsRef<Path>) -> Result<CsvTable> {
+    let text = std::fs::read_to_string(path)?;
+    parse_csv(&text)
+}
+
+fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut any_char_in_row = false;
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                if !field.is_empty() {
+                    return Err(DynError::Parse("quote inside unquoted field".into()));
+                }
+                in_quotes = true;
+                any_char_in_row = true;
+            }
+            ',' => {
+                row.push(std::mem::take(&mut field));
+                any_char_in_row = true;
+            }
+            '\r' => {
+                if chars.peek() == Some(&'\n') {
+                    chars.next();
+                }
+                end_row(&mut records, &mut row, &mut field, &mut any_char_in_row);
+            }
+            '\n' => end_row(&mut records, &mut row, &mut field, &mut any_char_in_row),
+            _ => {
+                field.push(c);
+                any_char_in_row = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err(DynError::Parse("unterminated quoted field".into()));
+    }
+    if any_char_in_row || !row.is_empty() {
+        row.push(field);
+        records.push(row);
+    }
+    Ok(records)
+}
+
+fn end_row(
+    records: &mut Vec<Vec<String>>,
+    row: &mut Vec<String>,
+    field: &mut String,
+    any_char_in_row: &mut bool,
+) {
+    // A bare newline with no content is skipped (trailing newline etc.).
+    if *any_char_in_row || !row.is_empty() {
+        row.push(std::mem::take(field));
+        records.push(std::mem::take(row));
+    }
+    *any_char_in_row = false;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_table() {
+        let t = parse_csv("a,b,c\n1,2,3\n4,5,6\n").unwrap();
+        assert_eq!(t.header, vec!["a", "b", "c"]);
+        assert_eq!(t.rows, vec![vec!["1", "2", "3"], vec!["4", "5", "6"]]);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_newlines() {
+        let t = parse_csv("a,b\n\"x,y\",\"line1\nline2\"\n").unwrap();
+        assert_eq!(t.rows, vec![vec!["x,y", "line1\nline2"]]);
+    }
+
+    #[test]
+    fn escaped_quotes() {
+        let t = parse_csv("a\n\"say \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(t.rows, vec![vec!["say \"hi\""]]);
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let t = parse_csv("a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(t.rows, vec![vec!["1", "2"]]);
+    }
+
+    #[test]
+    fn empty_fields_preserved() {
+        let t = parse_csv("a,b,c\n,,\nx,,z\n").unwrap();
+        assert_eq!(t.rows, vec![vec!["", "", ""], vec!["x", "", "z"]]);
+    }
+
+    #[test]
+    fn no_trailing_newline() {
+        let t = parse_csv("a,b\n1,2").unwrap();
+        assert_eq!(t.rows, vec![vec!["1", "2"]]);
+    }
+
+    #[test]
+    fn ragged_row_rejected() {
+        let err = parse_csv("a,b\n1,2,3\n").unwrap_err();
+        assert!(matches!(err, DynError::Parse(_)));
+        assert!(err.to_string().contains("row 2"));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(matches!(parse_csv(""), Err(DynError::Parse(_))));
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        assert!(matches!(parse_csv("a\n\"oops\n"), Err(DynError::Parse(_))));
+    }
+
+    #[test]
+    fn schema_from_header() {
+        let t = parse_csv("x,y\n1,2\n").unwrap();
+        let s = t.schema("point");
+        assert_eq!(s.name(), "point");
+        assert_eq!(s.arity(), 2);
+    }
+}

@@ -1,0 +1,113 @@
+//! Per-column value dictionaries.
+
+use std::collections::HashMap;
+
+/// Dense integer code standing in for a column value.
+///
+/// Codes are assigned in first-seen order and are *stable*: a code, once
+/// assigned to a value, refers to that value for the lifetime of the
+/// relation, even if every record holding it is deleted. This keeps
+/// compressed records immutable and lets PLI clusters be keyed by code.
+pub type ValueId = u32;
+
+/// A per-column dictionary mapping string values to [`ValueId`] codes.
+///
+/// The dictionary only ever grows. The memory held by codes whose values
+/// have vanished from the relation is negligible next to the PLIs and
+/// compressed records (and real change histories keep re-using values).
+#[derive(Clone, Debug, Default)]
+pub struct Dictionary {
+    codes: HashMap<String, ValueId>,
+    values: Vec<String>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Dictionary::default()
+    }
+
+    /// Returns the code for `value`, assigning a fresh one if the value
+    /// has never been seen.
+    pub fn encode(&mut self, value: &str) -> ValueId {
+        if let Some(&code) = self.codes.get(value) {
+            return code;
+        }
+        let code = self.values.len() as ValueId;
+        self.codes.insert(value.to_string(), code);
+        self.values.push(value.to_string());
+        code
+    }
+
+    /// Returns the code for `value` if one has been assigned.
+    pub fn lookup(&self, value: &str) -> Option<ValueId> {
+        self.codes.get(value).copied()
+    }
+
+    /// Returns the value for a code assigned earlier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` was never assigned.
+    pub fn decode(&self, code: ValueId) -> &str {
+        &self.values[code as usize]
+    }
+
+    /// Number of distinct values ever encoded.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no value has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.encode("Potsdam");
+        let b = d.encode("Berlin");
+        assert_ne!(a, b);
+        assert_eq!(d.encode("Potsdam"), a);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn codes_are_dense_and_first_seen_ordered() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.encode("x"), 0);
+        assert_eq!(d.encode("y"), 1);
+        assert_eq!(d.encode("z"), 2);
+    }
+
+    #[test]
+    fn decode_roundtrips() {
+        let mut d = Dictionary::new();
+        let c = d.encode("14482");
+        assert_eq!(d.decode(c), "14482");
+    }
+
+    #[test]
+    fn lookup_without_insert() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.lookup("a"), None);
+        d.encode("a");
+        assert_eq!(d.lookup("a"), Some(0));
+    }
+
+    #[test]
+    fn empty_string_is_a_value() {
+        // NULLs are modelled as empty strings and compare equal to each
+        // other, the convention of FD discovery tooling.
+        let mut d = Dictionary::new();
+        let c = d.encode("");
+        assert_eq!(d.encode(""), c);
+        assert_eq!(d.decode(c), "");
+    }
+}

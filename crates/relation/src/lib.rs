@@ -1,0 +1,49 @@
+//! # dynfd-relation
+//!
+//! The dynamic-relation substrate of the DynFD reproduction (paper
+//! Section 3.1). A profiled relation is represented *compactly*: actual
+//! values are irrelevant for FD validation, only which tuple pairs agree
+//! on which attributes matters. The substrate therefore maintains:
+//!
+//! * a per-column **dictionary** mapping values to dense integer codes
+//!   ([`Dictionary`]);
+//! * **dictionary-compressed records** — each record is the array of its
+//!   per-column value codes, stored in a hash index keyed by the record's
+//!   surrogate [`RecordId`](dynfd_common::RecordId);
+//! * per-column **position list indexes** ([`Pli`]) — for every value
+//!   code, the sorted list of record ids holding that value. The map from
+//!   value code to cluster doubles as the paper's *inverted index*;
+//! * the **batch** machinery ([`Batch`], [`ChangeOp`]) applying groups of
+//!   inserts/updates/deletes to all structures incrementally, deletes
+//!   first (Section 2 explains why);
+//! * the PLI-based **FD validator** with early termination,
+//!   simultaneous-RHS checking, and the *cluster pruning* hook of
+//!   Section 4.2 ([`validate`]).
+//!
+//! A deliberate deviation from the paper, documented in `DESIGN.md`: the
+//! paper replaces globally unique values by `-1` in compressed records.
+//! Uniqueness is not stable under inserts, so we instead keep the real
+//! dictionary code everywhere and let the validator skip *singleton
+//! clusters* — the same comparisons are avoided without ever rewriting a
+//! compressed record retroactively.
+
+#![warn(missing_docs)]
+
+mod batch;
+mod changelog;
+mod csv;
+mod dictionary;
+mod pli;
+mod relation;
+pub mod validate;
+
+pub use batch::{AppliedBatch, Batch, ChangeOp};
+pub use changelog::{parse_changelog, write_changelog, Batcher, WindowBatcher};
+pub use csv::{parse_csv, read_csv_file, CsvTable};
+pub use dictionary::{Dictionary, ValueId};
+pub use pli::Pli;
+pub use relation::DynamicRelation;
+pub use validate::{
+    agree_set, validate, validate_fd, RhsOutcome, ValidationOptions, ValidationResult,
+    ValidationStats,
+};

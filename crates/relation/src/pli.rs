@@ -1,0 +1,185 @@
+//! Position list indexes (PLIs), a.k.a. stripped partitions.
+
+use crate::dictionary::ValueId;
+use dynfd_common::RecordId;
+use std::collections::BTreeMap;
+
+/// A position list index for one column (paper Section 3.1; also known
+/// as a *stripped partition* in TANE).
+///
+/// For every value code, the PLI holds the *cluster* of record ids whose
+/// records carry that value in this column. Clusters are kept sorted
+/// ascending; because record ids are assigned monotonically, an insert is
+/// an O(1) push and the sortedness enables the O(1) *cluster pruning*
+/// test of Section 4.2 (`cluster.last() < first id of the batch` ⇒ the
+/// cluster contains no new record).
+///
+/// Unlike a *stripped* partition, singleton clusters are retained: the
+/// map from value code to cluster is exactly the paper's inverted index,
+/// which must know about currently-unique values so that a later insert
+/// of the same value lands in the right cluster. Consumers that want the
+/// stripped view use [`Pli::iter_non_singleton`].
+///
+/// Clusters are keyed in a `BTreeMap` so iteration order — and with it
+/// the harness output — is deterministic across runs.
+#[derive(Clone, Debug, Default)]
+pub struct Pli {
+    clusters: BTreeMap<ValueId, Vec<RecordId>>,
+    /// Number of record ids across all clusters.
+    entries: usize,
+}
+
+impl Pli {
+    /// Creates an empty PLI.
+    pub fn new() -> Self {
+        Pli::default()
+    }
+
+    /// Adds `rid` to the cluster of `value`, creating the cluster if the
+    /// value is new to this column.
+    ///
+    /// Record ids must be inserted in increasing order (they are surrogate
+    /// keys assigned monotonically); this is debug-asserted.
+    pub fn insert(&mut self, value: ValueId, rid: RecordId) {
+        let cluster = self.clusters.entry(value).or_default();
+        debug_assert!(
+            cluster.last().is_none_or(|&last| last < rid),
+            "record ids must arrive in increasing order per cluster"
+        );
+        cluster.push(rid);
+        self.entries += 1;
+    }
+
+    /// Removes `rid` from the cluster of `value`. Empty clusters are
+    /// dropped from the index entirely (paper Section 3.1).
+    ///
+    /// Returns `true` if the id was present.
+    pub fn remove(&mut self, value: ValueId, rid: RecordId) -> bool {
+        let Some(cluster) = self.clusters.get_mut(&value) else {
+            return false;
+        };
+        let Ok(pos) = cluster.binary_search(&rid) else {
+            return false;
+        };
+        cluster.remove(pos);
+        self.entries -= 1;
+        if cluster.is_empty() {
+            self.clusters.remove(&value);
+        }
+        true
+    }
+
+    /// The cluster for `value`, if any record currently holds it.
+    pub fn cluster(&self, value: ValueId) -> Option<&[RecordId]> {
+        self.clusters.get(&value).map(|c| c.as_slice())
+    }
+
+    /// Number of clusters (distinct live values).
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Total number of record ids indexed (= number of live records).
+    pub fn entry_count(&self) -> usize {
+        self.entries
+    }
+
+    /// Iterates `(value, cluster)` pairs in ascending value-code order.
+    pub fn iter(&self) -> impl Iterator<Item = (ValueId, &[RecordId])> {
+        self.clusters.iter().map(|(&v, c)| (v, c.as_slice()))
+    }
+
+    /// Iterates only clusters with two or more records — the *stripped*
+    /// view relevant for FD validation (a singleton cluster can never
+    /// participate in a violation).
+    pub fn iter_non_singleton(&self) -> impl Iterator<Item = (ValueId, &[RecordId])> {
+        self.iter().filter(|(_, c)| c.len() > 1)
+    }
+
+    /// Number of non-singleton clusters.
+    pub fn non_singleton_count(&self) -> usize {
+        self.clusters.values().filter(|c| c.len() > 1).count()
+    }
+
+    /// Whether the PLI indexes no records.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid(i: u64) -> RecordId {
+        RecordId(i)
+    }
+
+    #[test]
+    fn insert_groups_by_value() {
+        let mut p = Pli::new();
+        p.insert(0, rid(1));
+        p.insert(0, rid(2));
+        p.insert(1, rid(3));
+        assert_eq!(p.cluster(0), Some(&[rid(1), rid(2)][..]));
+        assert_eq!(p.cluster(1), Some(&[rid(3)][..]));
+        assert_eq!(p.cluster(2), None);
+        assert_eq!(p.cluster_count(), 2);
+        assert_eq!(p.entry_count(), 3);
+    }
+
+    #[test]
+    fn remove_drops_empty_clusters() {
+        let mut p = Pli::new();
+        p.insert(5, rid(1));
+        p.insert(5, rid(2));
+        assert!(p.remove(5, rid(1)));
+        assert_eq!(p.cluster(5), Some(&[rid(2)][..]));
+        assert!(p.remove(5, rid(2)));
+        assert_eq!(p.cluster(5), None);
+        assert_eq!(p.cluster_count(), 0);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn remove_missing_is_false() {
+        let mut p = Pli::new();
+        p.insert(1, rid(1));
+        assert!(!p.remove(1, rid(9)));
+        assert!(!p.remove(7, rid(1)));
+        assert_eq!(p.entry_count(), 1);
+    }
+
+    #[test]
+    fn clusters_stay_sorted_under_monotonic_inserts() {
+        let mut p = Pli::new();
+        for i in 0..100 {
+            p.insert((i % 3) as ValueId, rid(i));
+        }
+        for (_, c) in p.iter() {
+            assert!(c.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn non_singleton_view() {
+        let mut p = Pli::new();
+        p.insert(0, rid(0));
+        p.insert(1, rid(1));
+        p.insert(1, rid(2));
+        assert_eq!(p.non_singleton_count(), 1);
+        let stripped: Vec<_> = p.iter_non_singleton().collect();
+        assert_eq!(stripped.len(), 1);
+        assert_eq!(stripped[0].0, 1);
+    }
+
+    #[test]
+    fn iteration_is_value_ordered() {
+        let mut p = Pli::new();
+        p.insert(2, rid(0));
+        p.insert(0, rid(1));
+        p.insert(1, rid(2));
+        let values: Vec<ValueId> = p.iter().map(|(v, _)| v).collect();
+        assert_eq!(values, vec![0, 1, 2]);
+    }
+}

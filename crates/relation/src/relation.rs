@@ -1,0 +1,503 @@
+//! The incrementally maintained relation representation.
+
+use crate::batch::{AppliedBatch, Batch, ChangeOp};
+use crate::dictionary::{Dictionary, ValueId};
+use crate::pli::Pli;
+use dynfd_common::{DynError, RecordId, Result, Schema};
+use std::collections::HashMap;
+
+/// A relation instance maintained under inserts, updates, and deletes.
+///
+/// This bundles every data structure of paper Section 3.1:
+///
+/// * per-column [`Dictionary`]s (value → code),
+/// * per-column [`Pli`]s with their built-in inverted index
+///   (code → cluster of record ids),
+/// * the **hash index** of dictionary-compressed records
+///   (record id → code array),
+/// * the monotonically increasing surrogate-id counter.
+///
+/// All structures are updated *incrementally* per change — applying a
+/// batch never re-reads previously ingested data, mirroring the paper's
+/// requirement that DynFD must not perform reads against the database it
+/// monitors.
+#[derive(Clone, Debug)]
+pub struct DynamicRelation {
+    schema: Schema,
+    dictionaries: Vec<Dictionary>,
+    plis: Vec<Pli>,
+    /// Hash index: record id → compressed record (array of value codes,
+    /// one per column).
+    records: HashMap<RecordId, Box<[ValueId]>>,
+    next_id: RecordId,
+}
+
+impl DynamicRelation {
+    /// Creates an empty relation for `schema`.
+    pub fn new(schema: Schema) -> Self {
+        let arity = schema.arity();
+        DynamicRelation {
+            schema,
+            dictionaries: (0..arity).map(|_| Dictionary::new()).collect(),
+            plis: (0..arity).map(|_| Pli::new()).collect(),
+            records: HashMap::new(),
+            next_id: RecordId(0),
+        }
+    }
+
+    /// Creates a relation and bulk-loads `rows` (the "initial tuples" of
+    /// the paper's setting). Initial records receive ids `0..rows.len()`.
+    pub fn from_rows<S: AsRef<str>>(schema: Schema, rows: &[Vec<S>]) -> Result<Self> {
+        let mut rel = DynamicRelation::new(schema);
+        for row in rows {
+            rel.insert_row(row)?;
+        }
+        Ok(rel)
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the relation currently holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The next surrogate id that will be assigned. Exposed because the
+    /// id assignment is part of the public contract: ids are handed out
+    /// in arrival order starting from 0, which lets change-stream
+    /// generators refer to future records deterministically.
+    pub fn next_id(&self) -> RecordId {
+        self.next_id
+    }
+
+    /// The PLI of column `attr`.
+    pub fn pli(&self, attr: usize) -> &Pli {
+        &self.plis[attr]
+    }
+
+    /// The dictionary of column `attr`.
+    pub fn dictionary(&self, attr: usize) -> &Dictionary {
+        &self.dictionaries[attr]
+    }
+
+    /// The compressed record for `rid`, if live.
+    pub fn compressed(&self, rid: RecordId) -> Option<&[ValueId]> {
+        self.records.get(&rid).map(|r| r.as_ref())
+    }
+
+    /// Decodes a live record back into its string values.
+    pub fn materialize(&self, rid: RecordId) -> Option<Vec<String>> {
+        self.records.get(&rid).map(|codes| {
+            codes
+                .iter()
+                .enumerate()
+                .map(|(a, &c)| self.dictionaries[a].decode(c).to_string())
+                .collect()
+        })
+    }
+
+    /// Iterates the ids of all live records in unspecified order.
+    pub fn record_ids(&self) -> impl Iterator<Item = RecordId> + '_ {
+        self.records.keys().copied()
+    }
+
+    /// Iterates `(id, compressed record)` pairs in unspecified order.
+    pub fn records(&self) -> impl Iterator<Item = (RecordId, &[ValueId])> {
+        self.records.iter().map(|(&id, r)| (id, r.as_ref()))
+    }
+
+    /// Inserts one row, updating dictionaries, PLIs, and the record hash
+    /// index, and returns the assigned surrogate id.
+    pub fn insert_row<S: AsRef<str>>(&mut self, row: &[S]) -> Result<RecordId> {
+        if row.len() != self.arity() {
+            return Err(DynError::ArityMismatch {
+                expected: self.arity(),
+                actual: row.len(),
+            });
+        }
+        let rid = self.next_id;
+        self.next_id = self.next_id.next();
+        let mut codes = Vec::with_capacity(row.len());
+        for (attr, value) in row.iter().enumerate() {
+            let code = self.dictionaries[attr].encode(value.as_ref());
+            self.plis[attr].insert(code, rid);
+            codes.push(code);
+        }
+        self.records.insert(rid, codes.into_boxed_slice());
+        Ok(rid)
+    }
+
+    /// Deletes the record `rid` from all structures.
+    ///
+    /// Follows the paper's look-up strategy: the compressed record is
+    /// fetched from the hash index, its value codes locate the PLI
+    /// clusters to shrink, and emptied clusters are dropped.
+    pub fn delete_record(&mut self, rid: RecordId) -> Result<()> {
+        let codes = self
+            .records
+            .remove(&rid)
+            .ok_or(DynError::UnknownRecord(rid))?;
+        for (attr, &code) in codes.iter().enumerate() {
+            let removed = self.plis[attr].remove(code, rid);
+            debug_assert!(removed, "record {rid} missing from PLI of column {attr}");
+        }
+        Ok(())
+    }
+
+    /// Whether `rid` is live.
+    pub fn contains(&self, rid: RecordId) -> bool {
+        self.records.contains_key(&rid)
+    }
+
+    /// Applies a batch of change operations (Step 1 of the paper's
+    /// processing pipeline, Figure 1).
+    ///
+    /// Updates are normalized to delete + insert. Deletes of
+    /// pre-existing records are applied *before* any insert, so that the
+    /// old and new version of an updated tuple never coexist — the paper
+    /// notes that such near-duplicates would transiently invalidate many
+    /// (key-like) dependencies only to revalidate them moments later.
+    /// Deletes that target records inserted by this same batch are
+    /// applied at the end.
+    ///
+    /// On error (unknown record id, arity mismatch) the relation is left
+    /// unchanged: the batch is validated before any mutation.
+    pub fn apply_batch(&mut self, batch: &Batch) -> Result<AppliedBatch> {
+        self.validate_batch(batch)?;
+
+        let mut deferred_deletes: Vec<RecordId> = Vec::new();
+        let mut applied = AppliedBatch {
+            update_only: !batch.is_empty()
+                && batch
+                    .ops()
+                    .iter()
+                    .all(|op| matches!(op, ChangeOp::Update(..))),
+            ..AppliedBatch::default()
+        };
+
+        // Phase 1: deletes of pre-existing records (update-deletes
+        // included). Updates additionally record which attributes their
+        // new version actually changes — the input to update pruning.
+        for op in batch.ops() {
+            let rid = match op {
+                ChangeOp::Delete(rid) | ChangeOp::Update(rid, _) => *rid,
+                ChangeOp::Insert(_) => continue,
+            };
+            if self.contains(rid) {
+                if let ChangeOp::Update(_, new_row) = op {
+                    if applied.update_only {
+                        let old = self.materialize(rid).expect("live record");
+                        for (attr, (o, n)) in old.iter().zip(new_row.iter()).enumerate() {
+                            if o != n {
+                                applied.touched_attrs.insert(attr);
+                            }
+                        }
+                    }
+                }
+                self.delete_record(rid)?;
+                applied.deleted.push(rid);
+            } else {
+                // References a record created later in this batch. Such
+                // an update's old version is not a pre-batch record, so
+                // the touched-attribute analysis does not cover it.
+                applied.update_only = false;
+                deferred_deletes.push(rid);
+            }
+        }
+
+        // Phase 2: inserts (update-inserts included).
+        for op in batch.ops() {
+            let row = match op {
+                ChangeOp::Insert(row) | ChangeOp::Update(_, row) => row,
+                ChangeOp::Delete(_) => continue,
+            };
+            let rid = self.insert_row(row)?;
+            applied.first_new_id.get_or_insert(rid);
+            applied.inserted.push(rid);
+        }
+
+        // Phase 3: deletes that referenced same-batch inserts.
+        for rid in deferred_deletes {
+            self.delete_record(rid)?;
+            applied.inserted.retain(|&r| r != rid);
+        }
+
+        Ok(applied)
+    }
+
+    /// Checks a batch for structural problems without mutating anything.
+    fn validate_batch(&self, batch: &Batch) -> Result<()> {
+        // Simulate id assignment to accept deletes of same-batch inserts.
+        let mut pending_inserts = 0u64;
+        let mut dead: Vec<RecordId> = Vec::new();
+        for op in batch.ops() {
+            match op {
+                ChangeOp::Insert(row) => {
+                    if row.len() != self.arity() {
+                        return Err(DynError::ArityMismatch {
+                            expected: self.arity(),
+                            actual: row.len(),
+                        });
+                    }
+                    pending_inserts += 1;
+                }
+                ChangeOp::Update(rid, row) => {
+                    if row.len() != self.arity() {
+                        return Err(DynError::ArityMismatch {
+                            expected: self.arity(),
+                            actual: row.len(),
+                        });
+                    }
+                    self.check_live(*rid, pending_inserts, &dead)?;
+                    dead.push(*rid);
+                    pending_inserts += 1;
+                }
+                ChangeOp::Delete(rid) => {
+                    self.check_live(*rid, pending_inserts, &dead)?;
+                    dead.push(*rid);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_live(&self, rid: RecordId, pending_inserts: u64, dead: &[RecordId]) -> Result<()> {
+        if dead.contains(&rid) {
+            return Err(DynError::UnknownRecord(rid));
+        }
+        let exists_now = self.contains(rid);
+        let created_in_batch =
+            rid >= self.next_id && rid.raw() < self.next_id.raw() + pending_inserts;
+        if exists_now || created_in_batch {
+            Ok(())
+        } else {
+            Err(DynError::UnknownRecord(rid))
+        }
+    }
+
+    /// Rebuilds PLIs and dictionaries from the live records, for
+    /// validating incremental maintenance in tests. O(n·m); never used on
+    /// the hot path.
+    pub fn rebuild_from_scratch(&self) -> DynamicRelation {
+        let mut ids: Vec<RecordId> = self.records.keys().copied().collect();
+        ids.sort_unstable();
+        let mut fresh = DynamicRelation::new(self.schema.clone());
+        for rid in ids {
+            let row = self.materialize(rid).expect("live record");
+            // Preserve original ids so the two relations are comparable.
+            fresh.next_id = rid;
+            fresh.insert_row(&row).expect("rebuild insert");
+        }
+        fresh.next_id = self.next_id;
+        fresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running example of the paper, Table 1 (initial tuples 1-4,
+    /// re-indexed to ids 0-3).
+    pub(crate) fn paper_relation() -> DynamicRelation {
+        let schema = Schema::of("people", &["firstname", "lastname", "zip", "city"]);
+        DynamicRelation::from_rows(
+            schema,
+            &[
+                vec!["Max", "Jones", "14482", "Potsdam"],
+                vec!["Max", "Miller", "14482", "Potsdam"],
+                vec!["Max", "Jones", "10115", "Berlin"],
+                vec!["Anna", "Scott", "13591", "Berlin"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bulk_load_assigns_sequential_ids() {
+        let rel = paper_relation();
+        assert_eq!(rel.len(), 4);
+        assert_eq!(rel.next_id(), RecordId(4));
+        for i in 0..4 {
+            assert!(rel.contains(RecordId(i)));
+        }
+    }
+
+    #[test]
+    fn compressed_records_match_table_2() {
+        // Table 2 of the paper (our codes are first-seen dense codes, no
+        // -1 sentinel; uniqueness shows as singleton clusters instead).
+        let rel = paper_relation();
+        assert_eq!(rel.compressed(RecordId(0)), Some(&[0u32, 0, 0, 0][..]));
+        assert_eq!(rel.compressed(RecordId(1)), Some(&[0u32, 1, 0, 0][..]));
+        assert_eq!(rel.compressed(RecordId(2)), Some(&[0u32, 0, 1, 1][..]));
+        assert_eq!(rel.compressed(RecordId(3)), Some(&[1u32, 2, 2, 1][..]));
+    }
+
+    #[test]
+    fn plis_match_paper_section_3_1() {
+        let rel = paper_relation();
+        let r = |i: u64| RecordId(i);
+        // π_firstname = {{1,2,3},{4}} in 1-based papers ids = {{0,1,2},{3}} here.
+        let pf: Vec<&[RecordId]> = rel.pli(0).iter().map(|(_, c)| c).collect();
+        assert_eq!(pf, vec![&[r(0), r(1), r(2)][..], &[r(3)][..]]);
+        let pl: Vec<&[RecordId]> = rel.pli(1).iter().map(|(_, c)| c).collect();
+        assert_eq!(pl, vec![&[r(0), r(2)][..], &[r(1)][..], &[r(3)][..]]);
+        let pz: Vec<&[RecordId]> = rel.pli(2).iter().map(|(_, c)| c).collect();
+        assert_eq!(pz, vec![&[r(0), r(1)][..], &[r(2)][..], &[r(3)][..]]);
+        let pc: Vec<&[RecordId]> = rel.pli(3).iter().map(|(_, c)| c).collect();
+        assert_eq!(pc, vec![&[r(0), r(1)][..], &[r(2), r(3)][..]]);
+    }
+
+    #[test]
+    fn paper_batch_delete_3_insert_5_6() {
+        // The batch of Table 1: delete tuple 3 (id 2), insert tuples 5, 6.
+        let mut rel = paper_relation();
+        let mut batch = Batch::new();
+        batch
+            .delete(RecordId(2))
+            .insert(vec!["Marie", "Scott", "14467", "Potsdam"])
+            .insert(vec!["Marie", "Gray", "14469", "Potsdam"]);
+        let applied = rel.apply_batch(&batch).unwrap();
+        assert_eq!(applied.deleted, vec![RecordId(2)]);
+        assert_eq!(applied.inserted, vec![RecordId(4), RecordId(5)]);
+        assert_eq!(applied.first_new_id, Some(RecordId(4)));
+        assert_eq!(rel.len(), 5);
+        assert!(!rel.contains(RecordId(2)));
+        assert_eq!(
+            rel.materialize(RecordId(4)).unwrap(),
+            vec!["Marie", "Scott", "14467", "Potsdam"]
+        );
+    }
+
+    #[test]
+    fn update_is_delete_plus_insert_with_fresh_id() {
+        let mut rel = paper_relation();
+        let mut batch = Batch::new();
+        batch.update(RecordId(1), vec!["Max", "Miller", "10115", "Berlin"]);
+        let applied = rel.apply_batch(&batch).unwrap();
+        assert_eq!(applied.deleted, vec![RecordId(1)]);
+        assert_eq!(applied.inserted, vec![RecordId(4)]);
+        assert!(!rel.contains(RecordId(1)));
+        assert_eq!(rel.len(), 4);
+    }
+
+    #[test]
+    fn delete_of_unknown_record_fails_atomically() {
+        let mut rel = paper_relation();
+        let mut batch = Batch::new();
+        batch.insert(vec!["A", "B", "C", "D"]).delete(RecordId(99));
+        let err = rel.apply_batch(&batch).unwrap_err();
+        assert_eq!(err, DynError::UnknownRecord(RecordId(99)));
+        // Nothing applied.
+        assert_eq!(rel.len(), 4);
+        assert_eq!(rel.next_id(), RecordId(4));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut rel = paper_relation();
+        let err = rel.insert_row(&["only", "three", "values"]).unwrap_err();
+        assert_eq!(
+            err,
+            DynError::ArityMismatch {
+                expected: 4,
+                actual: 3
+            }
+        );
+    }
+
+    #[test]
+    fn insert_then_delete_same_batch_nets_out() {
+        let mut rel = paper_relation();
+        let mut batch = Batch::new();
+        // The row inserted here will get id 4; delete it in the same batch.
+        batch.insert(vec!["X", "Y", "Z", "W"]).delete(RecordId(4));
+        let applied = rel.apply_batch(&batch).unwrap();
+        assert!(applied.inserted.is_empty());
+        assert!(applied.deleted.is_empty());
+        assert_eq!(rel.len(), 4);
+        assert!(!rel.contains(RecordId(4)));
+        // The id is still consumed.
+        assert_eq!(rel.next_id(), RecordId(5));
+    }
+
+    #[test]
+    fn double_delete_in_one_batch_rejected() {
+        let mut rel = paper_relation();
+        let mut batch = Batch::new();
+        batch.delete(RecordId(0)).delete(RecordId(0));
+        assert_eq!(
+            rel.apply_batch(&batch).unwrap_err(),
+            DynError::UnknownRecord(RecordId(0))
+        );
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let mut rel = paper_relation();
+        let mut batch = Batch::new();
+        batch.delete(RecordId(3));
+        rel.apply_batch(&batch).unwrap();
+        let rid = rel.insert_row(&["P", "Q", "R", "S"]).unwrap();
+        assert_eq!(rid, RecordId(4));
+    }
+
+    #[test]
+    fn incremental_equals_rebuilt() {
+        let mut rel = paper_relation();
+        let mut batch = Batch::new();
+        batch
+            .delete(RecordId(2))
+            .insert(vec!["Marie", "Scott", "14467", "Potsdam"])
+            .update(RecordId(0), vec!["Max", "Jones", "14482", "Golm"]);
+        rel.apply_batch(&batch).unwrap();
+        let rebuilt = rel.rebuild_from_scratch();
+        assert_eq!(rel.len(), rebuilt.len());
+        for attr in 0..rel.arity() {
+            let a: Vec<_> = rel.pli(attr).iter().map(|(_, c)| c.to_vec()).collect();
+            let mut b: Vec<_> = rebuilt.pli(attr).iter().map(|(_, c)| c.to_vec()).collect();
+            // Dictionary codes may differ between incremental and rebuilt
+            // relations (deleted values keep their codes); compare the
+            // partitions as sets of clusters.
+            let mut a = a;
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "column {attr} partition diverged");
+        }
+    }
+
+    #[test]
+    fn materialize_roundtrips() {
+        let rel = paper_relation();
+        assert_eq!(
+            rel.materialize(RecordId(3)).unwrap(),
+            vec!["Anna", "Scott", "13591", "Berlin"]
+        );
+        assert_eq!(rel.materialize(RecordId(9)), None);
+    }
+
+    #[test]
+    fn empty_relation_behaviour() {
+        let mut rel = DynamicRelation::new(Schema::of("t", &["a", "b"]));
+        assert!(rel.is_empty());
+        let applied = rel.apply_batch(&Batch::new()).unwrap();
+        assert!(!applied.has_inserts() && !applied.has_deletes());
+        let rid = rel.insert_row(&["x", "y"]).unwrap();
+        assert_eq!(rid, RecordId(0));
+        assert!(!rel.is_empty());
+    }
+}

@@ -1,0 +1,518 @@
+//! PLI-based FD candidate validation (paper Sections 3.1 and 4.2).
+//!
+//! The validator implements the classic HyFD validation scheme on top of
+//! the incremental substrate:
+//!
+//! * the PLI of one *pivot* LHS attribute indexes sets of tuples;
+//! * within each pivot cluster, records are grouped by their remaining
+//!   LHS value codes (a lazy PLI intersection);
+//! * members of a group are checked against the RHS attribute codes —
+//!   two group members with different RHS codes are a violation;
+//! * all RHS candidates sharing the LHS are validated **simultaneously**
+//!   in one pass;
+//! * validation of an RHS **terminates early** at its first violation.
+//!
+//! On top of this, the dynamic setting adds *cluster pruning*
+//! (Section 4.2): when validating a previously-valid FD after a batch of
+//! inserts, every pair of old records still satisfies the FD, so only
+//! pivot clusters containing at least one newly inserted record need to
+//! be checked. Because surrogate ids increase monotonically and clusters
+//! are sorted, "contains a new record" is the O(1) test
+//! `cluster.last() >= first_id_of_batch`.
+
+use crate::dictionary::ValueId;
+use crate::relation::DynamicRelation;
+use dynfd_common::{AttrId, AttrSet, Fd, RecordId};
+use std::collections::HashMap;
+
+/// Knobs for a validation call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ValidationOptions {
+    /// Cluster-pruning watermark: if set, pivot clusters whose largest
+    /// record id is below this are skipped. **Only sound when every
+    /// record pair below the watermark is known to satisfy the candidate
+    /// already** — i.e. when re-validating FDs that were valid before the
+    /// current batch of inserts (Section 4.2).
+    pub min_new_id: Option<RecordId>,
+}
+
+impl ValidationOptions {
+    /// No pruning: validate against the entire relation.
+    pub fn full() -> Self {
+        ValidationOptions { min_new_id: None }
+    }
+
+    /// Cluster pruning against records inserted at or after `first_new`.
+    pub fn delta(first_new: RecordId) -> Self {
+        ValidationOptions {
+            min_new_id: Some(first_new),
+        }
+    }
+}
+
+/// Per-RHS validation verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RhsOutcome {
+    /// No violating pair found: `lhs -> rhs` holds.
+    Valid,
+    /// The two records disagree on the RHS while agreeing on the LHS.
+    /// The pair doubles as the *surrogate violation* cached by DynFD's
+    /// validation pruning (Section 5.2).
+    Violated(RecordId, RecordId),
+}
+
+impl RhsOutcome {
+    /// Whether the candidate was found valid.
+    pub fn is_valid(&self) -> bool {
+        matches!(self, RhsOutcome::Valid)
+    }
+}
+
+/// Counters describing the work one validation call performed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ValidationStats {
+    /// Pivot clusters actually grouped and checked.
+    pub clusters_visited: usize,
+    /// Pivot clusters skipped by cluster pruning.
+    pub clusters_pruned: usize,
+    /// Pivot clusters skipped because they were singletons.
+    pub singletons_skipped: usize,
+    /// Record-to-representative comparisons performed.
+    pub comparisons: usize,
+}
+
+impl ValidationStats {
+    /// Accumulates another call's counters into this one.
+    pub fn absorb(&mut self, other: &ValidationStats) {
+        self.clusters_visited += other.clusters_visited;
+        self.clusters_pruned += other.clusters_pruned;
+        self.singletons_skipped += other.singletons_skipped;
+        self.comparisons += other.comparisons;
+    }
+}
+
+/// Result of validating all FDs `lhs -> r` for `r ∈ rhs_set`.
+#[derive(Clone, Debug)]
+pub struct ValidationResult {
+    /// The shared left-hand side.
+    pub lhs: AttrSet,
+    /// One verdict per requested RHS, ascending by attribute id.
+    pub outcomes: Vec<(AttrId, RhsOutcome)>,
+    /// Work counters.
+    pub stats: ValidationStats,
+}
+
+impl ValidationResult {
+    /// The verdict for a specific RHS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` was not part of the validated set.
+    pub fn outcome(&self, rhs: AttrId) -> RhsOutcome {
+        self.outcomes
+            .iter()
+            .find(|(r, _)| *r == rhs)
+            .map(|(_, o)| *o)
+            .expect("rhs was not validated")
+    }
+
+    /// Whether every requested RHS turned out valid.
+    pub fn all_valid(&self) -> bool {
+        self.outcomes.iter().all(|(_, o)| o.is_valid())
+    }
+
+    /// Iterates the RHS attributes that were found violated, with their
+    /// violating pairs.
+    pub fn violations(&self) -> impl Iterator<Item = (AttrId, RecordId, RecordId)> + '_ {
+        self.outcomes.iter().filter_map(|(r, o)| match o {
+            RhsOutcome::Violated(a, b) => Some((*r, *a, *b)),
+            RhsOutcome::Valid => None,
+        })
+    }
+}
+
+/// Validates the FD candidates `lhs -> r` for every `r ∈ rhs_set`
+/// simultaneously against `rel`.
+///
+/// # Panics
+///
+/// Panics if `rhs_set` intersects `lhs` (trivial candidates) or is empty.
+pub fn validate(
+    rel: &DynamicRelation,
+    lhs: AttrSet,
+    rhs_set: AttrSet,
+    opts: &ValidationOptions,
+) -> ValidationResult {
+    assert!(!rhs_set.is_empty(), "validate called with no RHS");
+    assert!(lhs.is_disjoint(&rhs_set), "trivial candidate: rhs ∈ lhs");
+
+    if lhs.is_empty() {
+        return validate_empty_lhs(rel, rhs_set);
+    }
+
+    let mut stats = ValidationStats::default();
+    let mut outcomes: Vec<(AttrId, RhsOutcome)> =
+        rhs_set.iter().map(|r| (r, RhsOutcome::Valid)).collect();
+    let mut active = rhs_set;
+
+    // Pivot: the LHS attribute with the most clusters (most selective),
+    // giving the smallest groups to intersect. Ties break towards the
+    // smaller attribute id for determinism.
+    let pivot = lhs
+        .iter()
+        .max_by_key(|&a| (rel.pli(a).cluster_count(), usize::MAX - a))
+        .expect("non-empty lhs");
+    let rest: Vec<AttrId> = lhs.iter().filter(|&a| a != pivot).collect();
+    let rhs_attrs: Vec<AttrId> = rhs_set.to_vec();
+
+    // Reused per cluster; keyed by the remaining-LHS value codes.
+    let mut groups: HashMap<Vec<ValueId>, RecordId> = HashMap::new();
+
+    'clusters: for (_, cluster) in rel.pli(pivot).iter() {
+        if cluster.len() < 2 {
+            stats.singletons_skipped += 1;
+            continue;
+        }
+        if let Some(min_new) = opts.min_new_id {
+            // Sorted cluster: the last element is the maximum id.
+            if *cluster.last().expect("non-empty cluster") < min_new {
+                stats.clusters_pruned += 1;
+                continue;
+            }
+        }
+        stats.clusters_visited += 1;
+        // Fast path for single-attribute LHS — the bulk of a typical
+        // positive cover: every cluster member shares the (empty)
+        // remaining-LHS key, so the group map degenerates to "compare
+        // everyone against the first member".
+        if rest.is_empty() {
+            let rep = cluster[0];
+            let rep_rec = rel.compressed(rep).expect("live representative");
+            for &rid in &cluster[1..] {
+                let rec = rel.compressed(rid).expect("PLI references live record");
+                stats.comparisons += 1;
+                for &r in &rhs_attrs {
+                    if active.contains(r) && rep_rec[r] != rec[r] {
+                        active.remove(r);
+                        let slot =
+                            outcomes.iter_mut().find(|(a, _)| *a == r).expect("rhs present");
+                        slot.1 = RhsOutcome::Violated(rep, rid);
+                        if active.is_empty() {
+                            break 'clusters;
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+        groups.clear();
+        for &rid in cluster {
+            let rec = rel.compressed(rid).expect("PLI references live record");
+            let key: Vec<ValueId> = rest.iter().map(|&a| rec[a]).collect();
+            match groups.entry(key) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(rid);
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let rep = *e.get();
+                    let rep_rec = rel.compressed(rep).expect("live representative");
+                    stats.comparisons += 1;
+                    for &r in &rhs_attrs {
+                        if active.contains(r) && rep_rec[r] != rec[r] {
+                            active.remove(r);
+                            let slot = outcomes
+                                .iter_mut()
+                                .find(|(a, _)| *a == r)
+                                .expect("rhs present");
+                            slot.1 = RhsOutcome::Violated(rep, rid);
+                            if active.is_empty() {
+                                break 'clusters;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    ValidationResult {
+        lhs,
+        outcomes,
+        stats,
+    }
+}
+
+/// `∅ -> A` holds iff column A is constant over the live records; the
+/// per-column PLI answers this in O(1) via its cluster count.
+fn validate_empty_lhs(rel: &DynamicRelation, rhs_set: AttrSet) -> ValidationResult {
+    let outcomes = rhs_set
+        .iter()
+        .map(|r| {
+            let pli = rel.pli(r);
+            let outcome = if pli.cluster_count() <= 1 {
+                RhsOutcome::Valid
+            } else {
+                // At least two clusters exist: pick one witness from each.
+                let mut it = pli.iter();
+                let (_, c1) = it.next().expect("first cluster");
+                let (_, c2) = it.next().expect("second cluster");
+                RhsOutcome::Violated(c1[0], c2[0])
+            };
+            (r, outcome)
+        })
+        .collect();
+    ValidationResult {
+        lhs: AttrSet::empty(),
+        outcomes,
+        stats: ValidationStats::default(),
+    }
+}
+
+/// Convenience wrapper validating a single [`Fd`].
+pub fn validate_fd(rel: &DynamicRelation, fd: &Fd, opts: &ValidationOptions) -> RhsOutcome {
+    validate(rel, fd.lhs, AttrSet::single(fd.rhs), opts).outcome(fd.rhs)
+}
+
+/// The *agree set* of two records: all attributes on which they hold the
+/// same value. For any attribute `y` outside the agree set `X`, the pair
+/// witnesses the non-FD `X -> y` (paper Section 4.3).
+pub fn agree_set(rel: &DynamicRelation, a: RecordId, b: RecordId) -> Option<AttrSet> {
+    let ra = rel.compressed(a)?;
+    let rb = rel.compressed(b)?;
+    let mut set = AttrSet::empty();
+    for (attr, (x, y)) in ra.iter().zip(rb.iter()).enumerate() {
+        if x == y {
+            set.insert(attr);
+        }
+    }
+    Some(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynfd_common::Schema;
+
+    fn rel(rows: &[&[&str]]) -> DynamicRelation {
+        let arity = rows.first().map_or(2, |r| r.len());
+        let schema = Schema::anonymous("t", arity);
+        let rows: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| r.iter().map(|s| s.to_string()).collect())
+            .collect();
+        DynamicRelation::from_rows(schema, &rows).unwrap()
+    }
+
+    fn paper() -> DynamicRelation {
+        rel(&[
+            &["Max", "Jones", "14482", "Potsdam"],
+            &["Max", "Miller", "14482", "Potsdam"],
+            &["Max", "Jones", "10115", "Berlin"],
+            &["Anna", "Scott", "13591", "Berlin"],
+        ])
+    }
+
+    fn lhs(attrs: &[usize]) -> AttrSet {
+        attrs.iter().copied().collect()
+    }
+
+    #[test]
+    fn paper_minimal_fds_hold_initially() {
+        // Figure 2: l→f, z→f, z→c, fc→z, lc→z are the minimal FDs.
+        let r = paper();
+        let full = ValidationOptions::full();
+        for (x, a) in [
+            (lhs(&[1]), 0),    // l -> f
+            (lhs(&[2]), 0),    // z -> f
+            (lhs(&[2]), 3),    // z -> c
+            (lhs(&[0, 3]), 2), // fc -> z
+            (lhs(&[1, 3]), 2), // lc -> z
+        ] {
+            assert!(
+                validate_fd(&r, &Fd::new(x, a), &full).is_valid(),
+                "{x:?}->{a} should hold"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_non_fds_are_violated() {
+        // Figure 2 red cells: f→c, c→f, fl→z, ... are invalid initially.
+        let r = paper();
+        let full = ValidationOptions::full();
+        for (x, a) in [
+            (lhs(&[0]), 3),       // f -> c
+            (lhs(&[3]), 0),       // c -> f
+            (lhs(&[0, 1]), 2),    // fl -> z
+            (lhs(&[0, 1]), 3),    // fl -> c
+            (lhs(&[0, 2, 3]), 1), // fzc -> l
+        ] {
+            let out = validate_fd(&r, &Fd::new(x, a), &full);
+            assert!(!out.is_valid(), "{x:?}->{a} should be violated");
+        }
+    }
+
+    #[test]
+    fn violating_pair_actually_violates() {
+        let r = paper();
+        let out = validate_fd(&r, &Fd::new(lhs(&[0]), 3), &ValidationOptions::full());
+        let RhsOutcome::Violated(a, b) = out else {
+            panic!("expected violation")
+        };
+        let ra = r.compressed(a).unwrap();
+        let rb = r.compressed(b).unwrap();
+        assert_eq!(ra[0], rb[0], "pair must agree on lhs");
+        assert_ne!(ra[3], rb[3], "pair must disagree on rhs");
+    }
+
+    #[test]
+    fn simultaneous_rhs_validation() {
+        let r = paper();
+        // lhs = {zip}: zip -> firstname valid, zip -> lastname invalid,
+        // zip -> city valid.
+        let res = validate(&r, lhs(&[2]), lhs(&[0, 1, 3]), &ValidationOptions::full());
+        assert!(res.outcome(0).is_valid());
+        assert!(!res.outcome(1).is_valid());
+        assert!(res.outcome(3).is_valid());
+        assert_eq!(res.violations().count(), 1);
+    }
+
+    #[test]
+    fn empty_lhs_constant_column() {
+        let r = rel(&[&["x", "1"], &["x", "2"], &["x", "2"]]);
+        let res = validate(
+            &r,
+            AttrSet::empty(),
+            lhs(&[0, 1]),
+            &ValidationOptions::full(),
+        );
+        assert!(res.outcome(0).is_valid(), "column 0 constant");
+        assert!(!res.outcome(1).is_valid(), "column 1 varies");
+        let RhsOutcome::Violated(a, b) = res.outcome(1) else {
+            panic!()
+        };
+        assert_ne!(r.compressed(a).unwrap()[1], r.compressed(b).unwrap()[1]);
+    }
+
+    #[test]
+    fn tiny_relations_satisfy_everything() {
+        let empty = DynamicRelation::new(Schema::anonymous("t", 3));
+        let res = validate(&empty, lhs(&[0]), lhs(&[1, 2]), &ValidationOptions::full());
+        assert!(res.all_valid());
+
+        let one = rel(&[&["a", "b", "c"]]);
+        assert!(validate(&one, lhs(&[0]), lhs(&[1]), &ValidationOptions::full()).all_valid());
+        assert!(validate(
+            &one,
+            AttrSet::empty(),
+            lhs(&[0]),
+            &ValidationOptions::full()
+        )
+        .all_valid());
+    }
+
+    #[test]
+    fn cluster_pruning_skips_old_clusters() {
+        let mut r = paper();
+        // Insert a record whose firstname "Anna" joins record 3's cluster.
+        r.insert_row(&["Anna", "Scott", "13591", "Berlin"]).unwrap();
+        // Validate f -> c with pruning: the Max cluster {0,1,2} is old
+        // (max id 2 < 4) and must be skipped even though it violates.
+        let res = validate(
+            &r,
+            lhs(&[0]),
+            AttrSet::single(3),
+            &ValidationOptions::delta(RecordId(4)),
+        );
+        assert_eq!(res.stats.clusters_pruned, 1);
+        assert_eq!(res.stats.clusters_visited, 1);
+        // The Anna cluster is consistent, so under pruning the FD looks
+        // valid — which is the *intended* semantics: pruning is only used
+        // on candidates known valid over the old records.
+        assert!(res.outcome(3).is_valid());
+    }
+
+    #[test]
+    fn cluster_pruning_still_sees_new_violations() {
+        let mut r = paper();
+        let first_new = r.next_id();
+        // New record violates z -> c: shares zip 14482 with ids 0,1 but
+        // has a different city.
+        r.insert_row(&["Eve", "Stone", "14482", "Leipzig"]).unwrap();
+        let res = validate(
+            &r,
+            lhs(&[2]),
+            AttrSet::single(3),
+            &ValidationOptions::delta(first_new),
+        );
+        let RhsOutcome::Violated(a, b) = res.outcome(3) else {
+            panic!("z -> c must be violated by the insert")
+        };
+        assert!(
+            a == RecordId(4) || b == RecordId(4),
+            "violation involves the new record"
+        );
+    }
+
+    #[test]
+    fn early_termination_counts_less_work() {
+        // Column 1 mirrors column 0 except everywhere-different column 2.
+        let rows: Vec<Vec<String>> = (0..100)
+            .map(|i| {
+                vec![
+                    format!("g{}", i / 10),
+                    format!("h{}", i / 10),
+                    format!("u{i}"),
+                ]
+            })
+            .collect();
+        let r = DynamicRelation::from_rows(Schema::anonymous("t", 3), &rows).unwrap();
+        // lhs {0} -> rhs {2}: every cluster violates immediately.
+        let res = validate(
+            &r,
+            lhs(&[0]),
+            AttrSet::single(2),
+            &ValidationOptions::full(),
+        );
+        assert!(!res.outcome(2).is_valid());
+        // Early termination: at most one comparison needed.
+        assert_eq!(res.stats.comparisons, 1);
+    }
+
+    #[test]
+    fn agree_sets() {
+        let r = paper();
+        // Records 0 and 1: agree on firstname, zip, city; differ lastname.
+        assert_eq!(
+            agree_set(&r, RecordId(0), RecordId(1)).unwrap().to_vec(),
+            vec![0, 2, 3]
+        );
+        // Records 0 and 3 share nothing.
+        assert!(agree_set(&r, RecordId(0), RecordId(3)).unwrap().is_empty());
+        // Self-agreement is everything.
+        assert_eq!(agree_set(&r, RecordId(2), RecordId(2)).unwrap().len(), 4);
+        // Dead record → None.
+        assert_eq!(agree_set(&r, RecordId(0), RecordId(42)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "trivial candidate")]
+    fn trivial_candidate_panics() {
+        let r = paper();
+        let _ = validate(
+            &r,
+            lhs(&[0, 1]),
+            AttrSet::single(0),
+            &ValidationOptions::full(),
+        );
+    }
+
+    #[test]
+    fn validation_after_deletes() {
+        let mut r = paper();
+        // f -> c is violated by (0,2). Delete record 2 → Max cluster all
+        // Potsdam → f -> c becomes valid.
+        r.delete_record(RecordId(2)).unwrap();
+        assert!(validate_fd(&r, &Fd::new(lhs(&[0]), 3), &ValidationOptions::full()).is_valid());
+    }
+}

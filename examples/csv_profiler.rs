@@ -1,0 +1,92 @@
+//! Profile a CSV file and keep its FDs fresh under appended rows.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --example csv_profiler -- path/to/data.csv
+//! cargo run --example csv_profiler            # uses a built-in sample
+//! ```
+//!
+//! The example reads the CSV, discovers its minimal FDs with all three
+//! static algorithms (cross-checking them against each other), then
+//! switches to DynFD maintenance and appends the last 10 % of the rows
+//! as insert batches, printing each batch's FD delta.
+
+use dynfd::common::Schema;
+use dynfd::core::{DynFd, DynFdConfig};
+use dynfd::relation::{parse_csv, read_csv_file, Batch, CsvTable, DynamicRelation};
+
+const SAMPLE: &str = "\
+employee,department,building,city,floor
+alice,engineering,hq,berlin,3
+bob,engineering,hq,berlin,3
+carol,sales,east,potsdam,1
+dave,sales,east,potsdam,1
+erin,research,hq,berlin,2
+frank,research,hq,berlin,2
+grace,engineering,hq,berlin,3
+heidi,support,east,potsdam,1
+ivan,support,east,potsdam,2
+judy,sales,west,berlin,1
+";
+
+fn main() {
+    let table: CsvTable = match std::env::args().nth(1) {
+        Some(path) => read_csv_file(&path).unwrap_or_else(|e| {
+            eprintln!("failed to read {path}: {e}");
+            std::process::exit(1);
+        }),
+        None => {
+            println!("(no CSV given — profiling the built-in sample)\n");
+            parse_csv(SAMPLE).expect("sample parses")
+        }
+    };
+
+    let schema: Schema = table.schema("csv");
+    let split = table.rows.len() - table.rows.len() / 10;
+    let (head, tail) = table.rows.split_at(split.max(1).min(table.rows.len()));
+
+    let rel = DynamicRelation::from_rows(schema.clone(), head).unwrap_or_else(|e| {
+        eprintln!("bad CSV contents: {e}");
+        std::process::exit(1);
+    });
+
+    // Static profiling, cross-checked across all three algorithms when
+    // the table is small enough for the quadratic/exponential oracles.
+    let hyfd = dynfd::staticfd::hyfd::discover(&rel);
+    if rel.len() <= 500 && rel.arity() <= 12 {
+        assert_eq!(hyfd, dynfd::staticfd::tane::discover(&rel), "HyFD vs TANE");
+        assert_eq!(hyfd, dynfd::staticfd::fdep::discover(&rel), "HyFD vs FDEP");
+        println!("(static result cross-checked: HyFD = TANE = FDEP)");
+    }
+    println!(
+        "minimal FDs of the first {} rows ({}):",
+        head.len(),
+        hyfd.len()
+    );
+    for fd in hyfd.all_fds() {
+        println!("  {}", fd.display(&schema));
+    }
+
+    // Dynamic phase: append the held-out rows in small batches.
+    let mut dynfd = DynFd::with_cover(rel, hyfd, DynFdConfig::default());
+    for (i, chunk) in tail.chunks(2).enumerate() {
+        let mut batch = Batch::new();
+        for row in chunk {
+            batch.insert(row.clone());
+        }
+        let result = dynfd.apply_batch(&batch).expect("csv rows are well-formed");
+        if result.is_unchanged() {
+            println!("batch {i}: no FD changes");
+        } else {
+            println!("batch {i}:");
+            for fd in &result.removed {
+                println!("  - {}", fd.display(&schema));
+            }
+            for fd in &result.added {
+                println!("  + {}", fd.display(&schema));
+            }
+        }
+    }
+    println!("\nfinal minimal FD count: {}", dynfd.minimal_fds().len());
+}

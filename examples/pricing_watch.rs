@@ -1,0 +1,95 @@
+//! Tracking a business rule through a system migration.
+//!
+//! The paper's introduction: "the FD product → price in a pricing
+//! database was temporarily violated at the time of a system migration."
+//! This example encodes that storyline: a pricing table where
+//! `product -> price` holds, a migration batch that writes conflicting
+//! prices, and a cleanup batch that repairs them — with DynFD reporting
+//! the dependency's validity after every batch.
+//!
+//! ```text
+//! cargo run --example pricing_watch
+//! ```
+
+use dynfd::common::{AttrSet, Fd, RecordId, Schema};
+use dynfd::core::{DynFd, DynFdConfig};
+use dynfd::relation::{Batch, DynamicRelation};
+
+fn main() {
+    let schema = Schema::of("pricing", &["order_id", "product", "price", "region"]);
+    let product = schema.column_index("product").unwrap();
+    let price = schema.column_index("price").unwrap();
+    let product_determines_price = Fd::new(AttrSet::single(product), price);
+
+    // Day 0: consistent prices — every order of a product has its price.
+    let rows: Vec<Vec<String>> = (0..60)
+        .map(|i| {
+            let p = i % 6; // six products
+            vec![
+                format!("o{i}"),
+                format!("prod-{p}"),
+                format!("{}.99", 10 + p * 5),
+                format!("region-{}", i % 3),
+            ]
+        })
+        .collect();
+    let rel = DynamicRelation::from_rows(schema.clone(), &rows).unwrap();
+    let mut dynfd = DynFd::new(rel, DynFdConfig::default());
+    report(&dynfd, &schema, &product_determines_price, "initial load");
+
+    // Migration day: a legacy system replays old orders with stale
+    // prices — the dependency breaks.
+    let mut migration = Batch::new();
+    for i in 0..5 {
+        migration.insert(vec![
+            format!("legacy-{i}"),
+            format!("prod-{}", i % 6),
+            "7.49".to_string(), // stale flat price
+            "region-legacy".to_string(),
+        ]);
+    }
+    let result = dynfd.apply_batch(&migration).unwrap();
+    println!(
+        "migration batch: {} FDs removed, {} added",
+        result.removed.len(),
+        result.added.len()
+    );
+    report(
+        &dynfd,
+        &schema,
+        &product_determines_price,
+        "after migration",
+    );
+
+    // Cleanup: the stale rows are corrected (update = delete + insert).
+    let mut cleanup = Batch::new();
+    for i in 0..5u64 {
+        let rid = RecordId(60 + i); // ids assigned to the legacy inserts
+        let p = (i % 6) as usize;
+        cleanup.update(
+            rid,
+            vec![
+                format!("legacy-{i}"),
+                format!("prod-{p}"),
+                format!("{}.99", 10 + p * 5),
+                "region-legacy".to_string(),
+            ],
+        );
+    }
+    dynfd.apply_batch(&cleanup).unwrap();
+    report(&dynfd, &schema, &product_determines_price, "after cleanup");
+}
+
+fn report(dynfd: &DynFd, schema: &Schema, fd: &Fd, stage: &str) {
+    // The FD holds iff the positive cover implies it (a generalization
+    // — possibly the FD itself — is a minimal FD).
+    let holds = dynfd
+        .positive_cover()
+        .contains_generalization(fd.lhs, fd.rhs);
+    println!(
+        "[{stage}] {}: {}   ({} minimal FDs total)",
+        fd.display(schema),
+        if holds { "HOLDS" } else { "VIOLATED" },
+        dynfd.minimal_fds().len()
+    );
+}

@@ -1,0 +1,59 @@
+//! Quickstart: the paper's running example (Table 1).
+//!
+//! Bootstraps DynFD over four people records, applies the paper's batch
+//! (delete tuple 3, insert tuples 5 and 6), and prints how the minimal
+//! functional dependencies evolve.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use dynfd::common::{RecordId, Schema};
+use dynfd::core::{DynFd, DynFdConfig};
+use dynfd::relation::{Batch, DynamicRelation};
+
+fn main() {
+    // Table 1 of the paper: four initial tuples.
+    let schema = Schema::of("people", &["firstname", "lastname", "zip", "city"]);
+    let rel = DynamicRelation::from_rows(
+        schema.clone(),
+        &[
+            vec!["Max", "Jones", "14482", "Potsdam"],
+            vec!["Max", "Miller", "14482", "Potsdam"],
+            vec!["Max", "Jones", "10115", "Berlin"],
+            vec!["Anna", "Scott", "13591", "Berlin"],
+        ],
+    )
+    .expect("rows match the schema");
+
+    // Bootstrap: static HyFD discovery + cover inversion (Algorithm 1).
+    let mut dynfd = DynFd::new(rel, DynFdConfig::default());
+    println!("initial minimal FDs ({}):", dynfd.minimal_fds().len());
+    for fd in dynfd.minimal_fds() {
+        println!("  {}", fd.display(&schema));
+    }
+
+    // The batch of Table 1: "-" tuple 3 (id 2), "+" tuples 5 and 6.
+    let mut batch = Batch::new();
+    batch
+        .delete(RecordId(2))
+        .insert(vec!["Marie", "Scott", "14467", "Potsdam"])
+        .insert(vec!["Marie", "Gray", "14469", "Potsdam"]);
+    let result = dynfd.apply_batch(&batch).expect("valid batch");
+
+    println!(
+        "\nafter the batch (processed in {:?}):",
+        result.metrics.wall_time
+    );
+    for fd in &result.removed {
+        println!("  - {}", fd.display(&schema));
+    }
+    for fd in &result.added {
+        println!("  + {}", fd.display(&schema));
+    }
+
+    println!("\ncurrent minimal FDs ({}):", dynfd.minimal_fds().len());
+    for fd in dynfd.minimal_fds() {
+        println!("  {}", fd.display(&schema));
+    }
+}

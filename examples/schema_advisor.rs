@@ -1,0 +1,98 @@
+//! Live schema-normalization advice from maintained FDs.
+//!
+//! Schema normalization is the oldest application of functional
+//! dependencies (the paper cites Codd [4]): a relation is in
+//! Boyce–Codd normal form iff every non-trivial FD's left-hand side is
+//! a superkey. With DynFD keeping the FDs fresh, normalization advice
+//! can be *recomputed after every batch* — this example shows candidate
+//! keys and BCNF violations evolving as data arrives.
+//!
+//! ```text
+//! cargo run --example schema_advisor
+//! ```
+
+use dynfd::common::{AttrSet, Schema};
+use dynfd::core::{DynFd, DynFdConfig};
+use dynfd::lattice::closure::{attribute_closure, bcnf_violations, candidate_keys};
+use dynfd::relation::{Batch, DynamicRelation};
+
+fn main() {
+    // An orders table that accidentally embeds a product catalogue —
+    // the textbook normalization example.
+    let schema = Schema::of(
+        "orders",
+        &[
+            "order_id",
+            "product_id",
+            "product_name",
+            "unit_price",
+            "quantity",
+        ],
+    );
+    let rel = DynamicRelation::from_rows(
+        schema.clone(),
+        &[
+            vec!["o1", "p1", "Widget", "9.99", "2"],
+            vec!["o2", "p2", "Gadget", "24.50", "1"],
+            vec!["o3", "p1", "Widget", "9.99", "5"],
+            vec!["o4", "p3", "Doohickey", "3.25", "10"],
+            vec!["o5", "p2", "Gadget", "24.50", "3"],
+        ],
+    )
+    .unwrap();
+    let mut dynfd = DynFd::new(rel, DynFdConfig::default());
+    advise(&dynfd, &schema, "initial load");
+
+    // New orders keep the embedded catalogue consistent — the advice
+    // stays the same.
+    let mut batch = Batch::new();
+    batch.insert(vec!["o6", "p3", "Doohickey", "3.25", "1"]);
+    dynfd.apply_batch(&batch).unwrap();
+    advise(&dynfd, &schema, "after consistent growth");
+
+    // A price change lands for new orders only: product_id no longer
+    // determines unit_price; the decomposition advice adapts.
+    let mut batch = Batch::new();
+    batch.insert(vec!["o7", "p1", "Widget", "11.99", "1"]);
+    dynfd.apply_batch(&batch).unwrap();
+    advise(&dynfd, &schema, "after a partial price change");
+}
+
+fn advise(dynfd: &DynFd, schema: &Schema, stage: &str) {
+    let arity = schema.arity();
+    let cover = dynfd.positive_cover();
+    println!("== {stage} ({} minimal FDs) ==", cover.len());
+
+    let keys = candidate_keys(cover, arity);
+    let names = |set: AttrSet| -> String {
+        let v: Vec<&str> = set.iter().map(|a| schema.column_name(a)).collect();
+        if v.is_empty() {
+            "∅".to_string()
+        } else {
+            v.join(",")
+        }
+    };
+    for key in &keys {
+        println!("  candidate key: {{{}}}", names(*key));
+    }
+
+    let violations = bcnf_violations(cover, arity);
+    if violations.is_empty() {
+        println!("  BCNF: ok");
+    } else {
+        println!("  BCNF violations ({}):", violations.len());
+        for fd in violations.iter().take(6) {
+            // Suggest the classic decomposition R1 = lhs⁺, R2 = lhs ∪ (R \ lhs⁺).
+            let closure = attribute_closure(cover, fd.lhs, arity);
+            println!(
+                "    {}  → split off ({})",
+                fd.display(schema),
+                names(closure)
+            );
+        }
+        if violations.len() > 6 {
+            println!("    … and {} more", violations.len() - 6);
+        }
+    }
+    println!();
+}

@@ -1,0 +1,193 @@
+//! `dynfd` — command-line FD profiling and maintenance.
+//!
+//! ```text
+//! dynfd profile <data.csv>                         discover minimal FDs
+//! dynfd keys    <data.csv>                         candidate keys + BCNF check
+//! dynfd maintain <data.csv> <changes.log> [opts]   replay a change log
+//!
+//! options for maintain:
+//!   --batch <n>     operations per batch (default 100)
+//!   --cover <file>  bootstrap from a persisted cover instead of HyFD
+//!   --save <file>   persist the final cover
+//!   --quiet         suppress per-batch FD deltas
+//! ```
+//!
+//! The change log uses the line format of
+//! [`dynfd::relation::parse_changelog`]: `I|v1|v2|…`, `D|<id>`,
+//! `U|<id>|v1|…`. Record ids are assigned in row order starting at 0.
+
+use dynfd::common::Schema;
+use dynfd::core::{DynFd, DynFdConfig, FdMonitor};
+use dynfd::lattice::closure::{bcnf_violations, candidate_keys};
+use dynfd::lattice::io::{read_cover, write_cover};
+use dynfd::relation::{parse_changelog, read_csv_file, Batch, DynamicRelation};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("profile") => cmd_profile(&args[1..]),
+        Some("keys") => cmd_keys(&args[1..]),
+        Some("maintain") => cmd_maintain(&args[1..]),
+        Some("--help" | "-h") | None => {
+            eprintln!("{}", USAGE);
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("dynfd: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage: dynfd profile <data.csv>
+       dynfd keys <data.csv>
+       dynfd maintain <data.csv> <changes.log> [--batch <n>] [--cover <f>] [--save <f>] [--quiet]";
+
+fn load(path: &str) -> Result<(Schema, DynamicRelation), String> {
+    let table = read_csv_file(path).map_err(|e| format!("{path}: {e}"))?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("relation")
+        .to_string();
+    let schema = Schema::new(name, table.header.clone());
+    let rel = DynamicRelation::from_rows(schema.clone(), &table.rows)
+        .map_err(|e| format!("{path}: {e}"))?;
+    Ok((schema, rel))
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err(format!("profile takes one CSV path\n{USAGE}"));
+    };
+    let (schema, rel) = load(path)?;
+    let fds = dynfd::staticfd::hyfd::discover(&rel);
+    eprintln!(
+        "# {} rows, {} columns, {} minimal FDs",
+        rel.len(),
+        rel.arity(),
+        fds.len()
+    );
+    print!("{}", write_cover(&fds, &schema));
+    Ok(())
+}
+
+fn cmd_keys(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err(format!("keys takes one CSV path\n{USAGE}"));
+    };
+    let (schema, rel) = load(path)?;
+    if rel.arity() > 24 {
+        return Err(format!(
+            "key enumeration is exponential; {} columns is too wide (max 24)",
+            rel.arity()
+        ));
+    }
+    let fds = dynfd::staticfd::hyfd::discover(&rel);
+    let arity = schema.arity();
+    let names = |set: dynfd::common::AttrSet| -> String {
+        let v: Vec<&str> = set.iter().map(|a| schema.column_name(a)).collect();
+        if v.is_empty() {
+            "∅".into()
+        } else {
+            v.join(",")
+        }
+    };
+    for key in candidate_keys(&fds, arity) {
+        println!("key: {{{}}}", names(key));
+    }
+    let violations = bcnf_violations(&fds, arity);
+    if violations.is_empty() {
+        println!("BCNF: ok");
+    } else {
+        println!("BCNF violations:");
+        for fd in violations {
+            println!("  {}", fd.display(&schema));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_maintain(args: &[String]) -> Result<(), String> {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut batch_size = 100usize;
+    let mut cover_path: Option<String> = None;
+    let mut save_path: Option<String> = None;
+    let mut quiet = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--batch" => {
+                batch_size = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or("--batch needs a positive integer")?;
+            }
+            "--cover" => cover_path = Some(it.next().ok_or("--cover needs a path")?.clone()),
+            "--save" => save_path = Some(it.next().ok_or("--save needs a path")?.clone()),
+            "--quiet" => quiet = true,
+            other if !other.starts_with('-') => positional.push(arg),
+            other => return Err(format!("unknown option {other:?}\n{USAGE}")),
+        }
+    }
+    let [data_path, log_path] = positional[..] else {
+        return Err(format!("maintain takes a CSV and a change log\n{USAGE}"));
+    };
+
+    let (schema, rel) = load(data_path)?;
+    let log_text = std::fs::read_to_string(log_path).map_err(|e| format!("{log_path}: {e}"))?;
+    let ops = parse_changelog(&log_text, schema.arity()).map_err(|e| format!("{log_path}: {e}"))?;
+
+    let mut dynfd = match &cover_path {
+        Some(p) => {
+            let text = std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
+            let cover = read_cover(&text, &schema).map_err(|e| format!("{p}: {e}"))?;
+            DynFd::with_cover(rel, cover, DynFdConfig::default())
+        }
+        None => DynFd::new(rel, DynFdConfig::default()),
+    };
+    eprintln!(
+        "# bootstrapped: {} rows, {} minimal FDs; replaying {} changes in batches of {batch_size}",
+        dynfd.relation().len(),
+        dynfd.minimal_fds().len(),
+        ops.len()
+    );
+
+    let mut monitor = FdMonitor::new(&dynfd.minimal_fds());
+    let total_batches = ops.len().div_ceil(batch_size);
+    for (i, batch) in Batch::chunk(ops, batch_size).into_iter().enumerate() {
+        let result = dynfd
+            .apply_batch(&batch)
+            .map_err(|e| format!("batch {i}: {e}"))?;
+        monitor.observe(&result);
+        if !quiet && !result.is_unchanged() {
+            println!("batch {i}/{total_batches}:");
+            for fd in &result.removed {
+                println!("  - {}", fd.display(&schema));
+            }
+            for fd in &result.added {
+                println!("  + {}", fd.display(&schema));
+            }
+        }
+    }
+
+    eprintln!(
+        "# done: {} rows, {} minimal FDs, {} robust over the whole run",
+        dynfd.relation().len(),
+        dynfd.minimal_fds().len(),
+        monitor.robust_fds(monitor.batches_observed()).len()
+    );
+    if let Some(p) = save_path {
+        std::fs::write(&p, write_cover(dynfd.positive_cover(), &schema))
+            .map_err(|e| format!("{p}: {e}"))?;
+        eprintln!("# cover saved to {p}");
+    }
+    Ok(())
+}

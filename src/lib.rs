@@ -1,0 +1,48 @@
+//! # dynfd
+//!
+//! Facade crate for the DynFD reproduction workspace. Re-exports the
+//! public API of every member crate so applications can depend on a
+//! single crate:
+//!
+//! * [`common`] — attribute sets, FDs, schemas, record ids.
+//! * [`relation`] — the dynamic relation substrate (dictionaries, PLIs,
+//!   compressed records, batches, the PLI validator).
+//! * [`lattice`] — FD prefix trees, covers, and cover inversion.
+//! * [`staticfd`] — static discovery algorithms (HyFD, TANE, FDEP).
+//! * [`core`] — the DynFD maintenance algorithm itself.
+//! * [`datagen`] — synthetic datasets and change histories shaped like
+//!   the paper's six evaluation datasets.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dynfd::core::{DynFd, DynFdConfig};
+//! use dynfd::relation::{Batch, DynamicRelation};
+//! use dynfd::common::Schema;
+//!
+//! let schema = Schema::of("people", &["firstname", "lastname", "zip", "city"]);
+//! let rel = DynamicRelation::from_rows(schema, &[
+//!     vec!["Max", "Jones", "14482", "Potsdam"],
+//!     vec!["Max", "Miller", "14482", "Potsdam"],
+//!     vec!["Max", "Jones", "10115", "Berlin"],
+//!     vec!["Anna", "Scott", "13591", "Berlin"],
+//! ]).unwrap();
+//!
+//! // Bootstrap: static discovery + cover inversion.
+//! let mut dynfd = DynFd::new(rel, DynFdConfig::default());
+//! assert!(dynfd.minimal_fds().len() > 0);
+//!
+//! // Maintain under a batch of changes (Table 1 of the paper).
+//! let mut batch = Batch::new();
+//! batch.delete(dynfd.relation().record_ids().min().unwrap())
+//!      .insert(vec!["Marie", "Scott", "14467", "Potsdam"]);
+//! let result = dynfd.apply_batch(&batch).unwrap();
+//! println!("+{} -{} minimal FDs", result.added.len(), result.removed.len());
+//! ```
+
+pub use dynfd_common as common;
+pub use dynfd_core as core;
+pub use dynfd_datagen as datagen;
+pub use dynfd_lattice as lattice;
+pub use dynfd_relation as relation;
+pub use dynfd_static as staticfd;

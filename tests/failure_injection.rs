@@ -1,0 +1,232 @@
+//! Failure-injection and degenerate-input tests across the public API:
+//! malformed batches, pathological schemas, and boundary conditions must
+//! fail cleanly (typed errors, untouched state) — never panic or
+//! corrupt covers.
+
+use dynfd::common::{AttrSet, DynError, Fd, RecordId, Schema};
+use dynfd::core::{DynFd, DynFdConfig};
+use dynfd::lattice::io::{read_cover, write_cover};
+use dynfd::relation::{parse_csv, Batch, ChangeOp, DynamicRelation};
+
+fn people() -> DynamicRelation {
+    DynamicRelation::from_rows(
+        Schema::of("people", &["first", "last", "zip", "city"]),
+        &[
+            vec!["Max", "Jones", "14482", "Potsdam"],
+            vec!["Max", "Miller", "14482", "Potsdam"],
+            vec!["Anna", "Scott", "13591", "Berlin"],
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn unknown_record_in_batch_is_atomic() {
+    let mut dynfd = DynFd::new(people(), DynFdConfig::default());
+    let before_fds = dynfd.minimal_fds();
+    let before_neg = dynfd.negative_cover().clone();
+    let mut batch = Batch::new();
+    batch
+        .insert(vec!["Eve", "Stone", "10999", "Berlin"])
+        .update(RecordId(1), vec!["Max", "Miller", "10115", "Berlin"])
+        .delete(RecordId(4711));
+    let err = dynfd.apply_batch(&batch).unwrap_err();
+    assert_eq!(err, DynError::UnknownRecord(RecordId(4711)));
+    assert_eq!(dynfd.minimal_fds(), before_fds, "positive cover untouched");
+    assert_eq!(
+        dynfd.negative_cover(),
+        &before_neg,
+        "negative cover untouched"
+    );
+    assert_eq!(dynfd.relation().len(), 3, "relation untouched");
+    dynfd.verify_consistency().unwrap();
+}
+
+#[test]
+fn arity_mismatch_in_batch_is_atomic() {
+    let mut dynfd = DynFd::new(people(), DynFdConfig::default());
+    let mut batch = Batch::new();
+    batch.insert(vec!["only", "three", "fields"]);
+    let err = dynfd.apply_batch(&batch).unwrap_err();
+    assert_eq!(
+        err,
+        DynError::ArityMismatch {
+            expected: 4,
+            actual: 3
+        }
+    );
+    assert_eq!(dynfd.relation().len(), 3);
+    dynfd.verify_consistency().unwrap();
+}
+
+#[test]
+fn double_delete_and_update_after_delete_rejected() {
+    let mut dynfd = DynFd::new(people(), DynFdConfig::default());
+    let mut batch = Batch::new();
+    batch.delete(RecordId(0)).delete(RecordId(0));
+    assert!(dynfd.apply_batch(&batch).is_err());
+
+    let mut batch = Batch::new();
+    batch
+        .delete(RecordId(0))
+        .update(RecordId(0), vec!["a", "b", "c", "d"]);
+    assert!(dynfd.apply_batch(&batch).is_err());
+    assert_eq!(dynfd.relation().len(), 3, "nothing applied");
+}
+
+#[test]
+fn errors_never_poison_subsequent_batches() {
+    let mut dynfd = DynFd::new(people(), DynFdConfig::default());
+    let mut bad = Batch::new();
+    bad.delete(RecordId(99));
+    assert!(dynfd.apply_batch(&bad).is_err());
+
+    // A good batch afterwards behaves normally.
+    let mut good = Batch::new();
+    good.delete(RecordId(0))
+        .insert(vec!["Kim", "Lee", "04109", "Leipzig"]);
+    dynfd.apply_batch(&good).unwrap();
+    dynfd.verify_consistency().unwrap();
+    assert_eq!(
+        dynfd.positive_cover(),
+        &dynfd::staticfd::tane::discover(dynfd.relation())
+    );
+}
+
+#[test]
+fn draining_the_relation_completely() {
+    let mut dynfd = DynFd::new(people(), DynFdConfig::default());
+    let mut batch = Batch::new();
+    for i in 0..3 {
+        batch.delete(RecordId(i));
+    }
+    let result = dynfd.apply_batch(&batch).unwrap();
+    assert!(dynfd.relation().is_empty());
+    // Everything holds on the empty relation: ∅ -> A for every column.
+    assert_eq!(dynfd.minimal_fds().len(), 4);
+    assert!(dynfd.negative_cover().is_empty());
+    assert!(!result.added.is_empty());
+    dynfd.verify_consistency().unwrap();
+
+    // And the empty relation accepts new life.
+    let mut batch = Batch::new();
+    batch.insert(vec!["A", "B", "C", "D"]);
+    dynfd.apply_batch(&batch).unwrap();
+    dynfd.verify_consistency().unwrap();
+}
+
+#[test]
+fn all_unique_and_all_constant_columns() {
+    let rows: Vec<Vec<String>> = (0..10)
+        .map(|i| vec![format!("u{i}"), "same".to_string(), format!("w{i}")])
+        .collect();
+    let rel = DynamicRelation::from_rows(Schema::anonymous("t", 3), &rows).unwrap();
+    let mut dynfd = DynFd::new(rel, DynFdConfig::default());
+    let fds = dynfd.minimal_fds();
+    // Constant column: ∅ -> 1. Unique columns determine each other.
+    assert!(fds.contains(&Fd::new(AttrSet::empty(), 1)));
+    assert!(fds.contains(&Fd::new(AttrSet::single(0), 2)));
+    assert!(fds.contains(&Fd::new(AttrSet::single(2), 0)));
+
+    // Break the constant column.
+    let mut batch = Batch::new();
+    batch.insert(vec!["u10", "different", "w10"]);
+    let result = dynfd.apply_batch(&batch).unwrap();
+    assert!(result.removed.contains(&Fd::new(AttrSet::empty(), 1)));
+    dynfd.verify_consistency().unwrap();
+}
+
+#[test]
+fn duplicate_rows_everywhere() {
+    let rows = vec![vec!["x", "y"]; 6];
+    let rel = DynamicRelation::from_rows(Schema::anonymous("t", 2), &rows).unwrap();
+    let mut dynfd = DynFd::new(rel, DynFdConfig::default());
+    assert_eq!(dynfd.minimal_fds().len(), 2, "both columns constant");
+    let mut batch = Batch::new();
+    for i in 0..5 {
+        batch.delete(RecordId(i));
+    }
+    dynfd.apply_batch(&batch).unwrap();
+    dynfd.verify_consistency().unwrap();
+    assert_eq!(dynfd.minimal_fds().len(), 2);
+}
+
+#[test]
+fn empty_batches_are_cheap_noops() {
+    let mut dynfd = DynFd::new(people(), DynFdConfig::default());
+    for _ in 0..3 {
+        let result = dynfd.apply_batch(&Batch::new()).unwrap();
+        assert!(result.is_unchanged());
+        assert_eq!(result.metrics.fd_validations, 0);
+        assert_eq!(result.metrics.non_fd_validations, 0);
+    }
+}
+
+#[test]
+fn csv_error_paths() {
+    assert!(matches!(parse_csv(""), Err(DynError::Parse(_))));
+    assert!(matches!(parse_csv("a,b\n1\n"), Err(DynError::Parse(_))));
+    assert!(matches!(
+        parse_csv("a\n\"unterminated\n"),
+        Err(DynError::Parse(_))
+    ));
+    assert!(matches!(
+        dynfd::relation::read_csv_file("/nonexistent/definitely-missing.csv"),
+        Err(DynError::Io(_))
+    ));
+}
+
+#[test]
+fn cover_io_error_paths() {
+    let schema = Schema::of("t", &["a", "b"]);
+    assert!(read_cover("a => b", &schema).is_err());
+    assert!(read_cover("a -> c", &schema).is_err());
+    assert!(read_cover("a,b -> b", &schema).is_err());
+    // Empty file is a valid empty cover.
+    assert!(read_cover("", &schema).unwrap().is_empty());
+    // Roundtrip through a handwritten file with comments.
+    let fds = read_cover("# persisted cover\na -> b\n", &schema).unwrap();
+    assert_eq!(write_cover(&fds, &schema), "a -> b\n");
+}
+
+#[test]
+fn change_op_stream_with_interleaved_same_batch_references() {
+    // Insert then delete the same (future) record id within one batch.
+    let mut rel = people();
+    let next = rel.next_id();
+    let ops = vec![
+        ChangeOp::Insert(vec!["T1".into(), "T2".into(), "T3".into(), "T4".into()]),
+        ChangeOp::Delete(next),
+    ];
+    let applied = rel.apply_batch(&Batch::from_ops(ops)).unwrap();
+    assert!(applied.inserted.is_empty());
+    assert!(applied.deleted.is_empty());
+    assert_eq!(rel.len(), 3);
+}
+
+#[test]
+fn single_row_single_column_corner() {
+    let rel = DynamicRelation::from_rows(Schema::anonymous("dot", 1), &[vec!["only"]]).unwrap();
+    let mut dynfd = DynFd::new(rel, DynFdConfig::default());
+    assert_eq!(dynfd.minimal_fds(), vec![Fd::new(AttrSet::empty(), 0)]);
+    let mut batch = Batch::new();
+    batch.delete(RecordId(0));
+    dynfd.apply_batch(&batch).unwrap();
+    assert!(dynfd.relation().is_empty());
+    dynfd.verify_consistency().unwrap();
+}
+
+#[test]
+fn wide_schema_limits() {
+    // 256 columns is the AttrSet capacity; construction must work.
+    let schema = Schema::anonymous("wide", 256);
+    assert_eq!(schema.arity(), 256);
+    let rel = DynamicRelation::new(schema);
+    assert_eq!(rel.arity(), 256);
+}
+
+#[test]
+#[should_panic(expected = "at most 256 supported")]
+fn beyond_attrset_capacity_panics_loudly() {
+    let _ = Schema::anonymous("too-wide", 257);
+}

@@ -1,0 +1,166 @@
+//! The headline property: DynFD's maintained covers equal static
+//! rediscovery on the materialized relation after *any* sequence of
+//! batches, for randomly drawn pruning configurations — plus internal
+//! invariants (antichains, cover inversion equivalence, annotation
+//! validity) via `verify_consistency`.
+
+use dynfd::common::{RecordId, Schema};
+use dynfd::core::{DynFd, DynFdConfig, SearchMode};
+use dynfd::relation::DynamicRelation;
+use dynfd::relation::{Batch, ChangeOp};
+use proptest::prelude::*;
+
+const COLS: usize = 4;
+const DOMAIN: u8 = 3;
+
+fn arb_row() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec((0..DOMAIN).prop_map(|v| format!("v{v}")), COLS)
+}
+
+#[derive(Clone, Debug)]
+enum ScriptOp {
+    Insert(Vec<String>),
+    DeleteNth(usize),
+    UpdateNth(usize, Vec<String>),
+}
+
+fn arb_script() -> impl Strategy<Value = Vec<ScriptOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            2 => arb_row().prop_map(ScriptOp::Insert),
+            1 => (0usize..32).prop_map(ScriptOp::DeleteNth),
+            1 => ((0usize..32), arb_row()).prop_map(|(i, r)| ScriptOp::UpdateNth(i, r)),
+        ],
+        1..30,
+    )
+}
+
+fn arb_config() -> impl Strategy<Value = DynFdConfig> {
+    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
+        |(cluster, progressive, validation, dfs)| DynFdConfig {
+            cluster_pruning: cluster,
+            violation_search: if progressive {
+                SearchMode::Progressive
+            } else {
+                SearchMode::Naive
+            },
+            validation_pruning: validation,
+            depth_first_search: dfs,
+            ..DynFdConfig::default()
+        },
+    )
+}
+
+fn to_batches(script: &[ScriptOp], initial: usize, batch_size: usize) -> Vec<Batch> {
+    let mut live: Vec<RecordId> = (0..initial as u64).map(RecordId).collect();
+    let mut next_id = initial as u64;
+    let mut ops = Vec::new();
+    for op in script {
+        match op {
+            ScriptOp::Insert(row) => {
+                ops.push(ChangeOp::Insert(row.clone()));
+                live.push(RecordId(next_id));
+                next_id += 1;
+            }
+            ScriptOp::DeleteNth(i) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let rid = live.remove(i % live.len());
+                ops.push(ChangeOp::Delete(rid));
+            }
+            ScriptOp::UpdateNth(i, row) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let rid = live.remove(i % live.len());
+                ops.push(ChangeOp::Update(rid, row.clone()));
+                live.push(RecordId(next_id));
+                next_id += 1;
+            }
+        }
+    }
+    Batch::chunk(ops, batch_size)
+}
+
+proptest! {
+    // Each case bootstraps + maintains + statically rediscovers; keep
+    // the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn dynfd_tracks_static_discovery(
+        initial in proptest::collection::vec(arb_row(), 0..10),
+        script in arb_script(),
+        batch_size in 1usize..7,
+        config in arb_config(),
+    ) {
+        let schema = Schema::anonymous("p", COLS);
+        let rel = DynamicRelation::from_rows(schema, &initial).unwrap();
+        let mut dynfd = DynFd::new(rel, config);
+        for batch in to_batches(&script, initial.len(), batch_size) {
+            dynfd.apply_batch(&batch).unwrap();
+            let oracle = dynfd::staticfd::fdep::discover(dynfd.relation());
+            prop_assert_eq!(
+                dynfd.positive_cover(),
+                &oracle,
+                "config {} diverged from FDEP",
+                config.strategy_label()
+            );
+        }
+        if let Err(e) = dynfd.verify_consistency() {
+            return Err(TestCaseError::fail(format!(
+                "consistency ({}): {e}",
+                config.strategy_label()
+            )));
+        }
+    }
+
+    #[test]
+    fn batch_result_diff_is_exact(
+        initial in proptest::collection::vec(arb_row(), 0..10),
+        script in arb_script(),
+        batch_size in 1usize..7,
+    ) {
+        let schema = Schema::anonymous("p", COLS);
+        let rel = DynamicRelation::from_rows(schema, &initial).unwrap();
+        let mut dynfd = DynFd::new(rel, DynFdConfig::default());
+        let mut tracked: std::collections::BTreeSet<dynfd::common::Fd> =
+            dynfd.minimal_fds().into_iter().collect();
+        for batch in to_batches(&script, initial.len(), batch_size) {
+            let result = dynfd.apply_batch(&batch).unwrap();
+            // Replaying the reported delta over the previous snapshot
+            // must yield the new snapshot.
+            for fd in &result.removed {
+                prop_assert!(tracked.remove(fd), "removed FD {:?} was not tracked", fd);
+            }
+            for fd in &result.added {
+                prop_assert!(tracked.insert(*fd), "added FD {:?} already tracked", fd);
+            }
+            let now: std::collections::BTreeSet<dynfd::common::Fd> =
+                dynfd.minimal_fds().into_iter().collect();
+            prop_assert_eq!(&tracked, &now, "delta did not reconstruct the cover");
+            prop_assert_eq!(result.metrics.added_fds, result.added.len());
+            prop_assert_eq!(result.metrics.removed_fds, result.removed.len());
+        }
+    }
+
+    #[test]
+    fn configs_agree_with_each_other(
+        initial in proptest::collection::vec(arb_row(), 2..10),
+        script in arb_script(),
+    ) {
+        // All-pruning and no-pruning runs must produce identical covers
+        // after every batch (determinism of the *result*, not the work).
+        let schema = Schema::anonymous("p", COLS);
+        let rel = DynamicRelation::from_rows(schema, &initial).unwrap();
+        let mut a = DynFd::new(rel.clone(), DynFdConfig::default());
+        let mut b = DynFd::new(rel, DynFdConfig::baseline());
+        for batch in to_batches(&script, initial.len(), 5) {
+            a.apply_batch(&batch).unwrap();
+            b.apply_batch(&batch).unwrap();
+            prop_assert_eq!(a.positive_cover(), b.positive_cover());
+            prop_assert_eq!(a.negative_cover(), b.negative_cover());
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Property tests for the FD prefix tree: `FdTree` must behave exactly
+//! like the obviously-correct flat-scan `NaiveCover` under arbitrary
+//! operation sequences, and the cover algebra (inversion / induction)
+//! must satisfy its round-trip laws.
+
+use dynfd::common::{AttrSet, Fd};
+use dynfd::lattice::{induce_from_negative_cover, invert_positive_cover, FdTree, NaiveCover};
+use proptest::prelude::*;
+
+const ARITY: usize = 6;
+
+/// A random non-trivial FD over `ARITY` attributes.
+fn arb_fd() -> impl Strategy<Value = Fd> {
+    (0usize..ARITY, 0u32..(1 << ARITY)).prop_map(|(rhs, mask)| {
+        let lhs: AttrSet = (0..ARITY)
+            .filter(|&a| a != rhs && mask >> a & 1 == 1)
+            .collect();
+        Fd::new(lhs, rhs)
+    })
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Add(Fd),
+    Remove(Fd),
+    AddMinimal(Fd),
+    AddMaximal(Fd),
+    AddMaximalEvicting(Fd),
+    RemoveSpecializations(Fd),
+    RemoveGeneralizations(Fd),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    arb_fd().prop_flat_map(|fd| {
+        (0u8..7).prop_map(move |k| match k {
+            0 => Op::Add(fd),
+            1 => Op::Remove(fd),
+            2 => Op::AddMinimal(fd),
+            3 => Op::AddMaximal(fd),
+            4 => Op::AddMaximalEvicting(fd),
+            5 => Op::RemoveSpecializations(fd),
+            _ => Op::RemoveGeneralizations(fd),
+        })
+    })
+}
+
+/// Naive mirror of `add_minimal`.
+fn naive_add_minimal(c: &mut NaiveCover, fd: Fd) -> bool {
+    if c.contains_generalization(fd.lhs, fd.rhs) {
+        return false;
+    }
+    c.add(fd.lhs, fd.rhs)
+}
+
+/// Naive mirror of `add_maximal`.
+fn naive_add_maximal(c: &mut NaiveCover, fd: Fd) -> bool {
+    if c.contains_specialization(fd.lhs, fd.rhs) {
+        return false;
+    }
+    c.add(fd.lhs, fd.rhs)
+}
+
+/// Naive mirror of `add_maximal_evicting`.
+fn naive_add_maximal_evicting(c: &mut NaiveCover, fd: Fd) -> bool {
+    if c.contains_specialization(fd.lhs, fd.rhs) {
+        return false;
+    }
+    c.remove_generalizations(fd.lhs, fd.rhs);
+    c.add(fd.lhs, fd.rhs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn fdtree_equals_naive_model(ops in proptest::collection::vec(arb_op(), 0..60)) {
+        let mut tree = FdTree::new();
+        let mut naive = NaiveCover::new();
+        for op in ops {
+            match op {
+                Op::Add(fd) => {
+                    prop_assert_eq!(tree.add(fd.lhs, fd.rhs), naive.add(fd.lhs, fd.rhs));
+                }
+                Op::Remove(fd) => {
+                    prop_assert_eq!(tree.remove(fd.lhs, fd.rhs), naive.remove(fd.lhs, fd.rhs));
+                }
+                Op::AddMinimal(fd) => {
+                    prop_assert_eq!(
+                        tree.add_minimal(fd.lhs, fd.rhs),
+                        naive_add_minimal(&mut naive, fd)
+                    );
+                }
+                Op::AddMaximal(fd) => {
+                    prop_assert_eq!(
+                        tree.add_maximal(fd.lhs, fd.rhs),
+                        naive_add_maximal(&mut naive, fd)
+                    );
+                }
+                Op::AddMaximalEvicting(fd) => {
+                    prop_assert_eq!(
+                        tree.add_maximal_evicting(fd.lhs, fd.rhs),
+                        naive_add_maximal_evicting(&mut naive, fd)
+                    );
+                }
+                Op::RemoveSpecializations(fd) => {
+                    let mut a = tree.remove_specializations(fd.lhs, fd.rhs);
+                    let mut b = naive.remove_specializations(fd.lhs, fd.rhs);
+                    a.sort();
+                    b.sort();
+                    prop_assert_eq!(a, b);
+                }
+                Op::RemoveGeneralizations(fd) => {
+                    let mut a = tree.remove_generalizations(fd.lhs, fd.rhs);
+                    let mut b = naive.remove_generalizations(fd.lhs, fd.rhs);
+                    a.sort();
+                    b.sort();
+                    prop_assert_eq!(a, b);
+                }
+            }
+            prop_assert_eq!(tree.len(), naive.len());
+        }
+        // Final state identical (FdTree enumerates in path order,
+        // NaiveCover in bitset order — compare as sets).
+        let mut a = tree.all_fds();
+        let mut b = naive.all_fds();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+        // Level views agree.
+        for level in 0..=ARITY {
+            let mut a = tree.get_level(level);
+            let mut b = naive.get_level(level);
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn queries_agree_with_naive_model(
+        fds in proptest::collection::vec(arb_fd(), 0..40),
+        probes in proptest::collection::vec(arb_fd(), 1..20),
+    ) {
+        let tree: FdTree = fds.iter().copied().collect();
+        let naive: NaiveCover = fds.iter().copied().collect();
+        for p in probes {
+            prop_assert_eq!(
+                tree.contains(p.lhs, p.rhs),
+                naive.contains(p.lhs, p.rhs)
+            );
+            prop_assert_eq!(
+                tree.contains_generalization(p.lhs, p.rhs),
+                naive.contains_generalization(p.lhs, p.rhs)
+            );
+            prop_assert_eq!(
+                tree.contains_specialization(p.lhs, p.rhs),
+                naive.contains_specialization(p.lhs, p.rhs)
+            );
+            let mut a = tree.get_generalizations(p.lhs, p.rhs);
+            let mut b = naive.get_generalizations(p.lhs, p.rhs);
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b);
+            let mut a = tree.get_specializations(p.lhs, p.rhs);
+            let mut b = naive.get_specializations(p.lhs, p.rhs);
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b);
+            // find_specialization returns a member of get_specializations.
+            match tree.find_specialization(p.lhs, p.rhs) {
+                Some(w) => prop_assert!(naive.get_specializations(p.lhs, p.rhs).contains(&w)),
+                None => prop_assert!(!naive.contains_specialization(p.lhs, p.rhs)),
+            }
+        }
+    }
+
+    #[test]
+    fn inversion_induction_roundtrip(fds in proptest::collection::vec(arb_fd(), 0..12)) {
+        // Build an antichain positive cover (the minimal-FD insertion
+        // discipline DynFD uses: skip if implied, evict specializations).
+        let mut pos = FdTree::new();
+        for fd in fds {
+            if !pos.contains_generalization(fd.lhs, fd.rhs) {
+                pos.remove_specializations(fd.lhs, fd.rhs);
+                pos.add(fd.lhs, fd.rhs);
+            }
+        }
+        prop_assert!(pos.is_antichain());
+        let neg = invert_positive_cover(&pos, ARITY);
+        prop_assert!(neg.is_antichain());
+        let back = induce_from_negative_cover(&neg, ARITY);
+        prop_assert_eq!(&back, &pos, "induce(invert(pos)) must equal pos");
+
+        // Semantics: a candidate is implied by pos iff it has no
+        // specialization in neg.
+        for rhs in 0..ARITY {
+            for mask in 0..(1u32 << ARITY) {
+                let lhs: AttrSet =
+                    (0..ARITY).filter(|&a| a != rhs && mask >> a & 1 == 1).collect();
+                if lhs.contains(rhs) { continue; }
+                let implied = pos.contains_generalization(lhs, rhs);
+                let refuted = neg.contains_specialization(lhs, rhs);
+                prop_assert_eq!(implied, !refuted, "lhs {:?} rhs {}", lhs, rhs);
+            }
+        }
+    }
+}
+
+#[test]
+fn add_minimal_never_breaks_antichain_regression() {
+    // Deterministic companion to the roundtrip property: interleaved
+    // add_minimal calls always leave an antichain when specializations
+    // are cleaned, mirroring how DynFD maintains the positive cover.
+    let mut pos = FdTree::new();
+    let fd1 = Fd::new([1usize, 2].into_iter().collect::<AttrSet>(), 0);
+    let fd2 = Fd::new(AttrSet::single(1), 0);
+    assert!(pos.add_minimal(fd1.lhs, fd1.rhs));
+    // Adding the generalization afterwards: DynFD always removes
+    // specializations first (Algorithm 6 lines 10-12).
+    pos.remove_specializations(fd2.lhs, fd2.rhs);
+    assert!(pos.add_minimal(fd2.lhs, fd2.rhs));
+    assert!(pos.is_antichain());
+    assert_eq!(pos.len(), 1);
+}

@@ -1,0 +1,226 @@
+//! Property tests for the relation substrate: incremental PLI /
+//! compressed-record maintenance must agree with a from-scratch rebuild
+//! after arbitrary change sequences, batch application must be atomic,
+//! and the validator must agree with a brute-force pairwise check.
+
+use dynfd::common::{AttrSet, Fd, RecordId, Schema};
+use dynfd::relation::{
+    agree_set, validate_fd, Batch, ChangeOp, DynamicRelation, ValidationOptions,
+};
+use proptest::prelude::*;
+
+const COLS: usize = 4;
+const DOMAIN: u8 = 3;
+
+fn arb_row() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec((0..DOMAIN).prop_map(|v| format!("v{v}")), COLS)
+}
+
+/// A change script: inserts and deletes/updates by *index into the live
+/// set* (so scripts are always applicable regardless of prior ops).
+#[derive(Clone, Debug)]
+enum ScriptOp {
+    Insert(Vec<String>),
+    DeleteNth(usize),
+    UpdateNth(usize, Vec<String>),
+}
+
+fn arb_script() -> impl Strategy<Value = Vec<ScriptOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            arb_row().prop_map(ScriptOp::Insert),
+            (0usize..32).prop_map(ScriptOp::DeleteNth),
+            ((0usize..32), arb_row()).prop_map(|(i, r)| ScriptOp::UpdateNth(i, r)),
+        ],
+        0..40,
+    )
+}
+
+/// Materializes a script into concrete batches against a live-id mirror.
+fn to_batches(script: &[ScriptOp], initial: usize, batch_size: usize) -> Vec<Batch> {
+    let mut live: Vec<RecordId> = (0..initial as u64).map(RecordId).collect();
+    let mut next_id = initial as u64;
+    let mut ops = Vec::new();
+    for op in script {
+        match op {
+            ScriptOp::Insert(row) => {
+                ops.push(ChangeOp::Insert(row.clone()));
+                live.push(RecordId(next_id));
+                next_id += 1;
+            }
+            ScriptOp::DeleteNth(i) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let rid = live.remove(i % live.len());
+                ops.push(ChangeOp::Delete(rid));
+            }
+            ScriptOp::UpdateNth(i, row) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let rid = live.remove(i % live.len());
+                ops.push(ChangeOp::Update(rid, row.clone()));
+                live.push(RecordId(next_id));
+                next_id += 1;
+            }
+        }
+    }
+    Batch::chunk(ops, batch_size)
+}
+
+/// Brute-force FD check straight from Definition 1.1.
+fn brute_force_valid(rel: &DynamicRelation, fd: &Fd) -> bool {
+    let ids: Vec<RecordId> = rel.record_ids().collect();
+    for (i, &a) in ids.iter().enumerate() {
+        for &b in &ids[i + 1..] {
+            let ra = rel.compressed(a).unwrap();
+            let rb = rel.compressed(b).unwrap();
+            if fd.lhs.iter().all(|x| ra[x] == rb[x]) && ra[fd.rhs] != rb[fd.rhs] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn incremental_structures_equal_rebuilt(
+        initial in proptest::collection::vec(arb_row(), 0..12),
+        script in arb_script(),
+        batch_size in 1usize..8,
+    ) {
+        let schema = Schema::anonymous("p", COLS);
+        let mut rel = DynamicRelation::from_rows(schema, &initial).unwrap();
+        for batch in to_batches(&script, initial.len(), batch_size) {
+            rel.apply_batch(&batch).unwrap();
+            let rebuilt = rel.rebuild_from_scratch();
+            prop_assert_eq!(rel.len(), rebuilt.len());
+            for attr in 0..COLS {
+                let mut a: Vec<Vec<RecordId>> =
+                    rel.pli(attr).iter().map(|(_, c)| c.to_vec()).collect();
+                let mut b: Vec<Vec<RecordId>> =
+                    rebuilt.pli(attr).iter().map(|(_, c)| c.to_vec()).collect();
+                a.sort();
+                b.sort();
+                prop_assert_eq!(a, b, "partition of column {} diverged", attr);
+                prop_assert_eq!(
+                    rel.pli(attr).entry_count(),
+                    rel.len(),
+                    "PLI entry count out of sync"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn validator_agrees_with_brute_force(
+        rows in proptest::collection::vec(arb_row(), 0..14),
+        lhs_mask in 0u32..(1 << COLS),
+        rhs in 0usize..COLS,
+    ) {
+        let lhs: AttrSet = (0..COLS).filter(|&a| a != rhs && lhs_mask >> a & 1 == 1).collect();
+        let schema = Schema::anonymous("p", COLS);
+        let rel = DynamicRelation::from_rows(schema, &rows).unwrap();
+        let fd = Fd::new(lhs, rhs);
+        let fast = validate_fd(&rel, &fd, &ValidationOptions::full()).is_valid();
+        prop_assert_eq!(fast, brute_force_valid(&rel, &fd));
+    }
+
+    #[test]
+    fn violating_pairs_are_genuine(
+        rows in proptest::collection::vec(arb_row(), 2..14),
+        lhs_mask in 0u32..(1 << COLS),
+        rhs in 0usize..COLS,
+    ) {
+        let lhs: AttrSet = (0..COLS).filter(|&a| a != rhs && lhs_mask >> a & 1 == 1).collect();
+        let schema = Schema::anonymous("p", COLS);
+        let rel = DynamicRelation::from_rows(schema, &rows).unwrap();
+        let fd = Fd::new(lhs, rhs);
+        if let dynfd::relation::RhsOutcome::Violated(a, b) =
+            validate_fd(&rel, &fd, &ValidationOptions::full())
+        {
+            let ra = rel.compressed(a).unwrap();
+            let rb = rel.compressed(b).unwrap();
+            prop_assert!(lhs.iter().all(|x| ra[x] == rb[x]), "pair must agree on lhs");
+            prop_assert!(ra[rhs] != rb[rhs], "pair must differ on rhs");
+        }
+    }
+
+    #[test]
+    fn agree_set_properties(
+        rows in proptest::collection::vec(arb_row(), 2..10),
+    ) {
+        let schema = Schema::anonymous("p", COLS);
+        let rel = DynamicRelation::from_rows(schema, &rows).unwrap();
+        let ids: Vec<RecordId> = {
+            let mut v: Vec<RecordId> = rel.record_ids().collect();
+            v.sort_unstable();
+            v
+        };
+        for &a in &ids {
+            // Reflexive: full agreement with itself.
+            prop_assert_eq!(agree_set(&rel, a, a).unwrap().len(), COLS);
+            for &b in &ids {
+                // Symmetric.
+                prop_assert_eq!(agree_set(&rel, a, b), agree_set(&rel, b, a));
+                // Consistent with the compressed records.
+                let x = agree_set(&rel, a, b).unwrap();
+                let ra = rel.compressed(a).unwrap();
+                let rb = rel.compressed(b).unwrap();
+                for attr in 0..COLS {
+                    prop_assert_eq!(x.contains(attr), ra[attr] == rb[attr]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_application_is_atomic_on_error(
+        initial in proptest::collection::vec(arb_row(), 1..8),
+        row in arb_row(),
+    ) {
+        let schema = Schema::anonymous("p", COLS);
+        let mut rel = DynamicRelation::from_rows(schema, &initial).unwrap();
+        let before_len = rel.len();
+        let before_next = rel.next_id();
+        // A batch whose last op references a bogus record must leave the
+        // relation untouched even though its first ops are fine.
+        let mut batch = Batch::new();
+        batch.insert(row).delete(RecordId(9_999));
+        prop_assert!(rel.apply_batch(&batch).is_err());
+        prop_assert_eq!(rel.len(), before_len);
+        prop_assert_eq!(rel.next_id(), before_next);
+    }
+
+    #[test]
+    fn cluster_pruning_never_changes_verdicts_for_revalidated_fds(
+        rows in proptest::collection::vec(arb_row(), 2..12),
+        new_rows in proptest::collection::vec(arb_row(), 1..6),
+        rhs in 0usize..COLS,
+        lhs_mask in 1u32..(1 << COLS),
+    ) {
+        // Soundness contract of §4.2: for an FD valid over the old
+        // records, validating with cluster pruning after inserts gives
+        // the same verdict as validating in full.
+        let lhs: AttrSet = (0..COLS).filter(|&a| a != rhs && lhs_mask >> a & 1 == 1).collect();
+        if lhs.is_empty() { return Ok(()); }
+        let schema = Schema::anonymous("p", COLS);
+        let mut rel = DynamicRelation::from_rows(schema, &rows).unwrap();
+        let fd = Fd::new(lhs, rhs);
+        // Only FDs valid on the old data qualify for pruning.
+        if !validate_fd(&rel, &fd, &ValidationOptions::full()).is_valid() {
+            return Ok(());
+        }
+        let first_new = rel.next_id();
+        for r in &new_rows {
+            rel.insert_row(r).unwrap();
+        }
+        let pruned = validate_fd(&rel, &fd, &ValidationOptions::delta(first_new)).is_valid();
+        let full = validate_fd(&rel, &fd, &ValidationOptions::full()).is_valid();
+        prop_assert_eq!(pruned, full, "cluster pruning changed a verdict");
+    }
+}
