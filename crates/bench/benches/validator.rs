@@ -1,9 +1,15 @@
 //! Microbenchmarks for the PLI-based validator — the inner loop of both
-//! maintenance phases — including the effect of cluster pruning (§4.2).
+//! maintenance phases — including the effect of cluster pruning (§4.2)
+//! and the sequential-vs-parallel sweep of the PR 1 validation engine.
+//!
+//! The sweep crosses worker count (1/2/4/8) with LHS arity (1/2/3) and
+//! cluster skew (uniform small clusters vs. one giant cluster) over the
+//! same job list the insert phase would emit for a lattice level. The
+//! results land in `BENCH_pr1.json` at the workspace root.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use dynfd_common::{AttrSet, Schema};
-use dynfd_relation::{validate, DynamicRelation, ValidationOptions};
+use dynfd_relation::{validate, validate_many, DynamicRelation, ValidationJob, ValidationOptions};
 
 /// 5,000 rows, 6 columns; column 5 nearly mirrors column 0 so the
 /// validated FD is *almost* valid — the worst case for early
@@ -22,6 +28,62 @@ fn build_relation() -> DynamicRelation {
         })
         .collect();
     DynamicRelation::from_rows(Schema::anonymous("bench", 6), &rows).unwrap()
+}
+
+/// A relation with controllable cluster skew on the pivot column:
+/// `skewed = false` gives ~50 evenly sized clusters, `skewed = true`
+/// puts 60 % of all rows into one giant cluster (the load-balancing
+/// stress case for the work-stealing shards).
+fn build_skewed_relation(skewed: bool) -> DynamicRelation {
+    let rows: Vec<Vec<String>> = (0..5_000)
+        .map(|i| {
+            let pivot = if skewed && i % 5 < 3 {
+                "hot".to_string()
+            } else {
+                format!("g{}", i % 50)
+            };
+            vec![
+                pivot,
+                format!("h{}", i % 97),
+                format!("p{}", i % 11),
+                format!("q{}", i % 7),
+                format!("r{}", i % 13),
+                format!("m{}", i % 49),
+            ]
+        })
+        .collect();
+    DynamicRelation::from_rows(Schema::anonymous("skew", 6), &rows).unwrap()
+}
+
+/// All `lhs -> rhs` validation jobs of the given LHS arity over a
+/// 6-attribute schema — the shape of one lattice level.
+fn level_jobs(arity: usize) -> Vec<ValidationJob> {
+    let n = 6usize;
+    let mut jobs = Vec::new();
+    let mut emit = |lhs: AttrSet| {
+        let rhs: AttrSet = (0..n).filter(|r| !lhs.contains(*r)).collect();
+        jobs.push((lhs, rhs));
+    };
+    match arity {
+        1 => (0..n).for_each(|a| emit(AttrSet::single(a))),
+        2 => {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    emit([a, b].into_iter().collect());
+                }
+            }
+        }
+        _ => {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    for c in (b + 1)..n {
+                        emit([a, b, c].into_iter().collect());
+                    }
+                }
+            }
+        }
+    }
+    jobs
 }
 
 fn bench_validation(c: &mut Criterion) {
@@ -65,5 +127,47 @@ fn bench_validation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_validation);
-criterion_main!(benches);
+fn bench_parallel_sweep(c: &mut Criterion) {
+    let full = ValidationOptions::full();
+    for skewed in [false, true] {
+        let rel = build_skewed_relation(skewed);
+        let skew_label = if skewed { "hot_cluster" } else { "uniform" };
+        for arity in [1usize, 2, 3] {
+            let jobs = level_jobs(arity);
+            let mut group = c.benchmark_group(format!("validate_level/{skew_label}/arity{arity}"));
+            for threads in [1usize, 2, 4, 8] {
+                group.bench_with_input(
+                    BenchmarkId::new("threads", threads),
+                    &threads,
+                    |b, &threads| {
+                        b.iter(|| {
+                            validate_many(&rel, black_box(&jobs), &full, threads)
+                                .iter()
+                                .map(|r| r.outcomes.len())
+                                .sum::<usize>()
+                        })
+                    },
+                );
+            }
+            group.finish();
+        }
+    }
+}
+
+criterion_group!(benches, bench_validation, bench_parallel_sweep);
+
+fn main() {
+    benches();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    criterion::write_json_snapshot(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr1.json"),
+        &[
+            ("bench", "validator parallel sweep".to_string()),
+            ("rows", "5000".to_string()),
+            ("available_cores", cores.to_string()),
+        ],
+    )
+    .expect("write BENCH_pr1.json");
+}

@@ -1,0 +1,67 @@
+//! Phase-by-phase timing probe for one paper profile (debugging aid for
+//! the end-to-end smoke test's runtime).
+
+use dynfd_core::{DynFd, DynFdConfig};
+use dynfd_datagen::{GeneratedDataset, PAPER_PROFILES};
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "actor".into());
+    let p = PAPER_PROFILES
+        .iter()
+        .find(|p| p.name == name)
+        .expect("profile name");
+    let mut small = p.scaled(0.01);
+    small.initial_rows = match args.next() {
+        Some(rows) => rows.parse().expect("rows override"),
+        None => small.initial_rows.min(150),
+    };
+    small.changes = match args.next() {
+        Some(changes) => changes.parse().expect("changes override"),
+        None => small.changes.min(300),
+    };
+    if let Some(bursts) = args.next() {
+        small.bursts = bursts.parse().expect("bursts override");
+    }
+
+    let t = Instant::now();
+    let data = GeneratedDataset::generate(&small);
+    println!("[{}] generate: {:?}", p.name, t.elapsed());
+
+    let t = Instant::now();
+    let rel = data.to_relation();
+    println!(
+        "[{}] to_relation: {:?} ({} rows)",
+        p.name,
+        t.elapsed(),
+        rel.len()
+    );
+
+    let t = Instant::now();
+    let mut dynfd = DynFd::new(rel, DynFdConfig::default());
+    println!(
+        "[{}] bootstrap (HyFD + inversion): {:?}, |pos|={}, |neg|={}",
+        p.name,
+        t.elapsed(),
+        dynfd.positive_cover().len(),
+        dynfd.negative_cover().len()
+    );
+
+    for (i, b) in data.batches(60, None).into_iter().enumerate() {
+        let t = Instant::now();
+        let r = dynfd.apply_batch(&b).unwrap();
+        println!(
+            "[{}] batch {}: {:?} (del {:?} / ins {:?}), |pos|={}, |neg|={}, fdval={}, nonfdval={}",
+            p.name,
+            i,
+            t.elapsed(),
+            r.metrics.delete_phase_time,
+            r.metrics.insert_phase_time,
+            dynfd.positive_cover().len(),
+            dynfd.negative_cover().len(),
+            r.metrics.fd_validations,
+            r.metrics.non_fd_validations,
+        );
+    }
+}

@@ -41,7 +41,10 @@ fn table4_reports_positive_throughput() {
 fn fig5_emits_summary_and_series() {
     let (summary, series) = experiments::fig5::run(&tiny_ctx());
     assert_eq!(summary.to_csv_string().lines().count(), 2);
-    assert!(series.to_csv_string().lines().count() > 1, "at least one batch");
+    assert!(
+        series.to_csv_string().lines().count() > 1,
+        "at least one batch"
+    );
 }
 
 #[test]
@@ -63,13 +66,20 @@ fn fig8_has_eight_strategy_rows() {
     let csv = table.to_csv_string();
     assert_eq!(csv.lines().count(), 9, "header + 8 strategy sets");
     assert!(csv.contains("4.3+5.3+4.2+5.2"));
-    assert!(csv.lines().nth(1).unwrap().starts_with('-'), "baseline row first");
+    assert!(
+        csv.lines().nth(1).unwrap().starts_with('-'),
+        "baseline row first"
+    );
 }
 
 #[test]
 fn ext_rows_cover_all_variants() {
     let table = experiments::ext::run(&tiny_ctx());
     let csv = table.to_csv_string();
-    assert_eq!(csv.lines().count(), 1 + 6 * 4, "header + 6 datasets x 4 variants");
+    assert_eq!(
+        csv.lines().count(),
+        1 + 6 * 4,
+        "header + 6 datasets x 4 variants"
+    );
     assert!(csv.contains("+ both"));
 }

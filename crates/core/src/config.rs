@@ -60,6 +60,13 @@ pub struct DynFdConfig {
     /// is skipped in both phases. Off by default (the paper's evaluated
     /// configuration).
     pub update_pruning: bool,
+    /// Worker-thread budget for level-wise candidate validation and the
+    /// violation search. `0` means *auto* (one worker per available
+    /// core), `1` forces the sequential code path, `n > 1` caps the
+    /// worker count at `n`. The produced covers, deltas, and violation
+    /// annotations are bit-identical for every setting; only wall-clock
+    /// time changes.
+    pub parallelism: usize,
 }
 
 impl Default for DynFdConfig {
@@ -73,6 +80,7 @@ impl Default for DynFdConfig {
             dfs_seed_fraction: 0.1,
             known_keys: AttrSet::empty(),
             update_pruning: false,
+            parallelism: 0,
         }
     }
 }
@@ -89,6 +97,12 @@ impl DynFdConfig {
             depth_first_search: false,
             ..DynFdConfig::default()
         }
+    }
+
+    /// The concrete worker count for this machine: resolves the `0 =
+    /// auto` convention of [`DynFdConfig::parallelism`].
+    pub fn effective_parallelism(&self) -> usize {
+        dynfd_relation::resolve_parallelism(self.parallelism)
     }
 
     /// Short human-readable label of the enabled strategy set, matching
@@ -133,6 +147,17 @@ mod tests {
         assert!(!c.cluster_pruning && !c.validation_pruning && !c.depth_first_search);
         assert_eq!(c.violation_search, SearchMode::Naive);
         assert_eq!(c.strategy_label(), "-");
+    }
+
+    #[test]
+    fn parallelism_resolution() {
+        let mut c = DynFdConfig::default();
+        assert_eq!(c.parallelism, 0, "default is auto");
+        assert!(c.effective_parallelism() >= 1);
+        c.parallelism = 1;
+        assert_eq!(c.effective_parallelism(), 1);
+        c.parallelism = 4;
+        assert_eq!(c.effective_parallelism(), 4);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use crate::{BatchMetrics, DynFd};
 use dynfd_common::{AttrSet, Fd};
-use dynfd_relation::{validate, AppliedBatch, RhsOutcome, ValidationOptions};
+use dynfd_relation::{validate_many, AppliedBatch, RhsOutcome, ValidationJob, ValidationOptions};
 
 impl DynFd {
     /// Processes the batch's deletes (Algorithm 4).
@@ -25,6 +25,7 @@ impl DynFd {
             return; // no non-FDs at all: every candidate already valid
         };
         let full = ValidationOptions::full();
+        let threads = self.config.effective_parallelism();
 
         // Line 1: from the most specific level towards the most general.
         for level in (0..=max_level).rev() {
@@ -32,7 +33,14 @@ impl DynFd {
             let total = snapshot.len();
             let mut valid_fds: Vec<Fd> = Vec::new();
 
-            // Lines 2-5: validate the level's (still live) non-FDs.
+            // Lines 2-5: decide which of the level's (still live) non-FDs
+            // need a validation at all. All three skip checks — liveness,
+            // update pruning, and the §5.2 needsValidation() probe — stay
+            // on the coordinating thread: they read (and §5.2 logically
+            // belongs with code that later *writes*) the violation store,
+            // which is not shared with workers. Only the pure PLI
+            // validations of the survivors fan out.
+            let mut survivors: Vec<Fd> = Vec::new();
             for non_fd in snapshot {
                 if !self.non_fds.contains(non_fd.lhs, non_fd.rhs) {
                     continue; // evicted by an earlier depth-first search
@@ -55,7 +63,19 @@ impl DynFd {
                     continue;
                 }
                 metrics.non_fd_validations += 1;
-                let result = validate(&self.rel, non_fd.lhs, AttrSet::single(non_fd.rhs), &full);
+                survivors.push(non_fd);
+            }
+
+            // Fan out the survivors' validations, then apply the verdicts
+            // in snapshot order — identical to the sequential loop.
+            let jobs: Vec<ValidationJob> = survivors
+                .iter()
+                .map(|fd| (fd.lhs, AttrSet::single(fd.rhs)))
+                .collect();
+            for (&non_fd, result) in survivors
+                .iter()
+                .zip(validate_many(&self.rel, &jobs, &full, threads))
+            {
                 metrics.clusters_visited += result.stats.clusters_visited;
                 match result.outcome(non_fd.rhs) {
                     RhsOutcome::Valid => valid_fds.push(non_fd),

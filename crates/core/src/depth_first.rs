@@ -11,8 +11,8 @@
 //! strictly more.
 
 use crate::{BatchMetrics, DynFd};
-use dynfd_common::Fd;
-use dynfd_relation::{validate_fd, ValidationOptions};
+use dynfd_common::{AttrSet, Fd};
+use dynfd_relation::{validate_with, ValidationOptions, ValidatorScratch};
 use std::collections::HashSet;
 
 impl DynFd {
@@ -31,9 +31,13 @@ impl DynFd {
         let k = ((n as f64 * self.config.dfs_seed_fraction).ceil() as usize).clamp(1, n);
         let stride = n.div_ceil(k);
         let mut visited: HashSet<Fd> = HashSet::new();
+        // One scratch serves the whole search: the recursion is
+        // inherently sequential (each validation depends on the verdicts
+        // before it), so the win here is allocation reuse, not threads.
+        let mut scratch = ValidatorScratch::new();
         for idx in (0..n).step_by(stride) {
             metrics.dfs_seeds += 1;
-            self.depth_first(seeds[idx], &mut visited, metrics);
+            self.depth_first(seeds[idx], &mut visited, &mut scratch, metrics);
         }
     }
 
@@ -45,7 +49,13 @@ impl DynFd {
     /// The `visited` memo is an implementation addition: different
     /// recursion paths reach the same generalization (the lattice is not
     /// a tree), and re-validating it would only repeat work.
-    fn depth_first(&mut self, fd: Fd, visited: &mut HashSet<Fd>, metrics: &mut BatchMetrics) {
+    fn depth_first(
+        &mut self,
+        fd: Fd,
+        visited: &mut HashSet<Fd>,
+        scratch: &mut ValidatorScratch,
+        metrics: &mut BatchMetrics,
+    ) {
         if !visited.insert(fd) {
             return;
         }
@@ -59,10 +69,17 @@ impl DynFd {
                 false // already explored (and deduced) via another path
             } else {
                 metrics.non_fd_validations += 1;
-                validate_fd(&self.rel, &new_fd, &ValidationOptions::full()).is_valid()
+                validate_with(
+                    &self.rel,
+                    new_fd.lhs,
+                    AttrSet::single(new_fd.rhs),
+                    &ValidationOptions::full(),
+                    scratch,
+                )
+                .all_valid()
             };
             if proceed {
-                self.depth_first(new_fd, visited, metrics);
+                self.depth_first(new_fd, visited, scratch, metrics);
             }
         }
         // Line 6: deduction last — generalizations processed above have

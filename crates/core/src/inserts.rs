@@ -16,13 +16,12 @@
 
 use crate::{BatchMetrics, DynFd};
 use dynfd_common::{AttrSet, Fd, RecordId};
-use dynfd_relation::{validate, AppliedBatch, ValidationOptions};
+use dynfd_relation::{agree_set, validate_many, AppliedBatch, ValidationJob, ValidationOptions};
 use std::collections::BTreeMap;
 
 impl DynFd {
     /// Processes the batch's inserts (Algorithm 2).
     pub(crate) fn process_inserts(&mut self, applied: &AppliedBatch, metrics: &mut BatchMetrics) {
-        let arity = self.rel.arity();
         let first_new = applied
             .first_new_id
             .expect("insert phase only runs when the batch inserted records");
@@ -32,9 +31,12 @@ impl DynFd {
             ValidationOptions::full()
         };
 
+        let threads = self.config.effective_parallelism();
         let mut level = 0usize;
         while self.fds.max_level().is_some_and(|max| level <= max) {
-            // Lines 2-5: validate the level, collecting invalid FDs.
+            // Lines 2-5: validate the level, collecting invalid FDs. All
+            // cover-dependent filtering happens here on the coordinating
+            // thread; only the resulting pure validation jobs fan out.
             let snapshot = self.fds.get_level(level);
             let mut groups: BTreeMap<AttrSet, AttrSet> = BTreeMap::new();
             for fd in &snapshot {
@@ -44,7 +46,7 @@ impl DynFd {
                     .insert(fd.rhs);
             }
             let mut total = 0usize;
-            let mut invalid: Vec<(Fd, (RecordId, RecordId))> = Vec::new();
+            let mut jobs: Vec<ValidationJob> = Vec::with_capacity(groups.len());
             for (lhs, rhs_set) in groups {
                 // §8 extension, key-constraint pruning: a declared key in
                 // the LHS makes the FD unfalsifiable — skip it outright.
@@ -74,7 +76,19 @@ impl DynFd {
                 }
                 metrics.fd_validations += 1;
                 total += live.len();
-                let result = validate(&self.rel, lhs, live, &opts);
+                jobs.push((lhs, live));
+            }
+
+            // The level's jobs are independent (the relation is frozen and
+            // verdicts are applied only after all of them return), so they
+            // shard across workers; results come back in job order, which
+            // keeps the verdict application — and hence the covers —
+            // bit-identical to the sequential traversal.
+            let mut invalid: Vec<(Fd, (RecordId, RecordId))> = Vec::new();
+            for (&(lhs, _), result) in jobs
+                .iter()
+                .zip(validate_many(&self.rel, &jobs, &opts, threads))
+            {
                 metrics.clusters_pruned += result.stats.clusters_pruned;
                 metrics.clusters_visited += result.stats.clusters_visited;
                 for (r, a, b) in result.violations() {
@@ -82,24 +96,26 @@ impl DynFd {
                 }
             }
 
-            // Lines 6-15: demote invalid FDs and specialize them.
+            // Lines 6-15, strengthened to full dependency induction
+            // (Algorithm 3): the violating pair refutes not just the
+            // failed candidate but everything its agree set covers, so
+            // induce from the agree set — evicting every cover FD the
+            // pair refutes at once and specializing along *escape*
+            // attributes only. Specializing along all attributes (the
+            // literal lines 10-15) regenerates children the same pair
+            // still violates; on wide relations those guaranteed-invalid
+            // candidates snowball level over level into millions of
+            // useless validations.
             let invalid_count = invalid.len();
             for (fd, pair) in invalid {
-                self.fds.remove(fd.lhs, fd.rhs);
-                // The FD was valid a moment ago, so as a non-FD it is
-                // inevitably maximal; generalizations in the negative
-                // cover stop being maximal and are evicted (lines 8-9).
-                if self.non_fds.add_maximal_evicting(fd.lhs, fd.rhs)
-                    && self.config.validation_pruning
-                {
-                    self.violations.attach(fd, pair);
+                if !self.fds.contains(fd.lhs, fd.rhs) {
+                    continue; // an earlier witness this wave evicted it
                 }
-                // Lines 10-15: minimal direct specializations.
-                for r in 0..arity {
-                    if r != fd.rhs && !fd.lhs.contains(r) {
-                        self.fds.add_minimal(fd.lhs.with(r), fd.rhs);
-                    }
-                }
+                let agree = agree_set(&self.rel, pair.0, pair.1)
+                    .expect("violating pair references live records");
+                // `fd.lhs ⊆ agree` and `fd.rhs ∉ agree` by construction,
+                // so the induction always evicts `fd` itself.
+                self.apply_non_fd_witness(agree, pair);
             }
 
             // Lines 16-17: progressive violation search when the lattice

@@ -11,6 +11,15 @@ pub struct BatchMetrics {
     /// Wall-clock time of the whole batch (structure updates + both
     /// maintenance phases).
     pub wall_time: Duration,
+    /// Wall-clock time of the delete phase (Algorithm 4) alone.
+    pub delete_phase_time: Duration,
+    /// Wall-clock time of the insert phase (Algorithm 2) alone,
+    /// including any triggered violation search.
+    pub insert_phase_time: Duration,
+    /// Worker threads the validation engine was allowed to use for this
+    /// batch (the resolved value of `DynFdConfig::parallelism`). Under
+    /// `absorb` this is the maximum across batches, not a sum.
+    pub threads_used: usize,
     /// Records inserted (updates count once here and once in `deletes`).
     pub inserts: usize,
     /// Records deleted.
@@ -51,6 +60,9 @@ impl BatchMetrics {
     /// harness to report per-run totals).
     pub fn absorb(&mut self, other: &BatchMetrics) {
         self.wall_time += other.wall_time;
+        self.delete_phase_time += other.delete_phase_time;
+        self.insert_phase_time += other.insert_phase_time;
+        self.threads_used = self.threads_used.max(other.threads_used);
         self.inserts += other.inserts;
         self.deletes += other.deletes;
         self.fd_validations += other.fd_validations;
@@ -89,5 +101,24 @@ mod tests {
         assert_eq!(a.inserts, 5);
         assert_eq!(a.comparisons, 15);
         assert_eq!(a.wall_time, Duration::from_millis(7));
+    }
+
+    #[test]
+    fn absorb_takes_max_threads_and_sums_phase_times() {
+        let mut a = BatchMetrics {
+            threads_used: 4,
+            insert_phase_time: Duration::from_millis(3),
+            ..Default::default()
+        };
+        let b = BatchMetrics {
+            threads_used: 2,
+            insert_phase_time: Duration::from_millis(4),
+            delete_phase_time: Duration::from_millis(1),
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.threads_used, 4);
+        assert_eq!(a.insert_phase_time, Duration::from_millis(7));
+        assert_eq!(a.delete_phase_time, Duration::from_millis(1));
     }
 }

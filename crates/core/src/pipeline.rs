@@ -104,6 +104,14 @@ impl DynFd {
         self.violations.len()
     }
 
+    /// The §5.2 violation annotations, deterministically sorted (used by
+    /// the parallel-determinism tests to compare runs).
+    pub fn violation_annotations(
+        &self,
+    ) -> Vec<(Fd, (dynfd_common::RecordId, dynfd_common::RecordId))> {
+        self.violations.sorted_annotations()
+    }
+
     /// Processes one batch of change operations and returns the delta of
     /// the minimal FD set (paper Figure 1, steps 1–4).
     ///
@@ -126,12 +134,18 @@ impl DynFd {
         self.violations.purge_records(&applied.deleted);
 
         // Step 2: deletes first (Section 2 explains the ordering), then
-        // Step 3: inserts.
+        // Step 3: inserts. Both phases fan their candidate validations
+        // out over the configured worker budget.
+        metrics.threads_used = self.config.effective_parallelism();
         if applied.has_deletes() {
+            let phase = Instant::now();
             self.process_deletes(&applied, &mut metrics);
+            metrics.delete_phase_time = phase.elapsed();
         }
         if applied.has_inserts() {
+            let phase = Instant::now();
             self.process_inserts(&applied, &mut metrics);
+            metrics.insert_phase_time = phase.elapsed();
         }
 
         // Step 4: signal the changed FDs.

@@ -15,9 +15,13 @@
 
 use crate::config::SearchMode;
 use crate::{BatchMetrics, DynFd};
-use dynfd_common::RecordId;
-use dynfd_relation::agree_set;
+use dynfd_common::{AttrSet, RecordId};
+use dynfd_relation::{agree_set, par_map};
 use std::collections::BTreeSet;
+
+/// One cluster's window-scan output: pair comparisons performed and the
+/// non-trivial agree-set witnesses found, in window-position order.
+type ClusterScan = (usize, Vec<(AttrSet, RecordId, RecordId)>);
 
 /// A PLI cluster prepared for windowed comparisons.
 struct SortedCluster {
@@ -46,8 +50,11 @@ impl DynFd {
         // Collect each inserted record's partner clusters: for every
         // attribute, the cluster holding the record's value. The same
         // (attr, value) cluster is collected once even if several new
-        // records share it.
-        let mut clusters: Vec<SortedCluster> = Vec::new();
+        // records share it. The (attr, value) job list is assembled in
+        // deterministic order on the coordinating thread; the expensive
+        // part — the per-cluster similarity sort — fans out.
+        let threads = self.config.effective_parallelism();
+        let mut cluster_jobs: Vec<(usize, u32)> = Vec::new();
         for attr in 0..arity {
             let mut values: BTreeSet<u32> = BTreeSet::new();
             for &rid in &new_ids {
@@ -60,20 +67,23 @@ impl DynFd {
                     .pli(attr)
                     .cluster(value)
                     .expect("inverted index hit");
-                if cluster.len() < 2 {
-                    continue;
+                if cluster.len() >= 2 {
+                    cluster_jobs.push((attr, value));
                 }
-                let mut members = cluster.to_vec();
-                members.sort_by(|&x, &y| {
-                    self.rel
-                        .compressed(x)
-                        .expect("live")
-                        .cmp(self.rel.compressed(y).expect("live"))
-                });
-                let is_new = members.iter().map(|m| new_ids.contains(m)).collect();
-                clusters.push(SortedCluster { members, is_new });
             }
         }
+        let rel = &self.rel;
+        let clusters: Vec<SortedCluster> = par_map(&cluster_jobs, threads, |&(attr, value)| {
+            let cluster = rel.pli(attr).cluster(value).expect("inverted index hit");
+            let mut members = cluster.to_vec();
+            members.sort_by(|&x, &y| {
+                rel.compressed(x)
+                    .expect("live")
+                    .cmp(rel.compressed(y).expect("live"))
+            });
+            let is_new = members.iter().map(|m| new_ids.contains(m)).collect();
+            SortedCluster { members, is_new }
+        });
         if clusters.is_empty() {
             return;
         }
@@ -85,14 +95,21 @@ impl DynFd {
 
         let mut dist = 1usize;
         loop {
-            let mut comparisons = 0usize;
-            let mut learned = 0usize;
+            // The window scan splits into a read-only half (pair
+            // selection + agree-set computation against the frozen
+            // relation) that fans out per cluster, and a mutating half
+            // (witness application to the covers) that runs on the
+            // coordinating thread in (cluster, window-position) order —
+            // the exact order of the sequential scan, so the covers and
+            // the `learned` yield driving the cut-off are bit-identical.
             let mut any_window_applied = false;
-            for c in &clusters {
+            let rel = &self.rel;
+            let scans: Vec<ClusterScan> = par_map(&clusters, threads, |c| {
+                let mut comparisons = 0usize;
+                let mut witnesses: Vec<(AttrSet, RecordId, RecordId)> = Vec::new();
                 if c.members.len() <= dist {
-                    continue;
+                    return (comparisons, witnesses);
                 }
-                any_window_applied = true;
                 for i in 0..c.members.len() - dist {
                     // Only pairs touching an inserted record can carry
                     // *new* violations.
@@ -101,10 +118,23 @@ impl DynFd {
                     }
                     let (a, b) = (c.members[i], c.members[i + dist]);
                     comparisons += 1;
-                    let agree = agree_set(&self.rel, a, b).expect("live members");
+                    let agree = agree_set(rel, a, b).expect("live members");
                     if agree.len() == arity {
                         continue; // duplicates witness nothing
                     }
+                    witnesses.push((agree, a, b));
+                }
+                (comparisons, witnesses)
+            });
+
+            let mut comparisons = 0usize;
+            let mut learned = 0usize;
+            for (c, (cluster_comparisons, witnesses)) in clusters.iter().zip(scans) {
+                if c.members.len() > dist {
+                    any_window_applied = true;
+                }
+                comparisons += cluster_comparisons;
+                for (agree, a, b) in witnesses {
                     if self.apply_non_fd_witness(agree, (a, b)) {
                         learned += 1;
                     }

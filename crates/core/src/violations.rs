@@ -85,6 +85,14 @@ impl ViolationStore {
         dropped
     }
 
+    /// All annotations as a deterministically sorted list (test oracle
+    /// for comparing runs).
+    pub fn sorted_annotations(&self) -> Vec<(Fd, (RecordId, RecordId))> {
+        let mut all: Vec<_> = self.by_fd.iter().map(|(&fd, &pair)| (fd, pair)).collect();
+        all.sort();
+        all
+    }
+
     /// Drops all annotations (used when covers are rebuilt wholesale).
     pub fn clear(&mut self) {
         self.by_fd.clear();

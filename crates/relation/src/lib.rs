@@ -33,6 +33,7 @@ mod batch;
 mod changelog;
 mod csv;
 mod dictionary;
+pub mod parallel;
 mod pli;
 mod relation;
 pub mod validate;
@@ -41,9 +42,10 @@ pub use batch::{AppliedBatch, Batch, ChangeOp};
 pub use changelog::{parse_changelog, write_changelog, Batcher, WindowBatcher};
 pub use csv::{parse_csv, read_csv_file, CsvTable};
 pub use dictionary::{Dictionary, ValueId};
+pub use parallel::{par_map, resolve_parallelism, validate_many, ValidationJob};
 pub use pli::Pli;
 pub use relation::DynamicRelation;
 pub use validate::{
-    agree_set, validate, validate_fd, RhsOutcome, ValidationOptions, ValidationResult,
-    ValidationStats,
+    agree_set, validate, validate_fd, validate_with, RhsOutcome, ValidationOptions,
+    ValidationResult, ValidationStats, ValidatorScratch,
 };

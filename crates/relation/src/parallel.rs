@@ -1,0 +1,244 @@
+//! Parallel fan-out over independent validation jobs.
+//!
+//! Both DynFD lattice phases validate the candidates of a level strictly
+//! against a *frozen* relation: within one level no validation depends
+//! on another's verdict, so the jobs are embarrassingly parallel. This
+//! module shards a job list across `std::thread::scope` workers (std
+//! only — no thread-pool dependency) with a shared atomic cursor for
+//! load balancing, and reassembles results **by job index**, so the
+//! output is bit-identical to running the jobs sequentially no matter
+//! how the scheduler interleaves the workers.
+//!
+//! Each worker owns one [`ValidatorScratch`], so per-job working memory
+//! is still allocation-free in the steady state.
+
+use crate::relation::DynamicRelation;
+use crate::validate::{validate_with, ValidationOptions, ValidationResult, ValidatorScratch};
+use dynfd_common::AttrSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One validation job: all candidates `lhs -> r` for `r ∈ rhs_set`.
+pub type ValidationJob = (AttrSet, AttrSet);
+
+/// Resolves a parallelism knob (`0` = auto) against the machine.
+pub fn resolve_parallelism(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Maps `f` over `items` with up to `threads` worker threads, returning
+/// the results **in item order** regardless of scheduling.
+///
+/// The generic workhorse behind [`validate_many`] and the parallel
+/// pieces of the violation search: a shared atomic cursor hands out
+/// items for load balancing, each worker records `(index, result)`
+/// pairs, and the coordinator reassembles them by index. With
+/// `threads <= 1` or fewer than two items, `f` runs inline on the
+/// calling thread.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut produced: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(idx) else {
+                            break;
+                        };
+                        produced.push((idx, f(item)));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (idx, result) in handle.join().expect("worker thread panicked") {
+                slots[idx] = Some(result);
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every item produced a result"))
+        .collect()
+}
+
+/// Validates every job in `jobs` against `rel` using up to `threads`
+/// worker threads and returns the results in job order.
+///
+/// With `threads <= 1` (or fewer than two jobs) no thread is spawned and
+/// the jobs run inline — this is the exact sequential code path. The
+/// result vector is independent of the actual thread count.
+pub fn validate_many(
+    rel: &DynamicRelation,
+    jobs: &[ValidationJob],
+    opts: &ValidationOptions,
+    threads: usize,
+) -> Vec<ValidationResult> {
+    let workers = threads.min(jobs.len());
+    if workers <= 1 {
+        let mut scratch = ValidatorScratch::new();
+        return jobs
+            .iter()
+            .map(|&(lhs, rhs)| validate_with(rel, lhs, rhs, opts, &mut scratch))
+            .collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<ValidationResult>> = Vec::with_capacity(jobs.len());
+    slots.resize_with(jobs.len(), || None);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut scratch = ValidatorScratch::new();
+                    let mut produced: Vec<(usize, ValidationResult)> = Vec::new();
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(lhs, rhs)) = jobs.get(idx) else {
+                            break;
+                        };
+                        produced.push((idx, validate_with(rel, lhs, rhs, opts, &mut scratch)));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (idx, result) in handle.join().expect("validation worker panicked") {
+                slots[idx] = Some(result);
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every job produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+    use dynfd_common::Schema;
+
+    fn wide_relation(rows: usize) -> DynamicRelation {
+        let rows: Vec<Vec<String>> = (0..rows)
+            .map(|i| {
+                vec![
+                    format!("a{}", i % 7),
+                    format!("b{}", i % 5),
+                    format!("c{}", i % 3),
+                    format!("d{}", i % 11),
+                    format!("e{}", i % 2),
+                ]
+            })
+            .collect();
+        DynamicRelation::from_rows(Schema::anonymous("t", 5), &rows).unwrap()
+    }
+
+    fn all_jobs(arity: usize) -> Vec<ValidationJob> {
+        // Every single-attribute LHS against all other attributes, plus
+        // a few two-attribute LHS groups.
+        let mut jobs = Vec::new();
+        for a in 0..arity {
+            let lhs = AttrSet::single(a);
+            let rhs: AttrSet = (0..arity).filter(|&r| r != a).collect();
+            jobs.push((lhs, rhs));
+        }
+        for a in 0..arity {
+            for b in (a + 1)..arity {
+                let lhs: AttrSet = [a, b].into_iter().collect();
+                let rhs: AttrSet = (0..arity).filter(|&r| r != a && r != b).collect();
+                jobs.push((lhs, rhs));
+            }
+        }
+        jobs
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bit_for_bit() {
+        let rel = wide_relation(300);
+        let jobs = all_jobs(5);
+        let opts = ValidationOptions::full();
+        let sequential = validate_many(&rel, &jobs, &opts, 1);
+        for threads in [2, 3, 4, 8] {
+            let parallel = validate_many(&rel, &jobs, &opts, threads);
+            assert_eq!(sequential.len(), parallel.len());
+            for (s, p) in sequential.iter().zip(&parallel) {
+                assert_eq!(s.lhs, p.lhs);
+                assert_eq!(
+                    s.outcomes, p.outcomes,
+                    "outcomes diverged at {threads} threads"
+                );
+                assert_eq!(s.stats, p.stats, "stats diverged at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_single_job_validate() {
+        let rel = wide_relation(100);
+        let jobs = all_jobs(5);
+        let opts = ValidationOptions::full();
+        let batched = validate_many(&rel, &jobs, &opts, 4);
+        for (job, got) in jobs.iter().zip(&batched) {
+            let lone = validate(&rel, job.0, job.1, &opts);
+            assert_eq!(lone.outcomes, got.outcomes);
+            assert_eq!(lone.stats, got.stats);
+        }
+    }
+
+    #[test]
+    fn empty_and_single_job_lists() {
+        let rel = wide_relation(10);
+        let opts = ValidationOptions::full();
+        assert!(validate_many(&rel, &[], &opts, 4).is_empty());
+        let jobs = vec![(AttrSet::single(0), AttrSet::single(1))];
+        let got = validate_many(&rel, &jobs, &opts, 4);
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let expect: Vec<usize> = items.iter().map(|&x| x * x).collect();
+        for threads in [1, 2, 5, 16] {
+            assert_eq!(par_map(&items, threads, |&x| x * x), expect);
+        }
+        assert!(par_map::<usize, usize, _>(&[], 4, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn resolve_parallelism_contract() {
+        assert!(resolve_parallelism(0) >= 1);
+        assert_eq!(resolve_parallelism(1), 1);
+        assert_eq!(resolve_parallelism(6), 6);
+    }
+}

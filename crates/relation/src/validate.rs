@@ -131,8 +131,57 @@ impl ValidationResult {
     }
 }
 
+/// Reusable working memory for [`validate_with`].
+///
+/// A validation call needs a per-cluster group map (the lazy PLI
+/// intersection), a key buffer, and an attribute→outcome-slot index.
+/// Allocating these per call dominates the cost of validating the many
+/// small candidates of a lattice level; threading one scratch through a
+/// whole level (or one per worker thread) makes the steady state
+/// allocation-free.
+#[derive(Clone, Debug, Default)]
+pub struct ValidatorScratch {
+    /// Group map for ≥3 remaining LHS attributes, keyed by the value
+    /// codes of the remaining attributes.
+    groups_wide: HashMap<Vec<ValueId>, RecordId>,
+    /// Group map for 1–2 remaining LHS attributes, keyed by the codes
+    /// packed into a single `u64` — no per-record `Vec` allocation.
+    groups_packed: HashMap<u64, RecordId>,
+    /// Reused key buffer for the wide path: a fresh `Vec` is only
+    /// allocated when a new group is actually inserted.
+    key_buf: Vec<ValueId>,
+    /// `slot_of_attr[r]` is the index of RHS attribute `r` in the
+    /// current call's `outcomes`, replacing linear scans per violation.
+    slot_of_attr: Vec<u32>,
+}
+
+impl ValidatorScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        ValidatorScratch::default()
+    }
+}
+
+/// Packs the remaining-LHS value codes of `rec` into one `u64` key
+/// (callable only when at most two attributes remain).
+#[inline]
+fn packed_key(rest: &[AttrId], rec: &[ValueId]) -> u64 {
+    debug_assert!((1..=2).contains(&rest.len()));
+    let hi = rec[rest[0]] as u64;
+    let lo = if rest.len() == 2 {
+        rec[rest[1]] as u64
+    } else {
+        0
+    };
+    hi << 32 | lo
+}
+
 /// Validates the FD candidates `lhs -> r` for every `r ∈ rhs_set`
 /// simultaneously against `rel`.
+///
+/// Convenience wrapper over [`validate_with`] that allocates a fresh
+/// [`ValidatorScratch`]; hot paths validating many candidates should
+/// reuse one scratch instead.
 ///
 /// # Panics
 ///
@@ -142,6 +191,24 @@ pub fn validate(
     lhs: AttrSet,
     rhs_set: AttrSet,
     opts: &ValidationOptions,
+) -> ValidationResult {
+    validate_with(rel, lhs, rhs_set, opts, &mut ValidatorScratch::new())
+}
+
+/// [`validate`] with caller-provided working memory.
+///
+/// Behaviour and outputs are identical to [`validate`]; only the
+/// allocation profile differs.
+///
+/// # Panics
+///
+/// Panics if `rhs_set` intersects `lhs` (trivial candidates) or is empty.
+pub fn validate_with(
+    rel: &DynamicRelation,
+    lhs: AttrSet,
+    rhs_set: AttrSet,
+    opts: &ValidationOptions,
+    scratch: &mut ValidatorScratch,
 ) -> ValidationResult {
     assert!(!rhs_set.is_empty(), "validate called with no RHS");
     assert!(lhs.is_disjoint(&rhs_set), "trivial candidate: rhs ∈ lhs");
@@ -155,6 +222,16 @@ pub fn validate(
         rhs_set.iter().map(|r| (r, RhsOutcome::Valid)).collect();
     let mut active = rhs_set;
 
+    // Attribute-indexed slot lookup: `outcomes` is ascending by
+    // attribute id, and violations resolve their slot in O(1).
+    if scratch.slot_of_attr.len() < rel.arity() {
+        scratch.slot_of_attr.resize(rel.arity(), u32::MAX);
+    }
+    for (i, &(r, _)) in outcomes.iter().enumerate() {
+        scratch.slot_of_attr[r] = i as u32;
+    }
+    let slot_of_attr = &scratch.slot_of_attr;
+
     // Pivot: the LHS attribute with the most clusters (most selective),
     // giving the smallest groups to intersect. Ties break towards the
     // smaller attribute id for determinism.
@@ -165,8 +242,26 @@ pub fn validate(
     let rest: Vec<AttrId> = lhs.iter().filter(|&a| a != pivot).collect();
     let rhs_attrs: Vec<AttrId> = rhs_set.to_vec();
 
-    // Reused per cluster; keyed by the remaining-LHS value codes.
-    let mut groups: HashMap<Vec<ValueId>, RecordId> = HashMap::new();
+    // Compares `rec` against its group representative's record on every
+    // still-active RHS; returns true when every RHS has been resolved
+    // (i.e. the caller can stop scanning entirely).
+    macro_rules! compare {
+        ($rep:expr, $rid:expr, $rep_rec:expr, $rec:expr) => {{
+            stats.comparisons += 1;
+            let mut done = false;
+            for &r in &rhs_attrs {
+                if active.contains(r) && $rep_rec[r] != $rec[r] {
+                    active.remove(r);
+                    outcomes[slot_of_attr[r] as usize].1 = RhsOutcome::Violated($rep, $rid);
+                    if active.is_empty() {
+                        done = true;
+                        break;
+                    }
+                }
+            }
+            done
+        }};
+    }
 
     'clusters: for (_, cluster) in rel.pli(pivot).iter() {
         if cluster.len() < 2 {
@@ -181,55 +276,56 @@ pub fn validate(
             }
         }
         stats.clusters_visited += 1;
-        // Fast path for single-attribute LHS — the bulk of a typical
-        // positive cover: every cluster member shares the (empty)
-        // remaining-LHS key, so the group map degenerates to "compare
-        // everyone against the first member".
         if rest.is_empty() {
+            // Fast path for single-attribute LHS — the bulk of a typical
+            // positive cover: every cluster member shares the (empty)
+            // remaining-LHS key, so the group map degenerates to
+            // "compare everyone against the first member".
             let rep = cluster[0];
             let rep_rec = rel.compressed(rep).expect("live representative");
             for &rid in &cluster[1..] {
                 let rec = rel.compressed(rid).expect("PLI references live record");
-                stats.comparisons += 1;
-                for &r in &rhs_attrs {
-                    if active.contains(r) && rep_rec[r] != rec[r] {
-                        active.remove(r);
-                        let slot =
-                            outcomes.iter_mut().find(|(a, _)| *a == r).expect("rhs present");
-                        slot.1 = RhsOutcome::Violated(rep, rid);
-                        if active.is_empty() {
+                if compare!(rep, rid, rep_rec, rec) {
+                    break 'clusters;
+                }
+            }
+        } else if rest.len() <= 2 {
+            // Packed path: the remaining-LHS key fits one u64, so
+            // grouping allocates nothing at all.
+            let groups = &mut scratch.groups_packed;
+            groups.clear();
+            for &rid in cluster {
+                let rec = rel.compressed(rid).expect("PLI references live record");
+                match groups.entry(packed_key(&rest, rec)) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(rid);
+                    }
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        let rep = *e.get();
+                        let rep_rec = rel.compressed(rep).expect("live representative");
+                        if compare!(rep, rid, rep_rec, rec) {
                             break 'clusters;
                         }
                     }
                 }
             }
-            continue;
-        }
-        groups.clear();
-        for &rid in cluster {
-            let rec = rel.compressed(rid).expect("PLI references live record");
-            let key: Vec<ValueId> = rest.iter().map(|&a| rec[a]).collect();
-            match groups.entry(key) {
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(rid);
-                }
-                std::collections::hash_map::Entry::Occupied(e) => {
-                    let rep = *e.get();
+        } else {
+            // Wide path: key is the remaining-LHS code vector. The key
+            // is built in a reused buffer and only cloned into an owned
+            // `Vec` when a *new* group appears.
+            let groups = &mut scratch.groups_wide;
+            groups.clear();
+            for &rid in cluster {
+                let rec = rel.compressed(rid).expect("PLI references live record");
+                scratch.key_buf.clear();
+                scratch.key_buf.extend(rest.iter().map(|&a| rec[a]));
+                if let Some(&rep) = groups.get(scratch.key_buf.as_slice()) {
                     let rep_rec = rel.compressed(rep).expect("live representative");
-                    stats.comparisons += 1;
-                    for &r in &rhs_attrs {
-                        if active.contains(r) && rep_rec[r] != rec[r] {
-                            active.remove(r);
-                            let slot = outcomes
-                                .iter_mut()
-                                .find(|(a, _)| *a == r)
-                                .expect("rhs present");
-                            slot.1 = RhsOutcome::Violated(rep, rid);
-                            if active.is_empty() {
-                                break 'clusters;
-                            }
-                        }
+                    if compare!(rep, rid, rep_rec, rec) {
+                        break 'clusters;
                     }
+                } else {
+                    groups.insert(scratch.key_buf.clone(), rid);
                 }
             }
         }

@@ -1,0 +1,374 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the benchmarking surface the workspace's `benches/` use —
+//! `Criterion`, benchmark groups, `Bencher::iter`/`iter_batched`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!`/
+//! `criterion_main!` macros — on top of a simple median-of-samples
+//! wall-clock measurement. Results are printed per benchmark and
+//! collected in-process so harnesses can snapshot them as JSON
+//! ([`collected_results`], [`write_json_snapshot`]).
+
+use std::fmt::Display;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` should amortize setup cost. The stand-in times
+/// each routine invocation individually, so the variants only mirror
+/// the upstream API.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Inputs are cheap to set up.
+    SmallInput,
+    /// Inputs are expensive to set up.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter only (prefixed by the group name when
+    /// used inside a group).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Things usable as a benchmark id (`&str`, `String`, [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// One measured benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/name` when grouped).
+    pub id: String,
+    /// Median time per iteration, in nanoseconds.
+    pub median_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// All results measured so far in this process, in execution order.
+pub fn collected_results() -> Vec<BenchResult> {
+    RESULTS.lock().expect("results lock").clone()
+}
+
+/// Writes all collected results to `path` as a JSON array (hand-rolled;
+/// no serde in the offline build).
+pub fn write_json_snapshot(path: &str, context: &[(&str, String)]) -> std::io::Result<()> {
+    let results = collected_results();
+    let mut out = String::from("{\n");
+    for (key, value) in context {
+        out.push_str(&format!("  \"{}\": {},\n", key, json_string(value)));
+    }
+    out.push_str("  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": {}, \"median_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+            json_string(&r.id),
+            r.median_ns,
+            r.samples,
+            r.iters_per_sample,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Passed to benchmark closures to drive timed iterations.
+pub struct Bencher {
+    samples: usize,
+    sample_budget: Duration,
+    result_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, reporting the median over several samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate a single iteration.
+        let est = {
+            let start = Instant::now();
+            let mut n = 0u64;
+            while start.elapsed() < Duration::from_millis(20) && n < 1_000 {
+                black_box(routine());
+                n += 1;
+            }
+            start.elapsed().as_secs_f64() / n.max(1) as f64
+        };
+        let iters =
+            ((self.sample_budget.as_secs_f64() / est.max(1e-9)) as u64).clamp(1, 10_000_000);
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            times.push(start.elapsed().as_secs_f64() * 1e9 / iters as f64);
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        self.result_ns = times[times.len() / 2];
+        self.iters = iters;
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let est = {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            start.elapsed().as_secs_f64()
+        };
+        let iters = ((self.sample_budget.as_secs_f64() / est.max(1e-9)) as u64).clamp(1, 100_000);
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let mut elapsed = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                elapsed += start.elapsed();
+            }
+            times.push(elapsed.as_secs_f64() * 1e9 / iters as f64);
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        self.result_ns = times[times.len() / 2];
+        self.iters = iters;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: String, samples: usize, mut f: F) {
+    let mut bencher = Bencher {
+        samples: samples.max(5),
+        sample_budget: Duration::from_millis(5),
+        result_ns: 0.0,
+        iters: 0,
+    };
+    f(&mut bencher);
+    let unit = if bencher.result_ns >= 1e6 {
+        format!("{:.3} ms", bencher.result_ns / 1e6)
+    } else if bencher.result_ns >= 1e3 {
+        format!("{:.3} µs", bencher.result_ns / 1e3)
+    } else {
+        format!("{:.1} ns", bencher.result_ns)
+    };
+    println!(
+        "{id:<55} time: {unit}/iter  ({} samples × {} iters)",
+        bencher.samples, bencher.iters
+    );
+    RESULTS.lock().expect("results lock").push(BenchResult {
+        id,
+        median_ns: bencher.result_ns,
+        samples: bencher.samples,
+        iters_per_sample: bencher.iters,
+    });
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 15 }
+    }
+}
+
+impl Criterion {
+    /// Upstream parses CLI flags here; the stand-in ignores them.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        run_one(id.into_id(), self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        run_one(
+            format!("{}/{}", self.name, id.into_id()),
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            format!("{}/{}", self.name, id.into_id()),
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (no-op in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function running the listed targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            if let Ok(path) = std::env::var("CRITERION_JSON_OUT") {
+                $crate::write_json_snapshot(&path, &[])
+                    .unwrap_or_else(|e| eprintln!("snapshot write failed: {e}"));
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_collects() {
+        let mut c = Criterion::default();
+        c.sample_size(5);
+        c.bench_function("noop_add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(5);
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        group.finish();
+        let results = collected_results();
+        assert!(results.iter().any(|r| r.id == "noop_add"));
+        assert!(results.iter().any(|r| r.id == "grouped/4"));
+        assert!(results.iter().all(|r| r.median_ns >= 0.0));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+}
