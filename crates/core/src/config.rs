@@ -99,6 +99,31 @@ impl DynFdConfig {
         }
     }
 
+    /// Every combination of the four §6.5 ablation toggles (16 configs),
+    /// in a fixed deterministic order from [`DynFdConfig::baseline`] to
+    /// the all-strategies default. The cross-validation tests and the
+    /// testkit's differential runner iterate this matrix so that each
+    /// pruning strategy is exercised both alone and in combination.
+    pub fn ablation_matrix() -> Vec<DynFdConfig> {
+        let mut configs = Vec::with_capacity(16);
+        for cluster in [false, true] {
+            for search in [SearchMode::Naive, SearchMode::Progressive] {
+                for validation in [false, true] {
+                    for dfs in [false, true] {
+                        configs.push(DynFdConfig {
+                            cluster_pruning: cluster,
+                            violation_search: search,
+                            validation_pruning: validation,
+                            depth_first_search: dfs,
+                            ..DynFdConfig::default()
+                        });
+                    }
+                }
+            }
+        }
+        configs
+    }
+
     /// The concrete worker count for this machine: resolves the `0 =
     /// auto` convention of [`DynFdConfig::parallelism`].
     pub fn effective_parallelism(&self) -> usize {
@@ -158,6 +183,17 @@ mod tests {
         assert_eq!(c.effective_parallelism(), 1);
         c.parallelism = 4;
         assert_eq!(c.effective_parallelism(), 4);
+    }
+
+    #[test]
+    fn ablation_matrix_covers_all_toggle_combinations() {
+        let matrix = DynFdConfig::ablation_matrix();
+        assert_eq!(matrix.len(), 16);
+        let labels: std::collections::BTreeSet<String> =
+            matrix.iter().map(|c| c.strategy_label()).collect();
+        assert_eq!(labels.len(), 16, "labels are distinct: {labels:?}");
+        assert!(labels.contains("-"));
+        assert!(labels.contains("4.3+5.3+4.2+5.2"));
     }
 
     #[test]

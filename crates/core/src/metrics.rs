@@ -56,6 +56,15 @@ pub struct BatchMetrics {
 }
 
 impl BatchMetrics {
+    /// Total candidate validations the batch issued across both phases
+    /// (`fd_validations + non_fd_validations`) — the job count of the
+    /// parallel validation engine. Determinism tests compare this across
+    /// thread counts: the engine must produce the identical job stream
+    /// regardless of how many workers execute it.
+    pub fn validation_jobs(&self) -> usize {
+        self.fd_validations + self.non_fd_validations
+    }
+
     /// Accumulates another batch's counters (used by the experiment
     /// harness to report per-run totals).
     pub fn absorb(&mut self, other: &BatchMetrics) {

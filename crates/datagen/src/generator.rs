@@ -43,6 +43,20 @@ pub enum ColumnModel {
         /// Probability of a random (violating) value.
         noise: f64,
     },
+    /// A Zipf-skewed categorical that is *null* (the empty string, the
+    /// placeholder [`parse_csv`](dynfd_relation::parse_csv) produces for
+    /// missing fields) with probability `null_rate`. Null-heavy columns
+    /// concentrate most records in one giant PLI cluster — the
+    /// adversarial shape for cluster pruning and the violation search,
+    /// which the testkit's `null-heavy` fuzzing profile exercises.
+    Nullable {
+        /// Number of distinct non-null values.
+        cardinality: usize,
+        /// Zipf exponent over the non-null values.
+        skew: f64,
+        /// Probability of producing the null placeholder instead.
+        null_rate: f64,
+    },
 }
 
 /// A table layout: name plus one [`ColumnModel`] per column.
@@ -76,14 +90,26 @@ impl TableSpec {
                     assert!(source < i, "column {i}: source {source} must precede it");
                     assert!(groups > 0, "column {i}: zero groups");
                 }
+                ColumnModel::Nullable {
+                    cardinality,
+                    null_rate,
+                    ..
+                } => {
+                    assert!(cardinality > 0, "column {i}: zero cardinality");
+                    assert!(
+                        (0.0..=1.0).contains(&null_rate),
+                        "column {i}: null rate {null_rate} outside [0, 1]"
+                    );
+                }
             }
         }
         let zipfs = columns
             .iter()
             .map(|c| match *c {
-                ColumnModel::Categorical { cardinality, skew } => {
-                    Some(Zipf::new(cardinality, skew))
-                }
+                ColumnModel::Categorical { cardinality, skew }
+                | ColumnModel::Nullable {
+                    cardinality, skew, ..
+                } => Some(Zipf::new(cardinality, skew)),
                 _ => None,
             })
             .collect();
@@ -221,6 +247,14 @@ impl TableSpec {
                         col,
                         hash_to_group(&row[source], col as u64, groups)
                     )
+                }
+            }
+            ColumnModel::Nullable { null_rate, .. } => {
+                if rng.gen::<f64>() < null_rate {
+                    String::new()
+                } else {
+                    let z = self.zipfs[col].as_ref().expect("zipf cached for nullable");
+                    format!("n{}_{}", col, z.sample(rng))
                 }
             }
         }
@@ -372,6 +406,45 @@ mod tests {
             "derived untouched (may now violate — intended)"
         );
         assert_eq!(row[3], before[3]);
+    }
+
+    #[test]
+    fn nullable_column_mixes_nulls_and_skewed_values() {
+        let s = TableSpec::new(
+            "t",
+            vec![ColumnModel::Nullable {
+                cardinality: 4,
+                skew: 1.0,
+                null_rate: 0.6,
+            }],
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let mut key = 0;
+        let values: Vec<String> = (0..500)
+            .map(|_| s.generate_row(&mut rng, &mut key)[0].clone())
+            .collect();
+        let nulls = values.iter().filter(|v| v.is_empty()).count();
+        assert!(
+            (200..400).contains(&nulls),
+            "null rate 0.6 over 500 draws: {nulls}"
+        );
+        assert!(
+            values.iter().any(|v| v.starts_with("n0_")),
+            "non-null values present"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "null rate")]
+    fn nullable_rate_out_of_range_rejected() {
+        let _ = TableSpec::new(
+            "bad",
+            vec![ColumnModel::Nullable {
+                cardinality: 2,
+                skew: 0.0,
+                null_rate: 1.5,
+            }],
+        );
     }
 
     #[test]

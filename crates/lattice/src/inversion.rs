@@ -164,6 +164,70 @@ mod tests {
     }
 
     #[test]
+    fn all_attributes_key_relation() {
+        // Every single attribute is a key: {a} -> b for all a ≠ b (e.g. a
+        // relation of pairwise-distinct rows in every column). The only
+        // candidates not implied are the empty-LHS ones, so the negative
+        // cover collapses to ∅ -> b per attribute — the bottom of the
+        // lattice, the mirror image of the empty-cover case.
+        for arity in 2..=5 {
+            let fds: FdTree = (0..arity)
+                .flat_map(|a| {
+                    (0..arity)
+                        .filter(move |&b| b != a)
+                        .map(move |b| Fd::new(s(&[a]), b))
+                })
+                .collect();
+            let non_fds = invert_positive_cover(&fds, arity);
+            let expect: FdTree = (0..arity).map(|b| Fd::new(AttrSet::empty(), b)).collect();
+            assert_eq!(non_fds, expect, "arity {arity}");
+            assert_eq!(non_fds, brute_force_invert(&fds, arity), "arity {arity}");
+        }
+    }
+
+    #[test]
+    fn empty_cover_matches_brute_force_across_arities() {
+        // With no valid FDs the negative cover must sit at the top of the
+        // lattice: R \ {A} -> A for every attribute, at every arity.
+        for arity in 1..=5 {
+            let got = invert_positive_cover(&FdTree::new(), arity);
+            assert_eq!(
+                got,
+                brute_force_invert(&FdTree::new(), arity),
+                "arity {arity}"
+            );
+            assert_eq!(got.all_fds().len(), arity);
+        }
+    }
+
+    #[test]
+    fn edge_covers_round_trip_through_induction() {
+        // Inversion and dependency induction are inverse bijections
+        // between antichain covers — including at the degenerate corners
+        // this module's edge tests pin down.
+        use crate::induce_from_negative_cover;
+        let arity = 4;
+        let all_key: FdTree = (0..arity)
+            .flat_map(|a| {
+                (0..arity)
+                    .filter(move |&b| b != a)
+                    .map(move |b| Fd::new(s(&[a]), b))
+            })
+            .collect();
+        let covers = [
+            FdTree::new(),                                   // no FDs hold
+            tree(&[(&[], 0), (&[], 1), (&[], 2), (&[], 3)]), // all constant
+            all_key,                                         // every attribute a key
+            tree(&[(&[0], 1), (&[0], 2), (&[0], 3)]),        // one key column
+        ];
+        for cover in covers {
+            let inverted = invert_positive_cover(&cover, arity);
+            let back = induce_from_negative_cover(&inverted, arity);
+            assert_eq!(back, cover, "round trip broke for {:?}", cover.all_fds());
+        }
+    }
+
+    #[test]
     fn single_attribute_relation() {
         // Arity 1: the initial non-FD for attribute 0 is ∅ -> 0.
         let non_fds = invert_positive_cover(&FdTree::new(), 1);

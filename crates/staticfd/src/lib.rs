@@ -38,6 +38,45 @@ pub(crate) fn trivial_cover(rel: &DynamicRelation) -> FdTree {
     fds
 }
 
+/// A static discovery algorithm usable as a from-scratch correctness
+/// oracle. The three algorithms share no discovery code (column-based,
+/// row-based, and hybrid), so agreement between all of them and DynFD's
+/// maintained cover is strong evidence of correctness — the differential
+/// runner in `dynfd-testkit` iterates [`Oracle::ALL`] after every batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Oracle {
+    /// Level-wise lattice traversal (column-based).
+    Tane,
+    /// All record pairs → negative cover → induction (row-based).
+    Fdep,
+    /// Hybrid row- and column-based discovery.
+    Hyfd,
+}
+
+impl Oracle {
+    /// All three oracles, in a fixed order.
+    pub const ALL: [Oracle; 3] = [Oracle::Tane, Oracle::Fdep, Oracle::Hyfd];
+
+    /// The oracle's name as used in failure reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Oracle::Tane => "tane",
+            Oracle::Fdep => "fdep",
+            Oracle::Hyfd => "hyfd",
+        }
+    }
+
+    /// Runs the algorithm from scratch on `rel`, returning the complete
+    /// set of minimal, non-trivial FDs.
+    pub fn discover(self, rel: &DynamicRelation) -> FdTree {
+        match self {
+            Oracle::Tane => tane::discover(rel),
+            Oracle::Fdep => fdep::discover(rel),
+            Oracle::Hyfd => hyfd::discover(rel),
+        }
+    }
+}
+
 #[cfg(test)]
 pub(crate) mod testutil {
     use dynfd_common::Schema;

@@ -1,0 +1,157 @@
+//! Seeded differential fuzzer for DynFD.
+//!
+//! ```text
+//! cargo run -p dynfd-testkit --bin fuzz -- --seed 2 --cases 25 --budget-secs 120
+//! ```
+//!
+//! Each case generates a deterministic trace (`Trace::for_case(seed,
+//! i)`), replays it under every pruning configuration, and checks the
+//! maintained covers against the three static oracles plus the four
+//! metamorphic invariants. Any failure is delta-debugged down to a
+//! near-minimal trace and written as a self-contained
+//! `*.repro.json` file (default directory: `repros/`).
+//!
+//! Exit code 0 = every completed case clean; 1 = at least one
+//! discrepancy (repro files written); 2 = bad usage.
+//!
+//! `--budget-secs` bounds wall time: the fuzzer stops starting new cases
+//! once the budget is spent (cases already running finish). `--fault`
+//! injects a deliberate cover bug (`drop-first` or `add-bogus`) to
+//! demonstrate the catch → shrink → repro pipeline end to end.
+
+use dynfd_testkit::{
+    check_trace, shrink_trace, CoverFault, Repro, RunnerOptions, Trace, TraceStats,
+};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+struct Args {
+    seed: u64,
+    cases: u64,
+    budget: Duration,
+    out_dir: PathBuf,
+    fault: Option<CoverFault>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fuzz [--seed N] [--cases N] [--budget-secs N] [--out DIR] [--fault drop-first|add-bogus]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 0,
+        cases: 25,
+        budget: Duration::from_secs(300),
+        out_dir: PathBuf::from("repros"),
+        fault: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--cases" => args.cases = value().parse().unwrap_or_else(|_| usage()),
+            "--budget-secs" => {
+                args.budget = Duration::from_secs(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--out" => args.out_dir = PathBuf::from(value()),
+            "--fault" => {
+                args.fault = Some(match value().as_str() {
+                    "drop-first" => CoverFault::DropFirstFd,
+                    "add-bogus" => CoverFault::AddBogusFd,
+                    _ => usage(),
+                })
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let opts = RunnerOptions {
+        fault: args.fault,
+        ..RunnerOptions::default()
+    };
+    let start = Instant::now();
+    let mut totals = TraceStats::default();
+    let mut completed = 0u64;
+    let mut failures = 0u64;
+
+    for case in 0..args.cases {
+        if start.elapsed() > args.budget {
+            println!(
+                "budget exhausted after {} of {} cases ({:.1}s)",
+                completed,
+                args.cases,
+                start.elapsed().as_secs_f64()
+            );
+            break;
+        }
+        let trace = Trace::for_case(args.seed, case);
+        let label = format!(
+            "case {case:>3} [{:<14}] {} cols, {} rows, {} ops, batch {}",
+            trace.profile,
+            trace.arity(),
+            trace.initial_rows.len(),
+            trace.ops.len(),
+            trace.batch_size
+        );
+        match check_trace(&trace, &opts) {
+            Ok(stats) => {
+                totals.absorb(&stats);
+                completed += 1;
+                println!(
+                    "{label}: ok ({} oracle checks, {} metamorphic checks)",
+                    stats.oracle_checks, stats.metamorphic_checks
+                );
+            }
+            Err(failure) => {
+                failures += 1;
+                completed += 1;
+                println!("{label}: FAILED — {failure}");
+                // Shrink against a focused runner (every oracle and
+                // invariant, but only the 16-config sweep's failing
+                // configuration would be wasteful to re-run in full).
+                let shrink_opts = opts.clone();
+                println!("  shrinking ({} ops)...", trace.ops.len());
+                let shrunk = shrink_trace(&trace, |t| check_trace(t, &shrink_opts).is_err());
+                let final_failure = check_trace(&shrunk, &shrink_opts)
+                    .expect_err("shrunk trace still fails by construction");
+                println!(
+                    "  shrunk to {} ops, {} rows",
+                    shrunk.ops.len(),
+                    shrunk.initial_rows.len()
+                );
+                let repro = Repro::new(shrunk, &final_failure);
+                if let Err(e) = std::fs::create_dir_all(&args.out_dir) {
+                    eprintln!("  cannot create {}: {e}", args.out_dir.display());
+                } else {
+                    let path = args.out_dir.join(repro.file_name());
+                    match std::fs::write(&path, repro.to_json()) {
+                        Ok(()) => println!("  repro written to {}", path.display()),
+                        Err(e) => eprintln!("  cannot write {}: {e}", path.display()),
+                    }
+                }
+            }
+        }
+    }
+
+    println!(
+        "\n{completed} cases, {failures} failures; {} configs replayed, {} batches, \
+         {} oracle checks, {} metamorphic checks in {:.1}s",
+        totals.configs,
+        totals.batches,
+        totals.oracle_checks,
+        totals.metamorphic_checks,
+        start.elapsed().as_secs_f64()
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,42 @@
+//! # dynfd-testkit
+//!
+//! Deterministic differential fuzzing for the DynFD workspace.
+//!
+//! DynFD's whole value proposition is that its maintained covers are
+//! *exactly* what a static re-run would discover (paper §1, §6). This
+//! crate turns that claim into a reusable correctness subsystem:
+//!
+//! * [`Trace`] / [`TraceProfile`] — a seeded **trace generator** layered
+//!   on `dynfd-datagen`: randomized insert/delete/update scripts over
+//!   schemas of width 2–12, with adversarial data shapes (Zipf-skewed,
+//!   all-duplicates, key-heavy, null-heavy);
+//! * [`check_trace`] — a **differential runner** that replays a trace
+//!   under every pruning configuration and compares the maintained
+//!   positive cover after every batch against all three static oracles
+//!   (TANE, FDEP, HyFD), plus four **metamorphic invariants** that need
+//!   no oracle (cover-inversion round-trip, batch-splitting equivalence,
+//!   row-permutation invariance, insert-then-delete round-trip);
+//! * [`shrink_trace`] — a **delta-debugging shrinker** that minimizes a
+//!   failing trace to a near-minimal op script;
+//! * [`Repro`] — self-contained JSON **repro files** (seed + schema +
+//!   ops + expected/actual covers) that tests replay directly;
+//! * a `fuzz` **binary** (`cargo run -p dynfd-testkit --bin fuzz`) with
+//!   `--seed`, `--cases`, and `--budget-secs` flags, run in CI as a
+//!   fixed-seed smoke job.
+//!
+//! Everything is seeded; a `(seed, case)` pair regenerates the identical
+//! trace bit for bit, on every machine.
+
+#![warn(missing_docs)]
+
+mod json;
+mod repro;
+mod runner;
+mod shrink;
+mod trace;
+
+pub use json::Json;
+pub use repro::Repro;
+pub use runner::{check_trace, CoverFault, RunnerOptions, TraceFailure, TraceStats};
+pub use shrink::shrink_trace;
+pub use trace::{Trace, TraceOp, TraceProfile};

@@ -1,0 +1,261 @@
+//! Self-contained failure reproductions.
+//!
+//! When the fuzzer finds a discrepancy it shrinks the trace and writes a
+//! `.repro.json` file holding everything needed to replay the failure
+//! without the generator: the seed and profile it came from (for
+//! provenance), the schema, the initial rows, the shrunk op script, the
+//! batch size, and the expected/actual covers of the failed check. The
+//! `replay_committed_repro_files` test in `crates/testkit/tests/`
+//! replays every repro committed under `crates/testkit/repros/`, turning
+//! each captured bug into a permanent regression test.
+
+use crate::json::Json;
+use crate::{Trace, TraceFailure, TraceOp};
+use dynfd_common::Schema;
+
+/// A self-contained, JSON-serializable failure reproduction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Repro {
+    /// The (possibly shrunk) failing trace.
+    pub trace: Trace,
+    /// Identifier of the failed check (e.g. `oracle:tane`).
+    pub check: String,
+    /// Strategy label of the configuration that failed.
+    pub config: String,
+    /// Batch index at which the check failed, if any.
+    pub batch: Option<usize>,
+    /// Expected cover at the failure point, rendered FDs.
+    pub expected: Vec<String>,
+    /// Actual cover at the failure point, rendered FDs.
+    pub actual: Vec<String>,
+}
+
+impl Repro {
+    /// Packages a shrunk trace and its failure into a repro.
+    pub fn new(trace: Trace, failure: &TraceFailure) -> Self {
+        Repro {
+            trace,
+            check: failure.check.clone(),
+            config: failure.config.clone(),
+            batch: failure.batch,
+            expected: failure.expected.clone(),
+            actual: failure.actual.clone(),
+        }
+    }
+
+    /// A stable, filesystem-safe file name for this repro.
+    pub fn file_name(&self) -> String {
+        let check: String = self
+            .check
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        format!(
+            "seed{}-{}-{}.repro.json",
+            self.trace.seed, self.trace.profile, check
+        )
+    }
+
+    /// Serializes the repro as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let t = &self.trace;
+        let rows = |rows: &[Vec<String>]| {
+            Json::Arr(
+                rows.iter()
+                    .map(|r| Json::Arr(r.iter().map(|v| Json::Str(v.clone())).collect()))
+                    .collect(),
+            )
+        };
+        let ops = Json::Arr(
+            t.ops
+                .iter()
+                .map(|op| match op {
+                    TraceOp::Insert(row) => Json::Arr(vec![
+                        Json::Str("insert".into()),
+                        Json::Arr(row.iter().map(|v| Json::Str(v.clone())).collect()),
+                    ]),
+                    TraceOp::DeleteNth(n) => {
+                        Json::Arr(vec![Json::Str("delete".into()), Json::num(n)])
+                    }
+                    TraceOp::UpdateNth(n, row) => Json::Arr(vec![
+                        Json::Str("update".into()),
+                        Json::num(n),
+                        Json::Arr(row.iter().map(|v| Json::Str(v.clone())).collect()),
+                    ]),
+                })
+                .collect(),
+        );
+        let strs =
+            |items: &[String]| Json::Arr(items.iter().map(|s| Json::Str(s.clone())).collect());
+        Json::Obj(vec![
+            ("format".into(), Json::Str("dynfd-repro-v1".into())),
+            ("seed".into(), Json::num(t.seed)),
+            ("profile".into(), Json::Str(t.profile.clone())),
+            ("relation".into(), Json::Str(t.schema.name().into())),
+            ("columns".into(), strs(t.schema.columns())),
+            ("batch_size".into(), Json::num(t.batch_size)),
+            ("initial_rows".into(), rows(&t.initial_rows)),
+            ("ops".into(), ops),
+            ("check".into(), Json::Str(self.check.clone())),
+            ("config".into(), Json::Str(self.config.clone())),
+            ("batch".into(), self.batch.map_or(Json::Null, Json::num)),
+            ("expected_cover".into(), strs(&self.expected)),
+            ("actual_cover".into(), strs(&self.actual)),
+        ])
+        .to_string_pretty()
+    }
+
+    /// Parses a repro back from its JSON form.
+    pub fn from_json(text: &str) -> Result<Repro, String> {
+        let doc = Json::parse(text)?;
+        if doc.get("format").and_then(Json::as_str) != Some("dynfd-repro-v1") {
+            return Err("not a dynfd-repro-v1 document".into());
+        }
+        let str_field = |key: &str| -> Result<String, String> {
+            Ok(doc
+                .get(key)
+                .and_then(Json::as_str)
+                .ok_or(format!("missing string field {key:?}"))?
+                .to_string())
+        };
+        let str_arr = |value: &Json, what: &str| -> Result<Vec<String>, String> {
+            value
+                .as_arr()
+                .ok_or(format!("{what} is not an array"))?
+                .iter()
+                .map(|v| {
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or(format!("{what} holds a non-string"))
+                })
+                .collect()
+        };
+        let columns = str_arr(doc.get("columns").ok_or("missing columns")?, "columns")?;
+        let schema = Schema::new(str_field("relation")?, columns);
+        let initial_rows = doc
+            .get("initial_rows")
+            .and_then(Json::as_arr)
+            .ok_or("missing initial_rows")?
+            .iter()
+            .map(|r| str_arr(r, "row"))
+            .collect::<Result<Vec<_>, _>>()?;
+        let ops = doc
+            .get("ops")
+            .and_then(Json::as_arr)
+            .ok_or("missing ops")?
+            .iter()
+            .map(|op| {
+                let parts = op.as_arr().ok_or("op is not an array")?;
+                let kind = parts
+                    .first()
+                    .and_then(Json::as_str)
+                    .ok_or("op without kind")?;
+                match kind {
+                    "insert" => Ok(TraceOp::Insert(str_arr(
+                        parts.get(1).ok_or("insert without row")?,
+                        "insert row",
+                    )?)),
+                    "delete" => Ok(TraceOp::DeleteNth(
+                        parts
+                            .get(1)
+                            .and_then(Json::as_usize)
+                            .ok_or("delete without index")?,
+                    )),
+                    "update" => Ok(TraceOp::UpdateNth(
+                        parts
+                            .get(1)
+                            .and_then(Json::as_usize)
+                            .ok_or("update without index")?,
+                        str_arr(parts.get(2).ok_or("update without row")?, "update row")?,
+                    )),
+                    other => Err(format!("unknown op kind {other:?}")),
+                }
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let trace = Trace {
+            seed: doc
+                .get("seed")
+                .and_then(Json::as_u64)
+                .ok_or("missing seed")?,
+            profile: str_field("profile")?,
+            schema,
+            initial_rows,
+            ops,
+            batch_size: doc
+                .get("batch_size")
+                .and_then(Json::as_usize)
+                .ok_or("missing batch_size")?
+                .max(1),
+        };
+        Ok(Repro {
+            trace,
+            check: str_field("check")?,
+            config: str_field("config")?,
+            batch: doc.get("batch").and_then(Json::as_usize),
+            expected: str_arr(
+                doc.get("expected_cover").ok_or("missing expected_cover")?,
+                "expected_cover",
+            )?,
+            actual: str_arr(
+                doc.get("actual_cover").ok_or("missing actual_cover")?,
+                "actual_cover",
+            )?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceProfile;
+
+    fn sample() -> Repro {
+        let trace = Trace::generate(TraceProfile::NullHeavy, 13);
+        Repro::new(
+            trace,
+            &TraceFailure {
+                check: "oracle:tane".into(),
+                config: "4.3+5.2".into(),
+                batch: Some(2),
+                expected: vec!["{0}->1".into()],
+                actual: vec![],
+            },
+        )
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let repro = sample();
+        let text = repro.to_json();
+        let back = Repro::from_json(&text).unwrap();
+        assert_eq!(back, repro);
+        // Null placeholders (empty strings) must survive the format.
+        assert_eq!(back.trace.initial_rows, repro.trace.initial_rows);
+    }
+
+    #[test]
+    fn file_name_is_filesystem_safe() {
+        let name = sample().file_name();
+        assert!(name.ends_with(".repro.json"));
+        assert!(name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.'));
+    }
+
+    #[test]
+    fn rejects_foreign_documents() {
+        assert!(Repro::from_json("{\"format\": \"something-else\"}").is_err());
+        assert!(Repro::from_json("[]").is_err());
+        assert!(Repro::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn parsed_repro_traces_replay() {
+        let repro = sample();
+        let back = Repro::from_json(&repro.to_json()).unwrap();
+        let mut rel = back.trace.to_relation();
+        for batch in back.trace.to_batches() {
+            rel.apply_batch(&batch).expect("repro trace replays");
+        }
+    }
+}

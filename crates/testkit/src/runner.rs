@@ -1,0 +1,464 @@
+//! The differential runner.
+//!
+//! For each pruning configuration, the runner replays a [`Trace`]
+//! through [`DynFd`] and checks, after the bootstrap and after every
+//! batch, that the maintained positive cover equals what every static
+//! oracle (TANE, FDEP, HyFD) discovers from scratch on the materialized
+//! relation — the paper's central claim (§1: maintained covers are
+//! *exactly* what a static re-run would find).
+//!
+//! On top of the oracle checks it verifies four **metamorphic
+//! invariants** that need no oracle at all:
+//!
+//! 1. **cover-inversion round-trip** (Algorithm 1): the maintained
+//!    negative cover equals the inversion of the positive cover, and
+//!    inducing a positive cover back from it returns the original;
+//! 2. **batch-splitting equivalence**: replaying the same resolved op
+//!    stream in batches of 1 (and of `2 × batch_size`) lands on the
+//!    identical covers;
+//! 3. **row-permutation invariance**: FD covers are a function of the
+//!    row *multiset* — bootstrapping a fresh instance over the final
+//!    rows in permuted order reproduces the maintained cover;
+//! 4. **insert-then-delete round-trip**: inserting a wave of rows and
+//!    deleting exactly those rows again restores both covers.
+//!
+//! A [`CoverFault`] can be injected to perturb the cover the checks
+//! observe — the test suite uses this to demonstrate end to end that a
+//! cover bug is caught and shrunk to a minimal repro.
+
+use crate::Trace;
+use dynfd_core::{DynFd, DynFdConfig};
+use dynfd_lattice::{induce_from_negative_cover, invert_positive_cover, FdTree};
+use dynfd_relation::{Batch, DynamicRelation};
+use dynfd_static::Oracle;
+use std::fmt;
+
+/// A deliberate perturbation of the observed positive cover, used to
+/// prove the harness catches cover bugs (and to exercise the shrinker).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoverFault {
+    /// Drop the deterministically-first FD from every non-empty cover
+    /// observation — models a lost minimal FD.
+    DropFirstFd,
+    /// Add a fabricated specialization of the first FD — models a
+    /// non-minimal (or plain wrong) FD surviving in the cover.
+    AddBogusFd,
+}
+
+impl CoverFault {
+    /// Applies the fault to an observed cover.
+    pub fn apply(self, cover: &FdTree, arity: usize) -> FdTree {
+        let fds = cover.all_fds();
+        let Some(first) = fds.first() else {
+            return cover.clone();
+        };
+        let mut faulted = cover.clone();
+        match self {
+            CoverFault::DropFirstFd => {
+                faulted.remove(first.lhs, first.rhs);
+            }
+            CoverFault::AddBogusFd => {
+                if let Some(extra) = (0..arity).find(|&a| a != first.rhs && !first.lhs.contains(a))
+                {
+                    faulted.add(first.lhs.with(extra), first.rhs);
+                }
+            }
+        }
+        faulted
+    }
+}
+
+/// What the runner checks and under which configurations.
+#[derive(Clone, Debug)]
+pub struct RunnerOptions {
+    /// Pruning configurations to replay under (default: the full §6.5
+    /// ablation matrix, 16 configurations).
+    pub configs: Vec<DynFdConfig>,
+    /// Static oracles to compare against (default: all three).
+    pub oracles: Vec<Oracle>,
+    /// Whether to run the replay-based metamorphic checks (batch
+    /// splitting, permutation, insert/delete round-trip). The
+    /// cover-inversion round-trip is cheap and always on.
+    pub metamorphic: bool,
+    /// Optional injected cover fault (see [`CoverFault`]).
+    pub fault: Option<CoverFault>,
+}
+
+impl Default for RunnerOptions {
+    fn default() -> Self {
+        RunnerOptions {
+            configs: DynFdConfig::ablation_matrix(),
+            oracles: Oracle::ALL.to_vec(),
+            metamorphic: true,
+            fault: None,
+        }
+    }
+}
+
+impl RunnerOptions {
+    /// A reduced-cost variant for shrinking: one config (the one that
+    /// failed), all oracles, metamorphic checks on.
+    pub fn focused(config: DynFdConfig, fault: Option<CoverFault>) -> Self {
+        RunnerOptions {
+            configs: vec![config],
+            oracles: Oracle::ALL.to_vec(),
+            metamorphic: true,
+            fault,
+        }
+    }
+}
+
+/// Work counters for one fully-checked trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Configurations replayed.
+    pub configs: usize,
+    /// Batches applied across all primary replays.
+    pub batches: usize,
+    /// Static-oracle cover comparisons performed.
+    pub oracle_checks: usize,
+    /// Metamorphic invariant checks performed (all four kinds).
+    pub metamorphic_checks: usize,
+}
+
+impl TraceStats {
+    /// Accumulates another trace's counters.
+    pub fn absorb(&mut self, other: &TraceStats) {
+        self.configs += other.configs;
+        self.batches += other.batches;
+        self.oracle_checks += other.oracle_checks;
+        self.metamorphic_checks += other.metamorphic_checks;
+    }
+}
+
+/// A failed check, with enough context to report and reproduce it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceFailure {
+    /// Check identifier, e.g. `oracle:tane`,
+    /// `metamorphic:batch-splitting`, `consistency`.
+    pub check: String,
+    /// Strategy label of the configuration that failed.
+    pub config: String,
+    /// Batch index after which the check failed (`None` = bootstrap or
+    /// end-of-trace check).
+    pub batch: Option<usize>,
+    /// Expected cover (or invariant side), rendered FDs.
+    pub expected: Vec<String>,
+    /// Actual cover, rendered FDs.
+    pub actual: Vec<String>,
+}
+
+impl fmt::Display for TraceFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} failed (config {}, batch {}): expected {:?}, got {:?}",
+            self.check,
+            self.config,
+            self.batch.map_or("-".to_string(), |b| b.to_string()),
+            self.expected,
+            self.actual
+        )
+    }
+}
+
+fn render(tree: &FdTree) -> Vec<String> {
+    tree.all_fds().iter().map(|fd| fd.to_string()).collect()
+}
+
+fn fail(
+    check: impl Into<String>,
+    config: &DynFdConfig,
+    batch: Option<usize>,
+    expected: &FdTree,
+    actual: &FdTree,
+) -> Box<TraceFailure> {
+    Box::new(TraceFailure {
+        check: check.into(),
+        config: config.strategy_label(),
+        batch,
+        expected: render(expected),
+        actual: render(actual),
+    })
+}
+
+/// Replays `trace` under every configuration in `opts` and runs the
+/// differential and metamorphic checks. Returns work counters on success
+/// and the first failure otherwise.
+pub fn check_trace(trace: &Trace, opts: &RunnerOptions) -> Result<TraceStats, Box<TraceFailure>> {
+    let mut stats = TraceStats::default();
+    let ops = trace.to_change_ops();
+    let batches = Batch::chunk(ops.clone(), trace.batch_size);
+    let arity = trace.arity();
+
+    for config in &opts.configs {
+        stats.configs += 1;
+        let mut dynfd = DynFd::new(trace.to_relation(), *config);
+
+        // Bootstrap check, then one check per batch.
+        check_covers(&dynfd, config, None, opts, arity, &mut stats)?;
+        for (i, batch) in batches.iter().enumerate() {
+            if let Err(e) = dynfd.apply_batch(batch) {
+                return Err(Box::new(TraceFailure {
+                    check: format!("apply:{e}"),
+                    config: config.strategy_label(),
+                    batch: Some(i),
+                    expected: Vec::new(),
+                    actual: Vec::new(),
+                }));
+            }
+            stats.batches += 1;
+            check_covers(&dynfd, config, Some(i), opts, arity, &mut stats)?;
+        }
+
+        // Deep invariant check on the final state (exponential in arity,
+        // fine at fuzzing sizes). Skipped under an injected fault: the
+        // fault perturbs observations, not internal state.
+        if opts.fault.is_none() {
+            if let Err(e) = dynfd.verify_consistency() {
+                return Err(Box::new(TraceFailure {
+                    check: format!("consistency:{e}"),
+                    config: config.strategy_label(),
+                    batch: None,
+                    expected: Vec::new(),
+                    actual: render(dynfd.positive_cover()),
+                }));
+            }
+        }
+
+        if opts.metamorphic {
+            metamorphic_checks(trace, &dynfd, config, &ops, opts, &mut stats)?;
+        }
+    }
+    Ok(stats)
+}
+
+/// The per-state checks: oracle comparisons plus the cover-inversion
+/// round-trip (metamorphic invariant 1).
+fn check_covers(
+    dynfd: &DynFd,
+    config: &DynFdConfig,
+    batch: Option<usize>,
+    opts: &RunnerOptions,
+    arity: usize,
+    stats: &mut TraceStats,
+) -> Result<(), Box<TraceFailure>> {
+    let observed = match opts.fault {
+        Some(fault) => fault.apply(dynfd.positive_cover(), arity),
+        None => dynfd.positive_cover().clone(),
+    };
+
+    for oracle in &opts.oracles {
+        stats.oracle_checks += 1;
+        let want = oracle.discover(dynfd.relation());
+        if observed != want {
+            return Err(fail(
+                format!("oracle:{}", oracle.name()),
+                config,
+                batch,
+                &want,
+                &observed,
+            ));
+        }
+    }
+
+    // Invariant 1: positive ↔ negative cover inversion round-trip
+    // (Algorithm 1 forward, classic dependency induction backward).
+    stats.metamorphic_checks += 1;
+    let inverted = invert_positive_cover(&observed, arity);
+    if &inverted != dynfd.negative_cover() {
+        return Err(fail(
+            "metamorphic:inversion",
+            config,
+            batch,
+            &inverted,
+            dynfd.negative_cover(),
+        ));
+    }
+    let induced = induce_from_negative_cover(&inverted, arity);
+    if induced != observed {
+        return Err(fail(
+            "metamorphic:inversion-roundtrip",
+            config,
+            batch,
+            &observed,
+            &induced,
+        ));
+    }
+    Ok(())
+}
+
+/// Metamorphic invariants 2–4 (replay-based).
+fn metamorphic_checks(
+    trace: &Trace,
+    dynfd: &DynFd,
+    config: &DynFdConfig,
+    ops: &[dynfd_relation::ChangeOp],
+    opts: &RunnerOptions,
+    stats: &mut TraceStats,
+) -> Result<(), Box<TraceFailure>> {
+    let arity = trace.arity();
+    let observe = |tree: &FdTree| match opts.fault {
+        Some(fault) => fault.apply(tree, arity),
+        None => tree.clone(),
+    };
+    let final_pos = observe(dynfd.positive_cover());
+    let final_neg = dynfd.negative_cover();
+
+    // Invariant 2: batch-splitting equivalence. The resolved op stream is
+    // batching-invariant by construction, so any re-chunking must land on
+    // the same covers.
+    for split in [1, (trace.batch_size * 2).max(2)] {
+        if split == trace.batch_size {
+            continue;
+        }
+        stats.metamorphic_checks += 1;
+        let mut alt = DynFd::new(trace.to_relation(), *config);
+        for batch in Batch::chunk(ops.to_vec(), split) {
+            alt.apply_batch(&batch).expect("re-chunked trace replays");
+        }
+        let alt_pos = observe(alt.positive_cover());
+        if alt_pos != final_pos {
+            return Err(fail(
+                format!("metamorphic:batch-splitting(k={split})"),
+                config,
+                None,
+                &final_pos,
+                &alt_pos,
+            ));
+        }
+        if alt.negative_cover() != final_neg {
+            return Err(fail(
+                format!("metamorphic:batch-splitting-negative(k={split})"),
+                config,
+                None,
+                final_neg,
+                alt.negative_cover(),
+            ));
+        }
+    }
+
+    // Invariant 3: row-permutation invariance. Covers are a function of
+    // the row multiset; bootstrap a fresh instance over the final rows in
+    // a different order.
+    stats.metamorphic_checks += 1;
+    let rel = dynfd.relation();
+    let mut rows: Vec<Vec<String>> = rel
+        .record_ids()
+        .map(|rid| rel.materialize(rid).expect("live record materializes"))
+        .collect();
+    rows.reverse();
+    let third = rows.len() / 3;
+    if rows.len() > 2 {
+        rows.rotate_left(third);
+    }
+    let permuted = DynamicRelation::from_rows(trace.schema.clone(), &rows)
+        .expect("permuted rows match the schema");
+    let fresh = observe(DynFd::new(permuted, *config).positive_cover());
+    if fresh != final_pos {
+        return Err(fail(
+            "metamorphic:row-permutation",
+            config,
+            None,
+            &final_pos,
+            &fresh,
+        ));
+    }
+
+    // Invariant 4: insert-then-delete round-trip identity.
+    stats.metamorphic_checks += 1;
+    let mut rt = dynfd.clone();
+    let wave = trace.roundtrip_rows(4);
+    let first_new = rt.relation().next_id();
+    let mut insert_wave = Batch::new();
+    for row in &wave {
+        insert_wave.insert(row.clone());
+    }
+    rt.apply_batch(&insert_wave).expect("insert wave applies");
+    let mut delete_wave = Batch::new();
+    for k in 0..wave.len() as u64 {
+        delete_wave.delete(dynfd_common::RecordId(first_new.0 + k));
+    }
+    rt.apply_batch(&delete_wave).expect("delete wave applies");
+    let rt_pos = observe(rt.positive_cover());
+    if rt_pos != final_pos {
+        return Err(fail(
+            "metamorphic:insert-delete-roundtrip",
+            config,
+            None,
+            &final_pos,
+            &rt_pos,
+        ));
+    }
+    if rt.negative_cover() != final_neg {
+        return Err(fail(
+            "metamorphic:insert-delete-roundtrip-negative",
+            config,
+            None,
+            final_neg,
+            rt.negative_cover(),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceProfile;
+
+    #[test]
+    fn clean_traces_pass_every_check() {
+        let trace = Trace::generate(TraceProfile::Uniform, 42);
+        let opts = RunnerOptions {
+            configs: vec![DynFdConfig::default(), DynFdConfig::baseline()],
+            ..RunnerOptions::default()
+        };
+        let stats = check_trace(&trace, &opts).expect("clean trace");
+        assert_eq!(stats.configs, 2);
+        assert!(stats.oracle_checks > 0);
+        assert!(stats.metamorphic_checks > 0);
+    }
+
+    #[test]
+    fn injected_drop_fault_is_caught() {
+        let trace = Trace::generate(TraceProfile::AllDuplicates, 1);
+        let opts = RunnerOptions {
+            configs: vec![DynFdConfig::default()],
+            fault: Some(CoverFault::DropFirstFd),
+            ..RunnerOptions::default()
+        };
+        let failure = check_trace(&trace, &opts).expect_err("fault must be caught");
+        assert!(
+            failure.check.starts_with("oracle:") || failure.check.starts_with("metamorphic:"),
+            "{}",
+            failure.check
+        );
+    }
+
+    #[test]
+    fn injected_bogus_fd_fault_is_caught() {
+        let trace = Trace::generate(TraceProfile::KeyHeavy, 2);
+        let opts = RunnerOptions {
+            configs: vec![DynFdConfig::default()],
+            fault: Some(CoverFault::AddBogusFd),
+            ..RunnerOptions::default()
+        };
+        check_trace(&trace, &opts).expect_err("fault must be caught");
+    }
+
+    #[test]
+    fn failure_reports_carry_context() {
+        let trace = Trace::generate(TraceProfile::Uniform, 3);
+        let opts = RunnerOptions {
+            configs: vec![DynFdConfig::default()],
+            fault: Some(CoverFault::DropFirstFd),
+            ..RunnerOptions::default()
+        };
+        let failure = check_trace(&trace, &opts).unwrap_err();
+        assert_eq!(failure.config, "4.3+5.3+4.2+5.2");
+        assert_ne!(failure.expected, failure.actual);
+        let rendered = failure.to_string();
+        assert!(rendered.contains("failed"), "{rendered}");
+    }
+}

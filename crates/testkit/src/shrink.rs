@@ -1,0 +1,169 @@
+//! Delta-debugging trace minimization.
+//!
+//! Classic ddmin over the two lists that make a trace big — the op
+//! script and the initial rows — followed by cheap final passes (batch
+//! size → 1, value canonicalization). The positional op encoding of
+//! [`Trace`](crate::Trace) guarantees every candidate produced here is
+//! replayable, so the predicate never has to reject a candidate for
+//! being malformed.
+//!
+//! The predicate is "does the harness still fail on this trace"; the
+//! shrinker only keeps reductions that preserve the failure, so the
+//! result is 1-minimal: removing any single remaining op (or row) makes
+//! the failure disappear.
+
+use crate::Trace;
+
+/// Minimizes the complement-removal step of ddmin over `items`: returns
+/// a subsequence on which `test` still returns `true`, 1-minimal w.r.t.
+/// element removal.
+fn ddmin<T: Clone>(items: &[T], test: &mut impl FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut cur: Vec<T> = items.to_vec();
+    // Fast path: does the failure survive with nothing at all?
+    if test(&[]) {
+        return Vec::new();
+    }
+    let mut n = 2usize;
+    while cur.len() >= 2 {
+        let chunk = cur.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < cur.len() {
+            let end = (start + chunk).min(cur.len());
+            let mut candidate = Vec::with_capacity(cur.len() - (end - start));
+            candidate.extend_from_slice(&cur[..start]);
+            candidate.extend_from_slice(&cur[end..]);
+            if !candidate.is_empty() && test(&candidate) {
+                cur = candidate;
+                n = n.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if chunk <= 1 {
+                break;
+            }
+            n = (n * 2).min(cur.len());
+        }
+    }
+    // Final singleton sweep (covers the len == 1 case and any chunk
+    // boundaries the geometric schedule skipped).
+    let mut i = 0;
+    while cur.len() > 1 && i < cur.len() {
+        let mut candidate = cur.clone();
+        candidate.remove(i);
+        if test(&candidate) {
+            cur = candidate;
+        } else {
+            i += 1;
+        }
+    }
+    cur
+}
+
+/// Shrinks `trace` to a near-minimal trace on which `still_fails`
+/// returns `true`.
+///
+/// `still_fails(trace)` must be `true` for the input trace; the returned
+/// trace preserves that. Reduction order: ops (the usual bulk), then
+/// initial rows, then batch size, then one more op pass (row removal can
+/// unlock op removals).
+pub fn shrink_trace(trace: &Trace, mut still_fails: impl FnMut(&Trace) -> bool) -> Trace {
+    debug_assert!(still_fails(trace), "input trace must fail");
+    let mut best = trace.clone();
+
+    let with_ops = |base: &Trace, ops: &[crate::TraceOp]| Trace {
+        ops: ops.to_vec(),
+        ..base.clone()
+    };
+    let with_rows = |base: &Trace, rows: &[Vec<String>]| Trace {
+        initial_rows: rows.to_vec(),
+        ..base.clone()
+    };
+
+    // Pass 1: ops.
+    let base = best.clone();
+    best.ops = ddmin(&base.ops, &mut |ops| still_fails(&with_ops(&base, ops)));
+
+    // Pass 2: initial rows.
+    let base = best.clone();
+    best.initial_rows = ddmin(&base.initial_rows, &mut |rows| {
+        still_fails(&with_rows(&base, rows))
+    });
+
+    // Pass 3: batch size down to 1 (smaller batches mean more checked
+    // intermediate states, i.e. an earlier, tighter failure point).
+    if best.batch_size > 1 {
+        let candidate = Trace {
+            batch_size: 1,
+            ..best.clone()
+        };
+        if still_fails(&candidate) {
+            best = candidate;
+        }
+    }
+
+    // Pass 4: a second op sweep — removing rows often unlocks further op
+    // removals (e.g. deletes that only existed to hit those rows).
+    let base = best.clone();
+    best.ops = ddmin(&base.ops, &mut |ops| still_fails(&with_ops(&base, ops)));
+
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceOp, TraceProfile};
+
+    #[test]
+    fn ddmin_finds_single_culprit() {
+        let items: Vec<u32> = (0..50).collect();
+        let mut calls = 0;
+        let min = ddmin(&items, &mut |xs| {
+            calls += 1;
+            xs.contains(&37)
+        });
+        assert_eq!(min, vec![37]);
+        assert!(calls < 200, "ddmin should be sub-quadratic: {calls}");
+    }
+
+    #[test]
+    fn ddmin_keeps_interacting_pair() {
+        let items: Vec<u32> = (0..32).collect();
+        let min = ddmin(&items, &mut |xs| xs.contains(&3) && xs.contains(&28));
+        assert_eq!(min, vec![3, 28]);
+    }
+
+    #[test]
+    fn ddmin_handles_always_failing_input() {
+        let min = ddmin(&[1, 2, 3], &mut |_| true);
+        assert!(min.is_empty());
+    }
+
+    #[test]
+    fn shrink_preserves_failure_and_reduces() {
+        // Synthetic predicate: "fails" iff the trace still contains at
+        // least one insert of the poisoned row.
+        let trace = Trace::generate(TraceProfile::Uniform, 6);
+        let poison = vec!["poison".to_string(); trace.arity()];
+        let mut trace = trace;
+        trace
+            .ops
+            .insert(trace.ops.len() / 2, TraceOp::Insert(poison.clone()));
+
+        let fails = |t: &Trace| {
+            t.ops
+                .iter()
+                .any(|op| matches!(op, TraceOp::Insert(r) if *r == poison))
+        };
+        assert!(fails(&trace));
+        let shrunk = shrink_trace(&trace, fails);
+        assert!(fails(&shrunk), "shrinking must preserve the failure");
+        assert_eq!(shrunk.ops.len(), 1, "exactly the poisoned insert");
+        assert!(shrunk.initial_rows.is_empty(), "rows are irrelevant here");
+        assert_eq!(shrunk.batch_size, 1);
+    }
+}

@@ -1,0 +1,68 @@
+//! End-to-end demo of the catch → shrink → repro pipeline.
+//!
+//! A deliberate cover bug ([`CoverFault`]) is injected into the
+//! differential runner's observation path; the test asserts the harness
+//! catches it, delta-debugs the failing trace down to a near-minimal op
+//! script (≤ 6 ops), and round-trips the resulting repro file through
+//! JSON such that the replayed repro still fails.
+
+use dynfd_core::DynFdConfig;
+use dynfd_testkit::{
+    check_trace, shrink_trace, CoverFault, Repro, RunnerOptions, Trace, TraceProfile,
+};
+
+fn demo_opts(fault: CoverFault) -> RunnerOptions {
+    // One configuration keeps the demo fast; the fault perturbs the
+    // observed cover identically under every configuration anyway.
+    RunnerOptions::focused(DynFdConfig::default(), Some(fault))
+}
+
+#[test]
+fn injected_cover_bug_is_caught_and_shrunk_to_a_tiny_repro() {
+    let trace = Trace::generate(TraceProfile::ZipfSkewed, 71);
+    assert!(
+        trace.ops.len() > 6,
+        "demo needs a non-trivial trace to shrink ({} ops)",
+        trace.ops.len()
+    );
+    let opts = demo_opts(CoverFault::DropFirstFd);
+
+    // 1. Caught: the differential runner reports the discrepancy.
+    let failure = check_trace(&trace, &opts).expect_err("injected bug must be caught");
+    assert!(
+        failure.check.starts_with("oracle:") || failure.check.starts_with("metamorphic:"),
+        "unexpected check kind: {}",
+        failure.check
+    );
+
+    // 2. Shrunk: delta debugging minimizes the trace to ≤ 6 ops while
+    //    preserving the failure.
+    let shrunk = shrink_trace(&trace, |t| check_trace(t, &opts).is_err());
+    assert!(
+        shrunk.ops.len() <= 6,
+        "shrunk trace still has {} ops",
+        shrunk.ops.len()
+    );
+    let final_failure = check_trace(&shrunk, &opts).expect_err("shrunk trace still fails");
+
+    // 3. Reproduced: the repro file round-trips through JSON and the
+    //    parsed trace still triggers the same check.
+    let repro = Repro::new(shrunk, &final_failure);
+    let parsed = Repro::from_json(&repro.to_json()).expect("repro parses back");
+    assert_eq!(parsed, repro);
+    let replayed = check_trace(&parsed.trace, &opts).expect_err("replayed repro still fails");
+    assert_eq!(replayed.check, final_failure.check);
+}
+
+#[test]
+fn bogus_fd_fault_shrinks_too() {
+    let trace = Trace::generate(TraceProfile::Uniform, 72);
+    let opts = demo_opts(CoverFault::AddBogusFd);
+    check_trace(&trace, &opts).expect_err("injected bug must be caught");
+    let shrunk = shrink_trace(&trace, |t| check_trace(t, &opts).is_err());
+    assert!(
+        shrunk.ops.len() <= 6,
+        "shrunk trace still has {} ops",
+        shrunk.ops.len()
+    );
+}

@@ -1,0 +1,45 @@
+//! Replays every committed repro file.
+//!
+//! Any `*.repro.json` under `crates/testkit/repros/` (the directory the
+//! fuzz binary writes to when run from the repo root is usually
+//! `repros/`; captured bugs worth keeping are moved here) is parsed and
+//! replayed under the full runner. A committed repro documents a bug
+//! that has since been *fixed*, so replaying it must now pass — each
+//! file is a permanent regression test. The test is green when the
+//! directory does not exist.
+
+use dynfd_testkit::{check_trace, Repro, RunnerOptions};
+use std::path::PathBuf;
+
+#[test]
+fn replay_committed_repro_files() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("repros");
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return; // no committed repros yet
+    };
+    let mut replayed = 0usize;
+    for entry in entries {
+        let path = entry.expect("readable repros dir").path();
+        if !path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.ends_with(".repro.json"))
+        {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let repro = Repro::from_json(&text)
+            .unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()));
+        let opts = RunnerOptions::default();
+        if let Err(failure) = check_trace(&repro.trace, &opts) {
+            panic!(
+                "committed repro {} regressed (originally {}): {failure}",
+                path.display(),
+                repro.check
+            );
+        }
+        replayed += 1;
+    }
+    eprintln!("replayed {replayed} committed repro file(s)");
+}

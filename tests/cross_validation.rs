@@ -3,177 +3,110 @@
 //! positive cover must be identical to what each of the three static
 //! algorithms discovers from scratch on the materialized relation —
 //! under every pruning configuration.
+//!
+//! Since the testkit landed, this suite drives `dynfd-testkit`'s
+//! differential runner instead of a private trace generator: every test
+//! below gets the full oracle sweep (TANE, FDEP, HyFD after every
+//! batch), the four metamorphic invariants, and the end-of-trace deep
+//! consistency check for free. Failing traces can be handed straight to
+//! `dynfd_testkit::shrink_trace` for minimization.
 
-use dynfd::common::{RecordId, Schema};
-use dynfd::core::{DynFd, DynFdConfig, SearchMode};
-use dynfd::relation::{Batch, DynamicRelation};
+use dynfd::core::DynFdConfig;
+use dynfd_testkit::{check_trace, RunnerOptions, Trace, TraceOp, TraceProfile};
 
-/// Deterministic LCG stream.
-struct Lcg(u64);
-
-impl Lcg {
-    fn next(&mut self) -> u64 {
-        self.0 = self
-            .0
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        self.0 >> 16
+/// Runs the full differential + metamorphic battery and panics with the
+/// failure report on any discrepancy.
+fn check(trace: &Trace, opts: &RunnerOptions) {
+    if let Err(failure) = check_trace(trace, opts) {
+        panic!("seed {} ({}): {failure}", trace.seed, trace.profile);
     }
-}
-
-fn random_row(rng: &mut Lcg, cols: usize) -> Vec<String> {
-    (0..cols)
-        .map(|c| format!("v{}", rng.next() % (2 + 2 * c as u64)))
-        .collect()
-}
-
-fn all_configs() -> Vec<DynFdConfig> {
-    let mut configs = Vec::new();
-    for cluster in [false, true] {
-        for search in [SearchMode::Naive, SearchMode::Progressive] {
-            for validation in [false, true] {
-                for dfs in [false, true] {
-                    configs.push(DynFdConfig {
-                        cluster_pruning: cluster,
-                        violation_search: search,
-                        validation_pruning: validation,
-                        depth_first_search: dfs,
-                        ..DynFdConfig::default()
-                    });
-                }
-            }
-        }
-    }
-    configs
-}
-
-fn drive(
-    seed: u64,
-    cols: usize,
-    initial: usize,
-    batches: usize,
-    ops_per_batch: usize,
-    config: DynFdConfig,
-) {
-    let mut rng = Lcg(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1);
-    let rows: Vec<Vec<String>> = (0..initial).map(|_| random_row(&mut rng, cols)).collect();
-    let rel = DynamicRelation::from_rows(Schema::anonymous("x", cols), &rows).unwrap();
-    let mut dynfd = DynFd::new(rel, config);
-    let mut live: Vec<RecordId> = (0..initial as u64).map(RecordId).collect();
-    let mut next_id = initial as u64;
-
-    for batch_no in 0..batches {
-        let mut batch = Batch::new();
-        for _ in 0..ops_per_batch {
-            match rng.next() % 3 {
-                0 => {
-                    batch.insert(random_row(&mut rng, cols));
-                    live.push(RecordId(next_id));
-                    next_id += 1;
-                }
-                1 if live.len() > 2 => {
-                    let idx = (rng.next() as usize) % live.len();
-                    batch.delete(live.swap_remove(idx));
-                }
-                _ if !live.is_empty() => {
-                    let idx = (rng.next() as usize) % live.len();
-                    batch.update(live.swap_remove(idx), random_row(&mut rng, cols));
-                    live.push(RecordId(next_id));
-                    next_id += 1;
-                }
-                _ => {
-                    batch.insert(random_row(&mut rng, cols));
-                    live.push(RecordId(next_id));
-                    next_id += 1;
-                }
-            }
-        }
-        dynfd.apply_batch(&batch).expect("well-formed batch");
-
-        let tane = dynfd::staticfd::tane::discover(dynfd.relation());
-        assert_eq!(
-            dynfd.positive_cover(),
-            &tane,
-            "seed {seed} batch {batch_no} config {}: DynFD vs TANE",
-            config.strategy_label()
-        );
-    }
-    // Final deep check including the negative cover and annotations.
-    dynfd
-        .verify_consistency()
-        .unwrap_or_else(|e| panic!("seed {seed} config {}: {e}", config.strategy_label()));
-    let fdep = dynfd::staticfd::fdep::discover(dynfd.relation());
-    let hyfd = dynfd::staticfd::hyfd::discover(dynfd.relation());
-    assert_eq!(dynfd.positive_cover(), &fdep, "DynFD vs FDEP");
-    assert_eq!(dynfd.positive_cover(), &hyfd, "DynFD vs HyFD");
 }
 
 #[test]
 fn every_config_tracks_static_discovery_small() {
-    for config in all_configs() {
-        drive(1, 4, 15, 4, 4, config);
+    // One trace per data shape, each replayed under all 16 pruning
+    // configurations (the §6.5 ablation matrix).
+    let opts = RunnerOptions::default();
+    assert_eq!(opts.configs.len(), 16, "ablation matrix is the default");
+    for profile in [TraceProfile::Uniform, TraceProfile::KeyHeavy] {
+        check(&Trace::generate(profile, 1), &opts);
     }
 }
 
 #[test]
 fn default_config_many_seeds() {
-    for seed in 0..12 {
-        drive(seed, 5, 25, 5, 6, DynFdConfig::default());
+    let opts = RunnerOptions::focused(DynFdConfig::default(), None);
+    for seed in 0..8 {
+        for profile in TraceProfile::ALL {
+            check(&Trace::generate(profile, seed), &opts);
+        }
     }
 }
 
 #[test]
 fn baseline_config_many_seeds() {
-    for seed in 0..8 {
-        drive(seed + 100, 5, 25, 5, 6, DynFdConfig::baseline());
+    let opts = RunnerOptions::focused(DynFdConfig::baseline(), None);
+    for seed in 100..106 {
+        for profile in [
+            TraceProfile::Uniform,
+            TraceProfile::ZipfSkewed,
+            TraceProfile::NullHeavy,
+        ] {
+            check(&Trace::generate(profile, seed), &opts);
+        }
     }
 }
 
 #[test]
-fn wider_relation_fewer_seeds() {
-    for seed in 0..3 {
-        drive(seed + 200, 7, 30, 4, 8, DynFdConfig::default());
+fn wider_relations_fewer_seeds() {
+    // The generator makes ~20 % of traces wide (9–12 columns); scan a
+    // deterministic seed range and take the first few wide ones.
+    let opts = RunnerOptions::focused(DynFdConfig::default(), None);
+    let mut wide = 0;
+    for seed in 200..300 {
+        let trace = Trace::generate(TraceProfile::Uniform, seed);
+        if trace.arity() >= 9 {
+            check(&trace, &opts);
+            wide += 1;
+            if wide == 2 {
+                return;
+            }
+        }
     }
+    panic!("no wide traces in the scanned seed range");
 }
 
 #[test]
 fn large_batches_rewrite_most_of_the_relation() {
-    // Batches bigger than the relation stress the churn paths.
-    for seed in 0..4 {
-        drive(seed + 300, 4, 8, 3, 20, DynFdConfig::default());
+    // Batches bigger than the relation stress the churn paths: take
+    // normal traces and replay the whole script as one batch.
+    let opts = RunnerOptions::focused(DynFdConfig::default(), None);
+    for seed in 300..304 {
+        let mut trace = Trace::generate(TraceProfile::AllDuplicates, seed);
+        trace.batch_size = trace.ops.len().max(1);
+        check(&trace, &opts);
     }
 }
 
 #[test]
 fn delete_heavy_streams() {
-    // Skew the op mix towards deletes by seeding a large relation and
-    // draining it.
-    let cols = 5;
-    let mut rng = Lcg(777);
-    let rows: Vec<Vec<String>> = (0..40).map(|_| random_row(&mut rng, cols)).collect();
-    let rel = DynamicRelation::from_rows(Schema::anonymous("x", cols), &rows).unwrap();
+    // Seed a large relation and drain most of it — a hand-built trace
+    // showing the testkit accepts manual scripts, not just generated
+    // ones.
+    let base = Trace::generate(TraceProfile::ZipfSkewed, 777);
+    let trace = Trace {
+        seed: 0,
+        profile: "manual".to_string(),
+        schema: base.schema.clone(),
+        initial_rows: base.initial_rows.clone(),
+        // DeleteNth indexes the live list modulo its length, so a long
+        // run of deletes drains the relation from varying positions.
+        ops: (0..base.initial_rows.len().saturating_sub(3))
+            .map(|i| TraceOp::DeleteNth(i * 7))
+            .collect(),
+        batch_size: 6,
+    };
     for config in [DynFdConfig::default(), DynFdConfig::baseline()] {
-        let mut dynfd = DynFd::new(rel.clone(), config);
-        let mut live: Vec<RecordId> = (0..40).map(RecordId).collect();
-        let mut lcg = Lcg(778);
-        while live.len() > 4 {
-            let mut batch = Batch::new();
-            for _ in 0..6 {
-                if live.len() <= 4 {
-                    break;
-                }
-                let idx = (lcg.next() as usize) % live.len();
-                batch.delete(live.swap_remove(idx));
-            }
-            dynfd.apply_batch(&batch).unwrap();
-            let oracle = dynfd::staticfd::tane::discover(dynfd.relation());
-            assert_eq!(
-                dynfd.positive_cover(),
-                &oracle,
-                "config {}",
-                config.strategy_label()
-            );
-        }
-        dynfd.verify_consistency().unwrap();
+        check(&trace, &RunnerOptions::focused(config, None));
     }
 }

@@ -1,0 +1,93 @@
+//! Regression guard for the PR 1 insert-phase induction fix.
+//!
+//! Algorithm 2's literal specialization step extends an invalidated FD
+//! along *every* attribute, including attributes the violating pair
+//! agrees on — candidates the same pair is guaranteed to violate again.
+//! On wide relations the resulting traversal ground through a candidate
+//! powerset: the `single` profile (26 columns) scaled to 124 rows needed
+//! **1,048,623** level validations for its first 60-op batch before the
+//! fix, and **48** after (EXPERIMENTS.md, PR 1). This test replays that
+//! exact scenario and pins the validation count via `BatchMetrics`, so a
+//! reintroduced blowup fails fast instead of hanging the suite.
+
+use dynfd::core::{DynFd, DynFdConfig};
+use dynfd::datagen::{GeneratedDataset, PAPER_PROFILES};
+
+/// Generous ceiling: ~100× the post-fix count, ~1/200 of the pre-fix
+/// blowup. Legitimate algorithmic changes stay far below it; a
+/// powerset-shaped regression blows straight through.
+const VALIDATION_CEILING: usize = 5_000;
+
+#[test]
+fn single_profile_first_batch_validation_count_stays_bounded() {
+    // The exact PR 1 scenario: `single` @ 0.01 scale = 124 initial rows,
+    // 26 columns, first batch of 60 changes (insert-dominated, 96.1 %).
+    let profile = PAPER_PROFILES
+        .iter()
+        .find(|p| p.name == "single")
+        .expect("single profile exists")
+        .scaled(0.01);
+    assert_eq!(profile.initial_rows, 124, "scenario drifted");
+    assert_eq!(profile.columns, 26, "scenario drifted");
+
+    let data = GeneratedDataset::generate(&profile);
+    let mut dynfd = DynFd::new(data.to_relation(), DynFdConfig::default());
+    let batch = data
+        .batches(60, Some(60))
+        .into_iter()
+        .next()
+        .expect("profile has at least 60 changes");
+    assert_eq!(batch.len(), 60);
+
+    let result = dynfd.apply_batch(&batch).expect("batch applies");
+    let jobs = result.metrics.validation_jobs();
+    assert!(
+        jobs <= VALIDATION_CEILING,
+        "insert-phase induction regressed: {jobs} validation jobs \
+         (fd: {}, non-fd: {}) for the single@124 first batch — \
+         the PR 1 fix landed at 48, the pre-fix blowup at 1,048,623",
+        result.metrics.fd_validations,
+        result.metrics.non_fd_validations,
+    );
+
+    // The fix must not trade correctness for speed: the maintained cover
+    // still matches static re-discovery (HyFD — TANE's level-wise sweep
+    // is needlessly slow at 26 columns in debug builds).
+    let oracle = dynfd::staticfd::hyfd::discover(dynfd.relation());
+    assert_eq!(
+        dynfd.positive_cover(),
+        &oracle,
+        "covers diverged on single@124 after batch 0"
+    );
+}
+
+#[test]
+fn wide_relation_single_batch_stays_bounded_at_both_pruning_corners() {
+    // Narrower variant on the other PR 1 workload: the blowup was in the
+    // shared insert phase, so both corners of the pruning matrix (all
+    // optimizations on, all off) must stay bounded — running all 16
+    // configurations on 83 columns would quadruple the suite's runtime
+    // for no extra signal.
+    let profile = PAPER_PROFILES
+        .iter()
+        .find(|p| p.name == "actor")
+        .expect("actor profile exists")
+        .scaled(0.01); // 83 columns, 36 rows
+    let data = GeneratedDataset::generate(&profile);
+    let batch = data
+        .batches(20, Some(20))
+        .into_iter()
+        .next()
+        .expect("profile has changes");
+
+    for config in [DynFdConfig::default(), DynFdConfig::baseline()] {
+        let mut dynfd = DynFd::new(data.to_relation(), config);
+        let result = dynfd.apply_batch(&batch).expect("batch applies");
+        let jobs = result.metrics.validation_jobs();
+        assert!(
+            jobs <= VALIDATION_CEILING,
+            "config {}: {jobs} validation jobs on actor@36 (83 cols)",
+            config.strategy_label()
+        );
+    }
+}

@@ -170,6 +170,57 @@ fn parallel_replay_matches_under_baseline_config() {
     assert_replays_match(&seq, &par, "baseline config");
 }
 
+#[test]
+fn testkit_traces_are_thread_count_invariant() {
+    // Adversarial testkit traces (Zipf-skewed, all-duplicates,
+    // null-heavy, ...) must replay bit-identically at every thread
+    // count — and dispatch the *same validation jobs*: the per-batch
+    // `BatchMetrics` job counts are part of the deterministic contract,
+    // not just the covers.
+    use dynfd_testkit::Trace;
+
+    let replay_trace = |trace: &Trace, threads: usize| -> Replay {
+        let config = DynFdConfig {
+            parallelism: threads,
+            ..DynFdConfig::default()
+        };
+        let mut dynfd = DynFd::new(trace.to_relation(), config);
+        let results: Vec<BatchResult> = trace
+            .to_batches()
+            .iter()
+            .map(|b| dynfd.apply_batch(b).unwrap())
+            .collect();
+        let annotations = dynfd.violation_annotations();
+        (results, annotations, dynfd)
+    };
+
+    for case in 0..5 {
+        let trace = Trace::for_case(11, case);
+        let seq = replay_trace(&trace, 1);
+        for threads in [2, 8] {
+            let par = replay_trace(&trace, threads);
+            let label = format!("case {case} ({}), {threads} threads", trace.profile);
+            assert_replays_match(&seq, &par, &label);
+            for (i, (s, p)) in seq.0.iter().zip(&par.0).enumerate() {
+                assert_eq!(
+                    s.metrics.validation_jobs(),
+                    p.metrics.validation_jobs(),
+                    "{label}: validation job count diverged at batch {i}"
+                );
+                assert_eq!(
+                    s.metrics.fd_validations, p.metrics.fd_validations,
+                    "{label}: FD validation count diverged at batch {i}"
+                );
+                assert_eq!(
+                    s.metrics.non_fd_validations, p.metrics.non_fd_validations,
+                    "{label}: non-FD validation count diverged at batch {i}"
+                );
+            }
+        }
+        seq.2.verify_consistency().expect("replay consistent");
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Property-based variant: random traces, random strategy configurations.
 // ---------------------------------------------------------------------------
