@@ -12,12 +12,29 @@ pub enum DynError {
     /// A change operation referenced a record id that is not (or no
     /// longer) present in the relation.
     UnknownRecord(RecordId),
+    /// A batch referenced the same record id twice in a way that cannot
+    /// be satisfied (e.g. two deletes of one record).
+    DuplicateRecord(RecordId),
     /// A row's value count does not match the schema arity.
     ArityMismatch {
         /// Number of columns the schema defines.
         expected: usize,
         /// Number of values the offending row carried.
         actual: usize,
+    },
+    /// Encoding a batch's values would push a column dictionary past its
+    /// configured capacity.
+    DictionaryOverflow {
+        /// The column whose dictionary would overflow.
+        attr: usize,
+        /// The configured distinct-value capacity.
+        capacity: usize,
+    },
+    /// A row carried a null (empty-string) value in a relation whose
+    /// null policy rejects them.
+    NullValue {
+        /// The column holding the offending null.
+        attr: usize,
     },
     /// Input data could not be parsed (CSV reader, change-log reader).
     Parse(String),
@@ -31,10 +48,25 @@ impl fmt::Display for DynError {
             DynError::UnknownRecord(id) => {
                 write!(f, "record {id} does not exist in the relation")
             }
+            DynError::DuplicateRecord(id) => {
+                write!(f, "record {id} is referenced twice in one batch")
+            }
             DynError::ArityMismatch { expected, actual } => {
                 write!(
                     f,
                     "row has {actual} values but the schema has {expected} columns"
+                )
+            }
+            DynError::DictionaryOverflow { attr, capacity } => {
+                write!(
+                    f,
+                    "column {attr} dictionary would exceed its capacity of {capacity} distinct values"
+                )
+            }
+            DynError::NullValue { attr } => {
+                write!(
+                    f,
+                    "column {attr} holds a null value but the null policy rejects nulls"
                 )
             }
             DynError::Parse(msg) => write!(f, "parse error: {msg}"),

@@ -17,6 +17,25 @@ pub enum SearchMode {
     Naive,
 }
 
+/// How much post-batch self-checking [`DynFd`](crate::DynFd) performs
+/// before reporting a batch as applied.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ConsistencyLevel {
+    /// No checking (default): trust the incremental maintenance. This is
+    /// the paper's configuration and the right choice on hot paths.
+    #[default]
+    Off,
+    /// Cheap structural checks after every batch: both covers are
+    /// antichains and the negative cover equals the inversion of the
+    /// positive cover. O(cover size) — catches lost/duplicated cover
+    /// entries without validating any FD against the data.
+    Cheap,
+    /// Full semantic verification after every batch
+    /// ([`DynFd::verify_consistency`](crate::DynFd::verify_consistency)).
+    /// Exponential in arity; test harnesses only.
+    Full,
+}
+
 /// Tuning and ablation knobs for [`DynFd`](crate::DynFd).
 ///
 /// The defaults enable all four pruning strategies with the paper's
@@ -67,6 +86,13 @@ pub struct DynFdConfig {
     /// annotations are bit-identical for every setting; only wall-clock
     /// time changes.
     pub parallelism: usize,
+    /// Post-batch self-check level. When a check detects cover
+    /// corruption, the engine enters degraded mode for that batch:
+    /// both covers are rebuilt from scratch via a static HyFD run, the
+    /// rebuild is counted in
+    /// [`BatchMetrics::cover_rebuilds`](crate::BatchMetrics), and the
+    /// batch still reports success.
+    pub consistency: ConsistencyLevel,
 }
 
 impl Default for DynFdConfig {
@@ -81,6 +107,7 @@ impl Default for DynFdConfig {
             known_keys: AttrSet::empty(),
             update_pruning: false,
             parallelism: 0,
+            consistency: ConsistencyLevel::Off,
         }
     }
 }

@@ -14,15 +14,21 @@
 //!   optimistic depth-first probes hunt for small-LHS maximal non-FDs
 //!   that prune whole swaths of candidates.
 
+use crate::errors::DynFdResult;
+use crate::failpoint::FailPhase;
 use crate::{BatchMetrics, DynFd};
 use dynfd_common::{AttrSet, Fd};
 use dynfd_relation::{validate_many, AppliedBatch, RhsOutcome, ValidationJob, ValidationOptions};
 
 impl DynFd {
     /// Processes the batch's deletes (Algorithm 4).
-    pub(crate) fn process_deletes(&mut self, applied: &AppliedBatch, metrics: &mut BatchMetrics) {
+    pub(crate) fn process_deletes(
+        &mut self,
+        applied: &AppliedBatch,
+        metrics: &mut BatchMetrics,
+    ) -> DynFdResult<()> {
         let Some(max_level) = self.non_fds.max_level() else {
-            return; // no non-FDs at all: every candidate already valid
+            return Ok(()); // no non-FDs at all: every candidate already valid
         };
         let full = ValidationOptions::full();
         let threads = self.config.effective_parallelism();
@@ -96,6 +102,10 @@ impl DynFd {
                 self.apply_valid_fd(fd);
             }
 
+            // Fault-injection check point: after this level's verdicts
+            // are applied (where a real corruption bug would bite).
+            self.failpoint_check(FailPhase::DeletePhase, metrics);
+
             // Lines 15-16: optimistic depth-first searches when many
             // non-FDs of this level turned valid.
             if self.config.depth_first_search
@@ -105,5 +115,6 @@ impl DynFd {
                 self.depth_first_from_seeds(&valid_fds, metrics);
             }
         }
+        Ok(())
     }
 }

@@ -14,6 +14,8 @@
 //!   per-candidate validation is losing to the churn, and cheap record
 //!   pair comparisons find the remaining violations faster.
 
+use crate::errors::{DynFdError, DynFdResult};
+use crate::failpoint::FailPhase;
 use crate::{BatchMetrics, DynFd};
 use dynfd_common::{AttrSet, Fd, RecordId};
 use dynfd_relation::{agree_set, validate_many, AppliedBatch, ValidationJob, ValidationOptions};
@@ -21,10 +23,17 @@ use std::collections::BTreeMap;
 
 impl DynFd {
     /// Processes the batch's inserts (Algorithm 2).
-    pub(crate) fn process_inserts(&mut self, applied: &AppliedBatch, metrics: &mut BatchMetrics) {
-        let first_new = applied
-            .first_new_id
-            .expect("insert phase only runs when the batch inserted records");
+    pub(crate) fn process_inserts(
+        &mut self,
+        applied: &AppliedBatch,
+        metrics: &mut BatchMetrics,
+    ) -> DynFdResult<()> {
+        let first_new = applied.first_new_id.ok_or_else(|| {
+            DynFdError::invariant(
+                "insert-phase",
+                "batch reports surviving inserts but no first_new_id watermark",
+            )
+        })?;
         let opts = if self.config.cluster_pruning {
             ValidationOptions::delta(first_new)
         } else {
@@ -111,20 +120,32 @@ impl DynFd {
                 if !self.fds.contains(fd.lhs, fd.rhs) {
                     continue; // an earlier witness this wave evicted it
                 }
-                let agree = agree_set(&self.rel, pair.0, pair.1)
-                    .expect("violating pair references live records");
+                let agree = agree_set(&self.rel, pair.0, pair.1).ok_or_else(|| {
+                    DynFdError::invariant(
+                        "insert-phase",
+                        format!(
+                            "violating pair ({}, {}) references dead records",
+                            pair.0, pair.1
+                        ),
+                    )
+                })?;
                 // `fd.lhs ⊆ agree` and `fd.rhs ∉ agree` by construction,
                 // so the induction always evicts `fd` itself.
                 self.apply_non_fd_witness(agree, pair);
             }
 
+            // Fault-injection check point: after this level's witnesses
+            // are applied (where a real corruption bug would bite).
+            self.failpoint_check(FailPhase::InsertPhase, metrics);
+
             // Lines 16-17: progressive violation search when the lattice
             // traversal became inefficient.
             if total > 0 && invalid_count as f64 / total as f64 > self.config.inefficiency_threshold
             {
-                self.violation_search(&applied.inserted, metrics);
+                self.violation_search(&applied.inserted, metrics)?;
             }
             level += 1;
         }
+        Ok(())
     }
 }

@@ -34,6 +34,8 @@ mod config;
 mod deletes;
 mod depth_first;
 mod diff;
+mod errors;
+mod failpoint;
 mod induction;
 mod inserts;
 mod metrics;
@@ -42,8 +44,10 @@ mod pipeline;
 mod violation_search;
 mod violations;
 
-pub use config::{DynFdConfig, SearchMode};
+pub use config::{ConsistencyLevel, DynFdConfig, SearchMode};
 pub use diff::{BatchResult, FdChange};
+pub use errors::{DynFdError, DynFdResult};
+pub use failpoint::{FailAction, FailPhase, FailPoint};
 pub use metrics::BatchMetrics;
 pub use monitor::{FdMonitor, MonitorReport};
 pub use pipeline::DynFd;

@@ -53,6 +53,12 @@ pub struct BatchMetrics {
     pub added_fds: usize,
     /// Minimal FDs that disappeared in this batch.
     pub removed_fds: usize,
+    /// Degraded-mode cover rebuilds: the post-batch consistency check
+    /// (see `DynFdConfig::consistency`) found the covers corrupted and
+    /// both were rebuilt from scratch via a static HyFD run. Always 0
+    /// with checking off; nonzero values are an operator signal that
+    /// incremental maintenance went wrong.
+    pub cover_rebuilds: usize,
 }
 
 impl BatchMetrics {
@@ -86,6 +92,7 @@ impl BatchMetrics {
         self.dfs_seeds += other.dfs_seeds;
         self.added_fds += other.added_fds;
         self.removed_fds += other.removed_fds;
+        self.cover_rebuilds += other.cover_rebuilds;
     }
 }
 

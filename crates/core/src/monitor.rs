@@ -51,6 +51,9 @@ struct FdStats {
 pub struct FdMonitor {
     batch_no: u64,
     stats: HashMap<Fd, FdStats>,
+    /// Degraded-mode cover rebuilds observed across all batches (from
+    /// `BatchMetrics::cover_rebuilds`).
+    recoveries: u64,
 }
 
 /// What one batch did to the tracked FD population, with ages attached.
@@ -62,6 +65,10 @@ pub struct MonitorReport {
     /// FDs that appeared; `true` marks a *re*-appearance (the FD held
     /// before at some point — a flickering dependency).
     pub appeared: Vec<(Fd, bool)>,
+    /// Whether this batch triggered a degraded-mode cover rebuild
+    /// (`BatchMetrics::cover_rebuilds > 0`) — an operator alert: the FD
+    /// deltas of this batch reflect a recovery, not organic data change.
+    pub recovered: bool,
 }
 
 impl FdMonitor {
@@ -85,10 +92,19 @@ impl FdMonitor {
         self.batch_no
     }
 
+    /// Total degraded-mode cover rebuilds observed across all batches.
+    pub fn recovery_count(&self) -> u64 {
+        self.recoveries
+    }
+
     /// Incorporates one batch's delta and reports breaks/appearances.
     pub fn observe(&mut self, result: &BatchResult) -> MonitorReport {
         self.batch_no += 1;
-        let mut report = MonitorReport::default();
+        let mut report = MonitorReport {
+            recovered: result.metrics.cover_rebuilds > 0,
+            ..MonitorReport::default()
+        };
+        self.recoveries += result.metrics.cover_rebuilds as u64;
         for &fd in &result.removed {
             let entry = self.stats.entry(fd).or_default();
             let age = entry.present_since.map_or(0, |s| self.batch_no - 1 - s);

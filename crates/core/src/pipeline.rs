@@ -1,10 +1,14 @@
 //! The DynFD maintenance pipeline (paper Figure 1).
 
+use crate::config::ConsistencyLevel;
 use crate::diff::diff_covers;
+use crate::errors::{panic_detail, DynFdError, DynFdResult};
+use crate::failpoint::FailPoint;
 use crate::{BatchMetrics, BatchResult, DynFdConfig, ViolationStore};
-use dynfd_common::{Fd, Result};
+use dynfd_common::Fd;
 use dynfd_lattice::{invert_positive_cover, FdTree};
 use dynfd_relation::{validate_fd, Batch, DynamicRelation, ValidationOptions};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// Maintains the minimal, non-trivial FDs of a relation under batches of
@@ -49,6 +53,15 @@ pub struct DynFd {
     /// §5.2 surrogate violations for the negative cover.
     pub(crate) violations: ViolationStore,
     pub(crate) config: DynFdConfig,
+    /// One-shot injected fault for the next batch (fault-injection
+    /// testing; see `failpoint.rs`). Not part of the engine *state*:
+    /// [`DynFd::state_divergence`] ignores it.
+    pub(crate) failpoint: Option<FailPoint>,
+    /// Lifetime count of degraded-mode cover rebuilds.
+    recoveries: u64,
+    /// Human-readable description of the most recent consistency breach
+    /// that triggered a rebuild.
+    last_breach: Option<String>,
 }
 
 impl DynFd {
@@ -71,6 +84,9 @@ impl DynFd {
             non_fds,
             violations: ViolationStore::new(),
             config,
+            failpoint: None,
+            recoveries: 0,
+            last_breach: None,
         }
     }
 
@@ -115,37 +131,81 @@ impl DynFd {
     /// Processes one batch of change operations and returns the delta of
     /// the minimal FD set (paper Figure 1, steps 1–4).
     ///
-    /// On error (unknown record, arity mismatch) neither the relation
-    /// nor the covers are modified.
-    pub fn apply_batch(&mut self, batch: &Batch) -> Result<BatchResult> {
+    /// The call is **transactional**: on any error — a batch-validation
+    /// rejection (unknown or duplicate record, arity mismatch, null
+    /// value, dictionary overflow), an internal invariant breach, or a
+    /// panic inside a maintenance phase (caught at this boundary) — the
+    /// relation, both covers, and the violation annotations are rolled
+    /// back to their exact pre-batch state, and the typed
+    /// [`DynFdError`] tells the caller why. The engine stays fully
+    /// usable; retrying or skipping the batch are both sound.
+    pub fn apply_batch(&mut self, batch: &Batch) -> DynFdResult<BatchResult> {
         let start = Instant::now();
         let before = self.fds.all_fds();
 
-        // Step 1: update the data structures.
-        let applied = self.rel.apply_batch(batch)?;
+        // Step 1: update the data structures. Pre-validation inside the
+        // relation makes this atomic on rejection; the undo log makes it
+        // reversible if steps 2–3 fail later.
+        let (applied, undo) = self.rel.apply_batch_logged(batch)?;
         let mut metrics = BatchMetrics {
             inserts: applied.inserted.len(),
             deletes: applied.deleted.len(),
             ..BatchMetrics::default()
         };
 
-        // Deleted records invalidate their §5.2 annotations; the affected
-        // non-FDs will answer "needs validation" in the delete phase.
-        self.violations.purge_records(&applied.deleted);
+        if applied.has_deletes() || applied.has_inserts() {
+            // Snapshot the cover state the maintenance phases mutate.
+            let fds_snapshot = self.fds.clone();
+            let non_fds_snapshot = self.non_fds.clone();
+            let violations_snapshot = self.violations.clone();
 
-        // Step 2: deletes first (Section 2 explains the ordering), then
-        // Step 3: inserts. Both phases fan their candidate validations
-        // out over the configured worker budget.
-        metrics.threads_used = self.config.effective_parallelism();
-        if applied.has_deletes() {
-            let phase = Instant::now();
-            self.process_deletes(&applied, &mut metrics);
-            metrics.delete_phase_time = phase.elapsed();
+            // Deleted records invalidate their §5.2 annotations; the
+            // affected non-FDs will answer "needs validation" in the
+            // delete phase.
+            self.violations.purge_records(&applied.deleted);
+
+            // Step 2: deletes first (Section 2 explains the ordering),
+            // then Step 3: inserts. Both phases fan their candidate
+            // validations out over the configured worker budget; each is
+            // guarded so that a panic anywhere inside it — including in
+            // a validation worker, whose payload the join re-raises on
+            // this thread — becomes a typed error.
+            metrics.threads_used = self.config.effective_parallelism();
+            let mut outcome: DynFdResult<()> = Ok(());
+            if applied.has_deletes() {
+                let phase = Instant::now();
+                outcome = guard_phase("delete-phase", || {
+                    self.process_deletes(&applied, &mut metrics)
+                });
+                metrics.delete_phase_time = phase.elapsed();
+            }
+            if outcome.is_ok() && applied.has_inserts() {
+                let phase = Instant::now();
+                outcome = guard_phase("insert-phase", || {
+                    self.process_inserts(&applied, &mut metrics)
+                });
+                metrics.insert_phase_time = phase.elapsed();
+            }
+
+            if let Err(e) = outcome {
+                self.fds = fds_snapshot;
+                self.non_fds = non_fds_snapshot;
+                self.violations = violations_snapshot;
+                self.rel.rollback(undo);
+                return Err(e);
+            }
         }
-        if applied.has_inserts() {
-            let phase = Instant::now();
-            self.process_inserts(&applied, &mut metrics);
-            metrics.insert_phase_time = phase.elapsed();
+
+        // Degraded mode: if the configured self-check finds the covers
+        // corrupted, fall back to a from-scratch rebuild rather than
+        // serving wrong metadata. The batch itself still succeeded — the
+        // relation is correct — so this surfaces through metrics, not an
+        // error.
+        if let Some(breach) = self.consistency_breach() {
+            self.rebuild_covers();
+            metrics.cover_rebuilds += 1;
+            self.recoveries += 1;
+            self.last_breach = Some(breach);
         }
 
         // Step 4: signal the changed FDs.
@@ -159,6 +219,80 @@ impl DynFd {
             removed,
             metrics,
         })
+    }
+
+    /// Lifetime count of degraded-mode cover rebuilds (see
+    /// [`BatchMetrics::cover_rebuilds`] for the per-batch view).
+    pub fn recovery_count(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Description of the most recent consistency breach that triggered
+    /// a degraded-mode rebuild, if any.
+    pub fn last_breach(&self) -> Option<&str> {
+        self.last_breach.as_deref()
+    }
+
+    /// Rebuilds both covers from scratch: a static HyFD run over the
+    /// current relation for the positive cover, inversion (Algorithm 1)
+    /// for the negative cover, and a cleared annotation store. This is
+    /// the degraded-mode fallback — expensive but always correct.
+    pub fn rebuild_covers(&mut self) {
+        self.fds = dynfd_static::hyfd::discover(&self.rel);
+        self.non_fds = invert_positive_cover(&self.fds, self.rel.arity());
+        self.violations.clear();
+    }
+
+    /// Runs the configured post-batch self-check and describes the first
+    /// breach found, if any.
+    fn consistency_breach(&self) -> Option<String> {
+        match self.config.consistency {
+            ConsistencyLevel::Off => None,
+            ConsistencyLevel::Cheap => {
+                if !self.fds.is_antichain() {
+                    return Some("positive cover is not an antichain".into());
+                }
+                if !self.non_fds.is_antichain() {
+                    return Some("negative cover is not an antichain".into());
+                }
+                if invert_positive_cover(&self.fds, self.rel.arity()) != self.non_fds {
+                    return Some(
+                        "negative cover diverged from the inversion of the positive cover".into(),
+                    );
+                }
+                None
+            }
+            ConsistencyLevel::Full => self.verify_consistency().err(),
+        }
+    }
+
+    /// Compares the *engine state* of two instances — relation (PLIs,
+    /// dictionaries, record index, id counter), both covers, and the
+    /// violation annotations — and describes the first divergence found.
+    /// Configuration, armed failpoints, and recovery statistics are
+    /// deliberately excluded: they are operator-facing bookkeeping, not
+    /// maintained state. This is the structural oracle behind the
+    /// rollback-atomicity guarantees.
+    pub fn state_divergence(&self, other: &DynFd) -> Option<String> {
+        if self.rel != other.rel {
+            return Some("relation diverged (PLIs, dictionaries, records, or id counter)".into());
+        }
+        if self.fds != other.fds {
+            return Some("positive cover diverged".into());
+        }
+        if self.non_fds != other.non_fds {
+            return Some("negative cover diverged".into());
+        }
+        if self.violations != other.violations {
+            return Some("violation annotations diverged".into());
+        }
+        None
+    }
+
+    /// Whether two instances hold structurally identical engine state
+    /// (see [`DynFd::state_divergence`]).
+    pub fn state_eq(&self, other: &DynFd) -> bool {
+        self.state_divergence(other).is_none()
     }
 
     /// Exhaustively checks the internal invariants against the current
@@ -218,5 +352,27 @@ impl DynFd {
             }
         }
         Ok(())
+    }
+}
+
+/// Runs one maintenance phase with a panic boundary: a panic anywhere
+/// inside `f` — the coordinating thread or a validation worker (whose
+/// payload `parallel.rs` re-raises on join) — is converted into
+/// [`DynFdError::PhasePanicked`] so `apply_batch` can roll back.
+///
+/// `AssertUnwindSafe` is justified by what the caller does with an
+/// `Err`: every structure the closure may have half-mutated (covers,
+/// violation store, relation) is discarded and restored from the
+/// snapshot/undo log, so no broken invariant survives the unwind.
+fn guard_phase<F>(phase: &'static str, f: F) -> DynFdResult<()>
+where
+    F: FnOnce() -> DynFdResult<()>,
+{
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => Err(DynFdError::PhasePanicked {
+            phase,
+            detail: panic_detail(payload.as_ref()),
+        }),
     }
 }

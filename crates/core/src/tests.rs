@@ -2,7 +2,10 @@
 //! worked example (Figures 2 → 3 → 4) and oracle cross-validation
 //! against static rediscovery under every pruning configuration.
 
-use crate::{DynFd, DynFdConfig, SearchMode};
+use crate::{
+    ConsistencyLevel, DynFd, DynFdConfig, DynFdError, FailAction, FailPhase, FailPoint, FdMonitor,
+    SearchMode,
+};
 use dynfd_common::{AttrSet, Fd, RecordId, Schema};
 use dynfd_lattice::FdTree;
 use dynfd_relation::{Batch, DynamicRelation};
@@ -784,4 +787,274 @@ fn metrics_report_batch_composition() {
     assert_eq!(result.metrics.inserts, 1);
     assert_eq!(result.metrics.deletes, 2);
     assert!(result.metrics.wall_time.as_nanos() > 0);
+}
+
+// ---------------------------------------------------------------------------
+// Transactional apply_batch: fault injection, rollback, degraded recovery.
+// ---------------------------------------------------------------------------
+
+fn insert_batch() -> Batch {
+    let mut batch = Batch::new();
+    batch
+        .insert(vec!["Marie", "Scott", "14467", "Potsdam"])
+        .insert(vec!["Marie", "Gray", "14469", "Potsdam"]);
+    batch
+}
+
+#[test]
+fn insert_phase_panic_rolls_back_to_pre_batch_state() {
+    let mut dynfd = DynFd::new(paper_relation(), DynFdConfig::default());
+    let pristine = dynfd.clone();
+    dynfd.arm_failpoint(FailPoint {
+        phase: FailPhase::InsertPhase,
+        after_validations: 0,
+        action: FailAction::Panic,
+    });
+
+    let err = dynfd.apply_batch(&insert_batch()).unwrap_err();
+    match &err {
+        DynFdError::PhasePanicked { phase, detail } => {
+            assert_eq!(*phase, "insert-phase");
+            assert!(detail.contains("injected failpoint"), "payload: {detail}");
+        }
+        other => panic!("expected PhasePanicked, got {other:?}"),
+    }
+    assert!(!err.is_rejection(), "a panic is an internal fault");
+    assert_eq!(err.exit_code(), 10);
+
+    assert_eq!(
+        dynfd.state_divergence(&pristine),
+        None,
+        "failed batch must leave no trace"
+    );
+    assert!(
+        dynfd.armed_failpoint().is_none(),
+        "failpoint disarms on trip"
+    );
+    dynfd.verify_consistency().unwrap();
+
+    // The very same batch succeeds on retry and matches the oracle.
+    dynfd.apply_batch(&insert_batch()).unwrap();
+    dynfd.verify_consistency().unwrap();
+    assert_eq!(
+        dynfd.positive_cover(),
+        &dynfd_static::tane::discover(dynfd.relation())
+    );
+}
+
+#[test]
+fn delete_phase_panic_rolls_back_to_pre_batch_state() {
+    let mut dynfd = DynFd::new(paper_relation(), DynFdConfig::default());
+    let pristine = dynfd.clone();
+    dynfd.arm_failpoint(FailPoint {
+        phase: FailPhase::DeletePhase,
+        after_validations: 0,
+        action: FailAction::Panic,
+    });
+
+    let mut batch = Batch::new();
+    batch.delete(RecordId(2)).delete(RecordId(3));
+    let err = dynfd.apply_batch(&batch).unwrap_err();
+    assert!(matches!(
+        err,
+        DynFdError::PhasePanicked {
+            phase: "delete-phase",
+            ..
+        }
+    ));
+    assert!(dynfd.state_eq(&pristine));
+    dynfd.verify_consistency().unwrap();
+
+    dynfd.apply_batch(&batch).unwrap();
+    dynfd.verify_consistency().unwrap();
+    assert_eq!(
+        dynfd.positive_cover(),
+        &dynfd_static::tane::discover(dynfd.relation())
+    );
+}
+
+#[test]
+fn mixed_batch_panic_restores_relation_and_covers_bit_identically() {
+    // A batch with deletes, inserts and an update, panicking in the
+    // insert phase: the delete phase already mutated the covers, so the
+    // rollback must restore both the relation (undo log) and the covers
+    // (snapshots).
+    let mut dynfd = DynFd::new(paper_relation(), DynFdConfig::default());
+    let pristine = dynfd.clone();
+    dynfd.arm_failpoint(FailPoint {
+        phase: FailPhase::InsertPhase,
+        after_validations: 0,
+        action: FailAction::Panic,
+    });
+
+    let mut batch = Batch::new();
+    batch
+        .delete(RecordId(2))
+        .update(RecordId(0), vec!["Max", "Jones", "10115", "Berlin"])
+        .insert(vec!["Marie", "Gray", "14469", "Potsdam"]);
+    dynfd.apply_batch(&batch).unwrap_err();
+    assert_eq!(dynfd.state_divergence(&pristine), None);
+
+    dynfd.apply_batch(&batch).unwrap();
+    dynfd.verify_consistency().unwrap();
+    assert_eq!(
+        dynfd.positive_cover(),
+        &dynfd_static::tane::discover(dynfd.relation())
+    );
+}
+
+#[test]
+fn cover_corruption_triggers_degraded_rebuild_under_cheap_consistency() {
+    let config = DynFdConfig {
+        consistency: ConsistencyLevel::Cheap,
+        ..DynFdConfig::default()
+    };
+    let mut dynfd = DynFd::new(paper_relation(), config);
+    let mut monitor = FdMonitor::new(&dynfd.minimal_fds());
+    dynfd.arm_failpoint(FailPoint {
+        phase: FailPhase::InsertPhase,
+        after_validations: 0,
+        action: FailAction::DropCoverFd,
+    });
+
+    let result = dynfd.apply_batch(&insert_batch()).unwrap();
+    assert_eq!(result.metrics.cover_rebuilds, 1, "corruption was repaired");
+    assert_eq!(dynfd.recovery_count(), 1);
+    assert!(dynfd.last_breach().is_some());
+    dynfd.verify_consistency().unwrap();
+    assert_eq!(
+        dynfd.positive_cover(),
+        &dynfd_static::tane::discover(dynfd.relation())
+    );
+
+    let report = monitor.observe(&result);
+    assert!(report.recovered, "monitor surfaces the rebuild");
+    assert_eq!(monitor.recovery_count(), 1);
+}
+
+#[test]
+fn cover_corruption_triggers_degraded_rebuild_under_full_consistency() {
+    let config = DynFdConfig {
+        consistency: ConsistencyLevel::Full,
+        ..DynFdConfig::default()
+    };
+    let mut dynfd = DynFd::new(paper_relation(), config);
+    dynfd.arm_failpoint(FailPoint {
+        phase: FailPhase::InsertPhase,
+        after_validations: 0,
+        action: FailAction::DropCoverFd,
+    });
+
+    let result = dynfd.apply_batch(&insert_batch()).unwrap();
+    assert_eq!(result.metrics.cover_rebuilds, 1);
+    assert_eq!(dynfd.recovery_count(), 1);
+    dynfd.verify_consistency().unwrap();
+    assert_eq!(
+        dynfd.positive_cover(),
+        &dynfd_static::tane::discover(dynfd.relation())
+    );
+}
+
+#[test]
+fn delete_phase_corruption_ends_consistent_either_way() {
+    // Corruption planted mid-delete-phase may be swept coincidentally:
+    // a later promotion's `add_minimal` prunes specializations, which
+    // can include the planted redundant FD. Either way the batch must
+    // end consistent — repaired by the degraded-mode rebuild if the
+    // corruption survived, untouched-correct if it was swept.
+    let config = DynFdConfig {
+        consistency: ConsistencyLevel::Cheap,
+        ..DynFdConfig::default()
+    };
+    let mut dynfd = DynFd::new(paper_relation(), config);
+    dynfd.arm_failpoint(FailPoint {
+        phase: FailPhase::DeletePhase,
+        after_validations: 0,
+        action: FailAction::DropCoverFd,
+    });
+
+    let mut batch = Batch::new();
+    batch.delete(RecordId(3));
+    dynfd.apply_batch(&batch).unwrap();
+    assert!(dynfd.armed_failpoint().is_none(), "failpoint tripped");
+    dynfd.verify_consistency().unwrap();
+    assert_eq!(
+        dynfd.positive_cover(),
+        &dynfd_static::tane::discover(dynfd.relation())
+    );
+}
+
+#[test]
+fn consistency_off_lets_corruption_persist_until_manual_rebuild() {
+    // Default mode pays no per-batch consistency cost, so an injected
+    // corruption survives the batch; rebuild_covers() repairs on demand.
+    let mut dynfd = DynFd::new(paper_relation(), DynFdConfig::default());
+    dynfd.arm_failpoint(FailPoint {
+        phase: FailPhase::InsertPhase,
+        after_validations: 0,
+        action: FailAction::DropCoverFd,
+    });
+
+    let result = dynfd.apply_batch(&insert_batch()).unwrap();
+    assert_eq!(result.metrics.cover_rebuilds, 0);
+    assert!(
+        dynfd.verify_consistency().is_err(),
+        "corruption goes undetected with consistency checks off"
+    );
+
+    dynfd.rebuild_covers();
+    dynfd.verify_consistency().unwrap();
+    assert_eq!(
+        dynfd.positive_cover(),
+        &dynfd_static::tane::discover(dynfd.relation())
+    );
+}
+
+#[test]
+fn failpoint_only_fires_in_its_phase() {
+    // An insert-phase failpoint must not trip on a delete-only batch.
+    let mut dynfd = DynFd::new(paper_relation(), DynFdConfig::default());
+    dynfd.arm_failpoint(FailPoint {
+        phase: FailPhase::InsertPhase,
+        after_validations: 0,
+        action: FailAction::Panic,
+    });
+    let mut batch = Batch::new();
+    batch.delete(RecordId(1));
+    dynfd.apply_batch(&batch).unwrap();
+    dynfd.verify_consistency().unwrap();
+    assert!(
+        dynfd.armed_failpoint().is_some(),
+        "untripped failpoint stays armed"
+    );
+}
+
+#[test]
+fn rejected_batch_reports_no_divergence_from_clone() {
+    let mut dynfd = DynFd::new(paper_relation(), DynFdConfig::default());
+    let pristine = dynfd.clone();
+    let mut batch = Batch::new();
+    batch
+        .insert(vec!["Eve", "Stone", "10999", "Berlin"])
+        .delete(RecordId(4711));
+    assert!(matches!(
+        dynfd.apply_batch(&batch),
+        Err(DynFdError::UnknownRecord(RecordId(4711)))
+    ));
+    assert_eq!(dynfd.state_divergence(&pristine), None);
+}
+
+#[test]
+fn state_divergence_pinpoints_differences() {
+    let a = DynFd::new(paper_relation(), DynFdConfig::default());
+    let b = a.clone();
+    assert_eq!(a.state_divergence(&b), None);
+    assert!(a.state_eq(&b));
+
+    let mut c = a.clone();
+    let mut batch = Batch::new();
+    batch.delete(RecordId(0));
+    c.apply_batch(&batch).unwrap();
+    let divergence = a.state_divergence(&c).expect("states differ");
+    assert!(divergence.contains("relation"), "got: {divergence}");
 }

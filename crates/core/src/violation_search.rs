@@ -14,6 +14,7 @@
 //! dropping the violation search entirely cripples the algorithm.
 
 use crate::config::SearchMode;
+use crate::errors::{DynFdError, DynFdResult};
 use crate::{BatchMetrics, DynFd};
 use dynfd_common::{AttrSet, RecordId};
 use dynfd_relation::{agree_set, par_map};
@@ -36,7 +37,11 @@ impl DynFd {
     /// Runs the violation search for the given batch of inserted records
     /// (Algorithm 2 line 17). Discovered agree sets update both covers
     /// via Algorithm 3.
-    pub(crate) fn violation_search(&mut self, inserted: &[RecordId], metrics: &mut BatchMetrics) {
+    pub(crate) fn violation_search(
+        &mut self,
+        inserted: &[RecordId],
+        metrics: &mut BatchMetrics,
+    ) -> DynFdResult<()> {
         let arity = self.rel.arity();
         let new_ids: BTreeSet<RecordId> = inserted
             .iter()
@@ -44,7 +49,7 @@ impl DynFd {
             .filter(|&r| self.rel.contains(r))
             .collect();
         if new_ids.is_empty() {
-            return;
+            return Ok(());
         }
 
         // Collect each inserted record's partner clusters: for every
@@ -58,15 +63,21 @@ impl DynFd {
         for attr in 0..arity {
             let mut values: BTreeSet<u32> = BTreeSet::new();
             for &rid in &new_ids {
-                let rec = self.rel.compressed(rid).expect("live inserted record");
+                let rec = self.rel.compressed(rid).ok_or_else(|| {
+                    DynFdError::invariant(
+                        "violation-search",
+                        format!("inserted record {rid} vanished before the search"),
+                    )
+                })?;
                 values.insert(rec[attr]);
             }
             for value in values {
-                let cluster = self
-                    .rel
-                    .pli(attr)
-                    .cluster(value)
-                    .expect("inverted index hit");
+                let cluster = self.rel.pli(attr).cluster(value).ok_or_else(|| {
+                    DynFdError::invariant(
+                        "violation-search",
+                        format!("inverted index misses cluster ({attr}, {value}) of a live record"),
+                    )
+                })?;
                 if cluster.len() >= 2 {
                     cluster_jobs.push((attr, value));
                 }
@@ -74,18 +85,23 @@ impl DynFd {
         }
         let rel = &self.rel;
         let clusters: Vec<SortedCluster> = par_map(&cluster_jobs, threads, |&(attr, value)| {
-            let cluster = rel.pli(attr).cluster(value).expect("inverted index hit");
+            // Invariant expects inside the worker closure: the job list
+            // above proved each (attr, value) cluster exists and every
+            // member id is live, and the relation is frozen while the
+            // workers run. A panic here crosses the par_map join and is
+            // converted to `PhasePanicked` at the transactional boundary.
+            let cluster = rel.pli(attr).cluster(value).expect("cluster vetted above");
             let mut members = cluster.to_vec();
             members.sort_by(|&x, &y| {
                 rel.compressed(x)
-                    .expect("live")
-                    .cmp(rel.compressed(y).expect("live"))
+                    .expect("cluster member is live")
+                    .cmp(rel.compressed(y).expect("cluster member is live"))
             });
             let is_new = members.iter().map(|m| new_ids.contains(m)).collect();
             SortedCluster { members, is_new }
         });
         if clusters.is_empty() {
-            return;
+            return Ok(());
         }
 
         let max_dist = match self.config.violation_search {
@@ -118,7 +134,9 @@ impl DynFd {
                     }
                     let (a, b) = (c.members[i], c.members[i + dist]);
                     comparisons += 1;
-                    let agree = agree_set(rel, a, b).expect("live members");
+                    // Worker-closure invariant (see the sort above): both
+                    // ids came from a live cluster of the frozen relation.
+                    let agree = agree_set(rel, a, b).expect("cluster members are live");
                     if agree.len() == arity {
                         continue; // duplicates witness nothing
                     }
@@ -155,5 +173,6 @@ impl DynFd {
             }
             dist += 1;
         }
+        Ok(())
     }
 }

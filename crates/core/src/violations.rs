@@ -11,7 +11,7 @@ use dynfd_common::{Fd, RecordId};
 use std::collections::{HashMap, HashSet};
 
 /// Bidirectional index of surrogate violations.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ViolationStore {
     by_fd: HashMap<Fd, (RecordId, RecordId)>,
     by_record: HashMap<RecordId, HashSet<Fd>>,

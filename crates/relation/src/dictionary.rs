@@ -10,21 +10,70 @@ use std::collections::HashMap;
 /// compressed records immutable and lets PLI clusters be keyed by code.
 pub type ValueId = u32;
 
+/// The largest number of distinct values one column can ever hold:
+/// codes are `u32`, so `0..=u32::MAX` distinct codes exist.
+pub const DICTIONARY_CAPACITY: usize = u32::MAX as usize;
+
 /// A per-column dictionary mapping string values to [`ValueId`] codes.
 ///
-/// The dictionary only ever grows. The memory held by codes whose values
-/// have vanished from the relation is negligible next to the PLIs and
-/// compressed records (and real change histories keep re-using values).
-#[derive(Clone, Debug, Default)]
+/// The dictionary only ever grows during normal operation; a failed
+/// batch is undone with [`Dictionary::truncate`], which is sound
+/// because rollback first removes every record that referenced the
+/// truncated codes. The memory held by codes whose values have vanished
+/// from the relation is negligible next to the PLIs and compressed
+/// records (and real change histories keep re-using values).
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Dictionary {
     codes: HashMap<String, ValueId>,
     values: Vec<String>,
+    /// Distinct-value budget; encoding past it is a batch-validation
+    /// error ([`DynError::DictionaryOverflow`](dynfd_common::DynError)).
+    /// Defaults to [`DICTIONARY_CAPACITY`]; tests shrink it to make the
+    /// overflow path reachable.
+    capacity: usize,
+}
+
+impl Default for Dictionary {
+    fn default() -> Self {
+        Dictionary {
+            codes: HashMap::new(),
+            values: Vec::new(),
+            capacity: DICTIONARY_CAPACITY,
+        }
+    }
 }
 
 impl Dictionary {
     /// Creates an empty dictionary.
     pub fn new() -> Self {
         Dictionary::default()
+    }
+
+    /// The distinct-value budget of this dictionary.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Overrides the distinct-value budget. Shrinking it below the
+    /// current [`Dictionary::len`] makes every further unseen value an
+    /// overflow but never invalidates codes already handed out.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.min(DICTIONARY_CAPACITY);
+    }
+
+    /// Whether encoding `value` would require a fresh code that the
+    /// capacity does not cover.
+    pub fn would_overflow(&self, value: &str) -> bool {
+        !self.codes.contains_key(value) && self.values.len() >= self.capacity
+    }
+
+    /// Undoes every code assigned at or after `len` (rollback of a
+    /// failed batch). The caller guarantees no live record references a
+    /// truncated code.
+    pub fn truncate(&mut self, len: usize) {
+        for value in self.values.drain(len..) {
+            self.codes.remove(&value);
+        }
     }
 
     /// Returns the code for `value`, assigning a fresh one if the value

@@ -41,10 +41,10 @@ pub mod validate;
 pub use batch::{AppliedBatch, Batch, ChangeOp};
 pub use changelog::{parse_changelog, write_changelog, Batcher, WindowBatcher};
 pub use csv::{parse_csv, read_csv_file, CsvTable};
-pub use dictionary::{Dictionary, ValueId};
+pub use dictionary::{Dictionary, ValueId, DICTIONARY_CAPACITY};
 pub use parallel::{par_map, resolve_parallelism, validate_many, ValidationJob};
 pub use pli::Pli;
-pub use relation::DynamicRelation;
+pub use relation::{DynamicRelation, NullPolicy, UndoLog};
 pub use validate::{
     agree_set, validate, validate_fd, validate_with, RhsOutcome, ValidationOptions,
     ValidationResult, ValidationStats, ValidatorScratch,

@@ -74,12 +74,20 @@ where
             })
             .collect();
         for handle in handles {
-            for (idx, result) in handle.join().expect("worker thread panicked") {
+            // A panicking worker re-raises its payload on the calling
+            // thread so the transactional boundary in `dynfd_core` can
+            // catch it and roll the batch back.
+            let produced = handle
+                .join()
+                .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+            for (idx, result) in produced {
                 slots[idx] = Some(result);
             }
         }
     });
 
+    // Invariant: the chunked index ranges partition 0..len, so every
+    // slot was written exactly once before the scope joined.
     slots
         .into_iter()
         .map(|slot| slot.expect("every item produced a result"))
@@ -130,7 +138,11 @@ pub fn validate_many(
             })
             .collect();
         for handle in handles {
-            for (idx, result) in handle.join().expect("validation worker panicked") {
+            // See `par_map`: re-raise worker panics with their payload.
+            let produced = handle
+                .join()
+                .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+            for (idx, result) in produced {
                 slots[idx] = Some(result);
             }
         }
@@ -138,6 +150,7 @@ pub fn validate_many(
 
     slots
         .into_iter()
+        // Invariant: as in `par_map`, the ranges partition the job list.
         .map(|slot| slot.expect("every job produced a result"))
         .collect()
 }

@@ -22,7 +22,7 @@ use std::collections::BTreeMap;
 ///
 /// Clusters are keyed in a `BTreeMap` so iteration order — and with it
 /// the harness output — is deterministic across runs.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Pli {
     clusters: BTreeMap<ValueId, Vec<RecordId>>,
     /// Number of record ids across all clusters.
@@ -48,6 +48,19 @@ impl Pli {
         );
         cluster.push(rid);
         self.entries += 1;
+    }
+
+    /// Re-adds `rid` to the cluster of `value` at its sorted position.
+    ///
+    /// Unlike [`Pli::insert`], this accepts ids below the cluster's
+    /// current maximum: rollback of a failed batch restores records
+    /// whose ids are older than surviving cluster members.
+    pub fn restore(&mut self, value: ValueId, rid: RecordId) {
+        let cluster = self.clusters.entry(value).or_default();
+        if let Err(pos) = cluster.binary_search(&rid) {
+            cluster.insert(pos, rid);
+            self.entries += 1;
+        }
     }
 
     /// Removes `rid` from the cluster of `value`. Empty clusters are

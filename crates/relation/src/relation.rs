@@ -4,7 +4,58 @@ use crate::batch::{AppliedBatch, Batch, ChangeOp};
 use crate::dictionary::{Dictionary, ValueId};
 use crate::pli::Pli;
 use dynfd_common::{DynError, RecordId, Result, Schema};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+
+/// How the relation treats null values. Nulls are modelled as empty
+/// strings and compare equal to each other, the convention of FD
+/// discovery tooling (see `Dictionary`'s tests).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum NullPolicy {
+    /// Nulls are ordinary values that agree with each other. Default;
+    /// matches the paper's setting and every existing dataset profile.
+    #[default]
+    AllowAll,
+    /// Any batch carrying a null value is rejected with
+    /// [`DynError::NullValue`] before anything is applied.
+    RejectNulls,
+}
+
+/// One reversible mutation recorded while applying a batch.
+#[derive(Clone, Debug)]
+enum UndoOp {
+    /// A record this batch inserted; undone by deleting it again.
+    Inserted(RecordId),
+    /// A record this batch deleted, with its compressed form; undone by
+    /// restoring it into the hash index and every PLI.
+    Removed(RecordId, Box<[ValueId]>),
+}
+
+/// Undo log for one batch application, produced by
+/// [`DynamicRelation::apply_batch_logged`].
+///
+/// Replaying the log in reverse ([`DynamicRelation::rollback`]) returns
+/// the relation to a state structurally identical to the pre-batch
+/// snapshot: PLIs, dictionaries (including codes assigned during the
+/// batch, which are truncated away), the record hash index, and the
+/// surrogate-id counter.
+#[derive(Clone, Debug)]
+pub struct UndoLog {
+    ops: Vec<UndoOp>,
+    next_id_before: RecordId,
+    dict_lens_before: Vec<usize>,
+}
+
+impl UndoLog {
+    /// Number of reversible mutations recorded.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch performed no mutation.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
 
 /// A relation instance maintained under inserts, updates, and deletes.
 ///
@@ -21,7 +72,7 @@ use std::collections::HashMap;
 /// batch never re-reads previously ingested data, mirroring the paper's
 /// requirement that DynFD must not perform reads against the database it
 /// monitors.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DynamicRelation {
     schema: Schema,
     dictionaries: Vec<Dictionary>,
@@ -30,6 +81,7 @@ pub struct DynamicRelation {
     /// one per column).
     records: HashMap<RecordId, Box<[ValueId]>>,
     next_id: RecordId,
+    null_policy: NullPolicy,
 }
 
 impl DynamicRelation {
@@ -42,7 +94,25 @@ impl DynamicRelation {
             plis: (0..arity).map(|_| Pli::new()).collect(),
             records: HashMap::new(),
             next_id: RecordId(0),
+            null_policy: NullPolicy::default(),
         }
+    }
+
+    /// The active null policy.
+    pub fn null_policy(&self) -> NullPolicy {
+        self.null_policy
+    }
+
+    /// Changes the null policy. Only future batches are checked; records
+    /// already ingested are never retroactively rejected.
+    pub fn set_null_policy(&mut self, policy: NullPolicy) {
+        self.null_policy = policy;
+    }
+
+    /// Overrides the distinct-value budget of column `attr`'s dictionary
+    /// (see [`Dictionary::set_capacity`]).
+    pub fn set_dictionary_capacity(&mut self, attr: usize, capacity: usize) {
+        self.dictionaries[attr].set_capacity(capacity);
     }
 
     /// Creates a relation and bulk-loads `rows` (the "initial tuples" of
@@ -122,12 +192,7 @@ impl DynamicRelation {
     /// Inserts one row, updating dictionaries, PLIs, and the record hash
     /// index, and returns the assigned surrogate id.
     pub fn insert_row<S: AsRef<str>>(&mut self, row: &[S]) -> Result<RecordId> {
-        if row.len() != self.arity() {
-            return Err(DynError::ArityMismatch {
-                expected: self.arity(),
-                actual: row.len(),
-            });
-        }
+        self.check_row(row)?;
         let rid = self.next_id;
         self.next_id = self.next_id.next();
         let mut codes = Vec::with_capacity(row.len());
@@ -138,6 +203,31 @@ impl DynamicRelation {
         }
         self.records.insert(rid, codes.into_boxed_slice());
         Ok(rid)
+    }
+
+    /// Checks one row against the schema arity, the null policy, and the
+    /// per-column dictionary capacities, all before any mutation — a row
+    /// that passes cannot fail to insert.
+    fn check_row<S: AsRef<str>>(&self, row: &[S]) -> Result<()> {
+        if row.len() != self.arity() {
+            return Err(DynError::ArityMismatch {
+                expected: self.arity(),
+                actual: row.len(),
+            });
+        }
+        for (attr, value) in row.iter().enumerate() {
+            let value = value.as_ref();
+            if self.null_policy == NullPolicy::RejectNulls && value.is_empty() {
+                return Err(DynError::NullValue { attr });
+            }
+            if self.dictionaries[attr].would_overflow(value) {
+                return Err(DynError::DictionaryOverflow {
+                    attr,
+                    capacity: self.dictionaries[attr].capacity(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Deletes the record `rid` from all structures.
@@ -173,10 +263,25 @@ impl DynamicRelation {
     /// Deletes that target records inserted by this same batch are
     /// applied at the end.
     ///
-    /// On error (unknown record id, arity mismatch) the relation is left
+    /// On error (unknown record id, duplicate reference, arity mismatch,
+    /// null-policy violation, dictionary overflow) the relation is left
     /// unchanged: the batch is validated before any mutation.
     pub fn apply_batch(&mut self, batch: &Batch) -> Result<AppliedBatch> {
+        self.apply_batch_logged(batch).map(|(applied, _)| applied)
+    }
+
+    /// Like [`DynamicRelation::apply_batch`], but additionally returns
+    /// the [`UndoLog`] of every mutation performed, enabling the caller
+    /// to [`DynamicRelation::rollback`] the batch if *downstream*
+    /// maintenance (cover updates, violation search) fails after the
+    /// relation itself was updated successfully.
+    pub fn apply_batch_logged(&mut self, batch: &Batch) -> Result<(AppliedBatch, UndoLog)> {
         self.validate_batch(batch)?;
+        let mut undo = UndoLog {
+            ops: Vec::new(),
+            next_id_before: self.next_id,
+            dict_lens_before: self.dictionaries.iter().map(Dictionary::len).collect(),
+        };
 
         let mut deferred_deletes: Vec<RecordId> = Vec::new();
         let mut applied = AppliedBatch {
@@ -199,6 +304,7 @@ impl DynamicRelation {
             if self.contains(rid) {
                 if let ChangeOp::Update(_, new_row) = op {
                     if applied.update_only {
+                        // Invariant: guarded by `self.contains(rid)` above.
                         let old = self.materialize(rid).expect("live record");
                         for (attr, (o, n)) in old.iter().zip(new_row.iter()).enumerate() {
                             if o != n {
@@ -207,7 +313,9 @@ impl DynamicRelation {
                         }
                     }
                 }
+                let codes = self.records.get(&rid).cloned().expect("checked live above");
                 self.delete_record(rid)?;
+                undo.ops.push(UndoOp::Removed(rid, codes));
                 applied.deleted.push(rid);
             } else {
                 // References a record created later in this batch. Such
@@ -225,20 +333,65 @@ impl DynamicRelation {
                 ChangeOp::Delete(_) => continue,
             };
             let rid = self.insert_row(row)?;
+            undo.ops.push(UndoOp::Inserted(rid));
             applied.first_new_id.get_or_insert(rid);
             applied.inserted.push(rid);
         }
 
         // Phase 3: deletes that referenced same-batch inserts.
         for rid in deferred_deletes {
+            let codes = self
+                .records
+                .get(&rid)
+                .cloned()
+                .expect("validated same-batch insert");
             self.delete_record(rid)?;
+            undo.ops.push(UndoOp::Removed(rid, codes));
             applied.inserted.retain(|&r| r != rid);
         }
 
-        Ok(applied)
+        Ok((applied, undo))
+    }
+
+    /// Reverse-replays the undo log of a batch, restoring the relation to
+    /// a state structurally equal (`==`) to the pre-batch snapshot.
+    ///
+    /// Dictionary codes assigned while applying the batch are exactly the
+    /// tail `values[len..]` of each dictionary (dictionaries are
+    /// append-only), so truncating to the recorded lengths removes them;
+    /// this is sound because every record referencing those codes was
+    /// inserted by the same batch and is removed first.
+    pub fn rollback(&mut self, undo: UndoLog) {
+        for op in undo.ops.into_iter().rev() {
+            match op {
+                UndoOp::Inserted(rid) => {
+                    let codes = self
+                        .records
+                        .remove(&rid)
+                        .expect("undo log names a record this batch inserted");
+                    for (attr, &code) in codes.iter().enumerate() {
+                        let removed = self.plis[attr].remove(code, rid);
+                        debug_assert!(removed, "rollback: {rid} missing from PLI {attr}");
+                    }
+                }
+                UndoOp::Removed(rid, codes) => {
+                    for (attr, &code) in codes.iter().enumerate() {
+                        self.plis[attr].restore(code, rid);
+                    }
+                    self.records.insert(rid, codes);
+                }
+            }
+        }
+        for (dict, &len) in self.dictionaries.iter_mut().zip(&undo.dict_lens_before) {
+            dict.truncate(len);
+        }
+        self.next_id = undo.next_id_before;
     }
 
     /// Checks a batch for structural problems without mutating anything.
+    /// Everything [`check_row`](DynamicRelation::check_row) rejects is
+    /// rejected here too, so a batch that validates cannot fail while it
+    /// is being applied.
     fn validate_batch(&self, batch: &Batch) -> Result<()> {
         // Simulate id assignment to accept deletes of same-batch inserts.
         let mut pending_inserts = 0u64;
@@ -246,21 +399,11 @@ impl DynamicRelation {
         for op in batch.ops() {
             match op {
                 ChangeOp::Insert(row) => {
-                    if row.len() != self.arity() {
-                        return Err(DynError::ArityMismatch {
-                            expected: self.arity(),
-                            actual: row.len(),
-                        });
-                    }
+                    self.check_row(row)?;
                     pending_inserts += 1;
                 }
                 ChangeOp::Update(rid, row) => {
-                    if row.len() != self.arity() {
-                        return Err(DynError::ArityMismatch {
-                            expected: self.arity(),
-                            actual: row.len(),
-                        });
-                    }
+                    self.check_row(row)?;
                     self.check_live(*rid, pending_inserts, &dead)?;
                     dead.push(*rid);
                     pending_inserts += 1;
@@ -271,12 +414,51 @@ impl DynamicRelation {
                 }
             }
         }
+        self.check_dictionary_headroom(batch)
+    }
+
+    /// Rejects batches whose *distinct fresh values* would push a column
+    /// dictionary past its capacity. `check_row` only catches a column
+    /// that is already full; this pass also catches the batch that fills
+    /// the remaining headroom mid-application. Fast path: when a column
+    /// has more headroom than the batch has inserts, no counting is done.
+    fn check_dictionary_headroom(&self, batch: &Batch) -> Result<()> {
+        let rows: Vec<&[String]> = batch
+            .ops()
+            .iter()
+            .filter_map(|op| match op {
+                ChangeOp::Insert(row) | ChangeOp::Update(_, row) => Some(row.as_slice()),
+                ChangeOp::Delete(_) => None,
+            })
+            .collect();
+        for attr in 0..self.arity() {
+            let dict = &self.dictionaries[attr];
+            if dict.len() + rows.len() <= dict.capacity() {
+                continue;
+            }
+            let mut fresh: HashSet<&str> = HashSet::new();
+            for row in &rows {
+                let value = row[attr].as_str();
+                if dict.lookup(value).is_none() {
+                    fresh.insert(value);
+                }
+                if dict.len() + fresh.len() > dict.capacity() {
+                    return Err(DynError::DictionaryOverflow {
+                        attr,
+                        capacity: dict.capacity(),
+                    });
+                }
+            }
+        }
         Ok(())
     }
 
     fn check_live(&self, rid: RecordId, pending_inserts: u64, dead: &[RecordId]) -> Result<()> {
         if dead.contains(&rid) {
-            return Err(DynError::UnknownRecord(rid));
+            // The record existed (or was created in this batch) but an
+            // earlier op already consumed it: a duplicate reference, not
+            // an unknown id.
+            return Err(DynError::DuplicateRecord(rid));
         }
         let exists_now = self.contains(rid);
         let created_in_batch =
@@ -296,6 +478,7 @@ impl DynamicRelation {
         ids.sort_unstable();
         let mut fresh = DynamicRelation::new(self.schema.clone());
         for rid in ids {
+            // Invariant: `ids` was collected from the live-record index.
             let row = self.materialize(rid).expect("live record");
             // Preserve original ids so the two relations are comparable.
             fresh.next_id = rid;
@@ -442,8 +625,104 @@ mod tests {
         batch.delete(RecordId(0)).delete(RecordId(0));
         assert_eq!(
             rel.apply_batch(&batch).unwrap_err(),
-            DynError::UnknownRecord(RecordId(0))
+            DynError::DuplicateRecord(RecordId(0))
         );
+    }
+
+    #[test]
+    fn delete_after_update_of_same_record_is_duplicate() {
+        let mut rel = paper_relation();
+        let mut batch = Batch::new();
+        batch
+            .update(RecordId(1), vec!["Max", "Miller", "10115", "Berlin"])
+            .delete(RecordId(1));
+        assert_eq!(
+            rel.apply_batch(&batch).unwrap_err(),
+            DynError::DuplicateRecord(RecordId(1))
+        );
+        assert_eq!(rel, paper_relation());
+    }
+
+    #[test]
+    fn reject_nulls_policy_blocks_batch_atomically() {
+        let mut rel = paper_relation();
+        rel.set_null_policy(NullPolicy::RejectNulls);
+        let mut snapshot = paper_relation();
+        snapshot.set_null_policy(NullPolicy::RejectNulls);
+        let mut batch = Batch::new();
+        batch
+            .delete(RecordId(0))
+            .insert(vec!["Marie", "", "14467", "Potsdam"]);
+        assert_eq!(
+            rel.apply_batch(&batch).unwrap_err(),
+            DynError::NullValue { attr: 1 }
+        );
+        assert_eq!(rel, snapshot);
+        // The default policy accepts the same batch.
+        rel.set_null_policy(NullPolicy::AllowAll);
+        snapshot.set_null_policy(NullPolicy::AllowAll);
+        rel.apply_batch(&batch).unwrap();
+        assert_ne!(rel, snapshot);
+    }
+
+    #[test]
+    fn dictionary_overflow_pre_checked() {
+        let mut rel = paper_relation();
+        rel.set_dictionary_capacity(2, rel.dictionary(2).len() + 1);
+        let snapshot = rel.clone();
+        // Two fresh zip codes but headroom for one: rejected up front,
+        // even though each row passes `check_row` in isolation.
+        let mut batch = Batch::new();
+        batch
+            .insert(vec!["A", "B", "99991", "Golm"])
+            .insert(vec!["C", "D", "99992", "Golm"]);
+        assert_eq!(
+            rel.apply_batch(&batch).unwrap_err(),
+            DynError::DictionaryOverflow {
+                attr: 2,
+                capacity: 4
+            }
+        );
+        assert_eq!(rel, snapshot);
+        // One fresh zip (used twice) fits exactly.
+        let mut ok = Batch::new();
+        ok.insert(vec!["A", "B", "99991", "Golm"])
+            .insert(vec!["C", "D", "99991", "Golm"]);
+        rel.apply_batch(&ok).unwrap();
+        assert_eq!(rel.dictionary(2).len(), 4);
+    }
+
+    #[test]
+    fn rollback_restores_pre_batch_state_exactly() {
+        let mut rel = paper_relation();
+        let snapshot = rel.clone();
+        let mut batch = Batch::new();
+        batch
+            .delete(RecordId(2))
+            .insert(vec!["Marie", "Scott", "14467", "Potsdam"])
+            .update(RecordId(0), vec!["Max", "Jones", "14482", "Golm"])
+            .insert(vec!["X", "Y", "Z", "W"])
+            .delete(RecordId(6)); // the "X Y Z W" insert: deferred delete
+        let (applied, undo) = rel.apply_batch_logged(&batch).unwrap();
+        assert!(applied.has_inserts() && applied.has_deletes());
+        assert_ne!(rel, snapshot);
+        rel.rollback(undo);
+        assert_eq!(rel, snapshot);
+        // The rolled-back relation is fully usable afterwards.
+        let mut again = Batch::new();
+        again.insert(vec!["P", "Q", "R", "S"]);
+        let applied = rel.apply_batch(&again).unwrap();
+        assert_eq!(applied.inserted, vec![RecordId(4)]);
+    }
+
+    #[test]
+    fn rollback_of_empty_batch_is_noop() {
+        let mut rel = paper_relation();
+        let snapshot = rel.clone();
+        let (_, undo) = rel.apply_batch_logged(&Batch::new()).unwrap();
+        assert!(undo.is_empty());
+        rel.rollback(undo);
+        assert_eq!(rel, snapshot);
     }
 
     #[test]

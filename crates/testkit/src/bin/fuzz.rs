@@ -18,9 +18,17 @@
 //! once the budget is spent (cases already running finish). `--fault`
 //! injects a deliberate cover bug (`drop-first` or `add-bogus`) to
 //! demonstrate the catch → shrink → repro pipeline end to end.
+//!
+//! `--inject` turns on engine fault injection: `poisoned-batches`
+//! submits invalid batch variants that must be rejected atomically,
+//! `mid-batch-panic` arms seeded panic failpoints whose failures must
+//! roll back bit-identically and succeed on retry, `cover-corruption`
+//! plants silent cover drift the degraded-mode rebuild must repair, and
+//! `all` cycles through the three modes case by case. The differential
+//! oracle and metamorphic checks keep running throughout.
 
 use dynfd_testkit::{
-    check_trace, shrink_trace, CoverFault, Repro, RunnerOptions, Trace, TraceStats,
+    check_trace, shrink_trace, CoverFault, EngineFault, Repro, RunnerOptions, Trace, TraceStats,
 };
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -31,11 +39,30 @@ struct Args {
     budget: Duration,
     out_dir: PathBuf,
     fault: Option<CoverFault>,
+    inject: Option<InjectMode>,
+}
+
+/// The `--inject` argument: one engine-fault mode, or all three cycled.
+#[derive(Clone, Copy)]
+enum InjectMode {
+    One(EngineFault),
+    All,
+}
+
+impl InjectMode {
+    fn for_case(self, case: u64) -> EngineFault {
+        match self {
+            InjectMode::One(mode) => mode,
+            InjectMode::All => EngineFault::ALL[(case % EngineFault::ALL.len() as u64) as usize],
+        }
+    }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: fuzz [--seed N] [--cases N] [--budget-secs N] [--out DIR] [--fault drop-first|add-bogus]"
+        "usage: fuzz [--seed N] [--cases N] [--budget-secs N] [--out DIR] \\\n       \
+         [--fault drop-first|add-bogus] \\\n       \
+         [--inject poisoned-batches|mid-batch-panic|cover-corruption|all]"
     );
     std::process::exit(2);
 }
@@ -47,6 +74,7 @@ fn parse_args() -> Args {
         budget: Duration::from_secs(300),
         out_dir: PathBuf::from("repros"),
         fault: None,
+        inject: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -65,6 +93,13 @@ fn parse_args() -> Args {
                     _ => usage(),
                 })
             }
+            "--inject" => {
+                let v = value();
+                args.inject = Some(match v.as_str() {
+                    "all" => InjectMode::All,
+                    name => InjectMode::One(EngineFault::by_name(name).unwrap_or_else(|| usage())),
+                })
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -74,7 +109,7 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    let opts = RunnerOptions {
+    let base_opts = RunnerOptions {
         fault: args.fault,
         ..RunnerOptions::default()
     };
@@ -94,9 +129,15 @@ fn main() {
             break;
         }
         let trace = Trace::for_case(args.seed, case);
+        let engine_fault = args.inject.map(|m| m.for_case(case));
+        let opts = RunnerOptions {
+            engine_fault,
+            ..base_opts.clone()
+        };
         let label = format!(
-            "case {case:>3} [{:<14}] {} cols, {} rows, {} ops, batch {}",
+            "case {case:>3} [{:<14}]{} {} cols, {} rows, {} ops, batch {}",
             trace.profile,
+            engine_fault.map_or(String::new(), |m| format!(" inject={}", m.name())),
             trace.arity(),
             trace.initial_rows.len(),
             trace.ops.len(),
@@ -106,8 +147,16 @@ fn main() {
             Ok(stats) => {
                 totals.absorb(&stats);
                 completed += 1;
+                let fault_note = if stats.faults_injected > 0 {
+                    format!(
+                        ", {} faults injected, {} rollbacks verified, {} rebuilds",
+                        stats.faults_injected, stats.rollbacks_verified, stats.cover_rebuilds
+                    )
+                } else {
+                    String::new()
+                };
                 println!(
-                    "{label}: ok ({} oracle checks, {} metamorphic checks)",
+                    "{label}: ok ({} oracle checks, {} metamorphic checks{fault_note})",
                     stats.oracle_checks, stats.metamorphic_checks
                 );
             }
@@ -144,11 +193,15 @@ fn main() {
 
     println!(
         "\n{completed} cases, {failures} failures; {} configs replayed, {} batches, \
-         {} oracle checks, {} metamorphic checks in {:.1}s",
+         {} oracle checks, {} metamorphic checks, {} faults injected, \
+         {} rollbacks verified, {} cover rebuilds in {:.1}s",
         totals.configs,
         totals.batches,
         totals.oracle_checks,
         totals.metamorphic_checks,
+        totals.faults_injected,
+        totals.rollbacks_verified,
+        totals.cover_rebuilds,
         start.elapsed().as_secs_f64()
     );
     if failures > 0 {

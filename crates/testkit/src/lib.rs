@@ -20,9 +20,15 @@
 //!   failing trace to a near-minimal op script;
 //! * [`Repro`] — self-contained JSON **repro files** (seed + schema +
 //!   ops + expected/actual covers) that tests replay directly;
+//! * [`EngineFault`] — a **fault-injection mode** that attacks the
+//!   engine itself while the differential checks keep running: poisoned
+//!   batches that must be rejected atomically, mid-batch panics armed at
+//!   seeded failpoints that must roll back bit-identically and succeed
+//!   on retry, and silent cover corruption the degraded-mode rebuild
+//!   must repair before the oracles look;
 //! * a `fuzz` **binary** (`cargo run -p dynfd-testkit --bin fuzz`) with
-//!   `--seed`, `--cases`, and `--budget-secs` flags, run in CI as a
-//!   fixed-seed smoke job.
+//!   `--seed`, `--cases`, `--budget-secs`, and `--inject` flags, run in
+//!   CI as a fixed-seed smoke job.
 //!
 //! Everything is seeded; a `(seed, case)` pair regenerates the identical
 //! trace bit for bit, on every machine.
@@ -37,6 +43,9 @@ mod trace;
 
 pub use json::Json;
 pub use repro::Repro;
-pub use runner::{check_trace, CoverFault, RunnerOptions, TraceFailure, TraceStats};
+pub use runner::{
+    check_trace, silence_injected_panics, CoverFault, EngineFault, RunnerOptions, TraceFailure,
+    TraceStats,
+};
 pub use shrink::shrink_trace;
 pub use trace::{Trace, TraceOp, TraceProfile};

@@ -15,13 +15,71 @@
 //! The change log uses the line format of
 //! [`dynfd::relation::parse_changelog`]: `I|v1|v2|…`, `D|<id>`,
 //! `U|<id>|v1|…`. Record ids are assigned in row order starting at 0.
+//!
+//! Every failure prints a one-line `dynfd: …` diagnostic to stderr and
+//! exits nonzero with a code that identifies the error family: `2` for
+//! usage errors, and the [`DynFdError::exit_code`] mapping for engine
+//! errors (`3` I/O, `4` parse, `5` unknown record, `6` duplicate
+//! record, `7` arity mismatch, `8` dictionary overflow, `9` null-policy
+//! violation, `10` internal fault).
 
-use dynfd::common::Schema;
-use dynfd::core::{DynFd, DynFdConfig, FdMonitor};
+use dynfd::common::{DynError, Schema};
+use dynfd::core::{DynFd, DynFdConfig, DynFdError, FdMonitor};
 use dynfd::lattice::closure::{bcnf_violations, candidate_keys};
 use dynfd::lattice::io::{read_cover, write_cover};
 use dynfd::relation::{parse_changelog, read_csv_file, Batch, DynamicRelation};
 use std::process::ExitCode;
+
+/// A CLI failure: a one-line diagnostic plus the process exit code.
+/// Usage errors exit 2 (and reprint the usage text); engine errors
+/// carry the distinct per-family code of [`DynFdError::exit_code`].
+struct CliError {
+    code: u8,
+    message: String,
+    show_usage: bool,
+}
+
+impl CliError {
+    /// A bad-invocation error: exit 2, usage text follows the
+    /// diagnostic.
+    fn usage(message: impl Into<String>) -> CliError {
+        CliError {
+            code: 2,
+            message: message.into(),
+            show_usage: true,
+        }
+    }
+
+    /// An engine error with a context prefix (a path, a batch index).
+    fn engine(context: impl std::fmt::Display, error: DynFdError) -> CliError {
+        CliError {
+            code: error.exit_code(),
+            message: format!("{context}: {error}"),
+            show_usage: false,
+        }
+    }
+}
+
+impl From<DynFdError> for CliError {
+    fn from(error: DynFdError) -> CliError {
+        CliError {
+            code: error.exit_code(),
+            message: error.to_string(),
+            show_usage: false,
+        }
+    }
+}
+
+/// Wraps a relation-layer error from reading/parsing `path` with the
+/// path as context, preserving the error family for the exit code.
+fn with_path(path: &str, error: DynError) -> CliError {
+    CliError::engine(path, DynFdError::from(error))
+}
+
+/// An `std::io::Error` while touching `path` → exit code 3.
+fn io_error(path: &str, error: std::io::Error) -> CliError {
+    CliError::engine(path, DynFdError::Io(error.to_string()))
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,13 +91,16 @@ fn main() -> ExitCode {
             eprintln!("{}", USAGE);
             return ExitCode::SUCCESS;
         }
-        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+        Some(other) => Err(CliError::usage(format!("unknown command {other:?}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("dynfd: {msg}");
-            ExitCode::from(2)
+        Err(e) => {
+            eprintln!("dynfd: {}", e.message);
+            if e.show_usage {
+                eprintln!("{}", USAGE);
+            }
+            ExitCode::from(e.code)
         }
     }
 }
@@ -48,22 +109,22 @@ const USAGE: &str = "usage: dynfd profile <data.csv>
        dynfd keys <data.csv>
        dynfd maintain <data.csv> <changes.log> [--batch <n>] [--cover <f>] [--save <f>] [--quiet]";
 
-fn load(path: &str) -> Result<(Schema, DynamicRelation), String> {
-    let table = read_csv_file(path).map_err(|e| format!("{path}: {e}"))?;
+fn load(path: &str) -> Result<(Schema, DynamicRelation), CliError> {
+    let table = read_csv_file(path).map_err(|e| with_path(path, e))?;
     let name = std::path::Path::new(path)
         .file_stem()
         .and_then(|s| s.to_str())
         .unwrap_or("relation")
         .to_string();
     let schema = Schema::new(name, table.header.clone());
-    let rel = DynamicRelation::from_rows(schema.clone(), &table.rows)
-        .map_err(|e| format!("{path}: {e}"))?;
+    let rel =
+        DynamicRelation::from_rows(schema.clone(), &table.rows).map_err(|e| with_path(path, e))?;
     Ok((schema, rel))
 }
 
-fn cmd_profile(args: &[String]) -> Result<(), String> {
+fn cmd_profile(args: &[String]) -> Result<(), CliError> {
     let [path] = args else {
-        return Err(format!("profile takes one CSV path\n{USAGE}"));
+        return Err(CliError::usage("profile takes one CSV path"));
     };
     let (schema, rel) = load(path)?;
     let fds = dynfd::staticfd::hyfd::discover(&rel);
@@ -77,16 +138,16 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_keys(args: &[String]) -> Result<(), String> {
+fn cmd_keys(args: &[String]) -> Result<(), CliError> {
     let [path] = args else {
-        return Err(format!("keys takes one CSV path\n{USAGE}"));
+        return Err(CliError::usage("keys takes one CSV path"));
     };
     let (schema, rel) = load(path)?;
     if rel.arity() > 24 {
-        return Err(format!(
+        return Err(CliError::usage(format!(
             "key enumeration is exponential; {} columns is too wide (max 24)",
             rel.arity()
-        ));
+        )));
     }
     let fds = dynfd::staticfd::hyfd::discover(&rel);
     let arity = schema.arity();
@@ -113,7 +174,7 @@ fn cmd_keys(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_maintain(args: &[String]) -> Result<(), String> {
+fn cmd_maintain(args: &[String]) -> Result<(), CliError> {
     let mut positional: Vec<&String> = Vec::new();
     let mut batch_size = 100usize;
     let mut cover_path: Option<String> = None;
@@ -128,27 +189,39 @@ fn cmd_maintain(args: &[String]) -> Result<(), String> {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .filter(|&n| n > 0)
-                    .ok_or("--batch needs a positive integer")?;
+                    .ok_or_else(|| CliError::usage("--batch needs a positive integer"))?;
             }
-            "--cover" => cover_path = Some(it.next().ok_or("--cover needs a path")?.clone()),
-            "--save" => save_path = Some(it.next().ok_or("--save needs a path")?.clone()),
+            "--cover" => {
+                cover_path = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::usage("--cover needs a path"))?
+                        .clone(),
+                )
+            }
+            "--save" => {
+                save_path = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::usage("--save needs a path"))?
+                        .clone(),
+                )
+            }
             "--quiet" => quiet = true,
             other if !other.starts_with('-') => positional.push(arg),
-            other => return Err(format!("unknown option {other:?}\n{USAGE}")),
+            other => return Err(CliError::usage(format!("unknown option {other:?}"))),
         }
     }
     let [data_path, log_path] = positional[..] else {
-        return Err(format!("maintain takes a CSV and a change log\n{USAGE}"));
+        return Err(CliError::usage("maintain takes a CSV and a change log"));
     };
 
     let (schema, rel) = load(data_path)?;
-    let log_text = std::fs::read_to_string(log_path).map_err(|e| format!("{log_path}: {e}"))?;
-    let ops = parse_changelog(&log_text, schema.arity()).map_err(|e| format!("{log_path}: {e}"))?;
+    let log_text = std::fs::read_to_string(log_path).map_err(|e| io_error(log_path, e))?;
+    let ops = parse_changelog(&log_text, schema.arity()).map_err(|e| with_path(log_path, e))?;
 
     let mut dynfd = match &cover_path {
         Some(p) => {
-            let text = std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?;
-            let cover = read_cover(&text, &schema).map_err(|e| format!("{p}: {e}"))?;
+            let text = std::fs::read_to_string(p).map_err(|e| io_error(p, e))?;
+            let cover = read_cover(&text, &schema).map_err(|e| with_path(p, e))?;
             DynFd::with_cover(rel, cover, DynFdConfig::default())
         }
         None => DynFd::new(rel, DynFdConfig::default()),
@@ -165,7 +238,7 @@ fn cmd_maintain(args: &[String]) -> Result<(), String> {
     for (i, batch) in Batch::chunk(ops, batch_size).into_iter().enumerate() {
         let result = dynfd
             .apply_batch(&batch)
-            .map_err(|e| format!("batch {i}: {e}"))?;
+            .map_err(|e| CliError::engine(format_args!("batch {i}"), e))?;
         monitor.observe(&result);
         if !quiet && !result.is_unchanged() {
             println!("batch {i}/{total_batches}:");
@@ -186,7 +259,7 @@ fn cmd_maintain(args: &[String]) -> Result<(), String> {
     );
     if let Some(p) = save_path {
         std::fs::write(&p, write_cover(dynfd.positive_cover(), &schema))
-            .map_err(|e| format!("{p}: {e}"))?;
+            .map_err(|e| io_error(&p, e))?;
         eprintln!("# cover saved to {p}");
     }
     Ok(())

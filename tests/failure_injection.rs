@@ -4,7 +4,7 @@
 //! corrupt covers.
 
 use dynfd::common::{AttrSet, DynError, Fd, RecordId, Schema};
-use dynfd::core::{DynFd, DynFdConfig};
+use dynfd::core::{DynFd, DynFdConfig, DynFdError};
 use dynfd::lattice::io::{read_cover, write_cover};
 use dynfd::relation::{parse_csv, Batch, ChangeOp, DynamicRelation};
 
@@ -31,7 +31,9 @@ fn unknown_record_in_batch_is_atomic() {
         .update(RecordId(1), vec!["Max", "Miller", "10115", "Berlin"])
         .delete(RecordId(4711));
     let err = dynfd.apply_batch(&batch).unwrap_err();
-    assert_eq!(err, DynError::UnknownRecord(RecordId(4711)));
+    assert_eq!(err, DynFdError::UnknownRecord(RecordId(4711)));
+    assert_eq!(err.exit_code(), 5);
+    assert!(err.is_rejection());
     assert_eq!(dynfd.minimal_fds(), before_fds, "positive cover untouched");
     assert_eq!(
         dynfd.negative_cover(),
@@ -50,7 +52,7 @@ fn arity_mismatch_in_batch_is_atomic() {
     let err = dynfd.apply_batch(&batch).unwrap_err();
     assert_eq!(
         err,
-        DynError::ArityMismatch {
+        DynFdError::ArityMismatch {
             expected: 4,
             actual: 3
         }

@@ -1,0 +1,187 @@
+//! Property tests for the transactional `apply_batch` contract, driven
+//! by testkit traces: a batch that is *rejected* (validation failure) or
+//! that *fails mid-flight* (injected panic at a seeded failpoint) must
+//! leave the engine structurally equal to a pre-batch clone, and the
+//! remaining valid batches must then land on covers that match all three
+//! static oracles — exactly as if the fault had never happened.
+
+use dynfd::common::RecordId;
+use dynfd::core::{DynFd, DynFdConfig, DynFdError, FailAction, FailPhase, FailPoint};
+use dynfd::relation::{Batch, ChangeOp};
+use dynfd::staticfd::Oracle;
+use dynfd_testkit::{silence_injected_panics, Trace, TraceProfile};
+use proptest::prelude::*;
+
+/// The kinds of fault the property injects at one chosen batch.
+#[derive(Clone, Copy, Debug)]
+enum Fault {
+    /// Append a delete of a record id that can never exist.
+    UnknownDelete,
+    /// Append an insert with one column too many.
+    ArityMismatch,
+    /// Append the same live-record delete twice.
+    DoubleDelete,
+    /// Arm a panic failpoint inside a maintenance phase.
+    MidBatchPanic { insert_phase: bool, after: usize },
+}
+
+fn arb_fault() -> impl Strategy<Value = Fault> {
+    prop_oneof![
+        Just(Fault::UnknownDelete),
+        Just(Fault::ArityMismatch),
+        Just(Fault::DoubleDelete),
+        (any::<bool>(), 0usize..6).prop_map(|(insert_phase, after)| Fault::MidBatchPanic {
+            insert_phase,
+            after
+        }),
+    ]
+}
+
+/// Builds a copy of `batch` with one op appended that must make the
+/// whole batch fail validation.
+fn poison(batch: &Batch, dynfd: &DynFd, fault: Fault) -> Batch {
+    let mut ops = batch.ops().to_vec();
+    // Beyond every id the batch's own inserts could be assigned — a
+    // smaller id would be a legal same-batch deferred delete.
+    let unknown = RecordId(dynfd.relation().next_id().0 + batch.len() as u64 + 1);
+    match fault {
+        Fault::UnknownDelete => ops.push(ChangeOp::Delete(unknown)),
+        Fault::ArityMismatch => ops.push(ChangeOp::Insert(vec![
+            "x".to_string();
+            dynfd.relation().arity() + 1
+        ])),
+        Fault::DoubleDelete => match dynfd.relation().record_ids().next() {
+            Some(rid) => {
+                ops.push(ChangeOp::Delete(rid));
+                ops.push(ChangeOp::Delete(rid));
+            }
+            None => ops.push(ChangeOp::Delete(unknown)),
+        },
+        Fault::MidBatchPanic { .. } => unreachable!("panic faults do not poison the batch"),
+    }
+    Batch::from_ops(ops)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// One fault is injected at a trace-relative batch index; the engine
+    /// must reject or roll back atomically, and the rest of the trace
+    /// must replay to oracle-identical covers.
+    #[test]
+    fn faulted_batches_leave_no_trace(
+        seed in 0u64..500,
+        profile_idx in 0usize..TraceProfile::ALL.len(),
+        fault in arb_fault(),
+        inject_at in 0usize..16,
+    ) {
+        silence_injected_panics();
+        let trace = Trace::generate(TraceProfile::ALL[profile_idx], seed);
+        let batches = trace.to_batches();
+        if batches.is_empty() {
+            return Ok(());
+        }
+        let inject_at = inject_at % batches.len();
+
+        let mut dynfd = DynFd::new(trace.to_relation(), DynFdConfig::default());
+        for (i, batch) in batches.iter().enumerate() {
+            let mut already_applied = false;
+            if i == inject_at {
+                let pre = dynfd.clone();
+                match fault {
+                    Fault::MidBatchPanic { insert_phase, after } => {
+                        dynfd.arm_failpoint(FailPoint {
+                            phase: if insert_phase {
+                                FailPhase::InsertPhase
+                            } else {
+                                FailPhase::DeletePhase
+                            },
+                            after_validations: after,
+                            action: FailAction::Panic,
+                        });
+                        match dynfd.apply_batch(batch) {
+                            Ok(_) => {
+                                // The seeded point was never reached; the
+                                // batch applied cleanly on the first try.
+                                dynfd.disarm_failpoint();
+                                already_applied = true;
+                            }
+                            Err(e) => {
+                                let panicked = matches!(e, DynFdError::PhasePanicked { .. });
+                                prop_assert!(panicked, "unexpected error: {}", e);
+                                prop_assert!(!e.is_rejection());
+                                prop_assert_eq!(dynfd.state_divergence(&pre), None);
+                            }
+                        }
+                    }
+                    _ => {
+                        let err = dynfd.apply_batch(&poison(batch, &dynfd, fault));
+                        let err = err.expect_err("poisoned batch must be rejected");
+                        prop_assert!(err.is_rejection(), "got non-rejection: {}", err);
+                        prop_assert!((3..=9).contains(&err.exit_code()));
+                        prop_assert_eq!(dynfd.state_divergence(&pre), None);
+                    }
+                }
+            }
+            if !already_applied {
+                let result = dynfd.apply_batch(batch);
+                prop_assert!(result.is_ok(), "clean batch failed: {:?}", result.err());
+            }
+        }
+
+        // The fault left no trace: the maintained covers equal static
+        // rediscovery by every oracle, and all internal invariants hold.
+        for oracle in Oracle::ALL {
+            prop_assert_eq!(
+                dynfd.positive_cover(),
+                &oracle.discover(dynfd.relation()),
+                "diverged from {}",
+                oracle.name()
+            );
+        }
+        dynfd.verify_consistency().unwrap();
+    }
+
+    /// Back-to-back faults on *every* batch of a trace: each batch is
+    /// first rejected (poisoned variant), then panicked (failpoint),
+    /// then applied cleanly — the harshest schedule for undo-log and
+    /// snapshot bookkeeping.
+    #[test]
+    fn every_batch_survives_reject_then_panic_then_apply(
+        seed in 0u64..200,
+        profile_idx in 0usize..TraceProfile::ALL.len(),
+    ) {
+        silence_injected_panics();
+        let trace = Trace::generate(TraceProfile::ALL[profile_idx], seed);
+        let mut dynfd = DynFd::new(trace.to_relation(), DynFdConfig::default());
+
+        for batch in trace.to_batches() {
+            let pre = dynfd.clone();
+            let err = dynfd
+                .apply_batch(&poison(&batch, &dynfd, Fault::UnknownDelete))
+                .expect_err("poisoned batch must be rejected");
+            prop_assert!(err.is_rejection());
+            prop_assert_eq!(dynfd.state_divergence(&pre), None);
+
+            dynfd.arm_failpoint(FailPoint {
+                phase: FailPhase::InsertPhase,
+                after_validations: 0,
+                action: FailAction::Panic,
+            });
+            match dynfd.apply_batch(&batch) {
+                Ok(_) => dynfd.disarm_failpoint(),
+                Err(e) => {
+                    let panicked = matches!(e, DynFdError::PhasePanicked { .. });
+                    prop_assert!(panicked, "unexpected error: {}", e);
+                    prop_assert_eq!(dynfd.state_divergence(&pre), None);
+                    prop_assert!(dynfd.apply_batch(&batch).is_ok(), "retry must succeed");
+                }
+            }
+        }
+
+        for oracle in Oracle::ALL {
+            prop_assert_eq!(dynfd.positive_cover(), &oracle.discover(dynfd.relation()));
+        }
+        dynfd.verify_consistency().unwrap();
+    }
+}
