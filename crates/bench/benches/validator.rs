@@ -87,6 +87,7 @@ fn level_jobs(arity: usize) -> Vec<ValidationJob> {
 }
 
 fn bench_validation(c: &mut Criterion) {
+    c.sample_size(dynfd_bench::bench_samples(15));
     let rel = build_relation();
     let lhs: AttrSet = [0usize, 1].into_iter().collect();
     let rhs: AttrSet = [2usize, 3, 5].into_iter().collect();
@@ -128,6 +129,7 @@ fn bench_validation(c: &mut Criterion) {
 }
 
 fn bench_parallel_sweep(c: &mut Criterion) {
+    c.sample_size(dynfd_bench::bench_samples(15));
     let full = ValidationOptions::full();
     for skewed in [false, true] {
         let rel = build_skewed_relation(skewed);
@@ -161,13 +163,22 @@ fn main() {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    criterion::write_json_snapshot(
+    criterion::write_json_report(
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr1.json"),
         &[
-            ("bench", "validator parallel sweep".to_string()),
-            ("rows", "5000".to_string()),
-            ("available_cores", cores.to_string()),
+            ("bench", "validator parallel sweep".into()),
+            ("rows", 5_000usize.into()),
+            ("available_cores", cores.into()),
         ],
+        &|r| {
+            // Rows of the thread sweep end in `threads/N`; when N
+            // exceeds the machine's cores the timing measures contention,
+            // not scaling, so mark it for downstream readers.
+            match criterion::requested_threads(&r.id) {
+                Some(n) if n > cores => vec![("oversubscribed".into(), true.into())],
+                _ => Vec::new(),
+            }
+        },
     )
     .expect("write BENCH_pr1.json");
 }

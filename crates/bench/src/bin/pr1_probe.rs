@@ -1,5 +1,13 @@
 //! Phase-by-phase timing probe for one paper profile (debugging aid for
 //! the end-to-end smoke test's runtime).
+//!
+//! ```text
+//! pr1_probe [profile] [rows] [changes] [bursts]
+//! ```
+//!
+//! Set `DYNFD_PROBE_NO_CACHE=1` to run with the PLI-intersection cache
+//! disabled — diffing two runs isolates the cache's contribution to
+//! per-batch time.
 
 use dynfd_core::{DynFd, DynFdConfig};
 use dynfd_datagen::{GeneratedDataset, PAPER_PROFILES};
@@ -24,6 +32,10 @@ fn main() {
     if let Some(bursts) = args.next() {
         small.bursts = bursts.parse().expect("bursts override");
     }
+    let config = DynFdConfig {
+        pli_cache: std::env::var_os("DYNFD_PROBE_NO_CACHE").is_none(),
+        ..DynFdConfig::default()
+    };
 
     let t = Instant::now();
     let data = GeneratedDataset::generate(&small);
@@ -39,20 +51,21 @@ fn main() {
     );
 
     let t = Instant::now();
-    let mut dynfd = DynFd::new(rel, DynFdConfig::default());
+    let mut dynfd = DynFd::new(rel, config);
     println!(
-        "[{}] bootstrap (HyFD + inversion): {:?}, |pos|={}, |neg|={}",
+        "[{}] bootstrap (HyFD + inversion): {:?}, |pos|={}, |neg|={}, cache={}",
         p.name,
         t.elapsed(),
         dynfd.positive_cover().len(),
-        dynfd.negative_cover().len()
+        dynfd.negative_cover().len(),
+        config.pli_cache,
     );
 
     for (i, b) in data.batches(60, None).into_iter().enumerate() {
         let t = Instant::now();
         let r = dynfd.apply_batch(&b).unwrap();
         println!(
-            "[{}] batch {}: {:?} (del {:?} / ins {:?}), |pos|={}, |neg|={}, fdval={}, nonfdval={}",
+            "[{}] batch {}: {:?} (del {:?} / ins {:?}), |pos|={}, |neg|={}, fdval={}, nonfdval={}, cache {}h/{}m/{}e {}B",
             p.name,
             i,
             t.elapsed(),
@@ -62,6 +75,10 @@ fn main() {
             dynfd.negative_cover().len(),
             r.metrics.fd_validations,
             r.metrics.non_fd_validations,
+            r.metrics.cache_hits,
+            r.metrics.cache_misses,
+            r.metrics.cache_evictions,
+            r.metrics.cache_bytes,
         );
     }
 }

@@ -24,3 +24,15 @@ pub mod experiments;
 pub mod report;
 pub mod runner;
 pub mod strategies;
+
+/// Sample count for the criterion micro-benches: `DYNFD_BENCH_SAMPLES`
+/// overrides the given default so CI smoke runs can trade precision for
+/// wall time without a separate bench profile. Unset, unparsable, or
+/// zero values fall back to `default`.
+pub fn bench_samples(default: usize) -> usize {
+    std::env::var("DYNFD_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}

@@ -93,6 +93,21 @@ pub struct DynFdConfig {
     /// [`BatchMetrics::cover_rebuilds`](crate::BatchMetrics), and the
     /// batch still reports success.
     pub consistency: ConsistencyLevel,
+    /// **Extension**: memoize two-attribute PLI intersections across
+    /// candidates and batches (the EAIFD-lineage partition reuse; see
+    /// `dynfd_relation::pli_cache`). Covers and deltas are identical
+    /// either way; only violation witness pairs and wall-clock time may
+    /// differ.
+    pub pli_cache: bool,
+    /// Byte budget of the PLI-intersection cache; least-recently-used
+    /// entries are evicted beyond it. Ignored when
+    /// [`DynFdConfig::pli_cache`] is off.
+    pub pli_cache_bytes: usize,
+    /// Lattice levels with fewer validation jobs than this run
+    /// sequentially even when [`DynFdConfig::parallelism`] asks for
+    /// workers — thread spawn costs more than a whole small level (the
+    /// BENCH_pr1.json arity-1 anomaly). `0` disables the fallback.
+    pub parallel_min_jobs: usize,
 }
 
 impl Default for DynFdConfig {
@@ -108,6 +123,9 @@ impl Default for DynFdConfig {
             update_pruning: false,
             parallelism: 0,
             consistency: ConsistencyLevel::Off,
+            pli_cache: true,
+            pli_cache_bytes: 16 << 20,
+            parallel_min_jobs: 16,
         }
     }
 }
@@ -126,24 +144,29 @@ impl DynFdConfig {
         }
     }
 
-    /// Every combination of the four §6.5 ablation toggles (16 configs),
-    /// in a fixed deterministic order from [`DynFdConfig::baseline`] to
-    /// the all-strategies default. The cross-validation tests and the
+    /// Every combination of the four §6.5 ablation toggles crossed with
+    /// the PLI-cache axis (32 configs), in a fixed deterministic order
+    /// from [`DynFdConfig::baseline`]-without-cache to the
+    /// all-strategies cached default. The cross-validation tests and the
     /// testkit's differential runner iterate this matrix so that each
-    /// pruning strategy is exercised both alone and in combination.
+    /// pruning strategy — and the cache — is exercised both alone and
+    /// in combination.
     pub fn ablation_matrix() -> Vec<DynFdConfig> {
-        let mut configs = Vec::with_capacity(16);
-        for cluster in [false, true] {
-            for search in [SearchMode::Naive, SearchMode::Progressive] {
-                for validation in [false, true] {
-                    for dfs in [false, true] {
-                        configs.push(DynFdConfig {
-                            cluster_pruning: cluster,
-                            violation_search: search,
-                            validation_pruning: validation,
-                            depth_first_search: dfs,
-                            ..DynFdConfig::default()
-                        });
+        let mut configs = Vec::with_capacity(32);
+        for cache in [false, true] {
+            for cluster in [false, true] {
+                for search in [SearchMode::Naive, SearchMode::Progressive] {
+                    for validation in [false, true] {
+                        for dfs in [false, true] {
+                            configs.push(DynFdConfig {
+                                cluster_pruning: cluster,
+                                violation_search: search,
+                                validation_pruning: validation,
+                                depth_first_search: dfs,
+                                pli_cache: cache,
+                                ..DynFdConfig::default()
+                            });
+                        }
                     }
                 }
             }
@@ -173,11 +196,17 @@ impl DynFdConfig {
         if self.validation_pruning {
             parts.push("5.2");
         }
-        if parts.is_empty() {
+        let mut label = if parts.is_empty() {
             "-".to_string()
         } else {
             parts.join("+")
+        };
+        // The cache is on by default, so only its absence is marked —
+        // the paper-figure labels ("4.3+5.3+4.2+5.2", "-") stay intact.
+        if !self.pli_cache {
+            label.push_str(" (no-cache)");
         }
+        label
     }
 }
 
@@ -215,12 +244,26 @@ mod tests {
     #[test]
     fn ablation_matrix_covers_all_toggle_combinations() {
         let matrix = DynFdConfig::ablation_matrix();
-        assert_eq!(matrix.len(), 16);
+        assert_eq!(matrix.len(), 32);
         let labels: std::collections::BTreeSet<String> =
             matrix.iter().map(|c| c.strategy_label()).collect();
-        assert_eq!(labels.len(), 16, "labels are distinct: {labels:?}");
+        assert_eq!(labels.len(), 32, "labels are distinct: {labels:?}");
         assert!(labels.contains("-"));
+        assert!(labels.contains("- (no-cache)"));
         assert!(labels.contains("4.3+5.3+4.2+5.2"));
+        assert!(labels.contains("4.3+5.3+4.2+5.2 (no-cache)"));
+        // Both cache settings appear for every toggle combination.
+        assert_eq!(matrix.iter().filter(|c| c.pli_cache).count(), 16);
+    }
+
+    #[test]
+    fn cache_defaults() {
+        let c = DynFdConfig::default();
+        assert!(c.pli_cache, "cache is on by default");
+        assert_eq!(c.pli_cache_bytes, 16 << 20);
+        assert_eq!(c.parallel_min_jobs, 16);
+        // The default label is unchanged by the cache being on.
+        assert_eq!(c.strategy_label(), "4.3+5.3+4.2+5.2");
     }
 
     #[test]

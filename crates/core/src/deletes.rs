@@ -18,7 +18,7 @@ use crate::errors::DynFdResult;
 use crate::failpoint::FailPhase;
 use crate::{BatchMetrics, DynFd};
 use dynfd_common::{AttrSet, Fd};
-use dynfd_relation::{validate_many, AppliedBatch, RhsOutcome, ValidationJob, ValidationOptions};
+use dynfd_relation::{AppliedBatch, RhsOutcome, ValidationJob, ValidationOptions};
 
 impl DynFd {
     /// Processes the batch's deletes (Algorithm 4).
@@ -31,7 +31,6 @@ impl DynFd {
             return Ok(()); // no non-FDs at all: every candidate already valid
         };
         let full = ValidationOptions::full();
-        let threads = self.config.effective_parallelism();
 
         // Line 1: from the most specific level towards the most general.
         for level in (0..=max_level).rev() {
@@ -78,10 +77,8 @@ impl DynFd {
                 .iter()
                 .map(|fd| (fd.lhs, AttrSet::single(fd.rhs)))
                 .collect();
-            for (&non_fd, result) in survivors
-                .iter()
-                .zip(validate_many(&self.rel, &jobs, &full, threads))
-            {
+            let results = self.run_level_validations(&jobs, &full);
+            for (&non_fd, result) in survivors.iter().zip(results) {
                 metrics.clusters_visited += result.stats.clusters_visited;
                 match result.outcome(non_fd.rhs) {
                     RhsOutcome::Valid => valid_fds.push(non_fd),

@@ -18,7 +18,7 @@ use crate::errors::{DynFdError, DynFdResult};
 use crate::failpoint::FailPhase;
 use crate::{BatchMetrics, DynFd};
 use dynfd_common::{AttrSet, Fd, RecordId};
-use dynfd_relation::{agree_set, validate_many, AppliedBatch, ValidationJob, ValidationOptions};
+use dynfd_relation::{agree_set, AppliedBatch, ValidationJob, ValidationOptions};
 use std::collections::BTreeMap;
 
 impl DynFd {
@@ -40,7 +40,6 @@ impl DynFd {
             ValidationOptions::full()
         };
 
-        let threads = self.config.effective_parallelism();
         let mut level = 0usize;
         while self.fds.max_level().is_some_and(|max| level <= max) {
             // Lines 2-5: validate the level, collecting invalid FDs. All
@@ -94,10 +93,8 @@ impl DynFd {
             // keeps the verdict application — and hence the covers —
             // bit-identical to the sequential traversal.
             let mut invalid: Vec<(Fd, (RecordId, RecordId))> = Vec::new();
-            for (&(lhs, _), result) in jobs
-                .iter()
-                .zip(validate_many(&self.rel, &jobs, &opts, threads))
-            {
+            let results = self.run_level_validations(&jobs, &opts);
+            for (&(lhs, _), result) in jobs.iter().zip(results) {
                 metrics.clusters_pruned += result.stats.clusters_pruned;
                 metrics.clusters_visited += result.stats.clusters_visited;
                 for (r, a, b) in result.violations() {

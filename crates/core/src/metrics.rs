@@ -59,6 +59,19 @@ pub struct BatchMetrics {
     /// with checking off; nonzero values are an operator signal that
     /// incremental maintenance went wrong.
     pub cover_rebuilds: usize,
+    /// Validations that pivoted on a memoized PLI intersection (see
+    /// `DynFdConfig::pli_cache`). Always 0 with the cache off.
+    pub cache_hits: usize,
+    /// Arity ≥ 2 validations that probed the cache and found no usable
+    /// subset of their LHS.
+    pub cache_misses: usize,
+    /// Cache entries evicted (byte budget) or invalidated (patch
+    /// failure) during this batch.
+    pub cache_evictions: usize,
+    /// Approximate resident bytes of the PLI-intersection cache after
+    /// the batch. Under `absorb` this is the maximum across batches,
+    /// like `threads_used`.
+    pub cache_bytes: usize,
 }
 
 impl BatchMetrics {
@@ -93,6 +106,10 @@ impl BatchMetrics {
         self.added_fds += other.added_fds;
         self.removed_fds += other.removed_fds;
         self.cover_rebuilds += other.cover_rebuilds;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+        self.cache_bytes = self.cache_bytes.max(other.cache_bytes);
     }
 }
 

@@ -7,7 +7,10 @@ use crate::failpoint::FailPoint;
 use crate::{BatchMetrics, BatchResult, DynFdConfig, ViolationStore};
 use dynfd_common::Fd;
 use dynfd_lattice::{invert_positive_cover, FdTree};
-use dynfd_relation::{validate_fd, Batch, DynamicRelation, ValidationOptions};
+use dynfd_relation::{
+    adaptive_workers, validate_fd, validate_many, validate_many_cached, Batch, DynamicRelation,
+    PliCache, ValidationJob, ValidationOptions, ValidationResult,
+};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
@@ -57,6 +60,11 @@ pub struct DynFd {
     /// testing; see `failpoint.rs`). Not part of the engine *state*:
     /// [`DynFd::state_divergence`] ignores it.
     pub(crate) failpoint: Option<FailPoint>,
+    /// Memoized PLI intersections reused across candidates and batches
+    /// (`DynFdConfig::pli_cache`). Pure acceleration state derived from
+    /// the relation: [`DynFd::state_divergence`] deliberately ignores
+    /// it, and it is cleared whenever a batch rolls back.
+    pub(crate) pli_cache: PliCache,
     /// Lifetime count of degraded-mode cover rebuilds.
     recoveries: u64,
     /// Human-readable description of the most recent consistency breach
@@ -85,6 +93,7 @@ impl DynFd {
             violations: ViolationStore::new(),
             config,
             failpoint: None,
+            pli_cache: PliCache::new(config.pli_cache_bytes),
             recoveries: 0,
             last_breach: None,
         }
@@ -153,6 +162,18 @@ impl DynFd {
             ..BatchMetrics::default()
         };
 
+        // Keep the memoized PLI intersections aligned with the post-batch
+        // relation before any phase probes them; counters are read as a
+        // delta at the end so patch-time evictions are included.
+        let cache_stats_before = self.pli_cache.stats();
+        if self.config.pli_cache {
+            self.pli_cache.set_budget(self.config.pli_cache_bytes);
+            self.pli_cache
+                .apply_batch(&self.rel, &applied.deleted, &applied.inserted);
+        } else if !self.pli_cache.is_empty() {
+            self.pli_cache.clear();
+        }
+
         if applied.has_deletes() || applied.has_inserts() {
             // Snapshot the cover state the maintenance phases mutate.
             let fds_snapshot = self.fds.clone();
@@ -192,6 +213,10 @@ impl DynFd {
                 self.non_fds = non_fds_snapshot;
                 self.violations = violations_snapshot;
                 self.rel.rollback(undo);
+                // The cache was already patched to the state this
+                // rollback just threw away; drop it rather than trying
+                // to un-patch.
+                self.pli_cache.clear();
                 return Err(e);
             }
         }
@@ -213,12 +238,43 @@ impl DynFd {
         let (added, removed) = diff_covers(&before, &after);
         metrics.added_fds = added.len();
         metrics.removed_fds = removed.len();
+        let cache_delta = self.pli_cache.stats().delta_since(&cache_stats_before);
+        metrics.cache_hits = cache_delta.hits;
+        metrics.cache_misses = cache_delta.misses;
+        metrics.cache_evictions = cache_delta.evictions;
+        metrics.cache_bytes = self.pli_cache.bytes();
         metrics.wall_time = start.elapsed();
         Ok(BatchResult {
             added,
             removed,
             metrics,
         })
+    }
+
+    /// Fans one lattice level's validation jobs out over the configured
+    /// worker budget: through the PLI-intersection cache when enabled
+    /// (`DynFdConfig::pli_cache`), plain otherwise, with the small-level
+    /// sequential fallback (`DynFdConfig::parallel_min_jobs`) applied
+    /// either way.
+    pub(crate) fn run_level_validations(
+        &mut self,
+        jobs: &[ValidationJob],
+        opts: &ValidationOptions,
+    ) -> Vec<ValidationResult> {
+        let threads = self.config.effective_parallelism();
+        if self.config.pli_cache {
+            validate_many_cached(
+                &self.rel,
+                jobs,
+                opts,
+                threads,
+                self.config.parallel_min_jobs,
+                &mut self.pli_cache,
+            )
+        } else {
+            let workers = adaptive_workers(threads, jobs.len(), self.config.parallel_min_jobs);
+            validate_many(&self.rel, jobs, opts, workers)
+        }
     }
 
     /// Lifetime count of degraded-mode cover rebuilds (see

@@ -35,6 +35,7 @@ mod csv;
 mod dictionary;
 pub mod parallel;
 mod pli;
+pub mod pli_cache;
 mod relation;
 pub mod validate;
 
@@ -42,10 +43,14 @@ pub use batch::{AppliedBatch, Batch, ChangeOp};
 pub use changelog::{parse_changelog, write_changelog, Batcher, WindowBatcher};
 pub use csv::{parse_csv, read_csv_file, CsvTable};
 pub use dictionary::{Dictionary, ValueId, DICTIONARY_CAPACITY};
-pub use parallel::{par_map, resolve_parallelism, validate_many, ValidationJob};
+pub use parallel::{
+    adaptive_workers, par_map, resolve_parallelism, validate_many, validate_many_cached,
+    ValidationJob,
+};
 pub use pli::Pli;
+pub use pli_cache::{CacheEffects, CacheStats, CachedPartition, PliCache, PliCacheSnapshot};
 pub use relation::{DynamicRelation, NullPolicy, UndoLog};
 pub use validate::{
-    agree_set, validate, validate_fd, validate_with, RhsOutcome, ValidationOptions,
-    ValidationResult, ValidationStats, ValidatorScratch,
+    agree_set, validate, validate_cached, validate_fd, validate_with, RhsOutcome,
+    ValidationOptions, ValidationResult, ValidationStats, ValidatorScratch,
 };

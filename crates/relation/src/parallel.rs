@@ -12,8 +12,11 @@
 //! Each worker owns one [`ValidatorScratch`], so per-job working memory
 //! is still allocation-free in the steady state.
 
+use crate::pli_cache::{CacheEffects, PliCache};
 use crate::relation::DynamicRelation;
-use crate::validate::{validate_with, ValidationOptions, ValidationResult, ValidatorScratch};
+use crate::validate::{
+    validate_cached, validate_with, ValidationOptions, ValidationResult, ValidatorScratch,
+};
 use dynfd_common::AttrSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -26,6 +29,21 @@ pub fn resolve_parallelism(requested: usize) -> usize {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Caps the worker count for one level: levels with fewer than
+/// `min_jobs` jobs run sequentially regardless of `requested`.
+///
+/// Spawning OS threads costs tens of microseconds each — more than a
+/// whole small level's validation work, which is why BENCH_pr1.json
+/// showed `threads/{2,4,8}` *slower* than `threads/1` on arity-1 levels
+/// (6 jobs). `min_jobs = 0` disables the fallback.
+pub fn adaptive_workers(requested: usize, job_count: usize, min_jobs: usize) -> usize {
+    if job_count < min_jobs {
+        1
     } else {
         requested
     }
@@ -155,6 +173,87 @@ pub fn validate_many(
         .collect()
 }
 
+/// [`validate_many`] through the PLI-intersection cache.
+///
+/// Workers validate against an immutable snapshot of `cache` taken at
+/// the level start, recording per-job [`CacheEffects`]; the effects are
+/// merged back **in job order** at the level barrier, so cache contents,
+/// LRU order, and hit/miss counters are a pure function of the job list
+/// — identical for every worker count, like the validation results
+/// themselves. `min_jobs` applies the [`adaptive_workers`] sequential
+/// fallback on top of `threads`.
+pub fn validate_many_cached(
+    rel: &DynamicRelation,
+    jobs: &[ValidationJob],
+    opts: &ValidationOptions,
+    threads: usize,
+    min_jobs: usize,
+    cache: &mut PliCache,
+) -> Vec<ValidationResult> {
+    let snapshot = cache.snapshot();
+    let workers = adaptive_workers(threads, jobs.len(), min_jobs).min(jobs.len());
+
+    let (results, effects) = if workers <= 1 {
+        let mut scratch = ValidatorScratch::new();
+        let mut results = Vec::with_capacity(jobs.len());
+        let mut effects = Vec::with_capacity(jobs.len());
+        for &(lhs, rhs) in jobs {
+            let (r, e) = validate_cached(rel, lhs, rhs, opts, &mut scratch, &snapshot);
+            results.push(r);
+            effects.push(e);
+        }
+        (results, effects)
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let mut slots: Vec<Option<(ValidationResult, CacheEffects)>> =
+            Vec::with_capacity(jobs.len());
+        slots.resize_with(jobs.len(), || None);
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let snapshot = &snapshot;
+                    scope.spawn(move || {
+                        let mut scratch = ValidatorScratch::new();
+                        let mut produced: Vec<(usize, (ValidationResult, CacheEffects))> =
+                            Vec::new();
+                        loop {
+                            let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(&(lhs, rhs)) = jobs.get(idx) else {
+                                break;
+                            };
+                            produced.push((
+                                idx,
+                                validate_cached(rel, lhs, rhs, opts, &mut scratch, snapshot),
+                            ));
+                        }
+                        produced
+                    })
+                })
+                .collect();
+            for handle in handles {
+                // See `par_map`: re-raise worker panics with their payload.
+                let produced = handle
+                    .join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+                for (idx, result) in produced {
+                    slots[idx] = Some(result);
+                }
+            }
+        });
+
+        slots
+            .into_iter()
+            // Invariant: as in `par_map`, the ranges partition the job list.
+            .map(|slot| slot.expect("every job produced a result"))
+            .unzip()
+    };
+
+    cache.merge(&effects);
+    results
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,5 +352,81 @@ mod tests {
         assert!(resolve_parallelism(0) >= 1);
         assert_eq!(resolve_parallelism(1), 1);
         assert_eq!(resolve_parallelism(6), 6);
+    }
+
+    #[test]
+    fn adaptive_workers_contract() {
+        // Below the threshold → sequential.
+        assert_eq!(adaptive_workers(8, 6, 16), 1);
+        assert_eq!(adaptive_workers(8, 15, 16), 1);
+        // At or above → the requested width.
+        assert_eq!(adaptive_workers(8, 16, 16), 8);
+        assert_eq!(adaptive_workers(8, 20, 16), 8);
+        // 0 disables the fallback entirely.
+        assert_eq!(adaptive_workers(8, 1, 0), 8);
+    }
+
+    /// Cached fan-out: results, cache contents, and counters are
+    /// identical for every worker count (the determinism contract of
+    /// the snapshot + job-order merge).
+    #[test]
+    fn cached_parallel_matches_sequential_bit_for_bit() {
+        let rel = wide_relation(300);
+        let jobs = all_jobs(5);
+        let opts = ValidationOptions::full();
+
+        let run = |threads: usize| {
+            let mut cache = PliCache::new(usize::MAX);
+            // Two passes: the first populates, the second hits.
+            let _ = validate_many_cached(&rel, &jobs, &opts, threads, 0, &mut cache);
+            let results = validate_many_cached(&rel, &jobs, &opts, threads, 0, &mut cache);
+            (results, cache)
+        };
+
+        let (seq_results, seq_cache) = run(1);
+        assert!(seq_cache.stats().hits > 0, "warm pass must hit");
+        for threads in [2, 3, 4, 8] {
+            let (par_results, par_cache) = run(threads);
+            assert_eq!(seq_results.len(), par_results.len());
+            for (s, p) in seq_results.iter().zip(&par_results) {
+                assert_eq!(s.lhs, p.lhs);
+                assert_eq!(
+                    s.outcomes, p.outcomes,
+                    "outcomes diverged at {threads} threads"
+                );
+                assert_eq!(s.stats, p.stats, "stats diverged at {threads} threads");
+            }
+            assert_eq!(
+                seq_cache.stats(),
+                par_cache.stats(),
+                "cache counters diverged at {threads} threads"
+            );
+            assert_eq!(seq_cache.len(), par_cache.len());
+            assert_eq!(seq_cache.bytes(), par_cache.bytes());
+        }
+    }
+
+    /// Cached and plain engines agree on verdicts for every job.
+    #[test]
+    fn cached_fanout_matches_plain_verdicts() {
+        let rel = wide_relation(200);
+        let jobs = all_jobs(5);
+        let opts = ValidationOptions::full();
+        let plain = validate_many(&rel, &jobs, &opts, 1);
+        let mut cache = PliCache::new(usize::MAX);
+        for _ in 0..2 {
+            let cached = validate_many_cached(&rel, &jobs, &opts, 2, 0, &mut cache);
+            for (s, p) in plain.iter().zip(&cached) {
+                assert_eq!(s.lhs, p.lhs);
+                for (attr, out) in &s.outcomes {
+                    assert_eq!(
+                        p.outcome(*attr).is_valid(),
+                        out.is_valid(),
+                        "{:?} -> {attr} verdict diverged",
+                        s.lhs
+                    );
+                }
+            }
+        }
     }
 }

@@ -27,6 +27,12 @@ pub struct Pli {
     clusters: BTreeMap<ValueId, Vec<RecordId>>,
     /// Number of record ids across all clusters.
     entries: usize,
+    /// Size of the largest cluster, maintained exactly (recomputed when
+    /// a removal shrinks a maximal cluster). The validator's pivot
+    /// heuristic reads this in O(1): the partition with the smallest
+    /// maximal cluster is the most refined one and gives the cheapest
+    /// group maps.
+    max_len: usize,
 }
 
 impl Pli {
@@ -47,6 +53,7 @@ impl Pli {
             "record ids must arrive in increasing order per cluster"
         );
         cluster.push(rid);
+        self.max_len = self.max_len.max(cluster.len());
         self.entries += 1;
     }
 
@@ -59,6 +66,7 @@ impl Pli {
         let cluster = self.clusters.entry(value).or_default();
         if let Err(pos) = cluster.binary_search(&rid) {
             cluster.insert(pos, rid);
+            self.max_len = self.max_len.max(cluster.len());
             self.entries += 1;
         }
     }
@@ -74,10 +82,17 @@ impl Pli {
         let Ok(pos) = cluster.binary_search(&rid) else {
             return false;
         };
+        let was_max = cluster.len() == self.max_len;
         cluster.remove(pos);
         self.entries -= 1;
         if cluster.is_empty() {
             self.clusters.remove(&value);
+        }
+        if was_max {
+            // The shrunk cluster may no longer be maximal; recompute so
+            // the field stays exact (and `PartialEq` between a rebuilt
+            // and an incrementally maintained PLI stays meaningful).
+            self.max_len = self.clusters.values().map(Vec::len).max().unwrap_or(0);
         }
         true
     }
@@ -90,6 +105,12 @@ impl Pli {
     /// Number of clusters (distinct live values).
     pub fn cluster_count(&self) -> usize {
         self.clusters.len()
+    }
+
+    /// Size of the largest cluster (0 when empty). O(1): the value is
+    /// maintained under inserts and removals.
+    pub fn max_cluster_len(&self) -> usize {
+        self.max_len
     }
 
     /// Total number of record ids indexed (= number of live records).
@@ -184,6 +205,32 @@ mod tests {
         let stripped: Vec<_> = p.iter_non_singleton().collect();
         assert_eq!(stripped.len(), 1);
         assert_eq!(stripped[0].0, 1);
+    }
+
+    #[test]
+    fn max_cluster_len_is_exact_under_churn() {
+        let mut p = Pli::new();
+        assert_eq!(p.max_cluster_len(), 0);
+        p.insert(0, rid(0));
+        p.insert(0, rid(1));
+        p.insert(0, rid(2));
+        p.insert(1, rid(3));
+        p.insert(1, rid(4));
+        assert_eq!(p.max_cluster_len(), 3);
+        // Shrinking the maximal cluster recomputes the maximum.
+        assert!(p.remove(0, rid(1)));
+        assert_eq!(p.max_cluster_len(), 2);
+        assert!(p.remove(0, rid(0)));
+        assert!(p.remove(0, rid(2)));
+        assert_eq!(p.max_cluster_len(), 2);
+        assert!(p.remove(1, rid(3)));
+        assert_eq!(p.max_cluster_len(), 1);
+        // Restore grows it back.
+        p.restore(1, rid(3));
+        assert_eq!(p.max_cluster_len(), 2);
+        assert!(p.remove(1, rid(3)));
+        assert!(p.remove(1, rid(4)));
+        assert_eq!(p.max_cluster_len(), 0);
     }
 
     #[test]

@@ -168,6 +168,17 @@ impl DynamicRelation {
         self.records.get(&rid).map(|r| r.as_ref())
     }
 
+    /// The packed two-attribute value signature of a live record: the
+    /// value codes of `a` and `b` packed into one `u64` (`a`'s code in
+    /// the high half). This is the cluster-signature scheme of the
+    /// validator's packed group maps and the key scheme of the
+    /// [`PliCache`](crate::PliCache): two records agree on `{a, b}` iff
+    /// their signatures are equal (codes are exact, not hashed).
+    pub fn packed_sig(&self, rid: RecordId, a: usize, b: usize) -> Option<u64> {
+        let rec = self.compressed(rid)?;
+        Some((rec[a] as u64) << 32 | rec[b] as u64)
+    }
+
     /// Decodes a live record back into its string values.
     pub fn materialize(&self, rid: RecordId) -> Option<Vec<String>> {
         self.records.get(&rid).map(|codes| {

@@ -21,9 +21,11 @@
 //! `cluster.last() >= first_id_of_batch`.
 
 use crate::dictionary::ValueId;
+use crate::pli_cache::{CacheEffects, CachedPartition, PliCacheSnapshot};
 use crate::relation::DynamicRelation;
 use dynfd_common::{AttrId, AttrSet, Fd, RecordId};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Knobs for a validation call.
 #[derive(Clone, Copy, Debug, Default)]
@@ -221,26 +223,208 @@ pub fn validate_with(
     let mut outcomes: Vec<(AttrId, RhsOutcome)> =
         rhs_set.iter().map(|r| (r, RhsOutcome::Valid)).collect();
     let mut active = rhs_set;
+    prepare_slots(scratch, rel.arity(), &outcomes);
 
-    // Attribute-indexed slot lookup: `outcomes` is ascending by
-    // attribute id, and violations resolve their slot in O(1).
-    if scratch.slot_of_attr.len() < rel.arity() {
-        scratch.slot_of_attr.resize(rel.arity(), u32::MAX);
+    // Pivot: the LHS attribute whose PLI has the smallest maximal
+    // cluster — the most refined single-attribute partition, giving the
+    // smallest groups to intersect. Ties break towards the smaller
+    // attribute id for determinism.
+    let pivot = lhs
+        .iter()
+        .min_by_key(|&a| (rel.pli(a).max_cluster_len(), a))
+        .expect("non-empty lhs");
+    let rest: Vec<AttrId> = lhs.iter().filter(|&a| a != pivot).collect();
+    let rhs_attrs: Vec<AttrId> = rhs_set.to_vec();
+
+    scan_clusters(
+        rel,
+        rel.pli(pivot).iter().map(|(_, c)| c),
+        &rest,
+        &rhs_attrs,
+        opts,
+        scratch,
+        &mut outcomes,
+        &mut active,
+        &mut stats,
+    );
+
+    ValidationResult {
+        lhs,
+        outcomes,
+        stats,
+    }
+}
+
+/// Validates `lhs -> r` for every `r ∈ rhs_set`, pivoting on the most
+/// refined *available* partition: the best cached intersection from
+/// `cache` covering a 2-subset of the LHS, or the best single-attribute
+/// PLI when no cached entry beats it (paper-lineage heuristic; see the
+/// [`crate::pli_cache`] module docs).
+///
+/// Returns the validation result plus the [`CacheEffects`] the caller
+/// must merge back into the owning [`crate::PliCache`] at the level
+/// barrier:
+///
+/// * probing the snapshot and pivoting on a cached entry records a
+///   *hit*;
+/// * probing with no cached subset records a *miss* — and, when the
+///   validation is unpruned, the intersection the validator builds for
+///   the LHS's two most refined attributes is handed back for caching.
+///   Cluster-pruned calls ([`ValidationOptions::delta`]) never build:
+///   they touch only clusters containing new records, so paying a full
+///   O(n) build there would invert the optimization.
+///
+/// Verdicts are identical to [`validate_with`] per RHS; only the
+/// violating *witness pairs* (and the work counters) may differ, because
+/// a different pivot scans clusters in a different order and early
+/// termination stops at the first violation it meets.
+///
+/// # Panics
+///
+/// Panics if `rhs_set` intersects `lhs` (trivial candidates) or is empty.
+pub fn validate_cached(
+    rel: &DynamicRelation,
+    lhs: AttrSet,
+    rhs_set: AttrSet,
+    opts: &ValidationOptions,
+    scratch: &mut ValidatorScratch,
+    cache: &PliCacheSnapshot,
+) -> (ValidationResult, CacheEffects) {
+    let mut effects = CacheEffects::default();
+    if lhs.len() < 2 {
+        // Single-attribute (or empty) LHS: the PLI itself is the
+        // partition; the cache stores only 2-attribute intersections.
+        return (validate_with(rel, lhs, rhs_set, opts, scratch), effects);
+    }
+    assert!(!rhs_set.is_empty(), "validate called with no RHS");
+    assert!(lhs.is_disjoint(&rhs_set), "trivial candidate: rhs ∈ lhs");
+
+    // Probe every 2-subset of the LHS; keep the most refined cached
+    // partition (smallest maximal cluster, key order breaking ties).
+    let attrs = lhs.to_vec();
+    let mut best: Option<(AttrSet, &Arc<CachedPartition>)> = None;
+    for (i, &a) in attrs.iter().enumerate() {
+        for &b in &attrs[i + 1..] {
+            let key = AttrSet::from_iter([a, b]);
+            if let Some(part) = cache.get(&key) {
+                let better = match best {
+                    None => true,
+                    Some((bk, bp)) => (part.max_cluster_len(), key) < (bp.max_cluster_len(), bk),
+                };
+                if better {
+                    best = Some((key, part));
+                }
+            }
+        }
+    }
+
+    let best_single = attrs
+        .iter()
+        .map(|&a| rel.pli(a).max_cluster_len())
+        .min()
+        .expect("non-empty lhs");
+    match best {
+        Some((key, part)) if part.max_cluster_len() <= best_single => {
+            effects.hit = Some(key);
+            let result = validate_on_partition(rel, lhs, rhs_set, key, part, opts, scratch);
+            (result, effects)
+        }
+        // A cached subset exists but some single-attribute PLI is more
+        // refined: the plain pivot heuristic wins; neither hit nor miss.
+        Some(_) => (validate_with(rel, lhs, rhs_set, opts, scratch), effects),
+        None => {
+            effects.miss = true;
+            if opts.min_new_id.is_some() {
+                return (validate_with(rel, lhs, rhs_set, opts, scratch), effects);
+            }
+            // Build the intersection of the LHS's two most refined
+            // attributes, validate on it directly (the build *is* the
+            // grouping work), and offer it to the cache.
+            let mut pair = attrs;
+            pair.sort_unstable_by_key(|&a| (rel.pli(a).max_cluster_len(), a));
+            let (a, b) = (pair[0].min(pair[1]), pair[0].max(pair[1]));
+            let part = Arc::new(CachedPartition::build(rel, a, b));
+            let key = part.key();
+            let result = validate_on_partition(rel, lhs, rhs_set, key, &part, opts, scratch);
+            effects.built = Some((key, part));
+            (result, effects)
+        }
+    }
+}
+
+/// Shared core of [`validate_cached`]'s hit/build paths: scan the
+/// cached partition's clusters, refining by the LHS attributes outside
+/// the cached key.
+fn validate_on_partition(
+    rel: &DynamicRelation,
+    lhs: AttrSet,
+    rhs_set: AttrSet,
+    key: AttrSet,
+    part: &CachedPartition,
+    opts: &ValidationOptions,
+    scratch: &mut ValidatorScratch,
+) -> ValidationResult {
+    let mut stats = ValidationStats::default();
+    let mut outcomes: Vec<(AttrId, RhsOutcome)> =
+        rhs_set.iter().map(|r| (r, RhsOutcome::Valid)).collect();
+    let mut active = rhs_set;
+    prepare_slots(scratch, rel.arity(), &outcomes);
+
+    // Singletons were stripped at build/patch time; account for them
+    // without iterating (each is one skipped one-record cluster).
+    stats.singletons_skipped += part.singleton_count();
+    let rest: Vec<AttrId> = lhs.difference(&key).to_vec();
+    let rhs_attrs: Vec<AttrId> = rhs_set.to_vec();
+
+    scan_clusters(
+        rel,
+        part.clusters(),
+        &rest,
+        &rhs_attrs,
+        opts,
+        scratch,
+        &mut outcomes,
+        &mut active,
+        &mut stats,
+    );
+
+    ValidationResult {
+        lhs,
+        outcomes,
+        stats,
+    }
+}
+
+/// Sizes and fills `scratch.slot_of_attr` so that violations resolve
+/// their outcome slot in O(1) (`outcomes` is ascending by attribute id).
+fn prepare_slots(scratch: &mut ValidatorScratch, arity: usize, outcomes: &[(AttrId, RhsOutcome)]) {
+    if scratch.slot_of_attr.len() < arity {
+        scratch.slot_of_attr.resize(arity, u32::MAX);
     }
     for (i, &(r, _)) in outcomes.iter().enumerate() {
         scratch.slot_of_attr[r] = i as u32;
     }
-    let slot_of_attr = &scratch.slot_of_attr;
+}
 
-    // Pivot: the LHS attribute with the most clusters (most selective),
-    // giving the smallest groups to intersect. Ties break towards the
-    // smaller attribute id for determinism.
-    let pivot = lhs
-        .iter()
-        .max_by_key(|&a| (rel.pli(a).cluster_count(), usize::MAX - a))
-        .expect("non-empty lhs");
-    let rest: Vec<AttrId> = lhs.iter().filter(|&a| a != pivot).collect();
-    let rhs_attrs: Vec<AttrId> = rhs_set.to_vec();
+/// The validation inner loop, shared by every pivot source: scans the
+/// pivot `clusters` (from a single-attribute PLI or a cached
+/// intersection), groups each cluster by the `rest` value codes — the
+/// lazy PLI intersection — and compares group members against their
+/// representative on every still-active RHS. Terminates as soon as all
+/// RHS attributes are resolved.
+#[allow(clippy::too_many_arguments)]
+fn scan_clusters<'r>(
+    rel: &DynamicRelation,
+    clusters: impl Iterator<Item = &'r [RecordId]>,
+    rest: &[AttrId],
+    rhs_attrs: &[AttrId],
+    opts: &ValidationOptions,
+    scratch: &mut ValidatorScratch,
+    outcomes: &mut [(AttrId, RhsOutcome)],
+    active: &mut AttrSet,
+    stats: &mut ValidationStats,
+) {
+    let slot_of_attr = &scratch.slot_of_attr;
 
     // Compares `rec` against its group representative's record on every
     // still-active RHS; returns true when every RHS has been resolved
@@ -249,7 +433,7 @@ pub fn validate_with(
         ($rep:expr, $rid:expr, $rep_rec:expr, $rec:expr) => {{
             stats.comparisons += 1;
             let mut done = false;
-            for &r in &rhs_attrs {
+            for &r in rhs_attrs {
                 if active.contains(r) && $rep_rec[r] != $rec[r] {
                     active.remove(r);
                     outcomes[slot_of_attr[r] as usize].1 = RhsOutcome::Violated($rep, $rid);
@@ -263,7 +447,7 @@ pub fn validate_with(
         }};
     }
 
-    'clusters: for (_, cluster) in rel.pli(pivot).iter() {
+    'clusters: for cluster in clusters {
         if cluster.len() < 2 {
             stats.singletons_skipped += 1;
             continue;
@@ -296,7 +480,7 @@ pub fn validate_with(
             groups.clear();
             for &rid in cluster {
                 let rec = rel.compressed(rid).expect("PLI references live record");
-                match groups.entry(packed_key(&rest, rec)) {
+                match groups.entry(packed_key(rest, rec)) {
                     std::collections::hash_map::Entry::Vacant(e) => {
                         e.insert(rid);
                     }
@@ -329,12 +513,6 @@ pub fn validate_with(
                 }
             }
         }
-    }
-
-    ValidationResult {
-        lhs,
-        outcomes,
-        stats,
     }
 }
 
@@ -601,6 +779,107 @@ mod tests {
             AttrSet::single(0),
             &ValidationOptions::full(),
         );
+    }
+
+    /// Every arity-2/3 candidate over the paper relation gets the same
+    /// verdicts from the cached path — on a cold snapshot (miss+build)
+    /// and on the warm snapshot the merge produced (hit).
+    #[test]
+    fn cached_path_matches_plain_verdicts() {
+        use crate::pli_cache::PliCache;
+
+        let r = paper();
+        let full = ValidationOptions::full();
+        let mut scratch = ValidatorScratch::new();
+        let mut cache = PliCache::new(usize::MAX);
+
+        let mut candidates = Vec::new();
+        for a in 0..4usize {
+            for b in a + 1..4 {
+                let x: AttrSet = [a, b].into_iter().collect();
+                for c in 0..4 {
+                    if !x.contains(c) {
+                        candidates.push((x, AttrSet::single(c)));
+                        candidates.push((x.with(c), AttrSet::full(4).difference(&x.with(c))));
+                    }
+                }
+            }
+        }
+        let candidates: Vec<_> = candidates
+            .into_iter()
+            .filter(|(_, rhs)| !rhs.is_empty())
+            .collect();
+
+        for round in 0..2 {
+            let snap = cache.snapshot();
+            let mut effects = Vec::new();
+            for &(x, rhs) in &candidates {
+                let plain = validate_with(&r, x, rhs, &full, &mut scratch);
+                let (cached, eff) = validate_cached(&r, x, rhs, &full, &mut scratch, &snap);
+                for (attr, out) in &plain.outcomes {
+                    assert_eq!(
+                        cached.outcome(*attr).is_valid(),
+                        out.is_valid(),
+                        "round {round}: {x:?} -> {attr} verdict diverged"
+                    );
+                }
+                // Any reported witness must genuinely violate.
+                for (attr, a, b) in cached.violations() {
+                    let ra = r.compressed(a).expect("live witness");
+                    let rb = r.compressed(b).expect("live witness");
+                    assert!(x.iter().all(|l| ra[l] == rb[l]), "witness agrees on lhs");
+                    assert_ne!(ra[attr], rb[attr], "witness disagrees on rhs");
+                }
+                effects.push(eff);
+            }
+            if round == 0 {
+                assert!(
+                    effects.iter().any(|e| e.built.is_some()),
+                    "cold run builds partitions"
+                );
+            } else {
+                assert!(
+                    effects.iter().any(|e| e.hit.is_some()),
+                    "warm run hits the cache"
+                );
+                assert!(
+                    effects.iter().all(|e| e.built.is_none()),
+                    "warm run rebuilds nothing"
+                );
+            }
+            cache.merge(&effects);
+        }
+        assert!(cache.stats().hits > 0 && cache.stats().misses > 0);
+    }
+
+    /// Cluster-pruned (insert-phase) validations probe but never build:
+    /// the effects record a miss and no partition.
+    #[test]
+    fn cached_path_skips_build_under_pruning() {
+        use crate::pli_cache::PliCache;
+
+        let mut r = paper();
+        let first_new = r.next_id();
+        r.insert_row(&["Eve", "Stone", "14482", "Leipzig"]).unwrap();
+        let cache = PliCache::new(usize::MAX);
+        let snap = cache.snapshot();
+        let (res, eff) = validate_cached(
+            &r,
+            lhs(&[0, 2]),
+            AttrSet::single(3),
+            &ValidationOptions::delta(first_new),
+            &mut ValidatorScratch::new(),
+            &snap,
+        );
+        assert!(eff.miss && eff.built.is_none() && eff.hit.is_none());
+        // Same verdict as the plain pruned validation.
+        let plain = validate(
+            &r,
+            lhs(&[0, 2]),
+            AttrSet::single(3),
+            &ValidationOptions::delta(first_new),
+        );
+        assert_eq!(res.outcome(3).is_valid(), plain.outcome(3).is_valid());
     }
 
     #[test]

@@ -131,7 +131,8 @@ impl EngineFault {
 #[derive(Clone, Debug)]
 pub struct RunnerOptions {
     /// Pruning configurations to replay under (default: the full §6.5
-    /// ablation matrix, 16 configurations).
+    /// ablation matrix crossed with the PLI-cache axis, 32
+    /// configurations).
     pub configs: Vec<DynFdConfig>,
     /// Static oracles to compare against (default: all three).
     pub oracles: Vec<Oracle>,

@@ -10,6 +10,8 @@
 //!   --cover <file>  bootstrap from a persisted cover instead of HyFD
 //!   --save <file>   persist the final cover
 //!   --quiet         suppress per-batch FD deltas
+//!   --stats         print aggregate work metrics (validations, pruning
+//!                   counters, PLI-cache hits/misses/evictions/bytes)
 //! ```
 //!
 //! The change log uses the line format of
@@ -107,7 +109,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage: dynfd profile <data.csv>
        dynfd keys <data.csv>
-       dynfd maintain <data.csv> <changes.log> [--batch <n>] [--cover <f>] [--save <f>] [--quiet]";
+       dynfd maintain <data.csv> <changes.log> [--batch <n>] [--cover <f>] [--save <f>] [--quiet] [--stats]";
 
 fn load(path: &str) -> Result<(Schema, DynamicRelation), CliError> {
     let table = read_csv_file(path).map_err(|e| with_path(path, e))?;
@@ -180,6 +182,7 @@ fn cmd_maintain(args: &[String]) -> Result<(), CliError> {
     let mut cover_path: Option<String> = None;
     let mut save_path: Option<String> = None;
     let mut quiet = false;
+    let mut stats = false;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -206,6 +209,7 @@ fn cmd_maintain(args: &[String]) -> Result<(), CliError> {
                 )
             }
             "--quiet" => quiet = true,
+            "--stats" => stats = true,
             other if !other.starts_with('-') => positional.push(arg),
             other => return Err(CliError::usage(format!("unknown option {other:?}"))),
         }
@@ -234,11 +238,13 @@ fn cmd_maintain(args: &[String]) -> Result<(), CliError> {
     );
 
     let mut monitor = FdMonitor::new(&dynfd.minimal_fds());
+    let mut totals = dynfd::core::BatchMetrics::default();
     let total_batches = ops.len().div_ceil(batch_size);
     for (i, batch) in Batch::chunk(ops, batch_size).into_iter().enumerate() {
         let result = dynfd
             .apply_batch(&batch)
             .map_err(|e| CliError::engine(format_args!("batch {i}"), e))?;
+        totals.absorb(&result.metrics);
         monitor.observe(&result);
         if !quiet && !result.is_unchanged() {
             println!("batch {i}/{total_batches}:");
@@ -257,6 +263,24 @@ fn cmd_maintain(args: &[String]) -> Result<(), CliError> {
         dynfd.minimal_fds().len(),
         monitor.robust_fds(monitor.batches_observed()).len()
     );
+    if stats {
+        eprintln!(
+            "# stats: {total_batches} batches in {:?} (delete {:?}, insert {:?}), {} worker thread(s)",
+            totals.wall_time, totals.delete_phase_time, totals.insert_phase_time, totals.threads_used,
+        );
+        eprintln!(
+            "# stats: {} FD + {} non-FD validations ({} skipped by §5.2, {} clusters pruned, {} visited)",
+            totals.fd_validations,
+            totals.non_fd_validations,
+            totals.validations_skipped,
+            totals.clusters_pruned,
+            totals.clusters_visited,
+        );
+        eprintln!(
+            "# stats: pli-cache {} hits, {} misses, {} evictions, {} bytes resident",
+            totals.cache_hits, totals.cache_misses, totals.cache_evictions, totals.cache_bytes,
+        );
+    }
     if let Some(p) = save_path {
         std::fs::write(&p, write_cover(dynfd.positive_cover(), &schema))
             .map_err(|e| io_error(&p, e))?;

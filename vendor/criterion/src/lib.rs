@@ -98,27 +98,122 @@ pub fn collected_results() -> Vec<BenchResult> {
     RESULTS.lock().expect("results lock").clone()
 }
 
+/// A typed JSON context value for [`write_json_report`]. The original
+/// `write_json_snapshot` stringified everything — which is how a
+/// machine's core count ended up as `"available_cores": "1"` in
+/// BENCH_pr1.json, a string a downstream plotter can't compare against
+/// a thread count.
+#[derive(Clone, Debug)]
+pub enum ContextValue {
+    /// A JSON string.
+    Str(String),
+    /// A JSON number (emitted without quotes).
+    Num(f64),
+    /// A JSON boolean.
+    Bool(bool),
+}
+
+impl ContextValue {
+    fn render(&self) -> String {
+        match self {
+            ContextValue::Str(s) => json_string(s),
+            ContextValue::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    format!("{}", *n as i64)
+                } else {
+                    format!("{n}")
+                }
+            }
+            ContextValue::Bool(b) => b.to_string(),
+        }
+    }
+}
+
+impl From<&str> for ContextValue {
+    fn from(s: &str) -> Self {
+        ContextValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for ContextValue {
+    fn from(s: String) -> Self {
+        ContextValue::Str(s)
+    }
+}
+
+impl From<usize> for ContextValue {
+    fn from(n: usize) -> Self {
+        ContextValue::Num(n as f64)
+    }
+}
+
+impl From<bool> for ContextValue {
+    fn from(b: bool) -> Self {
+        ContextValue::Bool(b)
+    }
+}
+
 /// Writes all collected results to `path` as a JSON array (hand-rolled;
 /// no serde in the offline build).
+///
+/// Kept for harnesses that only have string context; prefer
+/// [`write_json_report`], which emits numbers as numbers and can
+/// annotate individual rows.
 pub fn write_json_snapshot(path: &str, context: &[(&str, String)]) -> std::io::Result<()> {
+    let typed: Vec<(&str, ContextValue)> = context
+        .iter()
+        .map(|(k, v)| (*k, ContextValue::Str(v.clone())))
+        .collect();
+    write_json_report(path, &typed, &|_| Vec::new())
+}
+
+/// Writes all collected results to `path` with typed context values and
+/// optional per-row extras: `row_extra` is called with each result and
+/// returns additional key/value pairs to splice into that row's JSON
+/// object (e.g. an `"oversubscribed": true` annotation for thread
+/// sweeps wider than the machine).
+pub fn write_json_report(
+    path: &str,
+    context: &[(&str, ContextValue)],
+    row_extra: &dyn Fn(&BenchResult) -> Vec<(String, ContextValue)>,
+) -> std::io::Result<()> {
     let results = collected_results();
     let mut out = String::from("{\n");
     for (key, value) in context {
-        out.push_str(&format!("  \"{}\": {},\n", key, json_string(value)));
+        out.push_str(&format!("  \"{}\": {},\n", key, value.render()));
     }
     out.push_str("  \"benchmarks\": [\n");
     for (i, r) in results.iter().enumerate() {
+        let extras: String = row_extra(r)
+            .iter()
+            .map(|(k, v)| format!(", \"{}\": {}", k, v.render()))
+            .collect();
         out.push_str(&format!(
-            "    {{\"id\": {}, \"median_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+            "    {{\"id\": {}, \"median_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}{}}}{}\n",
             json_string(&r.id),
             r.median_ns,
             r.samples,
             r.iters_per_sample,
+            extras,
             if i + 1 == results.len() { "" } else { "," }
         ));
     }
     out.push_str("  ]\n}\n");
     std::fs::write(path, out)
+}
+
+/// Extracts the worker count from a thread-sweep benchmark id of the
+/// form `…/threads/N` (the convention of this repo's level-validation
+/// sweeps). Returns `None` for ids that don't end in such a suffix, so
+/// harnesses can annotate only the rows where oversubscription is a
+/// meaningful concept.
+pub fn requested_threads(id: &str) -> Option<usize> {
+    let (prefix, last) = id.rsplit_once('/')?;
+    if prefix.ends_with("threads") {
+        last.parse().ok()
+    } else {
+        None
+    }
 }
 
 fn json_string(s: &str) -> String {
@@ -370,5 +465,45 @@ mod tests {
     #[test]
     fn json_escaping() {
         assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+
+    #[test]
+    fn context_values_render_typed() {
+        assert_eq!(ContextValue::from(4usize).render(), "4");
+        assert_eq!(ContextValue::Num(1.5).render(), "1.5");
+        assert_eq!(ContextValue::from(true).render(), "true");
+        assert_eq!(ContextValue::from("x").render(), "\"x\"");
+    }
+
+    #[test]
+    fn requested_threads_parses_sweep_ids() {
+        assert_eq!(requested_threads("level/uniform/arity1/threads/4"), Some(4));
+        assert_eq!(requested_threads("threads/16"), Some(16));
+        assert_eq!(requested_threads("level/arity2/cache/threads/2"), Some(2));
+        assert_eq!(requested_threads("noop_add"), None);
+        assert_eq!(requested_threads("level/threads/x"), None);
+        assert_eq!(requested_threads("level/samples/8"), None);
+    }
+
+    #[test]
+    fn report_writes_numbers_and_row_extras() {
+        let mut c = Criterion::default();
+        c.sample_size(5);
+        c.bench_function("report_probe", |b| b.iter(|| black_box(1u64) + 1));
+        let path = std::env::temp_dir().join("criterion_report_test.json");
+        let path = path.to_str().expect("utf-8 temp path");
+        write_json_report(path, &[("available_cores", 2usize.into())], &|r| {
+            if r.id == "report_probe" {
+                vec![("oversubscribed".to_string(), true.into())]
+            } else {
+                Vec::new()
+            }
+        })
+        .expect("write report");
+        let text = std::fs::read_to_string(path).expect("read back");
+        assert!(text.contains("\"available_cores\": 2"), "{text}");
+        assert!(!text.contains("\"available_cores\": \"2\""));
+        assert!(text.contains("\"oversubscribed\": true"));
+        let _ = std::fs::remove_file(path);
     }
 }
