@@ -108,6 +108,13 @@ pub struct DynFdConfig {
     /// workers — thread spawn costs more than a whole small level (the
     /// BENCH_pr1.json arity-1 anomaly). `0` disables the fallback.
     pub parallel_min_jobs: usize,
+    /// Snapshot cadence of the durable engine (`dynfd-persist`): after
+    /// every `snapshot_every` applied batches, full engine state is
+    /// written to a snapshot file and the write-ahead batch log is
+    /// truncated. `0` disables periodic snapshots (the WAL then grows
+    /// until an explicit snapshot). Ignored by the purely in-memory
+    /// [`DynFd`](crate::DynFd); covers and deltas never depend on it.
+    pub snapshot_every: usize,
 }
 
 impl Default for DynFdConfig {
@@ -126,6 +133,7 @@ impl Default for DynFdConfig {
             pli_cache: true,
             pli_cache_bytes: 16 << 20,
             parallel_min_jobs: 16,
+            snapshot_every: 64,
         }
     }
 }
@@ -262,6 +270,7 @@ mod tests {
         assert!(c.pli_cache, "cache is on by default");
         assert_eq!(c.pli_cache_bytes, 16 << 20);
         assert_eq!(c.parallel_min_jobs, 16);
+        assert_eq!(c.snapshot_every, 64, "periodic snapshots on by default");
         // The default label is unchanged by the cache being on.
         assert_eq!(c.strategy_label(), "4.3+5.3+4.2+5.2");
     }

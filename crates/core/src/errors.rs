@@ -70,6 +70,25 @@ pub enum DynFdError {
         /// What was expected and what was found.
         detail: String,
     },
+    /// The write-ahead batch log held a torn or corrupt frame — a bad
+    /// length, a CRC mismatch, a short read, or a sequence-number gap.
+    /// Recovery truncates the log at the last valid frame and reports
+    /// this instead of panicking; the state before the bad frame is
+    /// intact.
+    WalCorrupt {
+        /// The batch sequence number the bad frame was expected to
+        /// carry (one past the last valid frame).
+        seq: u64,
+        /// Byte offset of the bad frame within the log file.
+        offset: u64,
+    },
+    /// A snapshot file failed validation (bad magic, length mismatch,
+    /// CRC mismatch, or undecodable payload). Recovery falls back to an
+    /// older snapshot when one exists.
+    SnapshotCorrupt {
+        /// What failed to validate.
+        detail: String,
+    },
 }
 
 impl DynFdError {
@@ -84,8 +103,9 @@ impl DynFdError {
     /// A stable process exit code per variant, for scripting against the
     /// CLI: `3` I/O, `4` parse, `5` unknown record, `6` duplicate record,
     /// `7` arity mismatch, `8` dictionary overflow, `9` null value, `10`
-    /// internal failure (panic or invariant breach). Code `2` is reserved
-    /// for CLI usage errors and `1` for generic failures.
+    /// internal failure (panic or invariant breach), `11` corrupt
+    /// write-ahead log, `12` corrupt snapshot. Code `2` is reserved for
+    /// CLI usage errors and `1` for generic failures.
     pub fn exit_code(&self) -> u8 {
         match self {
             DynFdError::Io(_) => 3,
@@ -96,16 +116,22 @@ impl DynFdError {
             DynFdError::DictionaryOverflow { .. } => 8,
             DynFdError::NullValue { .. } => 9,
             DynFdError::PhasePanicked { .. } | DynFdError::InvariantBreach { .. } => 10,
+            DynFdError::WalCorrupt { .. } => 11,
+            DynFdError::SnapshotCorrupt { .. } => 12,
         }
     }
 
     /// Whether the error is a batch-validation rejection (the batch was
     /// never applied) as opposed to an internal failure that was rolled
-    /// back mid-application.
+    /// back mid-application or a durability-layer fault found during
+    /// recovery.
     pub fn is_rejection(&self) -> bool {
         !matches!(
             self,
-            DynFdError::PhasePanicked { .. } | DynFdError::InvariantBreach { .. }
+            DynFdError::PhasePanicked { .. }
+                | DynFdError::InvariantBreach { .. }
+                | DynFdError::WalCorrupt { .. }
+                | DynFdError::SnapshotCorrupt { .. }
         )
     }
 }
@@ -144,6 +170,16 @@ impl fmt::Display for DynFdError {
             }
             DynFdError::InvariantBreach { phase, detail } => {
                 write!(f, "{phase} invariant breach (batch rolled back): {detail}")
+            }
+            DynFdError::WalCorrupt { seq, offset } => {
+                write!(
+                    f,
+                    "write-ahead log corrupt at byte {offset} (expected frame seq {seq}); \
+                     truncated to the last valid frame"
+                )
+            }
+            DynFdError::SnapshotCorrupt { detail } => {
+                write!(f, "snapshot corrupt: {detail}")
             }
         }
     }
@@ -206,6 +242,8 @@ mod tests {
                 phase: "insert-phase",
                 detail: "x".into(),
             },
+            DynFdError::WalCorrupt { seq: 3, offset: 96 },
+            DynFdError::SnapshotCorrupt { detail: "x".into() },
         ];
         let codes: std::collections::BTreeSet<u8> =
             errors.iter().map(DynFdError::exit_code).collect();
@@ -222,6 +260,23 @@ mod tests {
         let internal = DynFdError::invariant("delete-phase", "oops");
         assert!(!internal.is_rejection());
         assert_eq!(internal.exit_code(), 10);
+    }
+
+    #[test]
+    fn durability_errors_are_not_rejections() {
+        let wal = DynFdError::WalCorrupt {
+            seq: 7,
+            offset: 128,
+        };
+        assert!(!wal.is_rejection());
+        assert_eq!(wal.exit_code(), 11);
+        assert!(wal.to_string().contains("byte 128"));
+        assert!(wal.to_string().contains("seq 7"));
+        let snap = DynFdError::SnapshotCorrupt {
+            detail: "crc mismatch".into(),
+        };
+        assert!(!snap.is_rejection());
+        assert_eq!(snap.exit_code(), 12);
     }
 
     #[test]

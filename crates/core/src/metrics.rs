@@ -72,6 +72,28 @@ pub struct BatchMetrics {
     /// the batch. Under `absorb` this is the maximum across batches,
     /// like `threads_used`.
     pub cache_bytes: usize,
+    /// Bytes the durable engine (`dynfd-persist`) appended to the
+    /// write-ahead batch log for this batch (frame header + payload).
+    /// Always 0 for the purely in-memory engine.
+    pub wal_bytes: usize,
+    /// `fsync`/`fdatasync` calls the durable engine issued for this
+    /// batch: one for the WAL append, plus the snapshot-file, directory,
+    /// and log-truncation syncs when the batch triggered a snapshot.
+    pub fsyncs: usize,
+    /// Wall-clock time spent writing a snapshot after this batch
+    /// (zero when the snapshot cadence did not fire).
+    pub snapshot_time: Duration,
+    /// WAL frames replayed by the `FdEngine::recover` call that
+    /// preceded this batch. The durable engine stamps the count into
+    /// the first batch applied after a recovery so longitudinal
+    /// consumers ([`FdMonitor`](crate::FdMonitor)) see it; 0 otherwise.
+    pub recovery_replayed_batches: usize,
+    /// Highest batch sequence number the durable engine has rewound out
+    /// of the WAL — a rejected or rolled-back batch whose pre-logged
+    /// frame was truncated so it can never reappear after recovery, or
+    /// the first frame dropped by corruption truncation. 0 = never.
+    /// Under `absorb` this is the maximum across batches.
+    pub last_truncated_seq: u64,
 }
 
 impl BatchMetrics {
@@ -110,6 +132,11 @@ impl BatchMetrics {
         self.cache_misses += other.cache_misses;
         self.cache_evictions += other.cache_evictions;
         self.cache_bytes = self.cache_bytes.max(other.cache_bytes);
+        self.wal_bytes += other.wal_bytes;
+        self.fsyncs += other.fsyncs;
+        self.snapshot_time += other.snapshot_time;
+        self.recovery_replayed_batches += other.recovery_replayed_batches;
+        self.last_truncated_seq = self.last_truncated_seq.max(other.last_truncated_seq);
     }
 }
 
@@ -153,5 +180,29 @@ mod tests {
         assert_eq!(a.threads_used, 4);
         assert_eq!(a.insert_phase_time, Duration::from_millis(7));
         assert_eq!(a.delete_phase_time, Duration::from_millis(1));
+    }
+
+    #[test]
+    fn absorb_wal_counters() {
+        let mut a = BatchMetrics {
+            wal_bytes: 100,
+            fsyncs: 1,
+            last_truncated_seq: 5,
+            ..Default::default()
+        };
+        let b = BatchMetrics {
+            wal_bytes: 50,
+            fsyncs: 4,
+            snapshot_time: Duration::from_millis(2),
+            recovery_replayed_batches: 3,
+            last_truncated_seq: 2,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.wal_bytes, 150);
+        assert_eq!(a.fsyncs, 5);
+        assert_eq!(a.snapshot_time, Duration::from_millis(2));
+        assert_eq!(a.recovery_replayed_batches, 3);
+        assert_eq!(a.last_truncated_seq, 5, "truncation watermark is a max");
     }
 }

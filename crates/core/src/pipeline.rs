@@ -99,6 +99,41 @@ impl DynFd {
         }
     }
 
+    /// Reassembles an engine from previously saved state: the relation,
+    /// both covers, and the §5.2 violation annotations, all restored
+    /// verbatim — nothing is re-derived, so the result is structurally
+    /// identical ([`DynFd::state_eq`]) to the instance the state was
+    /// read from. This is the restore path of the durable engine
+    /// (`dynfd-persist`); the caller vouches that the parts belong
+    /// together (snapshot checksums guard the transport).
+    ///
+    /// Acceleration state (the PLI-intersection cache) and recovery
+    /// statistics start empty — they are derived/operator data that
+    /// [`DynFd::state_divergence`] deliberately ignores.
+    pub fn from_saved_state(
+        rel: DynamicRelation,
+        fds: FdTree,
+        non_fds: FdTree,
+        annotations: &[(Fd, (dynfd_common::RecordId, dynfd_common::RecordId))],
+        config: DynFdConfig,
+    ) -> Self {
+        let mut violations = ViolationStore::new();
+        for &(fd, pair) in annotations {
+            violations.attach(fd, pair);
+        }
+        DynFd {
+            rel,
+            fds,
+            non_fds,
+            violations,
+            config,
+            failpoint: None,
+            pli_cache: PliCache::new(config.pli_cache_bytes),
+            recoveries: 0,
+            last_breach: None,
+        }
+    }
+
     /// The maintained relation.
     pub fn relation(&self) -> &DynamicRelation {
         &self.rel
@@ -351,6 +386,50 @@ impl DynFd {
         self.state_divergence(other).is_none()
     }
 
+    /// Compares the *logical* state of two instances — relation and both
+    /// covers — and describes the first divergence found.
+    ///
+    /// Unlike [`DynFd::state_divergence`] this deliberately excludes the
+    /// §5.2 violation annotations: witness pairs are surrogate
+    /// accelerators whose exact choice depends on pivot order and the
+    /// PLI-intersection cache state (see `dynfd_relation::validate`), so
+    /// two engines that took different paths to the same logical state —
+    /// e.g. a crash-recovered engine with a cold cache versus an
+    /// uninterrupted run — may hold different (equally valid) pairs.
+    /// Pair validity is checked separately by
+    /// [`DynFd::verify_annotations`].
+    pub fn logical_divergence(&self, other: &DynFd) -> Option<String> {
+        if self.rel != other.rel {
+            return Some("relation diverged (PLIs, dictionaries, records, or id counter)".into());
+        }
+        if self.fds != other.fds {
+            return Some("positive cover diverged".into());
+        }
+        if self.non_fds != other.non_fds {
+            return Some("negative cover diverged".into());
+        }
+        None
+    }
+
+    /// Checks that every cached §5.2 violation annotation references two
+    /// live records that genuinely violate their non-FD. O(annotations)
+    /// — cheap enough for production assertions, unlike
+    /// [`DynFd::verify_consistency`].
+    pub fn verify_annotations(&self) -> std::result::Result<(), String> {
+        for nf in self.non_fds.all_fds() {
+            if let Some((a, b)) = crate::ViolationStore::get(&self.violations, &nf) {
+                let (Some(ra), Some(rb)) = (self.rel.compressed(a), self.rel.compressed(b)) else {
+                    return Err(format!("annotation of {nf:?} references dead records"));
+                };
+                let agrees_on_lhs = nf.lhs.iter().all(|x| ra[x] == rb[x]);
+                if !agrees_on_lhs || ra[nf.rhs] == rb[nf.rhs] {
+                    return Err(format!("annotation of {nf:?} is not a violating pair"));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Exhaustively checks the internal invariants against the current
     /// relation state (test oracle; exponential in arity — never call on
     /// wide relations):
@@ -396,18 +475,7 @@ impl DynFd {
                 inverted.all_fds()
             ));
         }
-        for nf in self.non_fds.all_fds() {
-            if let Some((a, b)) = crate::ViolationStore::get(&self.violations, &nf) {
-                let (Some(ra), Some(rb)) = (self.rel.compressed(a), self.rel.compressed(b)) else {
-                    return Err(format!("annotation of {nf:?} references dead records"));
-                };
-                let agrees_on_lhs = nf.lhs.iter().all(|x| ra[x] == rb[x]);
-                if !agrees_on_lhs || ra[nf.rhs] == rb[nf.rhs] {
-                    return Err(format!("annotation of {nf:?} is not a violating pair"));
-                }
-            }
-        }
-        Ok(())
+        self.verify_annotations()
     }
 }
 

@@ -1,0 +1,245 @@
+//! Hand-rolled binary encoding shared by the WAL and snapshot formats.
+//!
+//! All integers are little-endian and fixed-width; strings and byte
+//! blobs are `u32` length-prefixed. There is no serde in this workspace
+//! (offline build), and none is needed: the encoded types are few and
+//! stable, and a hand-rolled decoder lets every length be validated
+//! against the remaining input before anything is allocated — the
+//! property that makes torn-tail and bit-flip recovery safe.
+
+use dynfd_common::RecordId;
+use dynfd_relation::{Batch, ChangeOp};
+
+/// Decode failure: a human-readable description of what did not parse.
+/// Callers wrap it into the appropriate typed error
+/// (`DynFdError::WalCorrupt` / `DynFdError::SnapshotCorrupt`).
+pub type DecodeError = String;
+
+/// Appends a `u32` little-endian.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` little-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u32`-length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Bounds-checked cursor over an encoded byte slice. Every accessor
+/// fails with a [`DecodeError`] instead of panicking when the input is
+/// shorter than the encoding claims — corrupt input must surface as a
+/// typed error, never as an index-out-of-bounds.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte was consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(format!(
+                "need {n} bytes at offset {}, only {} remain",
+                self.pos,
+                self.remaining()
+            ));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        let bytes = self.bytes(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| format!("invalid UTF-8 string: {e}"))
+    }
+
+    /// Reads a `u32` element count and sanity-checks it against the
+    /// bytes actually remaining (each element needs at least
+    /// `min_elem_bytes`), so a corrupt count cannot trigger a huge
+    /// allocation before the short read would be noticed.
+    pub fn count(&mut self, min_elem_bytes: usize) -> Result<usize, DecodeError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.remaining() {
+            return Err(format!(
+                "element count {n} impossible with {} bytes remaining",
+                self.remaining()
+            ));
+        }
+        Ok(n)
+    }
+}
+
+/// Op tags of the batch encoding. Stable on-disk values — never renumber.
+const TAG_INSERT: u8 = 0;
+const TAG_DELETE: u8 = 1;
+const TAG_UPDATE: u8 = 2;
+
+fn put_row(out: &mut Vec<u8>, row: &[String]) {
+    put_u32(out, row.len() as u32);
+    for value in row {
+        put_str(out, value);
+    }
+}
+
+fn read_row(r: &mut Reader<'_>) -> Result<Vec<String>, DecodeError> {
+    let n = r.count(4)?; // each value carries at least its length prefix
+    let mut row = Vec::with_capacity(n);
+    for _ in 0..n {
+        row.push(r.str()?);
+    }
+    Ok(row)
+}
+
+/// Serializes a [`Batch`] (op count, then tagged ops in order).
+pub fn encode_batch(out: &mut Vec<u8>, batch: &Batch) {
+    put_u32(out, batch.len() as u32);
+    for op in batch.ops() {
+        match op {
+            ChangeOp::Insert(row) => {
+                out.push(TAG_INSERT);
+                put_row(out, row);
+            }
+            ChangeOp::Delete(rid) => {
+                out.push(TAG_DELETE);
+                put_u64(out, rid.0);
+            }
+            ChangeOp::Update(rid, row) => {
+                out.push(TAG_UPDATE);
+                put_u64(out, rid.0);
+                put_row(out, row);
+            }
+        }
+    }
+}
+
+/// Parses a [`Batch`] written by [`encode_batch`].
+pub fn decode_batch(r: &mut Reader<'_>) -> Result<Batch, DecodeError> {
+    let n = r.count(1)?;
+    let mut ops = Vec::with_capacity(n);
+    for i in 0..n {
+        let tag = r.u8()?;
+        let op = match tag {
+            TAG_INSERT => ChangeOp::Insert(read_row(r)?),
+            TAG_DELETE => ChangeOp::Delete(RecordId(r.u64()?)),
+            TAG_UPDATE => {
+                let rid = RecordId(r.u64()?);
+                ChangeOp::Update(rid, read_row(r)?)
+            }
+            other => return Err(format!("op {i}: unknown tag {other}")),
+        };
+        ops.push(op);
+    }
+    Ok(Batch::from_ops(ops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_batch() -> Batch {
+        let mut b = Batch::new();
+        b.insert(vec!["x", "", "naïve ünïcode"])
+            .delete(RecordId(42))
+            .update(RecordId(7), vec!["a", "b", "c"]);
+        b
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let batch = sample_batch();
+        let mut bytes = Vec::new();
+        encode_batch(&mut bytes, &batch);
+        let mut r = Reader::new(&bytes);
+        let back = decode_batch(&mut r).unwrap();
+        assert_eq!(back, batch);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn empty_batch_roundtrip() {
+        let mut bytes = Vec::new();
+        encode_batch(&mut bytes, &Batch::new());
+        let back = decode_batch(&mut Reader::new(&bytes)).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn every_truncation_errors_never_panics() {
+        let mut bytes = Vec::new();
+        encode_batch(&mut bytes, &sample_batch());
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert!(
+                decode_batch(&mut r).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, 1);
+        bytes.push(9); // no such tag
+        assert!(decode_batch(&mut Reader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn absurd_count_rejected_without_allocation() {
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, u32::MAX); // claims 4 billion ops in 0 bytes
+        let err = decode_batch(&mut Reader::new(&bytes)).unwrap_err();
+        assert!(err.contains("impossible"), "{err}");
+    }
+
+    #[test]
+    fn reader_reports_offsets() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        r.bytes(2).unwrap();
+        let err = r.bytes(5).unwrap_err();
+        assert!(err.contains("offset 2"), "{err}");
+    }
+}

@@ -1,0 +1,433 @@
+//! The write-ahead batch log.
+//!
+//! One append-only file per engine directory, `batches.wal`:
+//!
+//! ```text
+//! [magic "DYNFDWL1"] [frame] [frame] ...
+//! frame := len:u32 LE | crc:u32 LE | payload
+//! payload := seq:u64 LE | encoded Batch (see codec)
+//! ```
+//!
+//! `len` counts payload bytes; `crc` is the CRC-32 of the payload.
+//! Frames carry strictly consecutive sequence numbers. Every append is
+//! `fdatasync`ed before the engine mutates any in-memory state — the
+//! redo-log discipline that makes crash recovery possible.
+//!
+//! [`Wal::scan`] is the tolerant reader: it parses frames until the
+//! first torn or corrupt one (short header, impossible length, CRC
+//! mismatch, payload that does not decode, non-consecutive sequence
+//! number) and reports the corruption with its byte offset instead of
+//! failing, so recovery can truncate back to the last valid frame.
+
+use crate::codec::{self, Reader};
+use crate::crc::crc32;
+use dynfd_relation::Batch;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::process::abort;
+
+/// File magic, first 8 bytes of every WAL.
+pub const WAL_MAGIC: [u8; 8] = *b"DYNFDWL1";
+
+/// Name of the WAL file inside an engine directory.
+pub const WAL_FILE: &str = "batches.wal";
+
+/// Bytes of the frame header (`len` + `crc`).
+const FRAME_HEADER: u64 = 8;
+
+/// Smallest legal payload: a `seq` and an empty batch's op count.
+const MIN_PAYLOAD: u32 = 12;
+
+/// An open WAL positioned for appending.
+pub struct Wal {
+    file: File,
+    /// End of the last durable frame (= file size while healthy).
+    end: u64,
+    /// `fsync`/`fdatasync` calls issued over this handle's lifetime.
+    fsyncs: u64,
+}
+
+/// One valid frame a scan produced.
+pub struct WalFrame {
+    /// The frame's batch sequence number.
+    pub seq: u64,
+    /// The logged batch.
+    pub batch: Batch,
+    /// Byte offset where this frame starts.
+    pub start: u64,
+    /// Byte offset one past this frame (the next frame's start).
+    pub end: u64,
+}
+
+/// What a corruption-tolerant scan found.
+pub struct WalScan {
+    /// The valid frame prefix, in order.
+    pub frames: Vec<WalFrame>,
+    /// Byte offset one past the last valid frame — the truncation point.
+    pub valid_end: u64,
+    /// First corruption encountered, if any: byte offset where the bad
+    /// frame starts plus a description. `None` means the file parsed
+    /// cleanly to its end.
+    pub corruption: Option<WalCorruption>,
+}
+
+/// Description of the first invalid frame a scan hit.
+#[derive(Debug)]
+pub struct WalCorruption {
+    /// Byte offset where the bad frame starts.
+    pub offset: u64,
+    /// Sequence number of the last *valid* frame, if any frame parsed.
+    pub last_seq: Option<u64>,
+    /// What failed to validate (for logs; the typed error carries only
+    /// `seq`/`offset`).
+    pub detail: String,
+}
+
+impl Wal {
+    /// Creates (or truncates) the WAL at `path` and writes the magic.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(&WAL_MAGIC)?;
+        file.sync_all()?;
+        Ok(Wal {
+            file,
+            end: WAL_MAGIC.len() as u64,
+            fsyncs: 1,
+        })
+    }
+
+    /// Opens an existing WAL for appending at `end` (a byte offset a
+    /// prior [`Wal::scan`] validated). Anything after `end` — a torn
+    /// tail the scan refused — is truncated away immediately.
+    pub fn open(path: &Path, end: u64) -> io::Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut wal = Wal {
+            file,
+            end,
+            fsyncs: 0,
+        };
+        if wal.file.metadata()?.len() != end {
+            wal.rewind_to(end)?;
+        }
+        Ok(wal)
+    }
+
+    /// Byte offset one past the last durable frame.
+    pub fn end_offset(&self) -> u64 {
+        self.end
+    }
+
+    /// `fsync` calls issued by this handle so far.
+    pub fn fsync_count(&self) -> u64 {
+        self.fsyncs
+    }
+
+    /// Appends one frame (`seq` + `batch`) and `fdatasync`s it; returns
+    /// the number of bytes the frame occupies.
+    ///
+    /// `kill_at_byte` is the deterministic crash hook of the test
+    /// harness: when the frame would extend the file past that absolute
+    /// offset, only the bytes up to it are written (durably) and the
+    /// process aborts — a simulated power cut mid-append.
+    pub fn append(
+        &mut self,
+        seq: u64,
+        batch: &Batch,
+        kill_at_byte: Option<u64>,
+    ) -> io::Result<u64> {
+        let mut payload = Vec::new();
+        codec::put_u64(&mut payload, seq);
+        codec::encode_batch(&mut payload, batch);
+        let mut frame = Vec::with_capacity(payload.len() + FRAME_HEADER as usize);
+        codec::put_u32(&mut frame, payload.len() as u32);
+        codec::put_u32(&mut frame, crc32(&payload));
+        frame.extend_from_slice(&payload);
+
+        if let Some(kill) = kill_at_byte {
+            if kill < self.end + frame.len() as u64 {
+                let keep = kill.saturating_sub(self.end) as usize;
+                self.file.seek(SeekFrom::Start(self.end))?;
+                self.file.write_all(&frame[..keep])?;
+                self.file.sync_data()?;
+                abort(); // simulated power cut: torn frame is on disk
+            }
+        }
+
+        self.file.seek(SeekFrom::Start(self.end))?;
+        self.file.write_all(&frame)?;
+        self.file.sync_data()?;
+        self.fsyncs += 1;
+        self.end += frame.len() as u64;
+        Ok(frame.len() as u64)
+    }
+
+    /// Rewinds the log to `offset`, durably discarding every frame after
+    /// it — the rejected-batch and corruption-truncation path.
+    pub fn rewind_to(&mut self, offset: u64) -> io::Result<()> {
+        self.file.set_len(offset)?;
+        self.file.sync_all()?;
+        self.fsyncs += 1;
+        self.end = offset;
+        Ok(())
+    }
+
+    /// Empties the log back to just the magic (snapshot boundary).
+    pub fn truncate_all(&mut self) -> io::Result<()> {
+        self.rewind_to(WAL_MAGIC.len() as u64)
+    }
+
+    /// Reads and validates `path` frame by frame, stopping at the first
+    /// torn or corrupt frame. Never fails on *content* — only real I/O
+    /// errors (missing file, permission) surface as `Err`.
+    pub fn scan(path: &Path) -> io::Result<WalScan> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        if bytes.len() < WAL_MAGIC.len() || bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+            return Ok(WalScan {
+                frames: Vec::new(),
+                valid_end: 0,
+                corruption: Some(WalCorruption {
+                    offset: 0,
+                    last_seq: None,
+                    detail: "missing or damaged file magic".into(),
+                }),
+            });
+        }
+
+        let mut frames: Vec<WalFrame> = Vec::new();
+        let mut offset = WAL_MAGIC.len() as u64;
+        let corruption = loop {
+            if offset == bytes.len() as u64 {
+                break None; // clean end
+            }
+            match parse_frame(&bytes, offset, frames.last().map(|f| f.seq)) {
+                Ok((seq, batch, next_offset)) => {
+                    frames.push(WalFrame {
+                        seq,
+                        batch,
+                        start: offset,
+                        end: next_offset,
+                    });
+                    offset = next_offset;
+                }
+                Err(detail) => {
+                    break Some(WalCorruption {
+                        offset,
+                        last_seq: frames.last().map(|f| f.seq),
+                        detail,
+                    });
+                }
+            }
+        };
+        Ok(WalScan {
+            frames,
+            valid_end: offset,
+            corruption,
+        })
+    }
+}
+
+/// Validates one frame starting at `offset`; returns `(seq, batch, end
+/// offset)` or a description of why the frame is invalid.
+fn parse_frame(
+    bytes: &[u8],
+    offset: u64,
+    prev_seq: Option<u64>,
+) -> Result<(u64, Batch, u64), String> {
+    let rest = &bytes[offset as usize..];
+    let mut header = Reader::new(rest);
+    let len = header
+        .u32()
+        .map_err(|_| format!("torn frame header ({} trailing bytes)", rest.len()))?;
+    let crc = header
+        .u32()
+        .map_err(|_| format!("torn frame header ({} trailing bytes)", rest.len()))?;
+    if len < MIN_PAYLOAD {
+        return Err(format!("impossible payload length {len}"));
+    }
+    let payload = header
+        .bytes(len as usize)
+        .map_err(|_| format!("torn frame: payload length {len} exceeds file"))?;
+    let actual = crc32(payload);
+    if actual != crc {
+        return Err(format!(
+            "CRC mismatch: stored {crc:#010x}, computed {actual:#010x}"
+        ));
+    }
+    let mut r = Reader::new(payload);
+    let seq = r.u64().map_err(|e| format!("payload: {e}"))?;
+    let batch = codec::decode_batch(&mut r).map_err(|e| format!("payload: {e}"))?;
+    if !r.is_exhausted() {
+        return Err(format!("{} undecoded payload bytes", r.remaining()));
+    }
+    if let Some(prev) = prev_seq {
+        if seq != prev + 1 {
+            return Err(format!("sequence jump: frame {seq} after frame {prev}"));
+        }
+    }
+    Ok((seq, batch, offset + FRAME_HEADER + len as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynfd_common::RecordId;
+    use dynfd_relation::Batch;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("dynfd-wal-test-{}-{name}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn batch(i: u64) -> Batch {
+        let mut b = Batch::new();
+        b.insert(vec![format!("row{i}"), "x".into()]);
+        b.delete(RecordId(i));
+        b
+    }
+
+    #[test]
+    fn append_scan_roundtrip() {
+        let path = tmp("roundtrip");
+        let mut wal = Wal::create(&path).unwrap();
+        for seq in 1..=5u64 {
+            wal.append(seq, &batch(seq), None).unwrap();
+        }
+        let scan = Wal::scan(&path).unwrap();
+        assert!(scan.corruption.is_none());
+        assert_eq!(scan.valid_end, wal.end_offset());
+        assert_eq!(scan.frames.len(), 5);
+        for (i, frame) in scan.frames.iter().enumerate() {
+            assert_eq!(frame.seq, i as u64 + 1);
+            assert_eq!(frame.batch, batch(frame.seq));
+            assert_eq!(
+                frame.end,
+                scan.frames.get(i + 1).map_or(scan.valid_end, |n| n.start)
+            );
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn every_torn_tail_truncates_to_a_frame_boundary() {
+        let path = tmp("torn");
+        let mut wal = Wal::create(&path).unwrap();
+        let mut boundaries = vec![wal.end_offset()];
+        for seq in 1..=3u64 {
+            wal.append(seq, &batch(seq), None).unwrap();
+            boundaries.push(wal.end_offset());
+        }
+        let full = std::fs::read(&path).unwrap();
+        for cut in WAL_MAGIC.len()..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let scan = Wal::scan(&path).unwrap();
+            let expected_end = *boundaries.iter().rfind(|&&b| b <= cut as u64).unwrap();
+            assert_eq!(scan.valid_end, expected_end, "cut at {cut}");
+            // A cut exactly on a frame boundary looks like a clean,
+            // shorter log (nothing after it ever reported durable);
+            // any mid-frame cut must be flagged as torn.
+            if !boundaries.contains(&(cut as u64)) {
+                assert!(scan.corruption.is_some(), "cut at {cut} must be flagged");
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let path = tmp("bitflip");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append(1, &batch(1), None).unwrap();
+        wal.append(2, &batch(2), None).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        let clean = Wal::scan(&path).unwrap();
+        assert_eq!(clean.frames.len(), 2);
+        for byte in 0..full.len() {
+            let mut flipped = full.clone();
+            flipped[byte] ^= 0x10;
+            std::fs::write(&path, &flipped).unwrap();
+            let scan = Wal::scan(&path).unwrap();
+            // A flip may shorten the valid prefix, never extend it, and
+            // scanning must flag it (a flipped byte always lands in the
+            // magic, a header, or a checksummed payload).
+            assert!(scan.corruption.is_some(), "flip at byte {byte} undetected");
+            assert!(scan.frames.len() < 2 || scan.valid_end <= clean.valid_end);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn kill_at_byte_is_honored_by_offset_math() {
+        // `append` aborts the process on the kill path, so the hook
+        // itself is exercised by the child-process crash harness; here
+        // we only pin the arithmetic: a kill offset beyond the frame
+        // leaves the append untouched.
+        let path = tmp("kill-math");
+        let mut wal = Wal::create(&path).unwrap();
+        let len = wal.append(1, &batch(1), Some(1 << 30)).unwrap();
+        assert_eq!(wal.end_offset(), WAL_MAGIC.len() as u64 + len);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rewind_discards_tail_frames() {
+        let path = tmp("rewind");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append(1, &batch(1), None).unwrap();
+        let boundary = wal.end_offset();
+        wal.append(2, &batch(2), None).unwrap();
+        wal.rewind_to(boundary).unwrap();
+        let scan = Wal::scan(&path).unwrap();
+        assert!(scan.corruption.is_none());
+        assert_eq!(scan.frames.len(), 1);
+        // The log stays appendable after a rewind, reusing seq 2.
+        wal.append(2, &batch(7), None).unwrap();
+        let scan = Wal::scan(&path).unwrap();
+        assert_eq!(
+            scan.frames.iter().map(|f| f.seq).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert_eq!(scan.frames[1].batch, batch(7));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sequence_jumps_are_corruption() {
+        let path = tmp("seqjump");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append(1, &batch(1), None).unwrap();
+        let boundary = wal.end_offset();
+        wal.append(3, &batch(3), None).unwrap(); // skips seq 2
+        let scan = Wal::scan(&path).unwrap();
+        assert_eq!(scan.frames.len(), 1);
+        assert_eq!(scan.valid_end, boundary);
+        let corruption = scan.corruption.unwrap();
+        assert_eq!(corruption.offset, boundary);
+        assert_eq!(corruption.last_seq, Some(1));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn damaged_magic_invalidates_whole_file() {
+        let path = tmp("magic");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append(1, &batch(1), None).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[3] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let scan = Wal::scan(&path).unwrap();
+        assert!(scan.frames.is_empty());
+        assert_eq!(scan.valid_end, 0);
+        assert!(scan.corruption.unwrap().detail.contains("magic"));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

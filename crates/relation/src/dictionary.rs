@@ -102,6 +102,32 @@ impl Dictionary {
         &self.values[code as usize]
     }
 
+    /// All values ever encoded, in code order (`values()[c]` is the
+    /// value of code `c`). Dead codes — values no live record holds —
+    /// are included: codes are stable for the relation's lifetime.
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+
+    /// Reconstructs a dictionary from its persisted parts: the full
+    /// value list in code order (dead codes included, so every code a
+    /// compressed record may reference decodes to its original value)
+    /// and the configured capacity. The inverse of reading
+    /// [`Dictionary::values`] and [`Dictionary::capacity`]; the result
+    /// is structurally equal (`==`) to the dictionary it was saved from.
+    pub fn from_parts(values: Vec<String>, capacity: usize) -> Self {
+        let codes = values
+            .iter()
+            .enumerate()
+            .map(|(code, v)| (v.clone(), code as ValueId))
+            .collect();
+        Dictionary {
+            codes,
+            values,
+            capacity: capacity.min(DICTIONARY_CAPACITY),
+        }
+    }
+
     /// Number of distinct values ever encoded.
     pub fn len(&self) -> usize {
         self.values.len()
@@ -148,6 +174,19 @@ mod tests {
         assert_eq!(d.lookup("a"), None);
         d.encode("a");
         assert_eq!(d.lookup("a"), Some(0));
+    }
+
+    #[test]
+    fn from_parts_roundtrips_including_dead_codes() {
+        let mut d = Dictionary::new();
+        d.encode("alive");
+        d.encode("dead"); // pretend every record holding this is deleted
+        d.encode("also-alive");
+        d.set_capacity(100);
+        let restored = Dictionary::from_parts(d.values().to_vec(), d.capacity());
+        assert_eq!(restored, d);
+        assert_eq!(restored.lookup("dead"), Some(1));
+        assert_eq!(restored.decode(1), "dead");
     }
 
     #[test]

@@ -481,6 +481,74 @@ impl DynamicRelation {
         }
     }
 
+    /// Reconstructs a relation from its persisted parts: schema, null
+    /// policy, id counter, the full per-column dictionaries (dead codes
+    /// included, so codes stay stable across a save/restore cycle), and
+    /// the compressed records. PLIs are *not* persisted — they are fully
+    /// determined by the live records and are rebuilt here by inserting
+    /// codes in ascending record-id order, which reproduces the exact
+    /// cluster vectors incremental maintenance would hold (sorted ids,
+    /// emptied clusters absent). The result is structurally equal (`==`)
+    /// to the relation the parts were read from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DynError::Parse`] when the parts are inconsistent — a
+    /// record of the wrong arity, a value code no dictionary entry
+    /// covers, a record id at or past `next_id`, or a duplicate record
+    /// id. (Checksums catch random corruption before decoding; this
+    /// guards the semantic gaps checksums cannot see.)
+    pub fn from_parts(
+        schema: Schema,
+        null_policy: NullPolicy,
+        next_id: RecordId,
+        dictionaries: Vec<Dictionary>,
+        mut records: Vec<(RecordId, Box<[ValueId]>)>,
+    ) -> Result<Self> {
+        let arity = schema.arity();
+        if dictionaries.len() != arity {
+            return Err(DynError::Parse(format!(
+                "snapshot has {} dictionaries for {arity} columns",
+                dictionaries.len()
+            )));
+        }
+        records.sort_unstable_by_key(|(rid, _)| *rid);
+        let mut rel = DynamicRelation {
+            schema,
+            dictionaries,
+            plis: (0..arity).map(|_| Pli::new()).collect(),
+            records: HashMap::with_capacity(records.len()),
+            next_id,
+            null_policy,
+        };
+        for (rid, codes) in records {
+            if codes.len() != arity {
+                return Err(DynError::Parse(format!(
+                    "record {rid} has {} codes for {arity} columns",
+                    codes.len()
+                )));
+            }
+            if rid >= next_id {
+                return Err(DynError::Parse(format!(
+                    "record {rid} is at or past the id counter {next_id}"
+                )));
+            }
+            if rel.records.contains_key(&rid) {
+                return Err(DynError::Parse(format!("duplicate record id {rid}")));
+            }
+            for (attr, &code) in codes.iter().enumerate() {
+                if (code as usize) >= rel.dictionaries[attr].len() {
+                    return Err(DynError::Parse(format!(
+                        "record {rid} column {attr} references unassigned code {code}"
+                    )));
+                }
+                rel.plis[attr].insert(code, rid);
+            }
+            rel.records.insert(rid, codes);
+        }
+        Ok(rel)
+    }
+
     /// Rebuilds PLIs and dictionaries from the live records, for
     /// validating incremental maintenance in tests. O(n·m); never used on
     /// the hot path.
@@ -768,6 +836,102 @@ mod tests {
             b.sort();
             assert_eq!(a, b, "column {attr} partition diverged");
         }
+    }
+
+    #[test]
+    fn from_parts_restores_bit_identical_state() {
+        // Churn the paper relation so dictionaries hold dead codes and
+        // PLIs have dropped clusters — the state a snapshot must restore
+        // exactly.
+        let mut rel = paper_relation();
+        let mut batch = Batch::new();
+        batch
+            .delete(RecordId(2))
+            .insert(vec!["Marie", "Scott", "14467", "Potsdam"])
+            .update(RecordId(0), vec!["Max", "Jones", "14482", "Golm"]);
+        rel.apply_batch(&batch).unwrap();
+
+        let dicts: Vec<Dictionary> = (0..rel.arity())
+            .map(|a| {
+                Dictionary::from_parts(
+                    rel.dictionary(a).values().to_vec(),
+                    rel.dictionary(a).capacity(),
+                )
+            })
+            .collect();
+        let records: Vec<(RecordId, Box<[ValueId]>)> = rel
+            .records()
+            .map(|(rid, codes)| (rid, codes.to_vec().into_boxed_slice()))
+            .collect();
+        let restored = DynamicRelation::from_parts(
+            rel.schema().clone(),
+            rel.null_policy(),
+            rel.next_id(),
+            dicts,
+            records,
+        )
+        .unwrap();
+        assert_eq!(restored, rel, "restore must be structurally identical");
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_parts() {
+        let rel = paper_relation();
+        let dicts = |r: &DynamicRelation| -> Vec<Dictionary> {
+            (0..r.arity())
+                .map(|a| {
+                    Dictionary::from_parts(
+                        r.dictionary(a).values().to_vec(),
+                        r.dictionary(a).capacity(),
+                    )
+                })
+                .collect()
+        };
+        let recs = |r: &DynamicRelation| -> Vec<(RecordId, Box<[ValueId]>)> {
+            r.records()
+                .map(|(rid, c)| (rid, c.to_vec().into_boxed_slice()))
+                .collect()
+        };
+        // Record id at the counter.
+        let mut bad = recs(&rel);
+        bad[0].0 = rel.next_id();
+        assert!(matches!(
+            DynamicRelation::from_parts(
+                rel.schema().clone(),
+                rel.null_policy(),
+                rel.next_id(),
+                dicts(&rel),
+                bad
+            ),
+            Err(DynError::Parse(_))
+        ));
+        // Unassigned value code.
+        let mut bad = recs(&rel);
+        bad[0].1[0] = 9999;
+        assert!(matches!(
+            DynamicRelation::from_parts(
+                rel.schema().clone(),
+                rel.null_policy(),
+                rel.next_id(),
+                dicts(&rel),
+                bad
+            ),
+            Err(DynError::Parse(_))
+        ));
+        // Duplicate record id.
+        let mut bad = recs(&rel);
+        let clone = bad[0].clone();
+        bad.push(clone);
+        assert!(matches!(
+            DynamicRelation::from_parts(
+                rel.schema().clone(),
+                rel.null_policy(),
+                rel.next_id(),
+                dicts(&rel),
+                bad
+            ),
+            Err(DynError::Parse(_))
+        ));
     }
 
     #[test]

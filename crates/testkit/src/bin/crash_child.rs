@@ -1,0 +1,91 @@
+//! Child process for the crash-recovery harness.
+//!
+//! `tests/crash_harness.rs` spawns this binary with a deterministic
+//! [`CrashPlan`] and expects it to die mid-write (`abort()`, a
+//! userspace power cut) at exactly the planned byte/frame. The parent
+//! then recovers the directory in-process and checks the recovered
+//! state against a fresh replay oracle.
+//!
+//! ```text
+//! crash_child <dir> <seed> <case> <snapshot_every> [<mode> <value>]
+//! ```
+//!
+//! `mode` is one of:
+//! - `wal-byte N` — abort once the WAL would grow past absolute byte N
+//!   (torn frame on disk);
+//! - `frames N` — abort after the Nth frame append + fsync, before the
+//!   in-memory apply (the log-but-not-applied window);
+//! - `snapshot-byte N` — abort once N bytes of `snapshot.tmp` are
+//!   written (partial temp file, no rename).
+//!
+//! Without a mode the run completes cleanly (exit 0) — the baseline
+//! the harness uses for uninterrupted comparisons. If a plan is given
+//! but never fires, the run also completes and exits 0; the parent
+//! treats that as "scenario vacuous for this trace" and skips it.
+
+use dynfd_core::DynFdConfig;
+use dynfd_persist::{CrashPlan, FdEngine};
+use dynfd_testkit::Trace;
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: crash_child <dir> <seed> <case> <snapshot_every> [wal-byte|frames|snapshot-byte N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() != 4 && args.len() != 6 {
+        usage();
+    }
+    let dir = PathBuf::from(&args[0]);
+    let seed: u64 = args[1].parse().unwrap_or_else(|_| usage());
+    let case: u64 = args[2].parse().unwrap_or_else(|_| usage());
+    let snapshot_every: usize = args[3].parse().unwrap_or_else(|_| usage());
+    let plan = if args.len() == 6 {
+        let value: u64 = args[5].parse().unwrap_or_else(|_| usage());
+        match args[4].as_str() {
+            "wal-byte" => CrashPlan {
+                wal_kill_at_byte: Some(value),
+                ..CrashPlan::default()
+            },
+            "frames" => CrashPlan {
+                kill_after_frames: Some(value),
+                ..CrashPlan::default()
+            },
+            "snapshot-byte" => CrashPlan {
+                snapshot_kill_at_byte: Some(value),
+                ..CrashPlan::default()
+            },
+            _ => usage(),
+        }
+    } else {
+        CrashPlan::default()
+    };
+
+    let trace = Trace::for_case(seed, case);
+    let config = DynFdConfig {
+        snapshot_every,
+        ..DynFdConfig::default()
+    };
+    let mut engine = match FdEngine::create(&dir, trace.to_relation(), config) {
+        Ok(engine) => engine,
+        Err(e) => {
+            eprintln!("crash_child: engine creation failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    engine.set_crash_plan(plan);
+    for batch in trace.to_batches() {
+        // A planned crash aborts inside this call; a real rejection in a
+        // generated trace would be a bug worth failing loudly on.
+        if let Err(e) = engine.apply_batch(&batch) {
+            eprintln!("crash_child: batch rejected: {e}");
+            std::process::exit(1);
+        }
+    }
+    // Plan never fired (or no plan): clean completion.
+    std::process::exit(0);
+}

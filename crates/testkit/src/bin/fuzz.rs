@@ -22,13 +22,21 @@
 //! `--inject` turns on engine fault injection: `poisoned-batches`
 //! submits invalid batch variants that must be rejected atomically,
 //! `mid-batch-panic` arms seeded panic failpoints whose failures must
-//! roll back bit-identically and succeed on retry, `cover-corruption`
-//! plants silent cover drift the degraded-mode rebuild must repair, and
-//! `all` cycles through the three modes case by case. The differential
-//! oracle and metamorphic checks keep running throughout.
+//! roll back bit-identically and succeed on retry, and
+//! `cover-corruption` plants silent cover drift the degraded-mode
+//! rebuild must repair. Three further modes attack the *durable* engine
+//! (`dynfd-persist`) instead: `crash-at-frame` crashes between the WAL
+//! append and the apply, `torn-tail` truncates the log at a seeded
+//! byte, and `bit-flip-wal` flips a seeded bit anywhere in the log —
+//! recovery must truncate to the last valid frame (never panic) and
+//! reconstruct a state bit-identical to a fresh replay of the
+//! surviving prefix. `wal-all` cycles the three durable modes and
+//! `all` cycles all six, case by case. The differential oracle and
+//! metamorphic checks keep running for the in-memory modes.
 
 use dynfd_testkit::{
-    check_trace, shrink_trace, CoverFault, EngineFault, Repro, RunnerOptions, Trace, TraceStats,
+    check_trace, check_trace_durable, shrink_trace, CoverFault, CrashStats, EngineFault, Repro,
+    RunnerOptions, Trace, TraceStats, WalFault,
 };
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -42,18 +50,49 @@ struct Args {
     inject: Option<InjectMode>,
 }
 
-/// The `--inject` argument: one engine-fault mode, or all three cycled.
+/// The `--inject` argument: one fault mode (in-memory or durable), or
+/// a family of modes cycled case by case.
 #[derive(Clone, Copy)]
 enum InjectMode {
     One(EngineFault),
+    Wal(WalFault),
+    WalAll,
     All,
 }
 
-impl InjectMode {
-    fn for_case(self, case: u64) -> EngineFault {
+/// The fault actually injected into one case.
+#[derive(Clone, Copy)]
+enum CaseFault {
+    Engine(EngineFault),
+    Wal(WalFault),
+}
+
+impl CaseFault {
+    fn name(self) -> &'static str {
         match self {
-            InjectMode::One(mode) => mode,
-            InjectMode::All => EngineFault::ALL[(case % EngineFault::ALL.len() as u64) as usize],
+            CaseFault::Engine(mode) => mode.name(),
+            CaseFault::Wal(mode) => mode.name(),
+        }
+    }
+}
+
+impl InjectMode {
+    fn for_case(self, case: u64) -> CaseFault {
+        match self {
+            InjectMode::One(mode) => CaseFault::Engine(mode),
+            InjectMode::Wal(mode) => CaseFault::Wal(mode),
+            InjectMode::WalAll => {
+                CaseFault::Wal(WalFault::ALL[(case % WalFault::ALL.len() as u64) as usize])
+            }
+            InjectMode::All => {
+                let n = (EngineFault::ALL.len() + WalFault::ALL.len()) as u64;
+                let i = (case % n) as usize;
+                if i < EngineFault::ALL.len() {
+                    CaseFault::Engine(EngineFault::ALL[i])
+                } else {
+                    CaseFault::Wal(WalFault::ALL[i - EngineFault::ALL.len()])
+                }
+            }
         }
     }
 }
@@ -62,7 +101,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: fuzz [--seed N] [--cases N] [--budget-secs N] [--out DIR] \\\n       \
          [--fault drop-first|add-bogus] \\\n       \
-         [--inject poisoned-batches|mid-batch-panic|cover-corruption|all]"
+         [--inject poisoned-batches|mid-batch-panic|cover-corruption|\\\n               \
+         crash-at-frame|torn-tail|bit-flip-wal|wal-all|all]"
     );
     std::process::exit(2);
 }
@@ -97,7 +137,11 @@ fn parse_args() -> Args {
                 let v = value();
                 args.inject = Some(match v.as_str() {
                     "all" => InjectMode::All,
-                    name => InjectMode::One(EngineFault::by_name(name).unwrap_or_else(|| usage())),
+                    "wal-all" => InjectMode::WalAll,
+                    name => EngineFault::by_name(name)
+                        .map(InjectMode::One)
+                        .or_else(|| WalFault::by_name(name).map(InjectMode::Wal))
+                        .unwrap_or_else(|| usage()),
                 })
             }
             "--help" | "-h" => usage(),
@@ -115,6 +159,7 @@ fn main() {
     };
     let start = Instant::now();
     let mut totals = TraceStats::default();
+    let mut crash_totals = CrashStats::default();
     let mut completed = 0u64;
     let mut failures = 0u64;
 
@@ -129,20 +174,60 @@ fn main() {
             break;
         }
         let trace = Trace::for_case(args.seed, case);
-        let engine_fault = args.inject.map(|m| m.for_case(case));
-        let opts = RunnerOptions {
-            engine_fault,
-            ..base_opts.clone()
-        };
+        let case_fault = args.inject.map(|m| m.for_case(case));
         let label = format!(
             "case {case:>3} [{:<14}]{} {} cols, {} rows, {} ops, batch {}",
             trace.profile,
-            engine_fault.map_or(String::new(), |m| format!(" inject={}", m.name())),
+            case_fault.map_or(String::new(), |m| format!(" inject={}", m.name())),
             trace.arity(),
             trace.initial_rows.len(),
             trace.ops.len(),
             trace.batch_size
         );
+
+        // Durable (WAL) faults run the crash-recovery checker instead of
+        // the differential runner; failures shrink and repro the same way.
+        if let Some(CaseFault::Wal(wal_fault)) = case_fault {
+            match check_trace_durable(&trace, wal_fault) {
+                Ok(stats) => {
+                    crash_totals.absorb(&stats);
+                    completed += 1;
+                    println!(
+                        "{label}: ok ({} before crash, {} replayed, {} truncations, {} resumed)",
+                        stats.batches_before_crash,
+                        stats.frames_replayed,
+                        stats.truncations,
+                        stats.batches_resumed
+                    );
+                }
+                Err(failure) => {
+                    failures += 1;
+                    completed += 1;
+                    println!("{label}: FAILED — {failure}");
+                    println!("  shrinking ({} ops)...", trace.ops.len());
+                    let shrunk =
+                        shrink_trace(&trace, |t| check_trace_durable(t, wal_fault).is_err());
+                    let final_failure = check_trace_durable(&shrunk, wal_fault)
+                        .expect_err("shrunk trace still fails by construction");
+                    println!(
+                        "  shrunk to {} ops, {} rows",
+                        shrunk.ops.len(),
+                        shrunk.initial_rows.len()
+                    );
+                    write_repro(&args.out_dir, Repro::new(shrunk, &final_failure));
+                }
+            }
+            continue;
+        }
+
+        let engine_fault = match case_fault {
+            Some(CaseFault::Engine(mode)) => Some(mode),
+            _ => None,
+        };
+        let opts = RunnerOptions {
+            engine_fault,
+            ..base_opts.clone()
+        };
         match check_trace(&trace, &opts) {
             Ok(stats) => {
                 totals.absorb(&stats);
@@ -177,16 +262,7 @@ fn main() {
                     shrunk.ops.len(),
                     shrunk.initial_rows.len()
                 );
-                let repro = Repro::new(shrunk, &final_failure);
-                if let Err(e) = std::fs::create_dir_all(&args.out_dir) {
-                    eprintln!("  cannot create {}: {e}", args.out_dir.display());
-                } else {
-                    let path = args.out_dir.join(repro.file_name());
-                    match std::fs::write(&path, repro.to_json()) {
-                        Ok(()) => println!("  repro written to {}", path.display()),
-                        Err(e) => eprintln!("  cannot write {}: {e}", path.display()),
-                    }
-                }
+                write_repro(&args.out_dir, Repro::new(shrunk, &final_failure));
             }
         }
     }
@@ -204,7 +280,30 @@ fn main() {
         totals.cover_rebuilds,
         start.elapsed().as_secs_f64()
     );
+    if crash_totals.crashes > 0 {
+        println!(
+            "{} simulated crashes: {} batches before crash, {} frames replayed, \
+             {} truncations, {} batches resumed",
+            crash_totals.crashes,
+            crash_totals.batches_before_crash,
+            crash_totals.frames_replayed,
+            crash_totals.truncations,
+            crash_totals.batches_resumed
+        );
+    }
     if failures > 0 {
         std::process::exit(1);
+    }
+}
+
+fn write_repro(out_dir: &PathBuf, repro: Repro) {
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("  cannot create {}: {e}", out_dir.display());
+        return;
+    }
+    let path = out_dir.join(repro.file_name());
+    match std::fs::write(&path, repro.to_json()) {
+        Ok(()) => println!("  repro written to {}", path.display()),
+        Err(e) => eprintln!("  cannot write {}: {e}", path.display()),
     }
 }

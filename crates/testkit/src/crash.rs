@@ -1,0 +1,420 @@
+//! Durable-engine crash fuzzing.
+//!
+//! The persistence layer (`dynfd-persist`) claims that after *any*
+//! crash — a torn WAL append, a bit-flipped log, a partially written
+//! snapshot — recovery reconstructs a state bit-identical to replaying
+//! the surviving batch prefix on a fresh engine, and never panics. This
+//! module turns that claim into fuzzable checks that plug into the
+//! existing trace/shrink/repro machinery:
+//!
+//! * [`WalFault`] — the injectable damage modes (`crash-at-frame`,
+//!   `torn-tail`, `bit-flip-wal`);
+//! * [`check_trace_durable`] — replays a [`Trace`] through a durable
+//!   [`FdEngine`], damages its files at a seeded point exactly as the
+//!   chosen fault dictates, recovers, and verifies the three recovery
+//!   invariants: recovery returns (no panic, typed errors only), the
+//!   recovered relation and covers equal a fresh in-memory replay of
+//!   the surviving batch prefix (violation annotations are checked for
+//!   *validity* — witness pairs are cache-path-dependent, see
+//!   `DynFd::logical_divergence`), and resuming the remaining batches
+//!   lands on the same final covers as an uninterrupted run.
+//!
+//! The damage here is *file-level* (performed on a dropped engine's
+//! directory), which keeps everything in-process and deterministic.
+//! Real process kills — `abort()` mid-`write` via
+//! [`CrashPlan`](dynfd_persist::CrashPlan) — are exercised by the
+//! child-process harness in `tests/crash_harness.rs`, which reuses the
+//! same invariant checks.
+
+use crate::{Trace, TraceFailure};
+use dynfd_core::{DynFd, DynFdConfig};
+use dynfd_persist::{wal_path, FdEngine, RecoveryReport};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// An injectable WAL/snapshot damage mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalFault {
+    /// Stop applying at a seeded batch, log one more frame *without*
+    /// applying it (the crash-between-log-and-apply window), and leave
+    /// the files as the crash would. Recovery must either replay the
+    /// logged frame (it is valid redo work) or re-reject and truncate
+    /// it — both end bit-identical to some fresh batch prefix.
+    CrashAtFrame,
+    /// Truncate the WAL at a seeded byte offset after the run — a torn
+    /// tail from a power cut mid-append. Recovery must keep exactly the
+    /// frames that fit before the cut and truncate the rest.
+    TornTail,
+    /// Flip one seeded bit anywhere in the WAL file (magic included).
+    /// Recovery must detect the damage via CRC/structure checks, keep
+    /// the longest valid prefix, and never panic.
+    BitFlipWal,
+}
+
+impl WalFault {
+    /// All modes, in the order the fuzz binary cycles through them.
+    pub const ALL: [WalFault; 3] = [
+        WalFault::CrashAtFrame,
+        WalFault::TornTail,
+        WalFault::BitFlipWal,
+    ];
+
+    /// The mode's name as used on the fuzz CLI and in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            WalFault::CrashAtFrame => "crash-at-frame",
+            WalFault::TornTail => "torn-tail",
+            WalFault::BitFlipWal => "bit-flip-wal",
+        }
+    }
+
+    /// Looks a mode up by its [`WalFault::name`].
+    pub fn by_name(name: &str) -> Option<WalFault> {
+        WalFault::ALL.iter().copied().find(|m| m.name() == name)
+    }
+}
+
+/// Work counters for one durable-crash-checked trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CrashStats {
+    /// Simulated crashes (one per checked trace).
+    pub crashes: usize,
+    /// Batches durably applied before the crash point.
+    pub batches_before_crash: usize,
+    /// WAL frames recovery replayed on top of the snapshot.
+    pub frames_replayed: usize,
+    /// Recoveries that had to truncate a torn/corrupt/rejected tail.
+    pub truncations: usize,
+    /// Batches applied after recovery to finish the trace.
+    pub batches_resumed: usize,
+}
+
+impl CrashStats {
+    /// Accumulates another trace's counters.
+    pub fn absorb(&mut self, other: &CrashStats) {
+        self.crashes += other.crashes;
+        self.batches_before_crash += other.batches_before_crash;
+        self.frames_replayed += other.frames_replayed;
+        self.truncations += other.truncations;
+        self.batches_resumed += other.batches_resumed;
+    }
+}
+
+/// A scratch directory that cleans up after itself.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str, seed: u64) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "dynfd-crash-{}-{tag}-{seed:016x}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn durable_failure(
+    check: &str,
+    config: &DynFdConfig,
+    batch: Option<usize>,
+    expected: impl Into<Vec<String>>,
+    actual: impl Into<Vec<String>>,
+) -> Box<TraceFailure> {
+    Box::new(TraceFailure {
+        check: format!("durable:{check}"),
+        config: config.strategy_label(),
+        batch,
+        expected: expected.into(),
+        actual: actual.into(),
+    })
+}
+
+fn rendered_fds(engine: &DynFd) -> Vec<String> {
+    engine
+        .minimal_fds()
+        .iter()
+        .map(|fd| fd.to_string())
+        .collect()
+}
+
+/// Builds the fresh in-memory oracle: `trace`'s initial relation with
+/// the first `prefix` batches applied.
+fn fresh_prefix(
+    trace: &Trace,
+    batches: &[dynfd_relation::Batch],
+    prefix: usize,
+    config: DynFdConfig,
+) -> DynFd {
+    let mut oracle = DynFd::new(trace.to_relation(), config);
+    for batch in &batches[..prefix] {
+        oracle
+            .apply_batch(batch)
+            .expect("trace batches are valid by construction");
+    }
+    oracle
+}
+
+/// Damages the engine directory according to `fault`. Returns `true`
+/// when file content was actually altered (an empty WAL leaves nothing
+/// for `TornTail`/`BitFlipWal` to damage).
+fn inject_damage(fault: WalFault, dir: &Path, rng: &mut ChaCha8Rng) -> bool {
+    let path = wal_path(dir);
+    let bytes = match fs::read(&path) {
+        Ok(b) => b,
+        Err(_) => return false,
+    };
+    match fault {
+        // CrashAtFrame damages nothing at the file level: the "damage"
+        // is the un-applied logged frame, produced before drop.
+        WalFault::CrashAtFrame => false,
+        WalFault::TornTail => {
+            if bytes.len() <= 8 {
+                return false;
+            }
+            let cut = rng.gen_range(8..bytes.len());
+            fs::write(&path, &bytes[..cut]).expect("rewrite WAL");
+            true
+        }
+        WalFault::BitFlipWal => {
+            if bytes.is_empty() {
+                return false;
+            }
+            let mut flipped = bytes;
+            let byte = rng.gen_range(0..flipped.len());
+            let bit = rng.gen_range(0..8u8);
+            flipped[byte] ^= 1 << bit;
+            fs::write(&path, &flipped).expect("rewrite WAL");
+            true
+        }
+    }
+}
+
+/// Replays `trace` through a durable engine, crashes it with `fault` at
+/// a seeded point, recovers, and checks the recovery invariants (see
+/// the module docs). Uses the default configuration with a seeded
+/// snapshot cadence so snapshot boundaries, stale frames, and pure-WAL
+/// recoveries are all exercised.
+pub fn check_trace_durable(
+    trace: &Trace,
+    fault: WalFault,
+) -> Result<CrashStats, Box<TraceFailure>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(trace.seed ^ 0xD0_5EED ^ fault as u64);
+    let config = DynFdConfig {
+        // 0 disables periodic snapshots (pure WAL replay); small values
+        // exercise snapshot boundaries and stale-frame skipping.
+        snapshot_every: *[0usize, 1, 2, 5]
+            .get(rng.gen_range(0..4usize))
+            .expect("cadence index in range"),
+        ..DynFdConfig::default()
+    };
+    let scratch = ScratchDir::new(fault.name(), trace.seed);
+    let dir = scratch.0.clone();
+    let batches = trace.to_batches();
+    let crash_at = if batches.is_empty() {
+        0
+    } else {
+        rng.gen_range(0..=batches.len())
+    };
+
+    let mut stats = CrashStats {
+        crashes: 1,
+        batches_before_crash: crash_at,
+        ..CrashStats::default()
+    };
+
+    // Phase 1: run up to the crash point, then damage the files the way
+    // the fault dictates and "crash" (drop the engine).
+    {
+        let mut engine =
+            FdEngine::create(&dir, trace.to_relation(), config).expect("durable engine creation");
+        for batch in &batches[..crash_at] {
+            engine
+                .apply_batch(batch)
+                .expect("trace batches are valid by construction");
+        }
+        if fault == WalFault::CrashAtFrame && crash_at < batches.len() {
+            // The crash window between the durable append and the
+            // in-memory apply: the frame is on disk, the state is not.
+            engine
+                .log_without_apply(&batches[crash_at])
+                .expect("log-only append");
+        }
+        drop(engine);
+    }
+    inject_damage(fault, &dir, &mut rng);
+
+    // Phase 2: recover. Must return, not panic; damage surfaces as the
+    // typed corruption/rejection fields of the report.
+    let (mut recovered, report): (FdEngine, RecoveryReport) =
+        match FdEngine::recover_with_config(&dir, config) {
+            Ok(pair) => pair,
+            Err(e) => {
+                return Err(durable_failure(
+                    "recovery-error",
+                    &config,
+                    Some(crash_at),
+                    vec!["recovery succeeds (typed report, no panic)".into()],
+                    vec![e.to_string()],
+                ));
+            }
+        };
+    stats.frames_replayed += report.replayed_batches;
+    if report.corruption.is_some() || report.rejected.is_some() {
+        stats.truncations += 1;
+    }
+
+    // Invariant: the recovered sequence number never exceeds what was
+    // durably logged, and with an undamaged log it is exact.
+    let durable_prefix = recovered.seq() as usize;
+    let logged =
+        crash_at + usize::from(fault == WalFault::CrashAtFrame && crash_at < batches.len());
+    if durable_prefix > logged {
+        return Err(durable_failure(
+            "phantom-batches",
+            &config,
+            Some(crash_at),
+            vec![format!("recovered seq <= {logged}")],
+            vec![format!("recovered seq {durable_prefix}")],
+        ));
+    }
+
+    // Invariant: recovered relation and covers are bit-identical to a
+    // fresh in-memory replay of the surviving prefix under the same
+    // configuration, and the recovered violation annotations are valid
+    // witnessing pairs. (The exact pairs may differ from the oracle's:
+    // witness selection depends on the PLI-intersection cache, which is
+    // cold after recovery — see `DynFd::logical_divergence`.)
+    let oracle = fresh_prefix(trace, &batches, durable_prefix, config);
+    if let Some(divergence) = oracle.logical_divergence(recovered.dynfd()) {
+        return Err(durable_failure(
+            "prefix-state",
+            &config,
+            Some(durable_prefix),
+            rendered_fds(&oracle),
+            vec![
+                divergence,
+                format!("covers: {:?}", rendered_fds(recovered.dynfd())),
+            ],
+        ));
+    }
+    if let Err(detail) = recovered.dynfd().verify_annotations() {
+        return Err(durable_failure(
+            "prefix-annotations",
+            &config,
+            Some(durable_prefix),
+            vec!["recovered annotations are valid violating pairs".into()],
+            vec![detail],
+        ));
+    }
+
+    // Phase 3: resume. Applying the not-yet-durable suffix must land on
+    // the same final state as an uninterrupted fresh run — and survive
+    // a second recovery round-trip.
+    for batch in &batches[durable_prefix..] {
+        recovered
+            .apply_batch(batch)
+            .expect("resumed trace batches are valid by construction");
+        stats.batches_resumed += 1;
+    }
+    let full = fresh_prefix(trace, &batches, batches.len(), config);
+    if let Some(divergence) = full.logical_divergence(recovered.dynfd()) {
+        return Err(durable_failure(
+            "final-state",
+            &config,
+            Some(batches.len()),
+            rendered_fds(&full),
+            vec![
+                divergence,
+                format!("covers: {:?}", rendered_fds(recovered.dynfd())),
+            ],
+        ));
+    }
+    if let Err(detail) = recovered.dynfd().verify_annotations() {
+        return Err(durable_failure(
+            "final-annotations",
+            &config,
+            Some(batches.len()),
+            vec!["resumed annotations are valid violating pairs".into()],
+            vec![detail],
+        ));
+    }
+    drop(recovered);
+    let (reloaded, _) = match FdEngine::recover_with_config(&dir, config) {
+        Ok(pair) => pair,
+        Err(e) => {
+            return Err(durable_failure(
+                "re-recovery-error",
+                &config,
+                Some(batches.len()),
+                vec!["clean shutdown recovers".into()],
+                vec![e.to_string()],
+            ));
+        }
+    };
+    if let Some(divergence) = full.logical_divergence(reloaded.dynfd()) {
+        return Err(durable_failure(
+            "re-recovery-state",
+            &config,
+            Some(batches.len()),
+            rendered_fds(&full),
+            vec![divergence],
+        ));
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_faults_have_distinct_names() {
+        let names: std::collections::BTreeSet<&str> =
+            WalFault::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), WalFault::ALL.len());
+        for mode in WalFault::ALL {
+            assert_eq!(WalFault::by_name(mode.name()), Some(mode));
+        }
+        assert_eq!(WalFault::by_name("nonsense"), None);
+    }
+
+    #[test]
+    fn durable_checks_pass_on_healthy_traces() {
+        for case in 0..3 {
+            let trace = Trace::for_case(11, case);
+            for fault in WalFault::ALL {
+                let stats = check_trace_durable(&trace, fault)
+                    .unwrap_or_else(|f| panic!("case {case} fault {} failed: {f}", fault.name()));
+                assert_eq!(stats.crashes, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_absorb() {
+        let mut a = CrashStats {
+            crashes: 1,
+            frames_replayed: 3,
+            ..CrashStats::default()
+        };
+        a.absorb(&CrashStats {
+            crashes: 1,
+            truncations: 1,
+            batches_resumed: 4,
+            ..CrashStats::default()
+        });
+        assert_eq!(a.crashes, 2);
+        assert_eq!(a.frames_replayed, 3);
+        assert_eq!(a.truncations, 1);
+        assert_eq!(a.batches_resumed, 4);
+    }
+}

@@ -26,6 +26,14 @@
 //!   seeded failpoints that must roll back bit-identically and succeed
 //!   on retry, and silent cover corruption the degraded-mode rebuild
 //!   must repair before the oracles look;
+//! * [`WalFault`] / [`check_trace_durable`] — **durable-engine crash
+//!   fuzzing**: replay a trace through a `dynfd-persist` [`FdEngine`]
+//!   (dynfd_persist::FdEngine), damage its WAL at a seeded point
+//!   (torn tail, bit flip, crash-between-log-and-apply), recover, and
+//!   verify the recovered state is bit-identical to a fresh replay of
+//!   the surviving batch prefix — with a `crash_child` binary and a
+//!   child-process harness (`tests/crash_harness.rs`) that exercise the
+//!   real `abort()`-mid-write kill paths;
 //! * a `fuzz` **binary** (`cargo run -p dynfd-testkit --bin fuzz`) with
 //!   `--seed`, `--cases`, `--budget-secs`, and `--inject` flags, run in
 //!   CI as a fixed-seed smoke job.
@@ -35,12 +43,14 @@
 
 #![warn(missing_docs)]
 
+mod crash;
 mod json;
 mod repro;
 mod runner;
 mod shrink;
 mod trace;
 
+pub use crash::{check_trace_durable, CrashStats, WalFault};
 pub use json::Json;
 pub use repro::Repro;
 pub use runner::{

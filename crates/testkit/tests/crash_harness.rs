@@ -1,0 +1,233 @@
+//! Child-process crash harness: kill a durable engine mid-write at
+//! deterministic points, recover, and diff against a fresh replay.
+//!
+//! Each scenario spawns the `crash_child` binary with a
+//! [`CrashPlan`](dynfd_persist::CrashPlan) that `abort()`s the process
+//! with a partial write durably on disk — mid-WAL-frame, right after a
+//! frame fsync (before the apply), or mid-snapshot-temp-file. The
+//! parent then recovers the directory *in this process* and checks:
+//!
+//! 1. recovery returns a typed report — it never panics, whatever the
+//!    kill left behind;
+//! 2. the recovered covers and relation are bit-identical to a fresh
+//!    in-memory engine that replayed the same batch prefix
+//!    (`DynFd::logical_divergence == None`), and the recovered
+//!    violation annotations are valid witnessing pairs (the exact pairs
+//!    are cache-path-dependent — see `DynFd::logical_divergence`);
+//! 3. resuming the remaining batches lands on the same final covers as
+//!    an uninterrupted run.
+//!
+//! The scenario grid is fixed-seed: the same ~30 kills run on every
+//! machine, covering mid-frame byte kills, post-fsync kills between
+//! log and apply, and mid-snapshot kills (leftover `snapshot.tmp`).
+
+use dynfd_core::{DynFd, DynFdConfig};
+use dynfd_persist::{wal_path, FdEngine};
+use dynfd_testkit::Trace;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const SEED: u64 = 77;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("dynfd-crash-harness-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(snapshot_every: usize) -> DynFdConfig {
+    DynFdConfig {
+        snapshot_every,
+        ..DynFdConfig::default()
+    }
+}
+
+/// Fresh in-memory oracle: the trace's initial relation plus its first
+/// `prefix` batches.
+fn fresh_prefix(trace: &Trace, prefix: usize, config: DynFdConfig) -> DynFd {
+    let mut oracle = DynFd::new(trace.to_relation(), config);
+    for batch in trace.to_batches().iter().take(prefix) {
+        oracle.apply_batch(batch).expect("trace batches are valid");
+    }
+    oracle
+}
+
+/// Runs `crash_child` on `dir`; returns `true` if the child died (the
+/// planned crash fired) and `false` on clean exit 0 (plan was vacuous
+/// for this trace — e.g. a kill byte beyond the final WAL size).
+fn spawn_child(dir: &Path, case: u64, snapshot_every: usize, mode: Option<(&str, u64)>) -> bool {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_crash_child"));
+    cmd.arg(dir)
+        .arg(SEED.to_string())
+        .arg(case.to_string())
+        .arg(snapshot_every.to_string());
+    if let Some((mode, value)) = mode {
+        cmd.arg(mode).arg(value.to_string());
+    }
+    let status = cmd.status().expect("spawn crash_child");
+    if status.success() {
+        return false;
+    }
+    // An abort is a signal death on unix (no exit code) or a nonzero
+    // code elsewhere; usage/setup errors use codes 1/2 and are bugs.
+    assert_ne!(status.code(), Some(1), "child failed outside the kill");
+    assert_ne!(status.code(), Some(2), "child usage error");
+    true
+}
+
+/// The shared verification: recover `dir`, check the bit-identical
+/// prefix property, resume the rest of the trace, check the final
+/// state. Returns the number of batches the recovery replayed.
+fn recover_and_verify(dir: &Path, case: u64, snapshot_every: usize, label: &str) -> usize {
+    let trace = Trace::for_case(SEED, case);
+    let config = config(snapshot_every);
+    let (mut recovered, report) = FdEngine::recover_with_config(dir, config)
+        .unwrap_or_else(|e| panic!("{label}: recovery must succeed, got {e}"));
+    let batches = trace.to_batches();
+    let durable_prefix = recovered.seq() as usize;
+    assert!(
+        durable_prefix <= batches.len(),
+        "{label}: recovered seq {durable_prefix} beyond trace length"
+    );
+    let oracle = fresh_prefix(&trace, durable_prefix, config);
+    assert_eq!(
+        oracle.logical_divergence(recovered.dynfd()),
+        None,
+        "{label}: recovered state must equal a fresh replay of {durable_prefix} batches"
+    );
+    recovered
+        .dynfd()
+        .verify_annotations()
+        .unwrap_or_else(|e| panic!("{label}: recovered annotations invalid: {e}"));
+    for batch in &batches[durable_prefix..] {
+        recovered
+            .apply_batch(batch)
+            .unwrap_or_else(|e| panic!("{label}: resume rejected a valid batch: {e}"));
+    }
+    let full = fresh_prefix(&trace, batches.len(), config);
+    assert_eq!(
+        full.logical_divergence(recovered.dynfd()),
+        None,
+        "{label}: resumed state must equal an uninterrupted run"
+    );
+    report.replayed_batches
+}
+
+#[test]
+fn kills_mid_wal_frame_recover_bit_identical() {
+    // Mid-frame byte kills: torn frames at assorted offsets, pure-WAL
+    // recovery (no periodic snapshots) and snapshotting runs.
+    let mut crashes = 0;
+    for (case, kill_byte) in [
+        (0u64, 9u64),
+        (0, 40),
+        (0, 97),
+        (1, 23),
+        (1, 150),
+        (2, 64),
+        (2, 301),
+        (3, 33),
+        (3, 210),
+        (4, 77),
+    ] {
+        for snapshot_every in [0usize, 2] {
+            let tag = format!("wal-{case}-{kill_byte}-{snapshot_every}");
+            let dir = scratch(&tag);
+            if spawn_child(&dir, case, snapshot_every, Some(("wal-byte", kill_byte))) {
+                crashes += 1;
+                recover_and_verify(&dir, case, snapshot_every, &tag);
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    assert!(crashes >= 10, "only {crashes} mid-frame kills fired");
+}
+
+#[test]
+fn kills_after_frame_fsync_replay_the_logged_batch() {
+    // Post-fsync kills: the frame is durable, the apply never ran.
+    // Recovery must replay it — redo-log semantics — and the recovered
+    // seq must therefore be at least the kill frame number.
+    let mut crashes = 0;
+    for case in 0..5u64 {
+        for frames in [1u64, 2, 3] {
+            let tag = format!("frames-{case}-{frames}");
+            let dir = scratch(&tag);
+            if spawn_child(&dir, case, 0, Some(("frames", frames))) {
+                crashes += 1;
+                let trace = Trace::for_case(SEED, case);
+                if trace.to_batches().len() as u64 >= frames {
+                    let (recovered, _) = FdEngine::recover_with_config(&dir, config(0))
+                        .unwrap_or_else(|e| panic!("{tag}: {e}"));
+                    assert_eq!(
+                        recovered.seq(),
+                        frames,
+                        "{tag}: every fsynced frame must be replayed"
+                    );
+                    drop(recovered);
+                }
+                recover_and_verify(&dir, case, 0, &tag);
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    assert!(crashes >= 10, "only {crashes} post-fsync kills fired");
+}
+
+#[test]
+fn kills_mid_snapshot_leave_recoverable_state() {
+    // Mid-snapshot kills: snapshot.tmp is left half-written, the rename
+    // never happened. Recovery must ignore/remove the temp file and
+    // come back from the previous snapshot + WAL.
+    let mut crashes = 0;
+    for case in 0..5u64 {
+        for kill_byte in [5u64, 60, 350] {
+            let tag = format!("snap-{case}-{kill_byte}");
+            let dir = scratch(&tag);
+            if spawn_child(&dir, case, 2, Some(("snapshot-byte", kill_byte))) {
+                crashes += 1;
+                recover_and_verify(&dir, case, 2, &tag);
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    assert!(crashes >= 10, "only {crashes} mid-snapshot kills fired");
+}
+
+#[test]
+fn clean_child_run_recovers_completely() {
+    let dir = scratch("clean");
+    assert!(
+        !spawn_child(&dir, 1, 3, None),
+        "unplanned run must exit cleanly"
+    );
+    let trace = Trace::for_case(SEED, 1);
+    let replayed = recover_and_verify(&dir, 1, 3, "clean");
+    assert!(replayed <= trace.to_batches().len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupting_recovered_wal_still_recovers() {
+    // Belt and braces: kill mid-frame, then flip one more byte in what
+    // survived — recovery must still come back to a valid prefix.
+    let dir = scratch("double-damage");
+    if spawn_child(&dir, 2, 0, Some(("wal-byte", 120))) {
+        let path = wal_path(&dir);
+        let mut bytes = std::fs::read(&path).expect("read WAL");
+        if bytes.len() > 20 {
+            let target = bytes.len() / 2;
+            bytes[target] ^= 0x08;
+            std::fs::write(&path, &bytes).expect("rewrite WAL");
+        }
+        let trace = Trace::for_case(SEED, 2);
+        let config = config(0);
+        let (recovered, _) =
+            FdEngine::recover_with_config(&dir, config).expect("recovery after double damage");
+        let prefix = recovered.seq() as usize;
+        let oracle = fresh_prefix(&trace, prefix, config);
+        assert_eq!(oracle.logical_divergence(recovered.dynfd()), None);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

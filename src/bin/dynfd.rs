@@ -4,15 +4,34 @@
 //! dynfd profile <data.csv>                         discover minimal FDs
 //! dynfd keys    <data.csv>                         candidate keys + BCNF check
 //! dynfd maintain <data.csv> <changes.log> [opts]   replay a change log
+//! dynfd serve    <data.csv> <changes.log> --wal-dir <dir> [opts]
+//!                                                  replay durably (WAL + snapshots)
+//! dynfd recover  <dir> [--save <f>] [--stats]      recover a WAL directory
 //!
-//! options for maintain:
+//! options for maintain and serve:
 //!   --batch <n>     operations per batch (default 100)
 //!   --cover <file>  bootstrap from a persisted cover instead of HyFD
+//!                   (maintain only)
 //!   --save <file>   persist the final cover
 //!   --quiet         suppress per-batch FD deltas
 //!   --stats         print aggregate work metrics (validations, pruning
-//!                   counters, PLI-cache hits/misses/evictions/bytes)
+//!                   counters, PLI-cache hits/misses/evictions/bytes;
+//!                   serve adds WAL bytes, fsyncs, snapshot time, and
+//!                   recovery counters)
+//!
+//! options for serve only:
+//!   --wal-dir <dir>       durable state directory (required)
+//!   --snapshot-every <n>  batches between snapshots (default 64,
+//!                         0 = never snapshot after the initial one)
 //! ```
+//!
+//! `serve` is crash-safe `maintain`: every batch is appended to a
+//! checksummed write-ahead log and fsynced *before* it mutates the
+//! engine, and the full state is snapshotted periodically. Rerunning
+//! `serve` on a directory that already holds durable state *resumes*:
+//! it recovers (snapshot + WAL tail), skips the batches already applied,
+//! and replays only the remainder. `recover` performs the same recovery
+//! standalone and prints the recovered cover.
 //!
 //! The change log uses the line format of
 //! [`dynfd::relation::parse_changelog`]: `I|v1|v2|…`, `D|<id>`,
@@ -23,13 +42,16 @@
 //! usage errors, and the [`DynFdError::exit_code`] mapping for engine
 //! errors (`3` I/O, `4` parse, `5` unknown record, `6` duplicate
 //! record, `7` arity mismatch, `8` dictionary overflow, `9` null-policy
-//! violation, `10` internal fault).
+//! violation, `10` internal fault, `11` WAL corruption, `12` snapshot
+//! corruption).
 
 use dynfd::common::{DynError, Schema};
 use dynfd::core::{DynFd, DynFdConfig, DynFdError, FdMonitor};
 use dynfd::lattice::closure::{bcnf_violations, candidate_keys};
-use dynfd::lattice::io::{read_cover, write_cover};
+use dynfd::lattice::io::{read_cover, write_cover, write_cover_file};
+use dynfd::persist::{wal_path, FdEngine, RecoveryReport};
 use dynfd::relation::{parse_changelog, read_csv_file, Batch, DynamicRelation};
+use std::path::Path;
 use std::process::ExitCode;
 
 /// A CLI failure: a one-line diagnostic plus the process exit code.
@@ -89,6 +111,8 @@ fn main() -> ExitCode {
         Some("profile") => cmd_profile(&args[1..]),
         Some("keys") => cmd_keys(&args[1..]),
         Some("maintain") => cmd_maintain(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("recover") => cmd_recover(&args[1..]),
         Some("--help" | "-h") | None => {
             eprintln!("{}", USAGE);
             return ExitCode::SUCCESS;
@@ -109,7 +133,9 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage: dynfd profile <data.csv>
        dynfd keys <data.csv>
-       dynfd maintain <data.csv> <changes.log> [--batch <n>] [--cover <f>] [--save <f>] [--quiet] [--stats]";
+       dynfd maintain <data.csv> <changes.log> [--batch <n>] [--cover <f>] [--save <f>] [--quiet] [--stats]
+       dynfd serve <data.csv> <changes.log> --wal-dir <dir> [--batch <n>] [--snapshot-every <n>] [--save <f>] [--quiet] [--stats]
+       dynfd recover <dir> [--save <f>] [--stats]";
 
 fn load(path: &str) -> Result<(Schema, DynamicRelation), CliError> {
     let table = read_csv_file(path).map_err(|e| with_path(path, e))?;
@@ -284,6 +310,237 @@ fn cmd_maintain(args: &[String]) -> Result<(), CliError> {
     if let Some(p) = save_path {
         std::fs::write(&p, write_cover(dynfd.positive_cover(), &schema))
             .map_err(|e| io_error(&p, e))?;
+        eprintln!("# cover saved to {p}");
+    }
+    Ok(())
+}
+
+/// Prints the recovery report's interesting lines to stderr.
+fn report_recovery(dir: &str, report: &RecoveryReport) {
+    eprintln!(
+        "# recovered {dir}: snapshot seq {}, {} WAL batches replayed{}",
+        report.snapshot_seq,
+        report.replayed_batches,
+        if report.stale_frames > 0 {
+            format!(", {} stale frames skipped", report.stale_frames)
+        } else {
+            String::new()
+        }
+    );
+    for reason in &report.snapshots_skipped {
+        eprintln!("# warning: skipped corrupt snapshot: {reason}");
+    }
+    if let Some(corruption) = &report.corruption {
+        eprintln!("# warning: {corruption}");
+    }
+    if let Some((seq, err)) = &report.rejected {
+        eprintln!("# warning: WAL frame {seq} re-rejected on replay ({err}) — truncated");
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut wal_dir: Option<String> = None;
+    let mut batch_size = 100usize;
+    let mut snapshot_every = DynFdConfig::default().snapshot_every;
+    let mut save_path: Option<String> = None;
+    let mut quiet = false;
+    let mut stats = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--wal-dir" => {
+                wal_dir = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::usage("--wal-dir needs a path"))?
+                        .clone(),
+                )
+            }
+            "--batch" => {
+                batch_size = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| CliError::usage("--batch needs a positive integer"))?;
+            }
+            "--snapshot-every" => {
+                snapshot_every = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| CliError::usage("--snapshot-every needs an integer"))?;
+            }
+            "--save" => {
+                save_path = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::usage("--save needs a path"))?
+                        .clone(),
+                )
+            }
+            "--quiet" => quiet = true,
+            "--stats" => stats = true,
+            other if !other.starts_with('-') => positional.push(arg),
+            other => return Err(CliError::usage(format!("unknown option {other:?}"))),
+        }
+    }
+    let [data_path, log_path] = positional[..] else {
+        return Err(CliError::usage("serve takes a CSV and a change log"));
+    };
+    let Some(dir) = wal_dir else {
+        return Err(CliError::usage("serve requires --wal-dir"));
+    };
+
+    let (schema, rel) = load(data_path)?;
+    let log_text = std::fs::read_to_string(log_path).map_err(|e| io_error(log_path, e))?;
+    let ops = parse_changelog(&log_text, schema.arity()).map_err(|e| with_path(log_path, e))?;
+    let config = DynFdConfig {
+        snapshot_every,
+        ..DynFdConfig::default()
+    };
+
+    // A WAL file in the directory means durable state from an earlier
+    // run: recover and resume instead of starting over.
+    let mut engine = if wal_path(Path::new(&dir)).exists() {
+        let (engine, report) = FdEngine::recover_with_config(Path::new(&dir), config)
+            .map_err(|e| CliError::engine(&dir, e))?;
+        report_recovery(&dir, &report);
+        let durable = engine.dynfd().relation().schema();
+        if durable.columns() != schema.columns() {
+            return Err(CliError::engine(
+                &dir,
+                DynFdError::Parse(format!(
+                    "durable state is for columns {:?}, the CSV has {:?}",
+                    durable.columns(),
+                    schema.columns()
+                )),
+            ));
+        }
+        engine
+    } else {
+        FdEngine::create(Path::new(&dir), rel, config).map_err(|e| CliError::engine(&dir, e))?
+    };
+
+    let batches = Batch::chunk(ops, batch_size);
+    let total_batches = batches.len();
+    let already_applied = (engine.seq() as usize).min(total_batches);
+    if already_applied > 0 {
+        eprintln!(
+            "# resuming: {already_applied} of {total_batches} batches already durable, replaying the rest"
+        );
+    }
+    eprintln!(
+        "# serving: {} rows, {} minimal FDs; {} batches of {batch_size} into {dir}",
+        engine.dynfd().relation().len(),
+        engine.dynfd().minimal_fds().len(),
+        total_batches - already_applied,
+    );
+
+    let mut monitor = FdMonitor::new(&engine.dynfd().minimal_fds());
+    let mut totals = dynfd::core::BatchMetrics::default();
+    for (i, batch) in batches.iter().enumerate().skip(already_applied) {
+        let result = engine
+            .apply_batch(batch)
+            .map_err(|e| CliError::engine(format_args!("batch {i}"), e))?;
+        totals.absorb(&result.metrics);
+        monitor.observe(&result);
+        if !quiet && !result.is_unchanged() {
+            println!("batch {i}/{total_batches}:");
+            for fd in &result.removed {
+                println!("  - {}", fd.display(&schema));
+            }
+            for fd in &result.added {
+                println!("  + {}", fd.display(&schema));
+            }
+        }
+    }
+
+    eprintln!(
+        "# done: {} rows, {} minimal FDs, durable through seq {}",
+        engine.dynfd().relation().len(),
+        engine.dynfd().minimal_fds().len(),
+        engine.seq(),
+    );
+    if stats {
+        eprintln!(
+            "# stats: {} batches in {:?} (delete {:?}, insert {:?}), {} worker thread(s)",
+            total_batches - already_applied,
+            totals.wall_time,
+            totals.delete_phase_time,
+            totals.insert_phase_time,
+            totals.threads_used,
+        );
+        eprintln!(
+            "# stats: wal {} bytes appended, {} fsyncs, snapshots {} ms, \
+             {} batches replayed on recovery, last truncated seq {}",
+            totals.wal_bytes,
+            totals.fsyncs,
+            totals.snapshot_time.as_millis(),
+            totals.recovery_replayed_batches,
+            totals.last_truncated_seq,
+        );
+        eprintln!(
+            "# stats: pli-cache {} hits, {} misses, {} evictions, {} bytes resident",
+            totals.cache_hits, totals.cache_misses, totals.cache_evictions, totals.cache_bytes,
+        );
+    }
+    if let Some(p) = save_path {
+        write_cover_file(Path::new(&p), engine.dynfd().positive_cover(), &schema)
+            .map_err(|e| with_path(&p, e))?;
+        eprintln!("# cover saved to {p}");
+    }
+    Ok(())
+}
+
+fn cmd_recover(args: &[String]) -> Result<(), CliError> {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut save_path: Option<String> = None;
+    let mut stats = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--save" => {
+                save_path = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::usage("--save needs a path"))?
+                        .clone(),
+                )
+            }
+            "--stats" => stats = true,
+            other if !other.starts_with('-') => positional.push(arg),
+            other => return Err(CliError::usage(format!("unknown option {other:?}"))),
+        }
+    }
+    let [dir] = positional[..] else {
+        return Err(CliError::usage("recover takes one WAL directory"));
+    };
+
+    let (engine, report) =
+        FdEngine::recover(Path::new(dir)).map_err(|e| CliError::engine(dir, e))?;
+    report_recovery(dir, &report);
+    let schema = engine.dynfd().relation().schema().clone();
+    eprintln!(
+        "# state: {} rows, {} columns, {} minimal FDs, durable through seq {}",
+        engine.dynfd().relation().len(),
+        engine.dynfd().relation().arity(),
+        engine.dynfd().minimal_fds().len(),
+        engine.seq(),
+    );
+    if stats {
+        eprintln!(
+            "# stats: wal ends at byte {}, {} snapshots skipped, corruption: {}",
+            engine.wal_end_offset(),
+            report.snapshots_skipped.len(),
+            report
+                .corruption
+                .as_ref()
+                .map_or("none".to_string(), |c| c.to_string()),
+        );
+    }
+    print!("{}", write_cover(engine.dynfd().positive_cover(), &schema));
+    if let Some(p) = save_path {
+        write_cover_file(Path::new(&p), engine.dynfd().positive_cover(), &schema)
+            .map_err(|e| with_path(&p, e))?;
         eprintln!("# cover saved to {p}");
     }
     Ok(())

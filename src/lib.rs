@@ -10,6 +10,8 @@
 //! * [`lattice`] — FD prefix trees, covers, and cover inversion.
 //! * [`staticfd`] — static discovery algorithms (HyFD, TANE, FDEP).
 //! * [`core`] — the DynFD maintenance algorithm itself.
+//! * [`persist`] — durable engine state: checksummed batch WAL, atomic
+//!   snapshots, and crash recovery ([`persist::FdEngine`]).
 //! * [`datagen`] — synthetic datasets and change histories shaped like
 //!   the paper's six evaluation datasets.
 //!
@@ -44,5 +46,6 @@ pub use dynfd_common as common;
 pub use dynfd_core as core;
 pub use dynfd_datagen as datagen;
 pub use dynfd_lattice as lattice;
+pub use dynfd_persist as persist;
 pub use dynfd_relation as relation;
 pub use dynfd_static as staticfd;
