@@ -5,8 +5,15 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use dynfd_common::{RecordId, Schema};
 use dynfd_relation::{DynamicRelation, Pli};
 
+/// Identity slot↔rid mapping for standalone PLI benches (slot i holds
+/// rid i, as in a churn-free relation).
+fn identity_rids(n: u64) -> Vec<RecordId> {
+    (0..n).map(RecordId).collect()
+}
+
 fn bench_pli_insert(c: &mut Criterion) {
     let mut group = c.benchmark_group("pli_insert");
+    let rids = identity_rids(10_000);
     for &clusters in &[10u32, 1_000, 100_000] {
         group.bench_with_input(
             BenchmarkId::from_parameter(clusters),
@@ -16,7 +23,12 @@ fn bench_pli_insert(c: &mut Criterion) {
                     Pli::new,
                     |mut pli| {
                         for i in 0..10_000u64 {
-                            pli.insert((i % clusters as u64) as u32, RecordId(i));
+                            pli.insert(
+                                (i % clusters as u64) as u32,
+                                i as u32,
+                                RecordId(i),
+                                &rids,
+                            );
                         }
                         pli
                     },
@@ -29,18 +41,19 @@ fn bench_pli_insert(c: &mut Criterion) {
 }
 
 fn bench_pli_remove(c: &mut Criterion) {
+    let rids = identity_rids(10_000);
     c.bench_function("pli_remove_10k", |b| {
         b.iter_batched(
             || {
                 let mut pli = Pli::new();
                 for i in 0..10_000u64 {
-                    pli.insert((i % 64) as u32, RecordId(i));
+                    pli.insert((i % 64) as u32, i as u32, RecordId(i), &rids);
                 }
                 pli
             },
             |mut pli| {
                 for i in 0..10_000u64 {
-                    pli.remove((i % 64) as u32, RecordId(i));
+                    pli.remove((i % 64) as u32, i as u32, RecordId(i), &rids);
                 }
                 pli
             },

@@ -159,10 +159,15 @@ fn bench_parallel_sweep(c: &mut Criterion) {
 criterion_group!(benches, bench_validation, bench_parallel_sweep);
 
 fn main() {
-    benches();
+    // Capture the machine width before any benchmark runs: the
+    // `available_cores` context and the per-row `oversubscribed`
+    // annotations must reflect the parallelism the samples actually
+    // saw, not whatever the scheduler reports at report-write time
+    // (cgroup quotas can shrink mid-run under CI contention).
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    benches();
     criterion::write_json_report(
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr1.json"),
         &[

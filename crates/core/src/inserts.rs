@@ -139,7 +139,7 @@ impl DynFd {
             // traversal became inefficient.
             if total > 0 && invalid_count as f64 / total as f64 > self.config.inefficiency_threshold
             {
-                self.violation_search(&applied.inserted, metrics)?;
+                self.violation_search(&applied.inserted, &applied.inserted_slots, metrics)?;
             }
             level += 1;
         }

@@ -35,14 +35,27 @@ struct SortedCluster {
 
 impl DynFd {
     /// Runs the violation search for the given batch of inserted records
-    /// (Algorithm 2 line 17). Discovered agree sets update both covers
-    /// via Algorithm 3.
+    /// (Algorithm 2 line 17), addressed by record id *and* arena slot —
+    /// the slot-based delta of [`AppliedBatch`](dynfd_relation::AppliedBatch)
+    /// lets the value collection below read each new row straight out of
+    /// the columnar arena instead of resolving rid → slot per attribute.
+    /// Discovered agree sets update both covers via Algorithm 3.
     pub(crate) fn violation_search(
         &mut self,
         inserted: &[RecordId],
+        inserted_slots: &[u32],
         metrics: &mut BatchMetrics,
     ) -> DynFdResult<()> {
         let arity = self.rel.arity();
+        // A slot is taken only while its rid still maps to it — same
+        // tolerance the rid-based filter had for records that vanished
+        // between batch application and the search.
+        let new_slots: Vec<u32> = inserted
+            .iter()
+            .zip(inserted_slots)
+            .filter(|&(&rid, &slot)| self.rel.slot_of(rid) == Some(slot))
+            .map(|(_, &slot)| slot)
+            .collect();
         let new_ids: BTreeSet<RecordId> = inserted
             .iter()
             .copied()
@@ -62,14 +75,8 @@ impl DynFd {
         let mut cluster_jobs: Vec<(usize, u32)> = Vec::new();
         for attr in 0..arity {
             let mut values: BTreeSet<u32> = BTreeSet::new();
-            for &rid in &new_ids {
-                let rec = self.rel.compressed(rid).ok_or_else(|| {
-                    DynFdError::invariant(
-                        "violation-search",
-                        format!("inserted record {rid} vanished before the search"),
-                    )
-                })?;
-                values.insert(rec[attr]);
+            for &slot in &new_slots {
+                values.insert(self.rel.row_at_slot(slot).get(attr));
             }
             for value in values {
                 let cluster = self.rel.pli(attr).cluster(value).ok_or_else(|| {
@@ -91,11 +98,13 @@ impl DynFd {
             // workers run. A panic here crosses the par_map join and is
             // converted to `PhasePanicked` at the transactional boundary.
             let cluster = rel.pli(attr).cluster(value).expect("cluster vetted above");
-            let mut members = cluster.to_vec();
+            // Clusters hold arena slots; the windowed scan wants record
+            // ids (agree sets and witnesses are rid-level artifacts).
+            let mut members: Vec<RecordId> = cluster.iter().map(|&s| rel.rid_at_slot(s)).collect();
             members.sort_by(|&x, &y| {
                 rel.compressed(x)
                     .expect("cluster member is live")
-                    .cmp(rel.compressed(y).expect("cluster member is live"))
+                    .cmp(&rel.compressed(y).expect("cluster member is live"))
             });
             let is_new = members.iter().map(|m| new_ids.contains(m)).collect();
             SortedCluster { members, is_new }

@@ -3,13 +3,19 @@
 //! A snapshot is the complete durable image of one engine at one batch
 //! sequence number: schema, null policy, dictionaries (including dead
 //! codes — restoration must be *bit-identical*, and value codes are
-//! assigned by insertion order), compressed records, both covers (in
-//! the human-readable `lattice::io` text format), and the §5.2
-//! violation annotations. PLIs are deliberately absent: they are
-//! derived data, rebuilt deterministically from the records by
-//! [`DynamicRelation::from_parts`].
+//! assigned by insertion order), the columnar record arena in physical
+//! slot order together with its free-list (stack order preserved) and
+//! generation map, both covers (in the human-readable `lattice::io`
+//! text format), and the §5.2 violation annotations. Serializing the
+//! *layout* rather than just the logical records matters: a restored
+//! engine re-occupies exactly the slots the saved one held, so WAL
+//! replay after restore makes the same free-list pops and arena growth
+//! decisions as the uninterrupted run — the recovered arena is
+//! bit-identical, not merely logically equal. PLIs are deliberately
+//! absent: they are derived data, rebuilt deterministically from the
+//! arena by [`DynamicRelation::from_arena_parts`].
 //!
-//! File layout: `magic "DYNFDSN1" | payload_len:u64 LE | crc:u32 LE |
+//! File layout: `magic "DYNFDSN2" | payload_len:u64 LE | crc:u32 LE |
 //! payload`. Written to `snapshot.tmp`, fsynced, then atomically
 //! renamed to `snapshot-{seq:016x}.snap` and the directory fsynced — a
 //! crash leaves either the old snapshot set or the new one, never a
@@ -21,14 +27,14 @@ use crate::crc::crc32;
 use dynfd_common::{AttrSet, Fd, RecordId, Schema, MAX_ATTRS};
 use dynfd_core::DynFd;
 use dynfd_lattice::{io as cover_io, FdTree};
-use dynfd_relation::{DynamicRelation, NullPolicy, ValueId};
+use dynfd_relation::{DynamicRelation, NullPolicy, ValueId, DEAD_RID};
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 use std::process::abort;
 
 /// File magic, first 8 bytes of every snapshot.
-pub const SNAP_MAGIC: [u8; 8] = *b"DYNFDSN1";
+pub const SNAP_MAGIC: [u8; 8] = *b"DYNFDSN2";
 
 /// Name of the in-progress snapshot file (atomically renamed when
 /// complete; a leftover one marks a crash mid-snapshot).
@@ -87,15 +93,29 @@ pub fn encode_snapshot(seq: u64, engine: &DynFd) -> Vec<u8> {
             codec::put_str(&mut out, value);
         }
     }
-    // Records, sorted by rid for determinism.
-    let mut records: Vec<(RecordId, &[ValueId])> = rel.records().collect();
-    records.sort_by_key(|&(rid, _)| rid);
-    codec::put_u32(&mut out, records.len() as u32);
-    for (rid, codes) in records {
-        codec::put_u64(&mut out, rid.0);
-        for &code in codes {
-            codec::put_u32(&mut out, code);
+    // The record arena in physical slot order: tag 0 = dead slot (its
+    // codes are canonically zero and not serialized), tag 1 = live slot
+    // followed by rid and one code per column. Then the free-list in
+    // stack order (LIFO position is meaningful) and the generation map.
+    let slot_rids = rel.slot_rids();
+    codec::put_u32(&mut out, slot_rids.len() as u32);
+    for (slot, &rid) in slot_rids.iter().enumerate() {
+        if rid == DEAD_RID {
+            out.push(0);
+        } else {
+            out.push(1);
+            codec::put_u64(&mut out, rid.0);
+            for code in rel.row_at_slot(slot as u32).iter() {
+                codec::put_u32(&mut out, code);
+            }
         }
+    }
+    codec::put_u32(&mut out, rel.free_slots().len() as u32);
+    for &slot in rel.free_slots() {
+        codec::put_u32(&mut out, slot);
+    }
+    for &generation in rel.generations() {
+        codec::put_u32(&mut out, generation);
     }
     // Both covers, reusing the established text format.
     codec::put_str(
@@ -172,19 +192,44 @@ pub fn decode_snapshot(payload: &[u8]) -> Result<SnapshotState, String> {
         }
         dictionaries.push(dynfd_relation::Dictionary::from_parts(values, capacity));
     }
-    let record_count = r.count(8 + 4 * arity)?;
-    let mut records = Vec::with_capacity(record_count);
-    for _ in 0..record_count {
-        let rid = RecordId(r.u64()?);
-        let mut codes = Vec::with_capacity(arity);
-        for _ in 0..arity {
-            codes.push(r.u32()?);
+    // Arena slot table: 1 byte tag minimum per slot.
+    let slots = r.count(1)?;
+    let mut slot_table: Vec<(Option<RecordId>, Box<[ValueId]>)> = Vec::with_capacity(slots);
+    for slot in 0..slots {
+        match r.u8()? {
+            0 => slot_table.push((None, Vec::new().into_boxed_slice())),
+            1 => {
+                let rid = RecordId(r.u64()?);
+                let mut codes = Vec::with_capacity(arity);
+                for _ in 0..arity {
+                    codes.push(r.u32()?);
+                }
+                slot_table.push((Some(rid), codes.into_boxed_slice()));
+            }
+            other => return Err(format!("slot {slot}: unknown occupancy tag {other}")),
         }
-        records.push((rid, codes.into_boxed_slice()));
     }
-    // from_parts revalidates codes, rids, and the id counter.
-    let rel = DynamicRelation::from_parts(schema, null_policy, next_id, dictionaries, records)
-        .map_err(|e| format!("relation: {e}"))?;
+    let free_len = r.count(4)?;
+    let mut free = Vec::with_capacity(free_len);
+    for _ in 0..free_len {
+        free.push(r.u32()?);
+    }
+    let mut generations = Vec::with_capacity(slots);
+    for _ in 0..slots {
+        generations.push(r.u32()?);
+    }
+    // from_arena_parts revalidates codes, rids, the id counter, and
+    // that the free-list covers the dead slots exactly once.
+    let rel = DynamicRelation::from_arena_parts(
+        schema,
+        null_policy,
+        next_id,
+        dictionaries,
+        slot_table,
+        free,
+        generations,
+    )
+    .map_err(|e| format!("relation: {e}"))?;
     let fds = cover_io::read_cover(&r.str()?, rel.schema())
         .map_err(|e| format!("positive cover: {e}"))?;
     let non_fds = cover_io::read_cover(&r.str()?, rel.schema())

@@ -120,6 +120,11 @@ pub struct AppliedBatch {
     /// (a record inserted and deleted within one batch appears in
     /// neither list).
     pub inserted: Vec<RecordId>,
+    /// The arena slots of [`AppliedBatch::inserted`], index-aligned with
+    /// it. Downstream maintenance (violation search, cache patching)
+    /// works slot-based against the columnar arena; capturing the slots
+    /// at apply time saves a `slot_of` resolution per record later.
+    pub inserted_slots: Vec<u32>,
     /// Ids of records that existed before the batch and were deleted by
     /// it.
     pub deleted: Vec<RecordId>,

@@ -1,6 +1,7 @@
 //! Per-column value dictionaries.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Dense integer code standing in for a column value.
 ///
@@ -16,6 +17,12 @@ pub const DICTIONARY_CAPACITY: usize = u32::MAX as usize;
 
 /// A per-column dictionary mapping string values to [`ValueId`] codes.
 ///
+/// Values are *interned*: the code map and the code-ordered value list
+/// share one `Arc<str>` allocation per distinct value, so a value string
+/// is stored once, not twice, and probing ([`Dictionary::encode`],
+/// [`Dictionary::lookup`]) borrows the query `&str` without allocating
+/// (`Arc<str>: Borrow<str>` drives the map lookup).
+///
 /// The dictionary only ever grows during normal operation; a failed
 /// batch is undone with [`Dictionary::truncate`], which is sound
 /// because rollback first removes every record that referenced the
@@ -24,8 +31,8 @@ pub const DICTIONARY_CAPACITY: usize = u32::MAX as usize;
 /// records (and real change histories keep re-using values).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Dictionary {
-    codes: HashMap<String, ValueId>,
-    values: Vec<String>,
+    codes: HashMap<Arc<str>, ValueId>,
+    values: Vec<Arc<str>>,
     /// Distinct-value budget; encoding past it is a batch-validation
     /// error ([`DynError::DictionaryOverflow`](dynfd_common::DynError)).
     /// Defaults to [`DICTIONARY_CAPACITY`]; tests shrink it to make the
@@ -72,19 +79,22 @@ impl Dictionary {
     /// truncated code.
     pub fn truncate(&mut self, len: usize) {
         for value in self.values.drain(len..) {
-            self.codes.remove(&value);
+            self.codes.remove(value.as_ref());
         }
     }
 
     /// Returns the code for `value`, assigning a fresh one if the value
-    /// has never been seen.
+    /// has never been seen. The probe borrows `value`; only a genuinely
+    /// fresh value allocates (once — the interned `Arc<str>` is shared
+    /// between the map key and the value list).
     pub fn encode(&mut self, value: &str) -> ValueId {
         if let Some(&code) = self.codes.get(value) {
             return code;
         }
         let code = self.values.len() as ValueId;
-        self.codes.insert(value.to_string(), code);
-        self.values.push(value.to_string());
+        let interned: Arc<str> = Arc::from(value);
+        self.codes.insert(Arc::clone(&interned), code);
+        self.values.push(interned);
         code
     }
 
@@ -105,8 +115,14 @@ impl Dictionary {
     /// All values ever encoded, in code order (`values()[c]` is the
     /// value of code `c`). Dead codes — values no live record holds —
     /// are included: codes are stable for the relation's lifetime.
-    pub fn values(&self) -> &[String] {
+    pub fn values(&self) -> &[Arc<str>] {
         &self.values
+    }
+
+    /// The values as owned strings in code order (snapshot encoding and
+    /// tests; the zero-copy view is [`Dictionary::values`]).
+    pub fn value_strings(&self) -> Vec<String> {
+        self.values.iter().map(|v| v.to_string()).collect()
     }
 
     /// Reconstructs a dictionary from its persisted parts: the full
@@ -116,10 +132,11 @@ impl Dictionary {
     /// [`Dictionary::values`] and [`Dictionary::capacity`]; the result
     /// is structurally equal (`==`) to the dictionary it was saved from.
     pub fn from_parts(values: Vec<String>, capacity: usize) -> Self {
+        let values: Vec<Arc<str>> = values.into_iter().map(Arc::from).collect();
         let codes = values
             .iter()
             .enumerate()
-            .map(|(code, v)| (v.clone(), code as ValueId))
+            .map(|(code, v)| (Arc::clone(v), code as ValueId))
             .collect();
         Dictionary {
             codes,
@@ -177,13 +194,44 @@ mod tests {
     }
 
     #[test]
+    fn values_are_interned_not_cloned() {
+        let mut d = Dictionary::new();
+        d.encode("shared");
+        let in_list = &d.values()[0];
+        let in_map = d
+            .codes
+            .keys()
+            .next()
+            .expect("one interned key");
+        assert!(
+            Arc::ptr_eq(in_list, in_map),
+            "map key and value list share one allocation"
+        );
+        // Re-encoding an existing value allocates nothing new.
+        let before = Arc::strong_count(in_list);
+        let _ = d.encode("shared");
+        assert_eq!(Arc::strong_count(&d.values()[0]), before);
+    }
+
+    #[test]
+    fn truncate_drops_interned_keys() {
+        let mut d = Dictionary::new();
+        d.encode("keep");
+        d.encode("drop");
+        d.truncate(1);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.lookup("drop"), None);
+        assert_eq!(d.encode("drop"), 1, "re-assigned the freed code");
+    }
+
+    #[test]
     fn from_parts_roundtrips_including_dead_codes() {
         let mut d = Dictionary::new();
         d.encode("alive");
         d.encode("dead"); // pretend every record holding this is deleted
         d.encode("also-alive");
         d.set_capacity(100);
-        let restored = Dictionary::from_parts(d.values().to_vec(), d.capacity());
+        let restored = Dictionary::from_parts(d.value_strings(), d.capacity());
         assert_eq!(restored, d);
         assert_eq!(restored.lookup("dead"), Some(1));
         assert_eq!(restored.decode(1), "dead");

@@ -7,12 +7,15 @@
 //!
 //! * a per-column **dictionary** mapping values to dense integer codes
 //!   ([`Dictionary`]);
-//! * **dictionary-compressed records** — each record is the array of its
-//!   per-column value codes, stored in a hash index keyed by the record's
-//!   surrogate [`RecordId`](dynfd_common::RecordId);
+//! * **dictionary-compressed records** laid out *columnar*: one
+//!   contiguous `Vec<ValueId>` per attribute, indexed by arena slot. A
+//!   free-list plus generation map ties each surrogate
+//!   [`RecordId`](dynfd_common::RecordId) to its slot, so a validation
+//!   job streams a column instead of chasing one heap allocation per row;
 //! * per-column **position list indexes** ([`Pli`]) — for every value
-//!   code, the sorted list of record ids holding that value. The map from
-//!   value code to cluster doubles as the paper's *inverted index*;
+//!   code, the rid-ordered list of arena slots holding that value, packed
+//!   into a single backing arena (no per-cluster allocations). The
+//!   code-to-cluster head table doubles as the paper's *inverted index*;
 //! * the **batch** machinery ([`Batch`], [`ChangeOp`]) applying groups of
 //!   inserts/updates/deletes to all structures incrementally, deletes
 //!   first (Section 2 explains why);
@@ -37,6 +40,7 @@ pub mod parallel;
 mod pli;
 pub mod pli_cache;
 mod relation;
+pub mod rowstore;
 pub mod validate;
 
 pub use batch::{AppliedBatch, Batch, ChangeOp};
@@ -47,9 +51,10 @@ pub use parallel::{
     adaptive_workers, par_map, resolve_parallelism, validate_many, validate_many_cached,
     ValidationJob,
 };
-pub use pli::Pli;
+pub use pli::{intersect_clusters, Pli};
 pub use pli_cache::{CacheEffects, CacheStats, CachedPartition, PliCache, PliCacheSnapshot};
-pub use relation::{DynamicRelation, NullPolicy, UndoLog};
+pub use relation::{DynamicRelation, NullPolicy, RowRef, UndoLog, DEAD_RID, NO_SLOT};
+pub use rowstore::{validate_rowstore, RowStoreRelation};
 pub use validate::{
     agree_set, validate, validate_cached, validate_fd, validate_with, RhsOutcome,
     ValidationOptions, ValidationResult, ValidationStats, ValidatorScratch,

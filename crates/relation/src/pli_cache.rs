@@ -103,11 +103,15 @@ impl CachedPartition {
             member_sig: HashMap::new(),
             max_len: 0,
         };
+        let col_b = rel.column(b);
+        let slot_rids = rel.slot_rids();
         for (va, cluster) in rel.pli(a).iter() {
             let hi = (va as u64) << 32;
-            for &rid in cluster {
-                let rec = rel.compressed(rid).expect("PLI references live record");
-                part.add_member(hi | rec[b] as u64, rid);
+            for &slot in cluster {
+                // Streams two flat arrays per member (the b-column and
+                // the slot→rid table); clusters iterate in rid order, so
+                // creation order matches the row-store build exactly.
+                part.add_member(hi | col_b[slot as usize] as u64, slot_rids[slot as usize]);
             }
         }
         part

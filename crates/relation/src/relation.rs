@@ -1,10 +1,40 @@
 //! The incrementally maintained relation representation.
+//!
+//! # Columnar arena layout
+//!
+//! Records live in a *columnar arena*: one contiguous `Vec<ValueId>` per
+//! attribute, indexed by **slot**. A slot is a `u32` arena position; the
+//! record occupying it is named by `slot_rids[slot]`, and the dense
+//! reverse map `slot_of[rid]` resolves a surrogate id to its slot in
+//! O(1) (record ids are assigned monotonically and never reused, so a
+//! flat vector indexed by the raw id replaces any hash index). Freed
+//! slots go onto a LIFO free-list and are reused by later inserts; a
+//! per-slot generation counter is bumped on every free so stale slot
+//! references are detectable under churn (the `slot-churn` fuzz profile
+//! exercises exactly this).
+//!
+//! A validation job therefore streams `columns[attr]` — a flat `u32`
+//! array — instead of dereferencing a boxed code slice per record, which
+//! is what makes validation memory-bandwidth-shaped rather than
+//! pointer-chase-shaped at paper scale (see DESIGN.md §6f).
+//!
+//! The free-list discipline is deterministic: reverse-replaying an
+//! [`UndoLog`] restores not just the logical record set but the exact
+//! physical slot layout, free-list order, and generation counters, so a
+//! rolled-back batch leaves no trace even at the arena level.
 
 use crate::batch::{AppliedBatch, Batch, ChangeOp};
 use crate::dictionary::{Dictionary, ValueId};
 use crate::pli::Pli;
 use dynfd_common::{DynError, RecordId, Result, Schema};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
+
+/// Sentinel in `slot_of` for "this record id has no slot" (never
+/// assigned, deleted, or rolled back).
+pub const NO_SLOT: u32 = u32::MAX;
+
+/// Sentinel in `slot_rids` for a free slot.
+pub const DEAD_RID: RecordId = RecordId(u64::MAX);
 
 /// How the relation treats null values. Nulls are modelled as empty
 /// strings and compare equal to each other, the convention of FD
@@ -20,13 +50,91 @@ pub enum NullPolicy {
     RejectNulls,
 }
 
+/// A borrowed view of one record's value codes inside the columnar
+/// arena. Indexing (`row[attr]`) reads `columns[attr][slot]`; comparison
+/// and ordering are lexicographic over the code vector, matching the
+/// semantics the former row-major `&[ValueId]` slices had.
+#[derive(Clone, Copy)]
+pub struct RowRef<'a> {
+    columns: &'a [Vec<ValueId>],
+    slot: usize,
+}
+
+impl<'a> RowRef<'a> {
+    /// The value code of attribute `attr`.
+    #[inline]
+    pub fn get(&self, attr: usize) -> ValueId {
+        self.columns[attr][self.slot]
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the relation has zero columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// The arena slot this view points at.
+    pub fn slot(&self) -> u32 {
+        self.slot as u32
+    }
+
+    /// Iterates the value codes in attribute order.
+    pub fn iter(&self) -> impl Iterator<Item = ValueId> + 'a {
+        let slot = self.slot;
+        self.columns.iter().map(move |col| col[slot])
+    }
+
+    /// The codes as an owned vector (cold paths and tests).
+    pub fn to_vec(&self) -> Vec<ValueId> {
+        self.iter().collect()
+    }
+}
+
+impl std::ops::Index<usize> for RowRef<'_> {
+    type Output = ValueId;
+    #[inline]
+    fn index(&self, attr: usize) -> &ValueId {
+        &self.columns[attr][self.slot]
+    }
+}
+
+impl PartialEq for RowRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for RowRef<'_> {}
+
+impl PartialOrd for RowRef<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RowRef<'_> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.iter().cmp(other.iter())
+    }
+}
+
+impl std::fmt::Debug for RowRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
 /// One reversible mutation recorded while applying a batch.
 #[derive(Clone, Debug)]
 enum UndoOp {
     /// A record this batch inserted; undone by deleting it again.
     Inserted(RecordId),
     /// A record this batch deleted, with its compressed form; undone by
-    /// restoring it into the hash index and every PLI.
+    /// restoring it into its slot and every PLI.
     Removed(RecordId, Box<[ValueId]>),
 }
 
@@ -34,15 +142,19 @@ enum UndoOp {
 /// [`DynamicRelation::apply_batch_logged`].
 ///
 /// Replaying the log in reverse ([`DynamicRelation::rollback`]) returns
-/// the relation to a state structurally identical to the pre-batch
-/// snapshot: PLIs, dictionaries (including codes assigned during the
-/// batch, which are truncated away), the record hash index, and the
-/// surrogate-id counter.
+/// the relation to a state *physically* identical to the pre-batch
+/// snapshot: columns, slot assignments, free-list order, generation
+/// counters, PLIs, dictionaries (including codes assigned during the
+/// batch, which are truncated away), and the surrogate-id counter.
 #[derive(Clone, Debug)]
 pub struct UndoLog {
     ops: Vec<UndoOp>,
     next_id_before: RecordId,
     dict_lens_before: Vec<usize>,
+    /// Arena length before the batch: slots at or past this index were
+    /// grown by the batch and are truncated away (in reverse-allocation
+    /// order) rather than freed, restoring the exact arena extent.
+    arena_len_before: usize,
 }
 
 impl UndoLog {
@@ -59,29 +171,80 @@ impl UndoLog {
 
 /// A relation instance maintained under inserts, updates, and deletes.
 ///
-/// This bundles every data structure of paper Section 3.1:
+/// This bundles every data structure of paper Section 3.1, re-shaped
+/// columnar (module docs):
 ///
 /// * per-column [`Dictionary`]s (value → code),
 /// * per-column [`Pli`]s with their built-in inverted index
-///   (code → cluster of record ids),
-/// * the **hash index** of dictionary-compressed records
-///   (record id → code array),
+///   (code → cluster of arena slots, rid-sorted),
+/// * the **columnar arena** of dictionary-compressed records
+///   (one `Vec<ValueId>` per attribute, slot-indexed) with its
+///   free-list/generation bookkeeping,
 /// * the monotonically increasing surrogate-id counter.
 ///
 /// All structures are updated *incrementally* per change — applying a
 /// batch never re-reads previously ingested data, mirroring the paper's
 /// requirement that DynFD must not perform reads against the database it
 /// monitors.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Equality (`==`) is *logical*: two relations are equal when they hold
+/// the same schema, policy, id counter, dictionaries, and the same
+/// record content per surrogate id — regardless of how churn arranged
+/// the records in their arenas. (PLIs are fully determined by the
+/// records, so they need no separate comparison.)
+#[derive(Clone, Debug)]
 pub struct DynamicRelation {
     schema: Schema,
     dictionaries: Vec<Dictionary>,
     plis: Vec<Pli>,
-    /// Hash index: record id → compressed record (array of value codes,
-    /// one per column).
-    records: HashMap<RecordId, Box<[ValueId]>>,
+    /// The columnar arena: `columns[attr][slot]` is the value code of
+    /// attribute `attr` in the record occupying `slot`.
+    columns: Vec<Vec<ValueId>>,
+    /// Slot → occupying record id ([`DEAD_RID`] for free slots).
+    slot_rids: Vec<RecordId>,
+    /// Record id (raw) → slot ([`NO_SLOT`] when not live). Dense: ids
+    /// are assigned sequentially from 0.
+    slot_of: Vec<u32>,
+    /// LIFO free-list of reusable slots.
+    free: Vec<u32>,
+    /// Per-slot generation, bumped each time the slot is freed.
+    generations: Vec<u32>,
+    /// Number of live records.
+    live: usize,
     next_id: RecordId,
     null_policy: NullPolicy,
+}
+
+impl PartialEq for DynamicRelation {
+    fn eq(&self, other: &Self) -> bool {
+        if self.schema != other.schema
+            || self.null_policy != other.null_policy
+            || self.next_id != other.next_id
+            || self.dictionaries != other.dictionaries
+            || self.live != other.live
+        {
+            return false;
+        }
+        // Same record content per id, independent of slot layout.
+        for (slot, &rid) in self.slot_rids.iter().enumerate() {
+            if rid == DEAD_RID {
+                continue;
+            }
+            let Some(their_slot) = other.slot_of(rid) else {
+                return false;
+            };
+            let theirs = their_slot as usize;
+            if self
+                .columns
+                .iter()
+                .zip(&other.columns)
+                .any(|(a, b)| a[slot] != b[theirs])
+            {
+                return false;
+            }
+        }
+        true
+    }
 }
 
 impl DynamicRelation {
@@ -92,7 +255,12 @@ impl DynamicRelation {
             schema,
             dictionaries: (0..arity).map(|_| Dictionary::new()).collect(),
             plis: (0..arity).map(|_| Pli::new()).collect(),
-            records: HashMap::new(),
+            columns: (0..arity).map(|_| Vec::new()).collect(),
+            slot_rids: Vec::new(),
+            slot_of: Vec::new(),
+            free: Vec::new(),
+            generations: Vec::new(),
+            live: 0,
             next_id: RecordId(0),
             null_policy: NullPolicy::default(),
         }
@@ -137,12 +305,12 @@ impl DynamicRelation {
 
     /// Number of live records.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.live
     }
 
     /// Whether the relation currently holds no records.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.live == 0
     }
 
     /// The next surrogate id that will be assigned. Exposed because the
@@ -163,56 +331,160 @@ impl DynamicRelation {
         &self.dictionaries[attr]
     }
 
-    /// The compressed record for `rid`, if live.
-    pub fn compressed(&self, rid: RecordId) -> Option<&[ValueId]> {
-        self.records.get(&rid).map(|r| r.as_ref())
+    /// The full value-code column of attribute `attr`, indexed by slot.
+    /// Free slots hold stale codes; only index it with slots obtained
+    /// from a PLI cluster or [`DynamicRelation::slot_of`].
+    #[inline]
+    pub fn column(&self, attr: usize) -> &[ValueId] {
+        &self.columns[attr]
+    }
+
+    /// All columns, for validators that stream several attributes.
+    #[inline]
+    pub fn columns(&self) -> &[Vec<ValueId>] {
+        &self.columns
+    }
+
+    /// Slot → record id table (free slots hold a sentinel; pair it with
+    /// slots from PLI clusters, which only reference live slots).
+    #[inline]
+    pub fn slot_rids(&self) -> &[RecordId] {
+        &self.slot_rids
+    }
+
+    /// The record id occupying `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug) if the slot is free.
+    #[inline]
+    pub fn rid_at_slot(&self, slot: u32) -> RecordId {
+        let rid = self.slot_rids[slot as usize];
+        debug_assert_ne!(rid, DEAD_RID, "slot {slot} is free");
+        rid
+    }
+
+    /// The arena slot of a live record.
+    #[inline]
+    pub fn slot_of(&self, rid: RecordId) -> Option<u32> {
+        match self.slot_of.get(rid.raw() as usize) {
+            Some(&slot) if slot != NO_SLOT => Some(slot),
+            _ => None,
+        }
+    }
+
+    /// Total arena extent in slots (live + free).
+    pub fn arena_len(&self) -> usize {
+        self.slot_rids.len()
+    }
+
+    /// The free-list, most recently freed slot last (LIFO order).
+    pub fn free_slots(&self) -> &[u32] {
+        &self.free
+    }
+
+    /// Per-slot generation counters (bumped on each free).
+    pub fn generations(&self) -> &[u32] {
+        &self.generations
+    }
+
+    /// The compressed record for `rid`, if live, as a columnar view.
+    #[inline]
+    pub fn compressed(&self, rid: RecordId) -> Option<RowRef<'_>> {
+        self.slot_of(rid).map(|slot| RowRef {
+            columns: &self.columns,
+            slot: slot as usize,
+        })
+    }
+
+    /// The row view at a known-live arena slot.
+    #[inline]
+    pub fn row_at_slot(&self, slot: u32) -> RowRef<'_> {
+        debug_assert_ne!(self.slot_rids[slot as usize], DEAD_RID);
+        RowRef {
+            columns: &self.columns,
+            slot: slot as usize,
+        }
     }
 
     /// The packed two-attribute value signature of a live record: the
     /// value codes of `a` and `b` packed into one `u64` (`a`'s code in
     /// the high half). This is the cluster-signature scheme of the
-    /// validator's packed group maps and the key scheme of the
+    /// validator's packed group tables and the key scheme of the
     /// [`PliCache`](crate::PliCache): two records agree on `{a, b}` iff
     /// their signatures are equal (codes are exact, not hashed).
     pub fn packed_sig(&self, rid: RecordId, a: usize, b: usize) -> Option<u64> {
-        let rec = self.compressed(rid)?;
-        Some((rec[a] as u64) << 32 | rec[b] as u64)
+        let slot = self.slot_of(rid)? as usize;
+        Some((self.columns[a][slot] as u64) << 32 | self.columns[b][slot] as u64)
     }
 
     /// Decodes a live record back into its string values.
     pub fn materialize(&self, rid: RecordId) -> Option<Vec<String>> {
-        self.records.get(&rid).map(|codes| {
-            codes
+        let slot = self.slot_of(rid)? as usize;
+        Some(
+            self.columns
                 .iter()
                 .enumerate()
-                .map(|(a, &c)| self.dictionaries[a].decode(c).to_string())
-                .collect()
-        })
+                .map(|(a, col)| self.dictionaries[a].decode(col[slot]).to_string())
+                .collect(),
+        )
     }
 
-    /// Iterates the ids of all live records in unspecified order.
+    /// Iterates the ids of all live records in slot (unspecified) order.
     pub fn record_ids(&self) -> impl Iterator<Item = RecordId> + '_ {
-        self.records.keys().copied()
+        self.slot_rids.iter().copied().filter(|&r| r != DEAD_RID)
     }
 
-    /// Iterates `(id, compressed record)` pairs in unspecified order.
-    pub fn records(&self) -> impl Iterator<Item = (RecordId, &[ValueId])> {
-        self.records.iter().map(|(&id, r)| (id, r.as_ref()))
+    /// Iterates `(id, record view)` pairs in slot (unspecified) order.
+    pub fn records(&self) -> impl Iterator<Item = (RecordId, RowRef<'_>)> {
+        self.slot_rids
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r != DEAD_RID)
+            .map(|(slot, &rid)| {
+                (
+                    rid,
+                    RowRef {
+                        columns: &self.columns,
+                        slot,
+                    },
+                )
+            })
     }
 
-    /// Inserts one row, updating dictionaries, PLIs, and the record hash
-    /// index, and returns the assigned surrogate id.
+    /// Pops a free slot or grows the arena by one slot.
+    fn allocate_slot(&mut self) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            return slot;
+        }
+        let slot = self.slot_rids.len() as u32;
+        self.slot_rids.push(DEAD_RID);
+        self.generations.push(0);
+        for col in &mut self.columns {
+            col.push(0);
+        }
+        slot
+    }
+
+    /// Inserts one row, updating dictionaries, PLIs, and the arena, and
+    /// returns the assigned surrogate id.
     pub fn insert_row<S: AsRef<str>>(&mut self, row: &[S]) -> Result<RecordId> {
         self.check_row(row)?;
         let rid = self.next_id;
         self.next_id = self.next_id.next();
-        let mut codes = Vec::with_capacity(row.len());
+        let slot = self.allocate_slot();
+        self.slot_rids[slot as usize] = rid;
         for (attr, value) in row.iter().enumerate() {
             let code = self.dictionaries[attr].encode(value.as_ref());
-            self.plis[attr].insert(code, rid);
-            codes.push(code);
+            self.columns[attr][slot as usize] = code;
+            self.plis[attr].insert(code, slot, rid, &self.slot_rids);
         }
-        self.records.insert(rid, codes.into_boxed_slice());
+        let idx = rid.raw() as usize;
+        if self.slot_of.len() <= idx {
+            self.slot_of.resize(idx + 1, NO_SLOT);
+        }
+        self.slot_of[idx] = slot;
+        self.live += 1;
         Ok(rid)
     }
 
@@ -241,26 +513,35 @@ impl DynamicRelation {
         Ok(())
     }
 
-    /// Deletes the record `rid` from all structures.
-    ///
-    /// Follows the paper's look-up strategy: the compressed record is
-    /// fetched from the hash index, its value codes locate the PLI
-    /// clusters to shrink, and emptied clusters are dropped.
+    /// Deletes the record `rid` from all structures: its value codes
+    /// locate the PLI clusters to shrink, then the slot is freed (LIFO)
+    /// and its generation bumped.
     pub fn delete_record(&mut self, rid: RecordId) -> Result<()> {
-        let codes = self
-            .records
-            .remove(&rid)
-            .ok_or(DynError::UnknownRecord(rid))?;
-        for (attr, &code) in codes.iter().enumerate() {
-            let removed = self.plis[attr].remove(code, rid);
+        let slot = self.slot_of(rid).ok_or(DynError::UnknownRecord(rid))?;
+        // PLIs first: cluster removal binary-searches by rid through
+        // `slot_rids`, which must still map this slot.
+        for attr in 0..self.columns.len() {
+            let code = self.columns[attr][slot as usize];
+            let removed = self.plis[attr].remove(code, slot, rid, &self.slot_rids);
             debug_assert!(removed, "record {rid} missing from PLI of column {attr}");
         }
+        self.slot_of[rid.raw() as usize] = NO_SLOT;
+        self.slot_rids[slot as usize] = DEAD_RID;
+        // Dead slots hold code 0 in every column. This canonical form
+        // makes the physical arena a pure function of the operation
+        // history, so snapshot round-trips compare bit-identical.
+        for column in &mut self.columns {
+            column[slot as usize] = 0;
+        }
+        self.generations[slot as usize] += 1;
+        self.free.push(slot);
+        self.live -= 1;
         Ok(())
     }
 
     /// Whether `rid` is live.
     pub fn contains(&self, rid: RecordId) -> bool {
-        self.records.contains_key(&rid)
+        self.slot_of(rid).is_some()
     }
 
     /// Applies a batch of change operations (Step 1 of the paper's
@@ -292,6 +573,7 @@ impl DynamicRelation {
             ops: Vec::new(),
             next_id_before: self.next_id,
             dict_lens_before: self.dictionaries.iter().map(Dictionary::len).collect(),
+            arena_len_before: self.slot_rids.len(),
         };
 
         let mut deferred_deletes: Vec<RecordId> = Vec::new();
@@ -324,7 +606,7 @@ impl DynamicRelation {
                         }
                     }
                 }
-                let codes = self.records.get(&rid).cloned().expect("checked live above");
+                let codes = self.row_codes_boxed(rid).expect("checked live above");
                 self.delete_record(rid)?;
                 undo.ops.push(UndoOp::Removed(rid, codes));
                 applied.deleted.push(rid);
@@ -351,51 +633,95 @@ impl DynamicRelation {
 
         // Phase 3: deletes that referenced same-batch inserts.
         for rid in deferred_deletes {
-            let codes = self
-                .records
-                .get(&rid)
-                .cloned()
-                .expect("validated same-batch insert");
+            let codes = self.row_codes_boxed(rid).expect("validated same-batch insert");
             self.delete_record(rid)?;
             undo.ops.push(UndoOp::Removed(rid, codes));
             applied.inserted.retain(|&r| r != rid);
         }
 
+        applied.inserted_slots = applied
+            .inserted
+            .iter()
+            .map(|&rid| self.slot_of(rid).expect("surviving insert is live"))
+            .collect();
+
         Ok((applied, undo))
     }
 
+    /// The record's codes as an owned boxed slice (undo-log payloads).
+    fn row_codes_boxed(&self, rid: RecordId) -> Option<Box<[ValueId]>> {
+        self.compressed(rid).map(|row| row.to_vec().into_boxed_slice())
+    }
+
     /// Reverse-replays the undo log of a batch, restoring the relation to
-    /// a state structurally equal (`==`) to the pre-batch snapshot.
+    /// a state structurally equal (`==`) to — and physically identical
+    /// with — the pre-batch snapshot.
     ///
     /// Dictionary codes assigned while applying the batch are exactly the
     /// tail `values[len..]` of each dictionary (dictionaries are
     /// append-only), so truncating to the recorded lengths removes them;
     /// this is sound because every record referencing those codes was
-    /// inserted by the same batch and is removed first.
+    /// inserted by the same batch and is removed first. Slot bookkeeping
+    /// reverses exactly because the free-list is LIFO: undoing an insert
+    /// returns (or truncates) the slot the insert took, undoing a delete
+    /// re-occupies the slot the delete freed.
     pub fn rollback(&mut self, undo: UndoLog) {
         for op in undo.ops.into_iter().rev() {
             match op {
                 UndoOp::Inserted(rid) => {
-                    let codes = self
-                        .records
-                        .remove(&rid)
+                    let slot = self
+                        .slot_of(rid)
                         .expect("undo log names a record this batch inserted");
-                    for (attr, &code) in codes.iter().enumerate() {
-                        let removed = self.plis[attr].remove(code, rid);
+                    for attr in 0..self.columns.len() {
+                        let code = self.columns[attr][slot as usize];
+                        let removed = self.plis[attr].remove(code, slot, rid, &self.slot_rids);
                         debug_assert!(removed, "rollback: {rid} missing from PLI {attr}");
+                    }
+                    self.slot_of[rid.raw() as usize] = NO_SLOT;
+                    self.live -= 1;
+                    if slot as usize >= undo.arena_len_before {
+                        // The batch grew the arena for this slot; grown
+                        // slots are undone newest-first, so it is the
+                        // current tail — shrink instead of freeing.
+                        debug_assert_eq!(slot as usize, self.slot_rids.len() - 1);
+                        self.slot_rids.pop();
+                        self.generations.pop();
+                        for col in &mut self.columns {
+                            col.pop();
+                        }
+                    } else {
+                        // The insert popped this slot off the free-list;
+                        // push it back. No generation bump: the insert
+                        // did not bump it either. Re-zero the columns to
+                        // keep the canonical dead-slot form.
+                        self.slot_rids[slot as usize] = DEAD_RID;
+                        for col in &mut self.columns {
+                            col[slot as usize] = 0;
+                        }
+                        self.free.push(slot);
                     }
                 }
                 UndoOp::Removed(rid, codes) => {
+                    let slot = self
+                        .free
+                        .pop()
+                        .expect("delete pushed the slot this undo re-occupies");
+                    self.slot_rids[slot as usize] = rid;
+                    self.generations[slot as usize] -= 1;
                     for (attr, &code) in codes.iter().enumerate() {
-                        self.plis[attr].restore(code, rid);
+                        self.columns[attr][slot as usize] = code;
+                        self.plis[attr].restore(code, slot, rid, &self.slot_rids);
                     }
-                    self.records.insert(rid, codes);
+                    let idx = rid.raw() as usize;
+                    self.slot_of[idx] = slot;
+                    self.live += 1;
                 }
             }
         }
         for (dict, &len) in self.dictionaries.iter_mut().zip(&undo.dict_lens_before) {
             dict.truncate(len);
         }
+        self.slot_of.truncate(undo.next_id_before.raw() as usize);
         self.next_id = undo.next_id_before;
     }
 
@@ -481,15 +807,17 @@ impl DynamicRelation {
         }
     }
 
-    /// Reconstructs a relation from its persisted parts: schema, null
-    /// policy, id counter, the full per-column dictionaries (dead codes
-    /// included, so codes stay stable across a save/restore cycle), and
-    /// the compressed records. PLIs are *not* persisted — they are fully
-    /// determined by the live records and are rebuilt here by inserting
-    /// codes in ascending record-id order, which reproduces the exact
-    /// cluster vectors incremental maintenance would hold (sorted ids,
-    /// emptied clusters absent). The result is structurally equal (`==`)
-    /// to the relation the parts were read from.
+    /// Reconstructs a relation from its *logical* persisted parts:
+    /// schema, null policy, id counter, the full per-column dictionaries
+    /// (dead codes included, so codes stay stable across a save/restore
+    /// cycle), and the compressed records. Slots are assigned compactly
+    /// in ascending record-id order with an empty free-list; PLIs are
+    /// rebuilt by inserting in that same order, which reproduces the
+    /// exact cluster member order incremental maintenance would hold
+    /// (rid-sorted, emptied clusters absent). The result is logically
+    /// equal (`==`) to the relation the parts were read from; for a
+    /// *physically* identical restore use
+    /// [`DynamicRelation::from_arena_parts`].
     ///
     /// # Errors
     ///
@@ -517,7 +845,12 @@ impl DynamicRelation {
             schema,
             dictionaries,
             plis: (0..arity).map(|_| Pli::new()).collect(),
-            records: HashMap::with_capacity(records.len()),
+            columns: (0..arity).map(|_| Vec::with_capacity(records.len())).collect(),
+            slot_rids: Vec::with_capacity(records.len()),
+            slot_of: Vec::new(),
+            free: Vec::new(),
+            generations: Vec::new(),
+            live: 0,
             next_id,
             null_policy,
         };
@@ -533,7 +866,7 @@ impl DynamicRelation {
                     "record {rid} is at or past the id counter {next_id}"
                 )));
             }
-            if rel.records.contains_key(&rid) {
+            if rel.contains(rid) {
                 return Err(DynError::Parse(format!("duplicate record id {rid}")));
             }
             for (attr, &code) in codes.iter().enumerate() {
@@ -542,9 +875,139 @@ impl DynamicRelation {
                         "record {rid} column {attr} references unassigned code {code}"
                     )));
                 }
-                rel.plis[attr].insert(code, rid);
             }
-            rel.records.insert(rid, codes);
+            let slot = rel.allocate_slot();
+            rel.slot_rids[slot as usize] = rid;
+            for (attr, &code) in codes.iter().enumerate() {
+                rel.columns[attr][slot as usize] = code;
+                rel.plis[attr].insert(code, slot, rid, &rel.slot_rids);
+            }
+            let idx = rid.raw() as usize;
+            if rel.slot_of.len() <= idx {
+                rel.slot_of.resize(idx + 1, NO_SLOT);
+            }
+            rel.slot_of[idx] = slot;
+            rel.live += 1;
+        }
+        Ok(rel)
+    }
+
+    /// Reconstructs a relation from its *physical* arena parts, as
+    /// serialized by the persist layer: the slot table (`None` entries
+    /// are free slots), per-live-slot code rows, the free-list in LIFO
+    /// order, and per-slot generations. The restored relation is
+    /// physically identical to the one the parts were read from — same
+    /// slot layout, same free-list order, same generations — so post-
+    /// recovery slot assignment replays exactly like the pre-crash
+    /// engine's would have.
+    ///
+    /// # Errors
+    ///
+    /// [`DynError::Parse`] on any inconsistency: mismatched table
+    /// lengths, a free-list that does not cover the free slots exactly
+    /// once, duplicate or out-of-range record ids, or value codes no
+    /// dictionary entry covers.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_arena_parts(
+        schema: Schema,
+        null_policy: NullPolicy,
+        next_id: RecordId,
+        dictionaries: Vec<Dictionary>,
+        slot_table: Vec<(Option<RecordId>, Box<[ValueId]>)>,
+        free: Vec<u32>,
+        generations: Vec<u32>,
+    ) -> Result<Self> {
+        let arity = schema.arity();
+        if dictionaries.len() != arity {
+            return Err(DynError::Parse(format!(
+                "snapshot has {} dictionaries for {arity} columns",
+                dictionaries.len()
+            )));
+        }
+        let slots = slot_table.len();
+        if generations.len() != slots {
+            return Err(DynError::Parse(format!(
+                "snapshot has {} generations for {slots} slots",
+                generations.len()
+            )));
+        }
+        let mut rel = DynamicRelation {
+            schema,
+            dictionaries,
+            plis: (0..arity).map(|_| Pli::new()).collect(),
+            columns: (0..arity).map(|_| vec![0; slots]).collect(),
+            slot_rids: vec![DEAD_RID; slots],
+            slot_of: Vec::new(),
+            free: Vec::new(),
+            generations,
+            live: 0,
+            next_id,
+            null_policy,
+        };
+        let mut free_seen = vec![false; slots];
+        for &slot in &free {
+            let s = slot as usize;
+            if s >= slots || slot_table[s].0.is_some() || free_seen[s] {
+                return Err(DynError::Parse(format!(
+                    "free-list entry {slot} is out of range, occupied, or duplicated"
+                )));
+            }
+            free_seen[s] = true;
+        }
+        let mut order: Vec<(RecordId, u32)> = Vec::with_capacity(slots);
+        for (slot, (rid, codes)) in slot_table.iter().enumerate() {
+            match rid {
+                None => {
+                    if !free_seen[slot] {
+                        return Err(DynError::Parse(format!(
+                            "free slot {slot} missing from the free-list"
+                        )));
+                    }
+                }
+                Some(rid) => {
+                    let rid = *rid;
+                    if codes.len() != arity {
+                        return Err(DynError::Parse(format!(
+                            "record {rid} has {} codes for {arity} columns",
+                            codes.len()
+                        )));
+                    }
+                    if rid >= next_id {
+                        return Err(DynError::Parse(format!(
+                            "record {rid} is at or past the id counter {next_id}"
+                        )));
+                    }
+                    if rel.contains(rid) {
+                        return Err(DynError::Parse(format!("duplicate record id {rid}")));
+                    }
+                    for (attr, &code) in codes.iter().enumerate() {
+                        if (code as usize) >= rel.dictionaries[attr].len() {
+                            return Err(DynError::Parse(format!(
+                                "record {rid} column {attr} references unassigned code {code}"
+                            )));
+                        }
+                        rel.columns[attr][slot] = code;
+                    }
+                    rel.slot_rids[slot] = rid;
+                    let idx = rid.raw() as usize;
+                    if rel.slot_of.len() <= idx {
+                        rel.slot_of.resize(idx + 1, NO_SLOT);
+                    }
+                    rel.slot_of[idx] = slot as u32;
+                    rel.live += 1;
+                    order.push((rid, slot as u32));
+                }
+            }
+        }
+        rel.free = free;
+        // PLIs are rebuilt in ascending record-id order — the member
+        // order incremental maintenance keeps clusters in.
+        order.sort_unstable();
+        for (rid, slot) in order {
+            for attr in 0..arity {
+                let code = rel.columns[attr][slot as usize];
+                rel.plis[attr].insert(code, slot, rid, &rel.slot_rids);
+            }
         }
         Ok(rel)
     }
@@ -553,11 +1016,11 @@ impl DynamicRelation {
     /// validating incremental maintenance in tests. O(n·m); never used on
     /// the hot path.
     pub fn rebuild_from_scratch(&self) -> DynamicRelation {
-        let mut ids: Vec<RecordId> = self.records.keys().copied().collect();
+        let mut ids: Vec<RecordId> = self.record_ids().collect();
         ids.sort_unstable();
         let mut fresh = DynamicRelation::new(self.schema.clone());
         for rid in ids {
-            // Invariant: `ids` was collected from the live-record index.
+            // Invariant: `ids` was collected from the live slot table.
             let row = self.materialize(rid).expect("live record");
             // Preserve original ids so the two relations are comparable.
             fresh.next_id = rid;
@@ -565,6 +1028,66 @@ impl DynamicRelation {
         }
         fresh.next_id = self.next_id;
         fresh
+    }
+
+    /// Debug-only structural audit of the arena invariants: slot maps
+    /// are mutually inverse, the free-list covers dead slots exactly,
+    /// and every PLI cluster references live slots whose column code
+    /// matches the cluster's value, in ascending rid order. Used by the
+    /// fuzz harness after slot-churn traces; O(n·m).
+    pub fn check_arena_invariants(&self) -> Result<()> {
+        let fail = |msg: String| Err(DynError::Parse(msg));
+        let mut live = 0usize;
+        for (slot, &rid) in self.slot_rids.iter().enumerate() {
+            if rid == DEAD_RID {
+                if self.columns.iter().any(|c| c[slot] != 0) {
+                    return fail(format!("dead slot {slot} holds non-zero codes"));
+                }
+                continue;
+            }
+            live += 1;
+            if self.slot_of(rid) != Some(slot as u32) {
+                return fail(format!("slot {slot} holds {rid} but slot_of disagrees"));
+            }
+        }
+        if live != self.live {
+            return fail(format!("live count {} != occupied slots {live}", self.live));
+        }
+        if self.free.len() + live != self.slot_rids.len() {
+            return fail("free-list and live slots do not partition the arena".into());
+        }
+        let mut seen = vec![false; self.slot_rids.len()];
+        for &slot in &self.free {
+            let s = slot as usize;
+            if s >= seen.len() || seen[s] || self.slot_rids[s] != DEAD_RID {
+                return fail(format!("free-list entry {slot} invalid"));
+            }
+            seen[s] = true;
+        }
+        for (attr, pli) in self.plis.iter().enumerate() {
+            let mut entries = 0usize;
+            for (value, cluster) in pli.iter() {
+                entries += cluster.len();
+                let mut prev: Option<RecordId> = None;
+                for &slot in cluster {
+                    let rid = self.slot_rids[slot as usize];
+                    if rid == DEAD_RID {
+                        return fail(format!("PLI {attr} value {value} references free slot"));
+                    }
+                    if self.columns[attr][slot as usize] != value {
+                        return fail(format!("PLI {attr} cluster {value} code mismatch"));
+                    }
+                    if prev.is_some_and(|p| p >= rid) {
+                        return fail(format!("PLI {attr} cluster {value} not rid-sorted"));
+                    }
+                    prev = Some(rid);
+                }
+            }
+            if entries != self.live {
+                return fail(format!("PLI {attr} indexes {entries} of {} records", self.live));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -588,6 +1111,15 @@ mod tests {
         .unwrap()
     }
 
+    /// The rid clusters of one column, in value-code order (tests were
+    /// written against the row-store PLI's rid view).
+    fn rid_clusters(rel: &DynamicRelation, attr: usize) -> Vec<Vec<RecordId>> {
+        rel.pli(attr)
+            .iter()
+            .map(|(_, c)| c.iter().map(|&s| rel.rid_at_slot(s)).collect())
+            .collect()
+    }
+
     #[test]
     fn bulk_load_assigns_sequential_ids() {
         let rel = paper_relation();
@@ -603,25 +1135,34 @@ mod tests {
         // Table 2 of the paper (our codes are first-seen dense codes, no
         // -1 sentinel; uniqueness shows as singleton clusters instead).
         let rel = paper_relation();
-        assert_eq!(rel.compressed(RecordId(0)), Some(&[0u32, 0, 0, 0][..]));
-        assert_eq!(rel.compressed(RecordId(1)), Some(&[0u32, 1, 0, 0][..]));
-        assert_eq!(rel.compressed(RecordId(2)), Some(&[0u32, 0, 1, 1][..]));
-        assert_eq!(rel.compressed(RecordId(3)), Some(&[1u32, 2, 2, 1][..]));
+        let row = |i: u64| rel.compressed(RecordId(i)).map(|r| r.to_vec());
+        assert_eq!(row(0), Some(vec![0, 0, 0, 0]));
+        assert_eq!(row(1), Some(vec![0, 1, 0, 0]));
+        assert_eq!(row(2), Some(vec![0, 0, 1, 1]));
+        assert_eq!(row(3), Some(vec![1, 2, 2, 1]));
     }
 
     #[test]
     fn plis_match_paper_section_3_1() {
         let rel = paper_relation();
         let r = |i: u64| RecordId(i);
-        // π_firstname = {{1,2,3},{4}} in 1-based papers ids = {{0,1,2},{3}} here.
-        let pf: Vec<&[RecordId]> = rel.pli(0).iter().map(|(_, c)| c).collect();
-        assert_eq!(pf, vec![&[r(0), r(1), r(2)][..], &[r(3)][..]]);
-        let pl: Vec<&[RecordId]> = rel.pli(1).iter().map(|(_, c)| c).collect();
-        assert_eq!(pl, vec![&[r(0), r(2)][..], &[r(1)][..], &[r(3)][..]]);
-        let pz: Vec<&[RecordId]> = rel.pli(2).iter().map(|(_, c)| c).collect();
-        assert_eq!(pz, vec![&[r(0), r(1)][..], &[r(2)][..], &[r(3)][..]]);
-        let pc: Vec<&[RecordId]> = rel.pli(3).iter().map(|(_, c)| c).collect();
-        assert_eq!(pc, vec![&[r(0), r(1)][..], &[r(2), r(3)][..]]);
+        // π_firstname = {{1,2,3},{4}} in 1-based paper ids = {{0,1,2},{3}} here.
+        assert_eq!(
+            rid_clusters(&rel, 0),
+            vec![vec![r(0), r(1), r(2)], vec![r(3)]]
+        );
+        assert_eq!(
+            rid_clusters(&rel, 1),
+            vec![vec![r(0), r(2)], vec![r(1)], vec![r(3)]]
+        );
+        assert_eq!(
+            rid_clusters(&rel, 2),
+            vec![vec![r(0), r(1)], vec![r(2)], vec![r(3)]]
+        );
+        assert_eq!(
+            rid_clusters(&rel, 3),
+            vec![vec![r(0), r(1)], vec![r(2), r(3)]]
+        );
     }
 
     #[test]
@@ -637,12 +1178,30 @@ mod tests {
         assert_eq!(applied.deleted, vec![RecordId(2)]);
         assert_eq!(applied.inserted, vec![RecordId(4), RecordId(5)]);
         assert_eq!(applied.first_new_id, Some(RecordId(4)));
+        assert_eq!(applied.inserted_slots.len(), 2);
         assert_eq!(rel.len(), 5);
         assert!(!rel.contains(RecordId(2)));
         assert_eq!(
             rel.materialize(RecordId(4)).unwrap(),
             vec!["Marie", "Scott", "14467", "Potsdam"]
         );
+        rel.check_arena_invariants().unwrap();
+    }
+
+    #[test]
+    fn slots_are_reused_lifo() {
+        let mut rel = paper_relation();
+        let old_slot = rel.slot_of(RecordId(2)).unwrap();
+        let gen_before = rel.generations()[old_slot as usize];
+        rel.delete_record(RecordId(2)).unwrap();
+        assert_eq!(rel.free_slots(), &[old_slot]);
+        assert_eq!(rel.generations()[old_slot as usize], gen_before + 1);
+        // The next insert reuses the freed slot.
+        let rid = rel.insert_row(&["P", "Q", "R", "S"]).unwrap();
+        assert_eq!(rel.slot_of(rid), Some(old_slot));
+        assert!(rel.free_slots().is_empty());
+        assert_eq!(rel.arena_len(), 4, "arena did not grow");
+        rel.check_arena_invariants().unwrap();
     }
 
     #[test]
@@ -690,11 +1249,13 @@ mod tests {
         batch.insert(vec!["X", "Y", "Z", "W"]).delete(RecordId(4));
         let applied = rel.apply_batch(&batch).unwrap();
         assert!(applied.inserted.is_empty());
+        assert!(applied.inserted_slots.is_empty());
         assert!(applied.deleted.is_empty());
         assert_eq!(rel.len(), 4);
         assert!(!rel.contains(RecordId(4)));
         // The id is still consumed.
         assert_eq!(rel.next_id(), RecordId(5));
+        rel.check_arena_invariants().unwrap();
     }
 
     #[test]
@@ -774,6 +1335,8 @@ mod tests {
     #[test]
     fn rollback_restores_pre_batch_state_exactly() {
         let mut rel = paper_relation();
+        // Pre-churn so the free-list is non-empty going into the batch.
+        rel.delete_record(RecordId(1)).unwrap();
         let snapshot = rel.clone();
         let mut batch = Batch::new();
         batch
@@ -787,6 +1350,12 @@ mod tests {
         assert_ne!(rel, snapshot);
         rel.rollback(undo);
         assert_eq!(rel, snapshot);
+        // Physical restoration, not just logical equality.
+        assert_eq!(rel.free_slots(), snapshot.free_slots());
+        assert_eq!(rel.slot_rids(), snapshot.slot_rids());
+        assert_eq!(rel.generations(), snapshot.generations());
+        assert_eq!(rel.arena_len(), snapshot.arena_len());
+        rel.check_arena_invariants().unwrap();
         // The rolled-back relation is fully usable afterwards.
         let mut again = Batch::new();
         again.insert(vec!["P", "Q", "R", "S"]);
@@ -826,23 +1395,21 @@ mod tests {
         let rebuilt = rel.rebuild_from_scratch();
         assert_eq!(rel.len(), rebuilt.len());
         for attr in 0..rel.arity() {
-            let a: Vec<_> = rel.pli(attr).iter().map(|(_, c)| c.to_vec()).collect();
-            let mut b: Vec<_> = rebuilt.pli(attr).iter().map(|(_, c)| c.to_vec()).collect();
             // Dictionary codes may differ between incremental and rebuilt
             // relations (deleted values keep their codes); compare the
-            // partitions as sets of clusters.
-            let mut a = a;
+            // partitions as sets of rid clusters.
+            let mut a = rid_clusters(&rel, attr);
+            let mut b = rid_clusters(&rebuilt, attr);
             a.sort();
             b.sort();
             assert_eq!(a, b, "column {attr} partition diverged");
         }
     }
 
-    #[test]
-    fn from_parts_restores_bit_identical_state() {
-        // Churn the paper relation so dictionaries hold dead codes and
-        // PLIs have dropped clusters — the state a snapshot must restore
-        // exactly.
+    fn churned() -> DynamicRelation {
+        // Churn the paper relation so dictionaries hold dead codes, PLIs
+        // have dropped clusters, and the arena has free slots — the
+        // state a snapshot must restore.
         let mut rel = paper_relation();
         let mut batch = Batch::new();
         batch
@@ -850,11 +1417,17 @@ mod tests {
             .insert(vec!["Marie", "Scott", "14467", "Potsdam"])
             .update(RecordId(0), vec!["Max", "Jones", "14482", "Golm"]);
         rel.apply_batch(&batch).unwrap();
+        rel.delete_record(RecordId(3)).unwrap();
+        rel
+    }
 
+    #[test]
+    fn from_parts_restores_equal_state() {
+        let rel = churned();
         let dicts: Vec<Dictionary> = (0..rel.arity())
             .map(|a| {
                 Dictionary::from_parts(
-                    rel.dictionary(a).values().to_vec(),
+                    rel.dictionary(a).value_strings(),
                     rel.dictionary(a).capacity(),
                 )
             })
@@ -871,7 +1444,50 @@ mod tests {
             records,
         )
         .unwrap();
-        assert_eq!(restored, rel, "restore must be structurally identical");
+        assert_eq!(restored, rel, "restore must be logically identical");
+        restored.check_arena_invariants().unwrap();
+    }
+
+    #[test]
+    fn from_arena_parts_restores_physical_layout() {
+        let rel = churned();
+        let dicts: Vec<Dictionary> = (0..rel.arity())
+            .map(|a| {
+                Dictionary::from_parts(
+                    rel.dictionary(a).value_strings(),
+                    rel.dictionary(a).capacity(),
+                )
+            })
+            .collect();
+        let slot_table: Vec<(Option<RecordId>, Box<[ValueId]>)> = (0..rel.arena_len())
+            .map(|slot| {
+                let rid = rel.slot_rids()[slot];
+                if rid == DEAD_RID {
+                    (None, Vec::new().into_boxed_slice())
+                } else {
+                    (
+                        Some(rid),
+                        rel.row_at_slot(slot as u32).to_vec().into_boxed_slice(),
+                    )
+                }
+            })
+            .collect();
+        let restored = DynamicRelation::from_arena_parts(
+            rel.schema().clone(),
+            rel.null_policy(),
+            rel.next_id(),
+            dicts,
+            slot_table,
+            rel.free_slots().to_vec(),
+            rel.generations().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(restored, rel);
+        assert_eq!(restored.slot_rids(), rel.slot_rids());
+        assert_eq!(restored.free_slots(), rel.free_slots());
+        assert_eq!(restored.generations(), rel.generations());
+        assert_eq!(restored.columns(), rel.columns());
+        restored.check_arena_invariants().unwrap();
     }
 
     #[test]
@@ -881,7 +1497,7 @@ mod tests {
             (0..r.arity())
                 .map(|a| {
                     Dictionary::from_parts(
-                        r.dictionary(a).values().to_vec(),
+                        r.dictionary(a).value_strings(),
                         r.dictionary(a).capacity(),
                     )
                 })
@@ -935,6 +1551,45 @@ mod tests {
     }
 
     #[test]
+    fn from_arena_parts_rejects_bad_free_list() {
+        let rel = churned();
+        let dicts: Vec<Dictionary> = (0..rel.arity())
+            .map(|a| {
+                Dictionary::from_parts(
+                    rel.dictionary(a).value_strings(),
+                    rel.dictionary(a).capacity(),
+                )
+            })
+            .collect();
+        let slot_table: Vec<(Option<RecordId>, Box<[ValueId]>)> = (0..rel.arena_len())
+            .map(|slot| {
+                let rid = rel.slot_rids()[slot];
+                if rid == DEAD_RID {
+                    (None, Vec::new().into_boxed_slice())
+                } else {
+                    (
+                        Some(rid),
+                        rel.row_at_slot(slot as u32).to_vec().into_boxed_slice(),
+                    )
+                }
+            })
+            .collect();
+        // Free-list missing an entry the slot table marks free.
+        assert!(matches!(
+            DynamicRelation::from_arena_parts(
+                rel.schema().clone(),
+                rel.null_policy(),
+                rel.next_id(),
+                dicts,
+                slot_table,
+                Vec::new(),
+                rel.generations().to_vec(),
+            ),
+            Err(DynError::Parse(_))
+        ));
+    }
+
+    #[test]
     fn materialize_roundtrips() {
         let rel = paper_relation();
         assert_eq!(
@@ -953,5 +1608,36 @@ mod tests {
         let rid = rel.insert_row(&["x", "y"]).unwrap();
         assert_eq!(rid, RecordId(0));
         assert!(!rel.is_empty());
+    }
+
+    #[test]
+    fn heavy_churn_keeps_invariants_and_logical_state() {
+        // Delete/reinsert interleaving: the slot-churn pattern the fuzz
+        // profile stresses, checked directly here.
+        let mut rel = DynamicRelation::new(Schema::anonymous("t", 3));
+        let mut live: Vec<RecordId> = Vec::new();
+        for round in 0..50u64 {
+            let rid = rel
+                .insert_row(&[
+                    format!("a{}", round % 7),
+                    format!("b{}", round % 3),
+                    format!("c{round}"),
+                ])
+                .unwrap();
+            live.push(rid);
+            if round % 2 == 1 {
+                // Delete an older record (front) to force slot reuse out
+                // of rid order.
+                let victim = live.remove((round as usize / 2) % live.len());
+                rel.delete_record(victim).unwrap();
+            }
+        }
+        rel.check_arena_invariants().unwrap();
+        assert_eq!(rel.len(), live.len());
+        let rebuilt = rel.rebuild_from_scratch();
+        assert_eq!(rel.len(), rebuilt.len());
+        for rid in live {
+            assert_eq!(rel.materialize(rid), rebuilt.materialize(rid));
+        }
     }
 }

@@ -17,14 +17,28 @@
 //! inserts, every pair of old records still satisfies the FD, so only
 //! pivot clusters containing at least one newly inserted record need to
 //! be checked. Because surrogate ids increase monotonically and clusters
-//! are sorted, "contains a new record" is the O(1) test
-//! `cluster.last() >= first_id_of_batch`.
+//! are sorted by record id, "contains a new record" is the O(1) test
+//! `rid(cluster.last()) >= first id of the batch`.
+//!
+//! # Memory shape
+//!
+//! The scan works directly on the columnar arena: a cluster is a
+//! contiguous `u32` slot slice, and checking an RHS streams
+//! `column[slot]` — flat `u32` gathers instead of a boxed-slice
+//! dereference per record. Grouping runs through open-addressed tables
+//! keyed by packed `u64` signatures (no `HashMap`, no per-record
+//! allocation, no SipHash), and every grouped cluster first takes an
+//! EAIFD-style **constancy pre-pass**: each still-active RHS column is
+//! streamed over the cluster and abandoned the moment a second distinct
+//! value appears. A cluster whose active RHS columns are all constant
+//! cannot contain a violation under *any* LHS refinement, so the group
+//! table is skipped entirely — on mostly-valid covers (the steady state)
+//! validation degenerates to sequential column scans.
 
 use crate::dictionary::ValueId;
 use crate::pli_cache::{CacheEffects, CachedPartition, PliCacheSnapshot};
 use crate::relation::DynamicRelation;
 use dynfd_common::{AttrId, AttrSet, Fd, RecordId};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Knobs for a validation call.
@@ -133,25 +147,80 @@ impl ValidationResult {
     }
 }
 
+/// Sentinel representative in [`GroupTable`] marking an empty bucket.
+const EMPTY_REP: u32 = u32::MAX;
+
+/// Open-addressed group table: flat `(signature, representative-slot)`
+/// buckets with linear probing at ≤50% load. Replaces the former
+/// `HashMap` group maps — no SipHash, no per-record heap key, one
+/// contiguous allocation reused across clusters and calls.
+///
+/// Two keying modes share the table:
+/// * **packed** — the signature *is* the remaining-LHS codes packed into
+///   one `u64`, so signature equality is group equality;
+/// * **wide** — the signature is a hash of ≥3 codes, so a signature
+///   match additionally verifies the codes through the columns.
+#[derive(Clone, Debug, Default)]
+struct GroupTable {
+    buckets: Vec<(u64, u32)>,
+    mask: usize,
+}
+
+impl GroupTable {
+    /// Mixes a key into a bucket index.
+    #[inline]
+    fn index_of(&self, key: u64) -> usize {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask
+    }
+
+    /// Clears and resizes for a cluster of `members` records.
+    fn reset(&mut self, members: usize) {
+        let cap = (members * 2).next_power_of_two().max(8);
+        self.buckets.clear();
+        self.buckets.resize(cap, (0, EMPTY_REP));
+        self.mask = cap - 1;
+    }
+
+    /// Looks up `key`'s group, inserting `slot` as representative when
+    /// the group is new. Returns the existing representative otherwise.
+    /// `same(rep_slot)` confirms a candidate bucket really is this
+    /// record's group (always true in packed mode, a code check in wide
+    /// mode).
+    #[inline]
+    fn probe(&mut self, key: u64, slot: u32, mut same: impl FnMut(u32) -> bool) -> Option<u32> {
+        let mut idx = self.index_of(key);
+        loop {
+            let bucket = &mut self.buckets[idx];
+            if bucket.1 == EMPTY_REP {
+                *bucket = (key, slot);
+                return None;
+            }
+            if bucket.0 == key && same(bucket.1) {
+                return Some(bucket.1);
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+}
+
 /// Reusable working memory for [`validate_with`].
 ///
-/// A validation call needs a per-cluster group map (the lazy PLI
-/// intersection), a key buffer, and an attribute→outcome-slot index.
-/// Allocating these per call dominates the cost of validating the many
-/// small candidates of a lattice level; threading one scratch through a
-/// whole level (or one per worker thread) makes the steady state
-/// allocation-free.
+/// A validation call needs a group table (the lazy PLI intersection), a
+/// slot-translation buffer for cached partitions, and an
+/// attribute→outcome-slot index. Allocating these per call dominates the
+/// cost of validating the many small candidates of a lattice level;
+/// threading one scratch through a whole level (or one per worker
+/// thread) makes the steady state allocation-free.
 #[derive(Clone, Debug, Default)]
 pub struct ValidatorScratch {
-    /// Group map for ≥3 remaining LHS attributes, keyed by the value
-    /// codes of the remaining attributes.
-    groups_wide: HashMap<Vec<ValueId>, RecordId>,
-    /// Group map for 1–2 remaining LHS attributes, keyed by the codes
-    /// packed into a single `u64` — no per-record `Vec` allocation.
-    groups_packed: HashMap<u64, RecordId>,
-    /// Reused key buffer for the wide path: a fresh `Vec` is only
-    /// allocated when a new group is actually inserted.
-    key_buf: Vec<ValueId>,
+    /// Open-addressed group table shared by the packed and wide paths.
+    table: GroupTable,
+    /// Slot buffer: cached partitions store record ids; their clusters
+    /// are translated to arena slots here before the columnar scan.
+    slot_buf: Vec<u32>,
+    /// Per-cluster list of active RHS attributes that are *not* constant
+    /// over the cluster (the survivors of the constancy pre-pass).
+    live_rhs: Vec<AttrId>,
     /// `slot_of_attr[r]` is the index of RHS attribute `r` in the
     /// current call's `outcomes`, replacing linear scans per violation.
     slot_of_attr: Vec<u32>,
@@ -164,18 +233,29 @@ impl ValidatorScratch {
     }
 }
 
-/// Packs the remaining-LHS value codes of `rec` into one `u64` key
-/// (callable only when at most two attributes remain).
+/// Packs the remaining-LHS value codes of the record at `slot` into one
+/// `u64` key (callable only when at most two attributes remain).
 #[inline]
-fn packed_key(rest: &[AttrId], rec: &[ValueId]) -> u64 {
+fn packed_key(rest: &[AttrId], columns: &[Vec<ValueId>], slot: u32) -> u64 {
     debug_assert!((1..=2).contains(&rest.len()));
-    let hi = rec[rest[0]] as u64;
+    let hi = columns[rest[0]][slot as usize] as u64;
     let lo = if rest.len() == 2 {
-        rec[rest[1]] as u64
+        columns[rest[1]][slot as usize] as u64
     } else {
         0
     };
     hi << 32 | lo
+}
+
+/// FNV-1a over the remaining-LHS codes of the record at `slot` (wide
+/// path: ≥3 remaining attributes, code vector does not fit a `u64`).
+#[inline]
+fn wide_key(rest: &[AttrId], columns: &[Vec<ValueId>], slot: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &a in rest {
+        h = (h ^ columns[a][slot as usize] as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Validates the FD candidates `lhs -> r` for every `r ∈ rhs_set`
@@ -235,18 +315,35 @@ pub fn validate_with(
         .expect("non-empty lhs");
     let rest: Vec<AttrId> = lhs.iter().filter(|&a| a != pivot).collect();
     let rhs_attrs: Vec<AttrId> = rhs_set.to_vec();
+    let slot_rids = rel.slot_rids();
 
-    scan_clusters(
-        rel,
-        rel.pli(pivot).iter().map(|(_, c)| c),
-        &rest,
-        &rhs_attrs,
-        opts,
-        scratch,
-        &mut outcomes,
-        &mut active,
-        &mut stats,
-    );
+    for (_, cluster) in rel.pli(pivot).iter() {
+        if cluster.len() < 2 {
+            stats.singletons_skipped += 1;
+            continue;
+        }
+        if let Some(min_new) = opts.min_new_id {
+            // Rid-sorted cluster: the last slot holds the newest record.
+            let last = *cluster.last().expect("non-empty cluster");
+            if slot_rids[last as usize] < min_new {
+                stats.clusters_pruned += 1;
+                continue;
+            }
+        }
+        stats.clusters_visited += 1;
+        if scan_one_cluster(
+            rel,
+            cluster,
+            &rest,
+            &rhs_attrs,
+            scratch,
+            &mut outcomes,
+            &mut active,
+            &mut stats,
+        ) {
+            break;
+        }
+    }
 
     ValidationResult {
         lhs,
@@ -354,7 +451,9 @@ pub fn validate_cached(
 
 /// Shared core of [`validate_cached`]'s hit/build paths: scan the
 /// cached partition's clusters, refining by the LHS attributes outside
-/// the cached key.
+/// the cached key. Cached clusters store record ids (they must survive
+/// slot reuse between patches); each is translated to arena slots before
+/// the columnar scan.
 fn validate_on_partition(
     rel: &DynamicRelation,
     lhs: AttrSet,
@@ -376,17 +475,38 @@ fn validate_on_partition(
     let rest: Vec<AttrId> = lhs.difference(&key).to_vec();
     let rhs_attrs: Vec<AttrId> = rhs_set.to_vec();
 
-    scan_clusters(
-        rel,
-        part.clusters(),
-        &rest,
-        &rhs_attrs,
-        opts,
-        scratch,
-        &mut outcomes,
-        &mut active,
-        &mut stats,
-    );
+    let mut slot_buf = std::mem::take(&mut scratch.slot_buf);
+    for cluster in part.clusters() {
+        if cluster.len() < 2 {
+            stats.singletons_skipped += 1;
+            continue;
+        }
+        if let Some(min_new) = opts.min_new_id {
+            if *cluster.last().expect("non-empty cluster") < min_new {
+                stats.clusters_pruned += 1;
+                continue;
+            }
+        }
+        stats.clusters_visited += 1;
+        slot_buf.clear();
+        slot_buf.extend(cluster.iter().map(|&rid| {
+            rel.slot_of(rid)
+                .expect("cached partition references live record")
+        }));
+        if scan_one_cluster(
+            rel,
+            &slot_buf,
+            &rest,
+            &rhs_attrs,
+            scratch,
+            &mut outcomes,
+            &mut active,
+            &mut stats,
+        ) {
+            break;
+        }
+    }
+    scratch.slot_buf = slot_buf;
 
     ValidationResult {
         lhs,
@@ -406,37 +526,102 @@ fn prepare_slots(scratch: &mut ValidatorScratch, arity: usize, outcomes: &[(Attr
     }
 }
 
-/// The validation inner loop, shared by every pivot source: scans the
-/// pivot `clusters` (from a single-attribute PLI or a cached
-/// intersection), groups each cluster by the `rest` value codes — the
-/// lazy PLI intersection — and compares group members against their
-/// representative on every still-active RHS. Terminates as soon as all
-/// RHS attributes are resolved.
+/// The validation inner loop for one pivot cluster (a rid-sorted slice
+/// of arena slots): group the cluster by the `rest` value codes — the
+/// lazy PLI intersection — and compare group members against their
+/// representative on every still-active RHS. Returns `true` when every
+/// RHS has been resolved, letting the caller stop scanning entirely.
+///
+/// Witness pairs are deterministic and layout-independent: the
+/// representative of a group is its first member in cluster order, and
+/// the reported violator of an RHS is the first member that disagrees
+/// with its representative — both invariant under the open-addressed
+/// table and the constancy pre-pass (a constant RHS column can produce
+/// no violation, so skipping it never changes which pair is found).
 #[allow(clippy::too_many_arguments)]
-fn scan_clusters<'r>(
+fn scan_one_cluster(
     rel: &DynamicRelation,
-    clusters: impl Iterator<Item = &'r [RecordId]>,
+    cluster: &[u32],
     rest: &[AttrId],
     rhs_attrs: &[AttrId],
-    opts: &ValidationOptions,
     scratch: &mut ValidatorScratch,
     outcomes: &mut [(AttrId, RhsOutcome)],
     active: &mut AttrSet,
     stats: &mut ValidationStats,
-) {
-    let slot_of_attr = &scratch.slot_of_attr;
+) -> bool {
+    let columns = rel.columns();
+    let slot_rids = rel.slot_rids();
+    let ValidatorScratch {
+        table,
+        live_rhs,
+        slot_of_attr,
+        ..
+    } = scratch;
 
-    // Compares `rec` against its group representative's record on every
-    // still-active RHS; returns true when every RHS has been resolved
-    // (i.e. the caller can stop scanning entirely).
+    if rest.is_empty() {
+        // Single-attribute LHS — the bulk of a typical positive cover:
+        // every cluster member is one group, so each active RHS is a
+        // straight column stream over the cluster, abandoned at the first
+        // disagreement with the representative (EAIFD early exit).
+        let rep_slot = cluster[0];
+        for &r in rhs_attrs {
+            if !active.contains(r) {
+                continue;
+            }
+            let col: &[ValueId] = &columns[r];
+            let rep_code = col[rep_slot as usize];
+            for &slot in &cluster[1..] {
+                stats.comparisons += 1;
+                if col[slot as usize] != rep_code {
+                    active.remove(r);
+                    outcomes[slot_of_attr[r] as usize].1 = RhsOutcome::Violated(
+                        slot_rids[rep_slot as usize],
+                        slot_rids[slot as usize],
+                    );
+                    break;
+                }
+            }
+            if active.is_empty() {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    // Constancy pre-pass: an RHS whose column is constant over the whole
+    // cluster cannot be violated inside it, whatever the grouping. Each
+    // scan is a contiguous gather abandoned at the first second value.
+    live_rhs.clear();
+    for &r in rhs_attrs {
+        if !active.contains(r) {
+            continue;
+        }
+        let col: &[ValueId] = &columns[r];
+        let first = col[cluster[0] as usize];
+        if cluster[1..].iter().any(|&s| col[s as usize] != first) {
+            live_rhs.push(r);
+        }
+    }
+    if live_rhs.is_empty() {
+        return false;
+    }
+
+    table.reset(cluster.len());
+    // Compares the record at `slot` against its group representative on
+    // every surviving RHS; returns true when all RHS are resolved.
     macro_rules! compare {
-        ($rep:expr, $rid:expr, $rep_rec:expr, $rec:expr) => {{
+        ($rep_slot:expr, $slot:expr) => {{
             stats.comparisons += 1;
             let mut done = false;
-            for &r in rhs_attrs {
-                if active.contains(r) && $rep_rec[r] != $rec[r] {
+            for &r in live_rhs.iter() {
+                if active.contains(r)
+                    && columns[r][$rep_slot as usize] != columns[r][$slot as usize]
+                {
                     active.remove(r);
-                    outcomes[slot_of_attr[r] as usize].1 = RhsOutcome::Violated($rep, $rid);
+                    outcomes[slot_of_attr[r] as usize].1 = RhsOutcome::Violated(
+                        slot_rids[$rep_slot as usize],
+                        slot_rids[$slot as usize],
+                    );
                     if active.is_empty() {
                         done = true;
                         break;
@@ -447,73 +632,34 @@ fn scan_clusters<'r>(
         }};
     }
 
-    'clusters: for cluster in clusters {
-        if cluster.len() < 2 {
-            stats.singletons_skipped += 1;
-            continue;
-        }
-        if let Some(min_new) = opts.min_new_id {
-            // Sorted cluster: the last element is the maximum id.
-            if *cluster.last().expect("non-empty cluster") < min_new {
-                stats.clusters_pruned += 1;
-                continue;
-            }
-        }
-        stats.clusters_visited += 1;
-        if rest.is_empty() {
-            // Fast path for single-attribute LHS — the bulk of a typical
-            // positive cover: every cluster member shares the (empty)
-            // remaining-LHS key, so the group map degenerates to
-            // "compare everyone against the first member".
-            let rep = cluster[0];
-            let rep_rec = rel.compressed(rep).expect("live representative");
-            for &rid in &cluster[1..] {
-                let rec = rel.compressed(rid).expect("PLI references live record");
-                if compare!(rep, rid, rep_rec, rec) {
-                    break 'clusters;
+    if rest.len() <= 2 {
+        // Packed path: the remaining-LHS key fits one u64 exactly, so a
+        // signature match *is* group membership.
+        for &slot in cluster {
+            let key = packed_key(rest, columns, slot);
+            if let Some(rep_slot) = table.probe(key, slot, |_| true) {
+                if compare!(rep_slot, slot) {
+                    return true;
                 }
             }
-        } else if rest.len() <= 2 {
-            // Packed path: the remaining-LHS key fits one u64, so
-            // grouping allocates nothing at all.
-            let groups = &mut scratch.groups_packed;
-            groups.clear();
-            for &rid in cluster {
-                let rec = rel.compressed(rid).expect("PLI references live record");
-                match groups.entry(packed_key(rest, rec)) {
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(rid);
-                    }
-                    std::collections::hash_map::Entry::Occupied(e) => {
-                        let rep = *e.get();
-                        let rep_rec = rel.compressed(rep).expect("live representative");
-                        if compare!(rep, rid, rep_rec, rec) {
-                            break 'clusters;
-                        }
-                    }
-                }
-            }
-        } else {
-            // Wide path: key is the remaining-LHS code vector. The key
-            // is built in a reused buffer and only cloned into an owned
-            // `Vec` when a *new* group appears.
-            let groups = &mut scratch.groups_wide;
-            groups.clear();
-            for &rid in cluster {
-                let rec = rel.compressed(rid).expect("PLI references live record");
-                scratch.key_buf.clear();
-                scratch.key_buf.extend(rest.iter().map(|&a| rec[a]));
-                if let Some(&rep) = groups.get(scratch.key_buf.as_slice()) {
-                    let rep_rec = rel.compressed(rep).expect("live representative");
-                    if compare!(rep, rid, rep_rec, rec) {
-                        break 'clusters;
-                    }
-                } else {
-                    groups.insert(scratch.key_buf.clone(), rid);
+        }
+    } else {
+        // Wide path: the signature is a hash of the remaining-LHS codes;
+        // a match verifies the codes through the columns.
+        for &slot in cluster {
+            let key = wide_key(rest, columns, slot);
+            let found = table.probe(key, slot, |rep_slot| {
+                rest.iter()
+                    .all(|&a| columns[a][rep_slot as usize] == columns[a][slot as usize])
+            });
+            if let Some(rep_slot) = found {
+                if compare!(rep_slot, slot) {
+                    return true;
                 }
             }
         }
     }
+    false
 }
 
 /// `∅ -> A` holds iff column A is constant over the live records; the
@@ -530,7 +676,7 @@ fn validate_empty_lhs(rel: &DynamicRelation, rhs_set: AttrSet) -> ValidationResu
                 let mut it = pli.iter();
                 let (_, c1) = it.next().expect("first cluster");
                 let (_, c2) = it.next().expect("second cluster");
-                RhsOutcome::Violated(c1[0], c2[0])
+                RhsOutcome::Violated(rel.rid_at_slot(c1[0]), rel.rid_at_slot(c2[0]))
             };
             (r, outcome)
         })
@@ -754,6 +900,54 @@ mod tests {
     }
 
     #[test]
+    fn constancy_pre_pass_matches_grouped_verdicts() {
+        // Mixed clusters: some all-constant on the RHS (pre-pass skips
+        // the group table), some not (grouped scan finds the violation).
+        let rows: Vec<Vec<String>> = (0..60)
+            .map(|i| {
+                vec![
+                    format!("p{}", i / 12),           // pivot: clusters of 12
+                    format!("q{}", i / 4),            // rest attr
+                    format!("r{}", i % 2),            // rest attr
+                    if i / 12 == 3 {
+                        format!("x{i}") // cluster 3: RHS varies per record
+                    } else {
+                        format!("c{}", i / 12) // constant per pivot cluster
+                    },
+                ]
+            })
+            .collect();
+        let r = DynamicRelation::from_rows(Schema::anonymous("t", 4), &rows).unwrap();
+        let res = validate(
+            &r,
+            lhs(&[0, 1, 2]),
+            AttrSet::single(3),
+            &ValidationOptions::full(),
+        );
+        // Cluster 3 groups records agreeing on all of q, r — e.g. rows
+        // 36 and 38 share (p3, q9, r0) but differ on column 3.
+        assert!(!res.outcome(3).is_valid());
+        let RhsOutcome::Violated(a, b) = res.outcome(3) else {
+            panic!()
+        };
+        let (ra, rb) = (r.compressed(a).unwrap(), r.compressed(b).unwrap());
+        for l in [0, 1, 2] {
+            assert_eq!(ra[l], rb[l]);
+        }
+        assert_ne!(ra[3], rb[3]);
+
+        // All-constant RHS per group: valid, and the pre-pass means no
+        // comparisons at all were needed in fully-constant clusters.
+        let res = validate(
+            &r,
+            lhs(&[0, 1]),
+            AttrSet::single(2),
+            &ValidationOptions::full(),
+        );
+        assert!(!res.outcome(2).is_valid());
+    }
+
+    #[test]
     fn agree_sets() {
         let r = paper();
         // Records 0 and 1: agree on firstname, zip, city; differ lastname.
@@ -889,5 +1083,29 @@ mod tests {
         // Potsdam → f -> c becomes valid.
         r.delete_record(RecordId(2)).unwrap();
         assert!(validate_fd(&r, &Fd::new(lhs(&[0]), 3), &ValidationOptions::full()).is_valid());
+    }
+
+    #[test]
+    fn validation_survives_slot_churn() {
+        // Verdicts and witnesses key on record ids even when slot reuse
+        // scrambles the arena relative to rid order.
+        let mut r = paper();
+        r.delete_record(RecordId(0)).unwrap();
+        r.delete_record(RecordId(2)).unwrap();
+        // Reuses slots LIFO: rid 4 takes record 2's slot, rid 5 record 0's.
+        r.insert_row(&["Max", "Jones", "10115", "Berlin"]).unwrap();
+        r.insert_row(&["Max", "Jones", "14482", "Potsdam"]).unwrap();
+        r.check_arena_invariants().unwrap();
+        // Same logical content as the paper relation (ids shifted):
+        // f -> c still violated, z -> c still valid.
+        let out = validate_fd(&r, &Fd::new(lhs(&[0]), 3), &ValidationOptions::full());
+        let RhsOutcome::Violated(a, b) = out else {
+            panic!("f -> c must stay violated")
+        };
+        let (ra, rb) = (r.compressed(a).unwrap(), r.compressed(b).unwrap());
+        assert_eq!(ra[0], rb[0]);
+        assert_ne!(ra[3], rb[3]);
+        assert!(a < b, "witness pair ordered by scan order (rid order)");
+        assert!(validate_fd(&r, &Fd::new(lhs(&[2]), 3), &ValidationOptions::full()).is_valid());
     }
 }

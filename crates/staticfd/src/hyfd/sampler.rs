@@ -37,14 +37,16 @@ impl Sampler {
         for a in 0..arity {
             let mut per_attr: Vec<Vec<RecordId>> = Vec::new();
             for (_, cluster) in rel.pli(a).iter_non_singleton() {
-                let mut c = cluster.to_vec();
+                // Clusters hold arena slots; the sampler works on record
+                // ids (stable across slot churn while it runs).
+                let mut c: Vec<RecordId> = cluster.iter().map(|&s| rel.rid_at_slot(s)).collect();
                 // Similarity sort: lexicographic by compressed record
                 // brings records with many common values next to each
                 // other, making window-1 neighbors high-yield pairs.
                 c.sort_by(|&x, &y| {
                     rel.compressed(x)
                         .expect("live")
-                        .cmp(rel.compressed(y).expect("live"))
+                        .cmp(&rel.compressed(y).expect("live"))
                 });
                 per_attr.push(c);
             }

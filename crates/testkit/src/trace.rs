@@ -41,16 +41,23 @@ pub enum TraceProfile {
     /// cluster per column, the worst case for cluster pruning and the
     /// violation search.
     NullHeavy,
+    /// Heavy delete/reinsert interleaving over a modest relation: waves
+    /// of deletes immediately followed by waves of inserts, so arena
+    /// slots are freed and re-occupied constantly. Stresses the columnar
+    /// store's free-list reuse, generation bookkeeping, and the
+    /// rid-sorted cluster order under slot recycling.
+    SlotChurn,
 }
 
 impl TraceProfile {
     /// All profiles, in the order the fuzz binary cycles through them.
-    pub const ALL: [TraceProfile; 5] = [
+    pub const ALL: [TraceProfile; 6] = [
         TraceProfile::Uniform,
         TraceProfile::ZipfSkewed,
         TraceProfile::AllDuplicates,
         TraceProfile::KeyHeavy,
         TraceProfile::NullHeavy,
+        TraceProfile::SlotChurn,
     ];
 
     /// The profile's name as used in repro files and reports.
@@ -61,6 +68,7 @@ impl TraceProfile {
             TraceProfile::AllDuplicates => "all-duplicates",
             TraceProfile::KeyHeavy => "key-heavy",
             TraceProfile::NullHeavy => "null-heavy",
+            TraceProfile::SlotChurn => "slot-churn",
         }
     }
 
@@ -156,6 +164,30 @@ impl TraceProfile {
                     .collect();
                 TableSpec::new("null-heavy", cols)
             }
+            TraceProfile::SlotChurn => {
+                // One key column plus small-domain categoricals: deleted
+                // and reinserted rows frequently land in the *same* PLI
+                // clusters their predecessors vacated, so a stale slot
+                // surviving anywhere shows up as a wrong verdict.
+                let cols = (0..width)
+                    .map(|i| match i % 4 {
+                        0 => ColumnModel::Key,
+                        1 => ColumnModel::Categorical {
+                            cardinality: 2,
+                            skew: 1.0,
+                        },
+                        2 => ColumnModel::Categorical {
+                            cardinality: 4,
+                            skew: 0.5,
+                        },
+                        _ => ColumnModel::Categorical {
+                            cardinality: 3,
+                            skew: 0.0,
+                        },
+                    })
+                    .collect();
+                TableSpec::new("slot-churn", cols)
+            }
         }
     }
 }
@@ -240,6 +272,38 @@ impl Trace {
             .collect();
 
         let mut ops = Vec::with_capacity(op_count);
+        if profile == TraceProfile::SlotChurn {
+            // Alternating delete and insert waves: every delete wave
+            // pushes slots onto the free-list, the following insert wave
+            // pops them back off (LIFO), so the same arena slots are
+            // recycled across many generations within one trace.
+            let mut deleting = true;
+            while ops.len() < op_count {
+                let wave = rng.gen_range(2usize..=4).min(op_count - ops.len());
+                for _ in 0..wave {
+                    if deleting {
+                        ops.push(TraceOp::DeleteNth(rng.gen_range(0usize..64)));
+                    } else if rng.gen_bool(0.15) {
+                        // A few updates keep the delete+insert-in-one-op
+                        // path (deferred deletes, slot handoff) hot too.
+                        let row = spec.generate_row(&mut rng, &mut key_counter);
+                        ops.push(TraceOp::UpdateNth(rng.gen_range(0usize..64), row));
+                    } else {
+                        let row = spec.generate_row(&mut rng, &mut key_counter);
+                        ops.push(TraceOp::Insert(row));
+                    }
+                }
+                deleting = !deleting;
+            }
+            return Trace {
+                seed,
+                profile: profile.name().to_string(),
+                schema: spec.schema(),
+                initial_rows,
+                ops,
+                batch_size: batch_size.max(1),
+            };
+        }
         for _ in 0..op_count {
             match rng.gen_range(0u32..10) {
                 // 40 % inserts, and occasionally an exact duplicate of an
@@ -384,7 +448,9 @@ mod tests {
 
     #[test]
     fn cases_cycle_all_profiles() {
-        let names: Vec<String> = (0..5).map(|c| Trace::for_case(3, c).profile).collect();
+        let names: Vec<String> = (0..TraceProfile::ALL.len() as u64)
+            .map(|c| Trace::for_case(3, c).profile)
+            .collect();
         for p in TraceProfile::ALL {
             assert!(names.contains(&p.name().to_string()), "{}", p.name());
         }

@@ -1,0 +1,257 @@
+//! The columnar arena must be invisible in the results: replaying any
+//! change trace through the columnar [`DynamicRelation`] and through the
+//! retained row-oriented reference store
+//! ([`RowStoreRelation`](dynfd::relation::RowStoreRelation)) must yield
+//! bit-identical records, validation verdicts, *and violation
+//! witnesses* — and the full engine on top of the columnar layout must
+//! stay thread-count invariant (covers, §5.2 annotations, and the
+//! per-batch validation job counts) at 1, 2, and 8 threads.
+//!
+//! This is the gate for the columnar-store PR: slot reuse, free-list
+//! order, and dense-PLI iteration order may differ internally, but
+//! nothing observable may move.
+
+use dynfd::common::{AttrSet, Fd, RecordId, Schema};
+use dynfd::core::{BatchResult, DynFd, DynFdConfig};
+use dynfd::relation::{
+    validate, validate_rowstore, Batch, ChangeOp, DynamicRelation, RowStoreRelation,
+    ValidationOptions,
+};
+use dynfd_testkit::Trace;
+use proptest::prelude::*;
+
+const COLS: usize = 4;
+
+/// Both stores replayed batch by batch; verdicts and witnesses compared
+/// after every batch under the full and (where applicable) delta-pruned
+/// validation options.
+fn assert_layouts_agree(
+    initial: &[Vec<String>],
+    batches: &[Batch],
+    schema: Schema,
+    label: &str,
+) {
+    let mut reference = RowStoreRelation::from_rows(schema.clone(), initial)
+        .expect("reference store accepts the trace");
+    let mut columnar =
+        DynamicRelation::from_rows(schema, initial).expect("columnar store accepts the trace");
+    let arity = columnar.arity();
+
+    // Every 1-ary LHS with all remaining attributes as simultaneous
+    // RHS (exercises the multi-RHS group tables), plus every 2-ary LHS.
+    let mut candidates: Vec<(AttrSet, AttrSet)> = Vec::new();
+    for a in 0..arity {
+        let lhs = AttrSet::single(a);
+        let rhs: AttrSet = (0..arity).filter(|&r| r != a).collect();
+        candidates.push((lhs, rhs));
+        for b in (a + 1)..arity {
+            let lhs: AttrSet = [a, b].into_iter().collect();
+            let rhs: AttrSet = (0..arity).filter(|&r| r != a && r != b).collect();
+            if !rhs.is_empty() {
+                candidates.push((lhs, rhs));
+            }
+        }
+    }
+
+    for (i, batch) in batches.iter().enumerate() {
+        let (ins, del, first_new) = reference
+            .apply_batch(batch)
+            .expect("reference batch application");
+        let applied = columnar.apply_batch(batch).expect("columnar batch application");
+        assert_eq!(ins, applied.inserted, "{label}: batch {i} inserted set");
+        assert_eq!(del, applied.deleted, "{label}: batch {i} deleted set");
+        assert_eq!(
+            first_new, applied.first_new_id,
+            "{label}: batch {i} id watermark"
+        );
+        assert_eq!(
+            applied.inserted.len(),
+            applied.inserted_slots.len(),
+            "{label}: batch {i} slot list not aligned with inserts"
+        );
+        for (rid, &slot) in applied.inserted.iter().zip(&applied.inserted_slots) {
+            assert_eq!(
+                columnar.slot_of(*rid),
+                Some(slot),
+                "{label}: batch {i} reported a stale slot for {rid}"
+            );
+        }
+
+        // Record-level equality, id by id.
+        assert_eq!(reference.len(), columnar.len(), "{label}: batch {i} len");
+        for rid in columnar.record_ids() {
+            assert_eq!(
+                reference.compressed(rid),
+                columnar.compressed(rid).map(|r| r.to_vec()).as_deref(),
+                "{label}: batch {i}: record {rid} diverged"
+            );
+        }
+
+        // Verdict + witness equality under both pruning regimes.
+        let mut option_sets = vec![ValidationOptions::full()];
+        if let Some(first) = first_new {
+            option_sets.push(ValidationOptions::delta(first));
+        }
+        for opts in &option_sets {
+            for &(lhs, rhs) in &candidates {
+                let old = validate_rowstore(&reference, lhs, rhs, opts);
+                let new = validate(&columnar, lhs, rhs, opts);
+                assert_eq!(
+                    old.outcomes, new.outcomes,
+                    "{label}: batch {i}: layouts diverged on {lhs:?} -> {rhs:?} ({opts:?})"
+                );
+            }
+        }
+        columnar
+            .check_arena_invariants()
+            .unwrap_or_else(|e| panic!("{label}: batch {i}: arena invariants: {e}"));
+    }
+}
+
+/// The §5.2 annotation dump plus per-batch results of one engine replay.
+type Replay = (Vec<BatchResult>, Vec<(Fd, (RecordId, RecordId))>, DynFd);
+
+fn replay_engine(trace: &Trace, threads: usize) -> Replay {
+    let config = DynFdConfig {
+        parallelism: threads,
+        ..DynFdConfig::default()
+    };
+    let mut dynfd = DynFd::new(trace.to_relation(), config);
+    let results: Vec<BatchResult> = trace
+        .to_batches()
+        .iter()
+        .map(|b| dynfd.apply_batch(b).expect("trace batches apply cleanly"))
+        .collect();
+    let annotations = dynfd.violation_annotations();
+    (results, annotations, dynfd)
+}
+
+#[test]
+fn testkit_traces_replay_identically_across_layouts() {
+    for case in 0..6 {
+        let trace = Trace::for_case(23, case);
+        let label = format!("case {case} ({})", trace.profile);
+        assert_layouts_agree(
+            &trace.initial_rows,
+            &trace.to_batches(),
+            trace.schema.clone(),
+            &label,
+        );
+    }
+}
+
+#[test]
+fn engine_on_columnar_store_is_thread_count_invariant() {
+    // Covers, annotations, and the dispatched job counts must not
+    // depend on the worker count — the columnar validator feeding the
+    // parallel fan-out is deterministic per job.
+    for case in 0..4 {
+        let trace = Trace::for_case(29, case);
+        let seq = replay_engine(&trace, 1);
+        seq.2.verify_consistency().expect("sequential replay consistent");
+        for threads in [2usize, 8] {
+            let par = replay_engine(&trace, threads);
+            let label = format!("case {case} ({}), {threads} threads", trace.profile);
+            assert_eq!(seq.1, par.1, "{label}: annotations diverged");
+            assert_eq!(
+                seq.2.positive_cover(),
+                par.2.positive_cover(),
+                "{label}: positive covers diverged"
+            );
+            assert_eq!(
+                seq.2.negative_cover(),
+                par.2.negative_cover(),
+                "{label}: negative covers diverged"
+            );
+            assert_eq!(seq.0.len(), par.0.len());
+            for (i, (s, p)) in seq.0.iter().zip(&par.0).enumerate() {
+                assert_eq!(s.added, p.added, "{label}: added FDs, batch {i}");
+                assert_eq!(s.removed, p.removed, "{label}: removed FDs, batch {i}");
+                assert_eq!(
+                    s.metrics.validation_jobs(),
+                    p.metrics.validation_jobs(),
+                    "{label}: validation job count diverged at batch {i}"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property-based variant: random churn scripts, random batch sizes.
+// ---------------------------------------------------------------------------
+
+fn arb_row() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec((0u8..3).prop_map(|v| format!("v{v}")), COLS)
+}
+
+#[derive(Clone, Debug)]
+enum ScriptOp {
+    Insert(Vec<String>),
+    DeleteNth(usize),
+    UpdateNth(usize, Vec<String>),
+}
+
+fn arb_script() -> impl Strategy<Value = Vec<ScriptOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            2 => arb_row().prop_map(ScriptOp::Insert),
+            // Deletes weighted up relative to the determinism suite:
+            // slot reuse is the hazard this gate exists for.
+            2 => (0usize..32).prop_map(ScriptOp::DeleteNth),
+            1 => ((0usize..32), arb_row()).prop_map(|(i, r)| ScriptOp::UpdateNth(i, r)),
+        ],
+        1..30,
+    )
+}
+
+fn to_batches(script: &[ScriptOp], initial: usize, batch_size: usize) -> Vec<Batch> {
+    let mut live: Vec<RecordId> = (0..initial as u64).map(RecordId).collect();
+    let mut next_id = initial as u64;
+    let mut ops = Vec::new();
+    for op in script {
+        match op {
+            ScriptOp::Insert(row) => {
+                ops.push(ChangeOp::Insert(row.clone()));
+                live.push(RecordId(next_id));
+                next_id += 1;
+            }
+            ScriptOp::DeleteNth(i) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let rid = live.remove(i % live.len());
+                ops.push(ChangeOp::Delete(rid));
+            }
+            ScriptOp::UpdateNth(i, row) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let rid = live.remove(i % live.len());
+                ops.push(ChangeOp::Update(rid, row.clone()));
+                live.push(RecordId(next_id));
+                next_id += 1;
+            }
+        }
+    }
+    Batch::chunk(ops, batch_size)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_churn_replays_identically_across_layouts(
+        initial in proptest::collection::vec(arb_row(), 0..12),
+        script in arb_script(),
+        batch_size in 1usize..8,
+    ) {
+        let batches = to_batches(&script, initial.len(), batch_size);
+        assert_layouts_agree(
+            &initial,
+            &batches,
+            Schema::anonymous("p", COLS),
+            "random script",
+        );
+    }
+}

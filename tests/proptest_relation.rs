@@ -99,11 +99,18 @@ proptest! {
             rel.apply_batch(&batch).unwrap();
             let rebuilt = rel.rebuild_from_scratch();
             prop_assert_eq!(rel.len(), rebuilt.len());
+            // Clusters hold arena slots, and the incremental relation's
+            // slot layout legitimately differs from the rebuilt one's —
+            // compare the rid-level partitions instead.
+            let rid_clusters = |r: &DynamicRelation, attr: usize| -> Vec<Vec<RecordId>> {
+                r.pli(attr)
+                    .iter()
+                    .map(|(_, c)| c.iter().map(|&s| r.rid_at_slot(s)).collect())
+                    .collect()
+            };
             for attr in 0..COLS {
-                let mut a: Vec<Vec<RecordId>> =
-                    rel.pli(attr).iter().map(|(_, c)| c.to_vec()).collect();
-                let mut b: Vec<Vec<RecordId>> =
-                    rebuilt.pli(attr).iter().map(|(_, c)| c.to_vec()).collect();
+                let mut a = rid_clusters(&rel, attr);
+                let mut b = rid_clusters(&rebuilt, attr);
                 a.sort();
                 b.sort();
                 prop_assert_eq!(a, b, "partition of column {} diverged", attr);
