@@ -23,12 +23,7 @@ fn bench_pli_insert(c: &mut Criterion) {
                     Pli::new,
                     |mut pli| {
                         for i in 0..10_000u64 {
-                            pli.insert(
-                                (i % clusters as u64) as u32,
-                                i as u32,
-                                RecordId(i),
-                                &rids,
-                            );
+                            pli.insert((i % clusters as u64) as u32, i as u32, RecordId(i), &rids);
                         }
                         pli
                     },

@@ -98,7 +98,10 @@ fn bench_layout_scale(c: &mut Criterion) {
     for profile in PAPER_PROFILES {
         let mut p = profile.scaled_to_rows(rows);
         p.changes = p.changes.min(MAX_CHANGES);
-        eprintln!("[scale] generating {} at {} rows...", p.name, p.initial_rows);
+        eprintln!(
+            "[scale] generating {} at {} rows...",
+            p.name, p.initial_rows
+        );
         let data = GeneratedDataset::generate(&p);
         let mut columnar = data.to_relation();
         let reference = RowStoreRelation::from_rows(data.schema.clone(), &data.initial_rows)
@@ -115,7 +118,9 @@ fn bench_layout_scale(c: &mut Criterion) {
                 b.iter(|| {
                     jobs.iter()
                         .map(|&(lhs, rhs)| {
-                            validate(&columnar, black_box(lhs), rhs, &full).outcomes.len()
+                            validate(&columnar, black_box(lhs), rhs, &full)
+                                .outcomes
+                                .len()
                         })
                         .sum::<usize>()
                 })

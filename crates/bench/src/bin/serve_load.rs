@@ -1,0 +1,304 @@
+//! Load generator for the multi-tenant serve engine.
+//!
+//! Drives N concurrent tenant streams through a [`ServeEngine`] worker
+//! pool and reports per-batch submit→completion latency percentiles and
+//! aggregate throughput, as JSON, for a grid of tenant shapes:
+//!
+//! ```text
+//! cargo run --release -p dynfd-bench --bin serve_load -- \
+//!     [--out BENCH_serve.json] [--tenants 1,8,64] [--batches 200] \
+//!     [--workers 0] [--width 5] [--rows 32] [--seed 7]
+//! ```
+//!
+//! Each tenant replays its own deterministic synthetic trace (`--width`
+//! columns, `--rows` initial rows, `--batches` single-op batches of
+//! ~50 % inserts / 25 % deletes / 25 % updates, seeded per tenant), so
+//! every shape runs the identical per-tenant workload and the shapes
+//! differ only in how many streams contend for the pool. Submission is
+//! open-loop under the blocking admission policy: the full interleaved
+//! backlog is offered as fast as admission allows, so latency includes
+//! queue wait — the saturated-server number, which is the one that
+//! matters for capacity planning. Workers default to the machine's
+//! available parallelism (`--workers 0`).
+
+use dynfd_serve::{AdmissionPolicy, ServeConfig, ServeEngine};
+use dynfd_testkit::{Trace, TraceOp};
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "usage: serve_load [--out PATH] [--tenants 1,8,64] [--batches N] \
+                     [--workers N] [--width N] [--rows N] [--seed N]";
+
+struct Args {
+    out: String,
+    tenants: Vec<usize>,
+    batches: usize,
+    workers: usize,
+    width: usize,
+    rows: usize,
+    seed: u64,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: "BENCH_serve.json".into(),
+        tenants: vec![1, 8, 64],
+        batches: 200,
+        workers: 0,
+        width: 5,
+        rows: 32,
+        seed: 7,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+                .clone()
+        };
+        match arg.as_str() {
+            "--out" => args.out = value("--out"),
+            "--tenants" => {
+                args.tenants = value("--tenants")
+                    .split(',')
+                    .map(|s| s.parse().unwrap_or_else(|_| die("--tenants: bad count")))
+                    .collect();
+                if args.tenants.is_empty() {
+                    die("--tenants: need at least one shape");
+                }
+            }
+            "--batches" => args.batches = value("--batches").parse().unwrap_or_else(|_| die(USAGE)),
+            "--workers" => args.workers = value("--workers").parse().unwrap_or_else(|_| die(USAGE)),
+            "--width" => args.width = value("--width").parse().unwrap_or_else(|_| die(USAGE)),
+            "--rows" => args.rows = value("--rows").parse().unwrap_or_else(|_| die(USAGE)),
+            "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| die(USAGE)),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+    if args.batches == 0 || args.width < 2 {
+        die("--batches must be positive and --width at least 2");
+    }
+    args
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// A deterministic synthetic tenant workload: `batches` single-op
+/// batches over a `width`-column relation with column domains that
+/// shrink left to right (so real FDs appear and churn as rows come and
+/// go). Hand-built rather than `Trace::for_case` so the batch count is
+/// an exact knob instead of a draw.
+fn synthetic_trace(seed: u64, width: usize, rows: usize, batches: usize) -> Trace {
+    let row = |k: u64| -> Vec<String> {
+        (0..width)
+            .map(|c| {
+                let domain = 2u64 << (width - c).min(12);
+                format!("v{}", splitmix(k ^ (c as u64) << 40) % domain)
+            })
+            .collect()
+    };
+    let initial_rows: Vec<Vec<String>> = (0..rows as u64).map(|i| row(seed ^ i)).collect();
+    let mut next_key = rows as u64;
+    let ops: Vec<TraceOp> = (0..batches as u64)
+        .map(|i| match splitmix(seed ^ 0xB00C ^ i) % 4 {
+            0 | 1 => {
+                next_key += 1;
+                TraceOp::Insert(row(seed ^ next_key))
+            }
+            2 => TraceOp::DeleteNth(splitmix(seed ^ i) as usize),
+            _ => {
+                next_key += 1;
+                TraceOp::UpdateNth(splitmix(seed ^ i) as usize, row(seed ^ next_key))
+            }
+        })
+        .collect();
+    Trace {
+        seed,
+        profile: "serve-load".into(),
+        schema: dynfd_common::Schema::anonymous("load", width),
+        initial_rows,
+        ops,
+        batch_size: 1,
+    }
+}
+
+struct ShapeResult {
+    tenants: usize,
+    workers: usize,
+    batches: u64,
+    wall: Duration,
+    latencies: Vec<Duration>,
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn run_shape(args: &Args, tenants: usize) -> ShapeResult {
+    let traces: Vec<(String, Trace)> = (0..tenants)
+        .map(|t| {
+            let name = format!("t{t}");
+            let trace = synthetic_trace(
+                args.seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                args.width,
+                args.rows,
+                args.batches,
+            );
+            (name, trace)
+        })
+        .collect();
+    let engine = Arc::new(ServeEngine::new(ServeConfig {
+        workers: args.workers,
+        queue_capacity: 256,
+        policy: AdmissionPolicy::Block,
+        root: None,
+        ..ServeConfig::default()
+    }));
+    for (name, trace) in &traces {
+        engine
+            .open_tenant(name, trace.schema.clone(), &trace.initial_rows)
+            .unwrap_or_else(|e| {
+                eprintln!("open {name}: {e}");
+                std::process::exit(1);
+            });
+    }
+
+    let latencies: Arc<Mutex<Vec<Duration>>> = Arc::default();
+    let failures = Arc::new(AtomicU64::new(0));
+    let mut streams: Vec<(&str, std::vec::IntoIter<dynfd_relation::Batch>)> = traces
+        .iter()
+        .map(|(name, trace)| (name.as_str(), trace.to_batches().into_iter()))
+        .collect();
+    let start = Instant::now();
+    let mut request_id = 0u64;
+    loop {
+        let mut any = false;
+        for (name, stream) in &mut streams {
+            let Some(batch) = stream.next() else { continue };
+            any = true;
+            request_id += 1;
+            let sink = Arc::clone(&latencies);
+            let failed = Arc::clone(&failures);
+            engine
+                .submit(name, request_id, batch, move |reply| {
+                    if reply.outcome.is_err() {
+                        failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    sink.lock().unwrap().push(reply.latency);
+                })
+                .unwrap_or_else(|e| {
+                    eprintln!("submit to {name}: {e}");
+                    std::process::exit(1);
+                });
+        }
+        if !any {
+            break;
+        }
+    }
+    engine.quiesce();
+    let wall = start.elapsed();
+    if failures.load(Ordering::Relaxed) != 0 {
+        eprintln!(
+            "{} batches failed — synthetic workloads must replay cleanly",
+            failures.load(Ordering::Relaxed)
+        );
+        std::process::exit(1);
+    }
+    let workers = engine.worker_count();
+    let mut latencies = std::mem::take(&mut *latencies.lock().unwrap());
+    latencies.sort();
+    ShapeResult {
+        tenants,
+        workers,
+        batches: request_id,
+        wall,
+        latencies,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut shapes = Vec::new();
+    for &tenants in &args.tenants {
+        let result = run_shape(&args, tenants);
+        let throughput = result.batches as f64 / result.wall.as_secs_f64();
+        eprintln!(
+            "{:>3} tenants x {} batches on {} workers: {:>9.0} batches/s, \
+             p50 {:?}, p99 {:?}",
+            result.tenants,
+            args.batches,
+            result.workers,
+            throughput,
+            percentile(&result.latencies, 0.50),
+            percentile(&result.latencies, 0.99),
+        );
+        shapes.push(result);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"multi-tenant serve load\",\n");
+    json.push_str(&format!("  \"batches_per_tenant\": {},\n", args.batches));
+    json.push_str(&format!("  \"width\": {},\n", args.width));
+    json.push_str(&format!("  \"initial_rows\": {},\n", args.rows));
+    json.push_str(&format!("  \"seed\": {},\n", args.seed));
+    json.push_str(&format!(
+        "  \"available_cores\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    json.push_str("  \"shapes\": [\n");
+    for (i, s) in shapes.iter().enumerate() {
+        let sep = if i + 1 == shapes.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"tenants\": {}, \"workers\": {}, \"batches\": {}, \
+             \"wall_ms\": {:.1}, \"throughput_batches_per_sec\": {:.1}, \
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"max_us\": {:.1}}}{sep}\n",
+            s.tenants,
+            s.workers,
+            s.batches,
+            s.wall.as_secs_f64() * 1e3,
+            s.batches as f64 / s.wall.as_secs_f64(),
+            percentile(&s.latencies, 0.50).as_secs_f64() * 1e6,
+            percentile(&s.latencies, 0.99).as_secs_f64() * 1e6,
+            s.latencies
+                .last()
+                .copied()
+                .unwrap_or_default()
+                .as_secs_f64()
+                * 1e6,
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let mut file = std::fs::File::create(&args.out).unwrap_or_else(|e| {
+        eprintln!("create {}: {e}", args.out);
+        std::process::exit(1);
+    });
+    file.write_all(json.as_bytes()).unwrap_or_else(|e| {
+        eprintln!("write {}: {e}", args.out);
+        std::process::exit(1);
+    });
+    println!("wrote {}", args.out);
+}

@@ -141,6 +141,25 @@ impl FdEngine {
         Self::recover_with_config(dir, DynFdConfig::default())
     }
 
+    /// Opens a durable engine in `dir`: recovers the existing state when
+    /// a WAL is present, creates a fresh engine from `rel` otherwise.
+    /// This is the tenant-open path of the multi-tenant serve layer —
+    /// re-opening a tenant directory must resume, never start over.
+    /// Returns the recovery report when state was recovered (`None` for
+    /// a fresh engine).
+    pub fn recover_or_create(
+        dir: &Path,
+        rel: DynamicRelation,
+        config: DynFdConfig,
+    ) -> DynFdResult<(Self, Option<RecoveryReport>)> {
+        if wal_path(dir).exists() {
+            let (engine, report) = Self::recover_with_config(dir, config)?;
+            Ok((engine, Some(report)))
+        } else {
+            Ok((Self::create(dir, rel, config)?, None))
+        }
+    }
+
     /// Recovers from the newest valid snapshot plus the WAL tail.
     ///
     /// The FD covers are configuration-invariant, but the §5.2
@@ -350,6 +369,23 @@ impl FdEngine {
     /// The wrapped in-memory engine (covers, annotations, relation).
     pub fn dynfd(&self) -> &DynFd {
         &self.engine
+    }
+
+    /// Mutable access to the wrapped in-memory engine. For harnesses
+    /// that arm failpoints ([`DynFd::arm_failpoint`]) on a durable
+    /// engine; mutating maintained *state* through this handle without
+    /// going through [`FdEngine::apply_batch`] breaks the durability
+    /// contract (the WAL would no longer replay to the same state).
+    pub fn dynfd_mut(&mut self) -> &mut DynFd {
+        &mut self.engine
+    }
+
+    /// Flushes and fsyncs the WAL tail (data + metadata). Appends are
+    /// already `fdatasync`ed per batch; the clean-shutdown path calls
+    /// this once more so file-length metadata after any rewind is
+    /// durable too before the process exits.
+    pub fn sync_all(&mut self) -> io::Result<()> {
+        self.wal.sync()
     }
 
     /// Sequence number of the last successfully applied batch.

@@ -182,6 +182,16 @@ impl Wal {
         self.rewind_to(WAL_MAGIC.len() as u64)
     }
 
+    /// Forces file metadata *and* data to stable storage. Appends
+    /// already `fdatasync` their payload; this is the shutdown-path
+    /// belt-and-suspenders that also covers metadata (file length)
+    /// after a rewind, so a clean exit leaves nothing in flight.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_all()?;
+        self.fsyncs += 1;
+        Ok(())
+    }
+
     /// Reads and validates `path` frame by frame, stopping at the first
     /// torn or corrupt frame. Never fails on *content* — only real I/O
     /// errors (missing file, permission) surface as `Err`.

@@ -198,11 +198,7 @@ mod tests {
         let mut d = Dictionary::new();
         d.encode("shared");
         let in_list = &d.values()[0];
-        let in_map = d
-            .codes
-            .keys()
-            .next()
-            .expect("one interned key");
+        let in_map = d.codes.keys().next().expect("one interned key");
         assert!(
             Arc::ptr_eq(in_list, in_map),
             "map key and value list share one allocation"

@@ -125,10 +125,8 @@ impl Pli {
         let new_start = self.alloc_range(new_class);
         // Ranges are disjoint (the new one is freed or fresh), so a
         // straight copy_within is safe.
-        self.data.copy_within(
-            start as usize..(start + len) as usize,
-            new_start as usize,
-        );
+        self.data
+            .copy_within(start as usize..(start + len) as usize, new_start as usize);
         self.free_range(start, class);
         self.meta[idx].start = new_start;
         self.meta[idx].class = new_class;
@@ -241,7 +239,13 @@ impl Pli {
     /// range recycled.
     ///
     /// Returns `true` if the record was present.
-    pub fn remove(&mut self, value: ValueId, slot: u32, rid: RecordId, slot_rids: &[RecordId]) -> bool {
+    pub fn remove(
+        &mut self,
+        value: ValueId,
+        slot: u32,
+        rid: RecordId,
+        slot_rids: &[RecordId],
+    ) -> bool {
         let Some(idx) = self.head(value) else {
             return false;
         };
@@ -298,15 +302,17 @@ impl Pli {
     /// Iterates `(value, cluster)` pairs in ascending value-code order —
     /// the same order the former `BTreeMap` layout iterated in.
     pub fn iter(&self) -> impl Iterator<Item = (ValueId, &[u32])> {
-        self.heads.iter().enumerate().filter_map(|(value, &idx)| {
-            (idx != NONE).then(|| {
+        self.heads
+            .iter()
+            .enumerate()
+            .filter(|&(_, &idx)| idx != NONE)
+            .map(|(value, &idx)| {
                 let m = self.meta[idx as usize];
                 (
                     value as ValueId,
                     &self.data[m.start as usize..(m.start + m.len) as usize],
                 )
             })
-        })
     }
 
     /// Iterates only clusters with two or more records — the *stripped*

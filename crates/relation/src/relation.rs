@@ -633,7 +633,9 @@ impl DynamicRelation {
 
         // Phase 3: deletes that referenced same-batch inserts.
         for rid in deferred_deletes {
-            let codes = self.row_codes_boxed(rid).expect("validated same-batch insert");
+            let codes = self
+                .row_codes_boxed(rid)
+                .expect("validated same-batch insert");
             self.delete_record(rid)?;
             undo.ops.push(UndoOp::Removed(rid, codes));
             applied.inserted.retain(|&r| r != rid);
@@ -650,7 +652,8 @@ impl DynamicRelation {
 
     /// The record's codes as an owned boxed slice (undo-log payloads).
     fn row_codes_boxed(&self, rid: RecordId) -> Option<Box<[ValueId]>> {
-        self.compressed(rid).map(|row| row.to_vec().into_boxed_slice())
+        self.compressed(rid)
+            .map(|row| row.to_vec().into_boxed_slice())
     }
 
     /// Reverse-replays the undo log of a batch, restoring the relation to
@@ -845,7 +848,9 @@ impl DynamicRelation {
             schema,
             dictionaries,
             plis: (0..arity).map(|_| Pli::new()).collect(),
-            columns: (0..arity).map(|_| Vec::with_capacity(records.len())).collect(),
+            columns: (0..arity)
+                .map(|_| Vec::with_capacity(records.len()))
+                .collect(),
             slot_rids: Vec::with_capacity(records.len()),
             slot_of: Vec::new(),
             free: Vec::new(),
@@ -1084,7 +1089,10 @@ impl DynamicRelation {
                 }
             }
             if entries != self.live {
-                return fail(format!("PLI {attr} indexes {entries} of {} records", self.live));
+                return fail(format!(
+                    "PLI {attr} indexes {entries} of {} records",
+                    self.live
+                ));
             }
         }
         Ok(())

@@ -207,12 +207,7 @@ pub fn validate_rowstore(
 
     let pivot = lhs
         .iter()
-        .min_by_key(|&a| {
-            (
-                rel.plis[a].values().map(Vec::len).max().unwrap_or(0),
-                a,
-            )
-        })
+        .min_by_key(|&a| (rel.plis[a].values().map(Vec::len).max().unwrap_or(0), a))
         .expect("non-empty lhs");
     let rest: Vec<AttrId> = lhs.iter().filter(|&a| a != pivot).collect();
     let rhs_attrs: Vec<AttrId> = active.to_vec();

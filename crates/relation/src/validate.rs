@@ -906,9 +906,9 @@ mod tests {
         let rows: Vec<Vec<String>> = (0..60)
             .map(|i| {
                 vec![
-                    format!("p{}", i / 12),           // pivot: clusters of 12
-                    format!("q{}", i / 4),            // rest attr
-                    format!("r{}", i % 2),            // rest attr
+                    format!("p{}", i / 12), // pivot: clusters of 12
+                    format!("q{}", i / 4),  // rest attr
+                    format!("r{}", i % 2),  // rest attr
                     if i / 12 == 3 {
                         format!("x{i}") // cluster 3: RHS varies per record
                     } else {

@@ -1,0 +1,168 @@
+//! `dynfd-serve`: a multi-tenant concurrent serve layer over the DynFD
+//! engine.
+//!
+//! Every tenant is one independent relation with its own WAL directory
+//! and [`dynfd_persist::FdEngine`]; a sharded worker pool applies
+//! interleaved batch streams with per-tenant FIFO order, bounded
+//! admission (backpressure or load-shedding), and typed wire errors
+//! drawn from the [`dynfd_core::DynFdError`] taxonomy. The wire format
+//! is a length-prefixed binary framing over any byte stream
+//! (stdin/stdout, unix socket); see [`wire`] and DESIGN.md §6g.
+//!
+//! The load-bearing properties — per-tenant determinism at any worker
+//! count, cross-tenant isolation under faults, exactly-once response
+//! discipline under wire damage, and drain-then-sync shutdown — are
+//! each pinned by a dedicated test suite (`tests/serve_determinism.rs`,
+//! `tests/tenant_isolation.rs`, the `wire-*` fuzz injections, and the
+//! `serve-drain` crash-harness case).
+
+#![warn(missing_docs)]
+
+mod metrics;
+mod queue;
+mod server;
+mod session;
+mod tenant;
+pub mod wire;
+
+pub use metrics::MetricsSnapshot;
+pub use server::{
+    AdmissionPolicy, ApplySummary, BatchReply, OpenReport, ServeConfig, ServeEngine, ShutdownReport,
+};
+pub use session::{serve_connection, ConnectionReport};
+pub use tenant::valid_tenant_name;
+
+use dynfd_core::DynFdError;
+use std::fmt;
+
+/// Wire error code for a full tenant queue under the shed policy.
+pub const CODE_OVERLOADED: u32 = 13;
+/// Wire error code for a batch addressed to an unregistered tenant.
+pub const CODE_UNKNOWN_TENANT: u32 = 14;
+/// Wire error code for opening a tenant name that is already live.
+pub const CODE_TENANT_EXISTS: u32 = 15;
+/// Wire error code for submissions after shutdown began.
+pub const CODE_SHUTTING_DOWN: u32 = 16;
+
+/// A typed serve-layer failure. Engine failures pass through with their
+/// PR 3 exit codes; the serve layer adds admission/lifecycle codes in
+/// the 13–16 range (engine codes stop at 12).
+#[derive(Debug)]
+pub enum ServeError {
+    /// The tenant's engine rejected or failed the batch.
+    Engine(DynFdError),
+    /// Admission refused: the tenant's queue is at capacity (shed
+    /// policy only — the block policy waits instead).
+    Overloaded {
+        /// The tenant whose queue is full.
+        tenant: String,
+        /// In-flight batches at refusal time.
+        depth: usize,
+        /// The configured per-tenant bound.
+        capacity: usize,
+    },
+    /// The named tenant is not registered.
+    UnknownTenant(String),
+    /// An `Open` named a tenant that is already live.
+    TenantExists(String),
+    /// The server is draining; no new work is admitted.
+    ShuttingDown,
+    /// The request was syntactically invalid (bad frame payload or
+    /// tenant name).
+    Malformed(String),
+}
+
+impl ServeError {
+    /// The stable wire error code (also the CLI exit code for fatal
+    /// serve errors): engine errors keep their exit codes (3–12),
+    /// serve-layer conditions use 13–16, malformed input maps to the
+    /// parse code 4.
+    pub fn wire_code(&self) -> u32 {
+        match self {
+            ServeError::Engine(e) => u32::from(e.exit_code()),
+            ServeError::Overloaded { .. } => CODE_OVERLOADED,
+            ServeError::UnknownTenant(_) => CODE_UNKNOWN_TENANT,
+            ServeError::TenantExists(_) => CODE_TENANT_EXISTS,
+            ServeError::ShuttingDown => CODE_SHUTTING_DOWN,
+            ServeError::Malformed(_) => 4,
+        }
+    }
+
+    /// Whether this is an orderly per-request rejection (the tenant and
+    /// server remain healthy) rather than an internal fault.
+    pub fn is_rejection(&self) -> bool {
+        match self {
+            ServeError::Engine(e) => e.is_rejection(),
+            _ => true,
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Engine(e) => write!(f, "engine: {e}"),
+            ServeError::Overloaded {
+                tenant,
+                depth,
+                capacity,
+            } => write!(
+                f,
+                "tenant {tenant:?} overloaded: {depth} in flight (capacity {capacity})"
+            ),
+            ServeError::UnknownTenant(name) => write!(f, "unknown tenant {name:?}"),
+            ServeError::TenantExists(name) => write!(f, "tenant {name:?} already exists"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Malformed(detail) => write!(f, "malformed request: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_codes_extend_the_engine_taxonomy_without_collision() {
+        // Engine exit codes end at 12 (SnapshotCorrupt); serve-layer
+        // codes must stay clear of them so a wire code is unambiguous.
+        let serve_codes = [
+            CODE_OVERLOADED,
+            CODE_UNKNOWN_TENANT,
+            CODE_TENANT_EXISTS,
+            CODE_SHUTTING_DOWN,
+        ];
+        assert_eq!(serve_codes, [13, 14, 15, 16]);
+        assert_eq!(
+            ServeError::Overloaded {
+                tenant: "t".into(),
+                depth: 4,
+                capacity: 4
+            }
+            .wire_code(),
+            13
+        );
+        assert_eq!(ServeError::UnknownTenant("t".into()).wire_code(), 14);
+        assert_eq!(ServeError::TenantExists("t".into()).wire_code(), 15);
+        assert_eq!(ServeError::ShuttingDown.wire_code(), 16);
+        assert_eq!(ServeError::Malformed("x".into()).wire_code(), 4);
+        assert_eq!(
+            ServeError::Engine(DynFdError::ArityMismatch {
+                expected: 3,
+                actual: 2
+            })
+            .wire_code(),
+            7
+        );
+        assert!(ServeError::ShuttingDown.is_rejection());
+    }
+}

@@ -1,0 +1,114 @@
+//! Per-tenant serve metrics.
+//!
+//! All counters are relaxed atomics: they are operator telemetry, not
+//! synchronization. The one consistency property tests rely on — after
+//! a quiesce, `submitted == applied + rejected + shed` — holds because
+//! every submit path increments exactly one of the three outcome
+//! counters before the batch's completion fires.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Live counters for one tenant (see the module docs).
+#[derive(Debug, Default)]
+pub struct TenantMetrics {
+    submitted: AtomicU64,
+    applied: AtomicU64,
+    rejected: AtomicU64,
+    shed: AtomicU64,
+    fds_added: AtomicU64,
+    fds_removed: AtomicU64,
+    max_depth: AtomicU64,
+    latency_total_nanos: AtomicU64,
+    latency_max_nanos: AtomicU64,
+}
+
+/// A point-in-time copy of a tenant's counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Batches offered to this tenant (every outcome).
+    pub submitted: u64,
+    /// Batches durably applied.
+    pub applied: u64,
+    /// Batches the engine rejected (typed `DynFdError` rejections and
+    /// rolled-back internal faults).
+    pub rejected: u64,
+    /// Batches shed at admission (queue full under the shed policy).
+    pub shed: u64,
+    /// Minimal FDs added across all applied batches.
+    pub fds_added: u64,
+    /// Minimal FDs removed across all applied batches.
+    pub fds_removed: u64,
+    /// High-water mark of the tenant's in-flight queue depth.
+    pub max_depth: u64,
+    /// Sum of submit→completion latency over applied + rejected batches.
+    pub latency_total: Duration,
+    /// Worst single submit→completion latency.
+    pub latency_max: Duration,
+}
+
+impl TenantMetrics {
+    /// Records an admission attempt reaching depth `depth`.
+    pub fn note_submitted(&self, depth: usize) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.max_depth.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// Records a load-shed (admission refused).
+    pub fn note_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a completed batch: applied or rejected, with its
+    /// submit→completion latency and (when applied) the FD delta sizes.
+    pub fn note_completed(&self, applied: bool, added: u64, removed: u64, latency: Duration) {
+        if applied {
+            self.applied.fetch_add(1, Ordering::Relaxed);
+            self.fds_added.fetch_add(added, Ordering::Relaxed);
+            self.fds_removed.fetch_add(removed, Ordering::Relaxed);
+        } else {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        let nanos = latency.as_nanos().min(u64::MAX as u128) as u64;
+        self.latency_total_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.latency_max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Copies the counters out.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            applied: self.applied.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            fds_added: self.fds_added.load(Ordering::Relaxed),
+            fds_removed: self.fds_removed.load(Ordering::Relaxed),
+            max_depth: self.max_depth.load(Ordering::Relaxed),
+            latency_total: Duration::from_nanos(self.latency_total_nanos.load(Ordering::Relaxed)),
+            latency_max: Duration::from_nanos(self.latency_max_nanos.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcomes_partition_submissions() {
+        let m = TenantMetrics::default();
+        m.note_submitted(1);
+        m.note_completed(true, 2, 1, Duration::from_micros(5));
+        m.note_submitted(2);
+        m.note_completed(false, 0, 0, Duration::from_micros(9));
+        m.note_submitted(3);
+        m.note_shed();
+        let s = m.snapshot();
+        assert_eq!(s.submitted, 3);
+        assert_eq!(s.applied + s.rejected + s.shed, 3);
+        assert_eq!((s.fds_added, s.fds_removed), (2, 1));
+        assert_eq!(s.max_depth, 3);
+        assert_eq!(s.latency_max, Duration::from_micros(9));
+        assert_eq!(s.latency_total, Duration::from_micros(14));
+    }
+}

@@ -1,0 +1,557 @@
+//! The sharded multi-tenant engine server.
+//!
+//! One [`ServeEngine`] owns a tenant registry and a pool of worker
+//! threads. Every tenant is pinned to exactly one worker shard (FNV of
+//! its name modulo the pool size), each shard consumes its own FIFO
+//! queue, and admission happens against the tenant's bounded gate
+//! before a job is ever enqueued. The combination yields the layer's
+//! two load-bearing properties:
+//!
+//! * **determinism** — a tenant's batches are applied in submission
+//!   order at any worker count, because only its one shard ever touches
+//!   its engine and the shard queue is FIFO (pinned by
+//!   `tests/serve_determinism.rs`);
+//! * **isolation** — a tenant that floods, rejects, or panics affects
+//!   only its own gate, metrics, and (on an escaped panic) its own
+//!   poisoned engine lock; every other tenant's state and throughput
+//!   are untouched (pinned by `tests/tenant_isolation.rs`).
+//!
+//! Shutdown is drain-then-sync: the intake closes (new submissions get
+//! [`ServeError::ShuttingDown`]), every queued job still completes,
+//! workers join, and each durable tenant's WAL tail is fsynced. The
+//! `drain_kill_after` hook aborts the process mid-drain — the crash
+//! harness uses it to prove recovery works from inside that window.
+
+use crate::metrics::MetricsSnapshot;
+use crate::queue::ShardQueue;
+use crate::tenant::{valid_tenant_name, Backend, Tenant};
+use crate::ServeError;
+use dynfd_common::Schema;
+use dynfd_core::{DynFd, DynFdConfig, DynFdError, FailPoint};
+use dynfd_persist::{FdEngine, RecoveryReport};
+use dynfd_relation::{Batch, DynamicRelation};
+use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// What happens when a tenant's queue is full at submit time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Reject immediately with [`ServeError::Overloaded`] (wire code
+    /// 13) — the production load-shedding default.
+    #[default]
+    Shed,
+    /// Block the submitter until a slot frees up — lossless
+    /// backpressure, used by the deterministic replay harnesses and by
+    /// clients that prefer latency over errors.
+    Block,
+}
+
+/// Configuration of a [`ServeEngine`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads (= shards). `0` means one per available core.
+    pub workers: usize,
+    /// Per-tenant bound on in-flight batches (admission gate capacity).
+    pub queue_capacity: usize,
+    /// Full-queue behavior.
+    pub policy: AdmissionPolicy,
+    /// Durable root: each tenant gets `<root>/<name>/` as its WAL
+    /// directory. `None` serves purely in-memory tenants.
+    pub root: Option<PathBuf>,
+    /// Engine configuration shared by every tenant.
+    pub engine: DynFdConfig,
+    /// Start with delivery paused: jobs queue but no worker runs them
+    /// until [`ServeEngine::resume`] — the deterministic-burst test hook.
+    pub start_paused: bool,
+    /// Crash-harness hook: during shutdown's drain, abort the process
+    /// after this many more jobs complete (`>= 1`; `None` disables).
+    pub drain_kill_after: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            queue_capacity: 64,
+            policy: AdmissionPolicy::Shed,
+            root: None,
+            engine: DynFdConfig::default(),
+            start_paused: false,
+            drain_kill_after: None,
+        }
+    }
+}
+
+/// The outcome of one applied (or failed) batch, delivered to the
+/// submitter's completion callback.
+#[derive(Debug)]
+pub struct BatchReply {
+    /// The tenant the batch targeted.
+    pub tenant: String,
+    /// The submitter's correlation id (wire request id).
+    pub request_id: u64,
+    /// Success summary, or the typed failure.
+    pub outcome: Result<ApplySummary, ServeError>,
+    /// Submit→completion latency.
+    pub latency: Duration,
+}
+
+/// Success details of one applied batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ApplySummary {
+    /// The tenant's sequence number after this batch.
+    pub seq: u64,
+    /// Minimal FDs the batch added.
+    pub added: u32,
+    /// Minimal FDs the batch removed.
+    pub removed: u32,
+    /// Live rows after the batch.
+    pub rows: u64,
+}
+
+/// What [`ServeEngine::shutdown`] drained and synced.
+#[derive(Debug, Default)]
+pub struct ShutdownReport {
+    /// Registered tenants at shutdown.
+    pub tenants: usize,
+    /// Tenants whose WAL tail was fsynced cleanly.
+    pub synced: usize,
+    /// Tenants whose final sync failed, with the I/O error.
+    pub sync_errors: Vec<(String, String)>,
+    /// Tenants skipped because an earlier panic poisoned their engine.
+    pub poisoned: Vec<String>,
+}
+
+/// Result of opening a tenant: its durable sequence number and, when
+/// the tenant resumed from an existing WAL directory, the recovery
+/// report.
+#[derive(Debug)]
+pub struct OpenReport {
+    /// Sequence number the tenant starts serving from (0 when fresh).
+    pub seq: u64,
+    /// Present when the tenant recovered durable state.
+    pub recovered: Option<RecoveryReport>,
+}
+
+type Completion = Box<dyn FnOnce(BatchReply) + Send>;
+
+struct Job {
+    tenant: Arc<Tenant>,
+    batch: Batch,
+    request_id: u64,
+    submitted: Instant,
+    done: Completion,
+}
+
+/// Mid-drain abort hook (see [`ServeConfig::drain_kill_after`]).
+#[derive(Default)]
+struct DrainKill {
+    armed: AtomicBool,
+    budget: AtomicU64,
+}
+
+/// The multi-tenant serve engine (see the module docs).
+pub struct ServeEngine {
+    shards: Vec<Arc<ShardQueue<Job>>>,
+    workers: Vec<JoinHandle<()>>,
+    tenants: Mutex<HashMap<String, Arc<Tenant>>>,
+    config: ServeConfig,
+    closed: AtomicBool,
+    drain: Arc<DrainKill>,
+}
+
+/// FNV-1a, hand-rolled so the tenant→shard map is stable across
+/// platforms and std versions (std's `DefaultHasher` promises nothing).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// Renders a caught panic payload for the typed reply.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Applies one job to its tenant and fires the completion. Runs on a
+/// worker thread; never unwinds (panics become typed replies).
+fn run_job(job: Job) {
+    let Job {
+        tenant,
+        batch,
+        request_id,
+        submitted,
+        done,
+    } = job;
+    let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        tenant.with_backend(|backend| {
+            backend.apply(&batch).map(|result| ApplySummary {
+                seq: backend.seq(),
+                added: result.added.len() as u32,
+                removed: result.removed.len() as u32,
+                rows: backend.dynfd().relation().len() as u64,
+            })
+        })
+    }));
+    let outcome: Result<ApplySummary, ServeError> = match caught {
+        Ok(Ok(Ok(summary))) => Ok(summary),
+        Ok(Ok(Err(engine_err))) => Err(ServeError::Engine(engine_err)),
+        // Poisoned lock from an earlier escaped panic.
+        Ok(Err(poisoned)) => Err(poisoned),
+        // A panic that escaped the engine's own transactional boundary:
+        // the unwind poisoned this tenant's lock on the way out, so the
+        // damage is contained to this tenant (later batches get the
+        // poisoned-tenant error above); the worker itself survives.
+        Err(payload) => Err(ServeError::Engine(DynFdError::PhasePanicked {
+            phase: "serve-worker",
+            detail: panic_text(payload.as_ref()),
+        })),
+    };
+    let latency = submitted.elapsed();
+    let (applied, added, removed) = match &outcome {
+        Ok(s) => (true, s.added as u64, s.removed as u64),
+        Err(_) => (false, 0, 0),
+    };
+    tenant
+        .metrics
+        .note_completed(applied, added, removed, latency);
+    // Completion fires *before* the gate slot is released: quiesce
+    // (gate idle) must imply every reply has been delivered.
+    done(BatchReply {
+        tenant: tenant.name.clone(),
+        request_id,
+        outcome,
+        latency,
+    });
+    tenant.gate.release();
+}
+
+fn worker_loop(queue: Arc<ShardQueue<Job>>, drain: Arc<DrainKill>) {
+    while let Some(job) = queue.pop() {
+        run_job(job);
+        if drain.armed.load(Ordering::SeqCst) && drain.budget.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Simulated crash inside the queue-drain window: the job
+            // just completed is durable, everything still queued is not.
+            std::process::abort();
+        }
+    }
+}
+
+impl ServeEngine {
+    /// Starts the worker pool (no tenants yet).
+    pub fn new(config: ServeConfig) -> ServeEngine {
+        let n = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(4, |n| n.get())
+        } else {
+            config.workers
+        };
+        let drain = Arc::new(DrainKill {
+            armed: AtomicBool::new(false),
+            budget: AtomicU64::new(config.drain_kill_after.unwrap_or(0)),
+        });
+        // Arm at shutdown only: workers check the flag per job, and the
+        // engine flips it right before closing the queues.
+        let shards: Vec<Arc<ShardQueue<Job>>> = (0..n)
+            .map(|_| Arc::new(ShardQueue::new(config.start_paused)))
+            .collect();
+        let workers = shards
+            .iter()
+            .map(|shard| {
+                let shard = Arc::clone(shard);
+                let drain = Arc::clone(&drain);
+                std::thread::spawn(move || worker_loop(shard, drain))
+            })
+            .collect();
+        ServeEngine {
+            shards,
+            workers,
+            tenants: Mutex::new(HashMap::new()),
+            config,
+            closed: AtomicBool::new(false),
+            drain,
+        }
+    }
+
+    /// The resolved worker/shard count.
+    pub fn worker_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The engine configuration tenants run with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The durable directory of `name`, when serving durably.
+    pub fn tenant_dir(&self, name: &str) -> Option<PathBuf> {
+        self.config.root.as_ref().map(|root| root.join(name))
+    }
+
+    fn lookup(&self, name: &str) -> Result<Arc<Tenant>, ServeError> {
+        let tenants = self
+            .tenants
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        tenants
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownTenant(name.to_string()))
+    }
+
+    fn tenant_arcs(&self) -> Vec<Arc<Tenant>> {
+        let tenants = self
+            .tenants
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut arcs: Vec<Arc<Tenant>> = tenants.values().cloned().collect();
+        arcs.sort_by(|a, b| a.name.cmp(&b.name));
+        arcs
+    }
+
+    /// Opens tenant `name` with the given schema and initial rows, or
+    /// recovers it from `<root>/<name>/` when durable state exists
+    /// there (the rows are then ignored; the schema must match).
+    pub fn open_tenant(
+        &self,
+        name: &str,
+        schema: Schema,
+        rows: &[Vec<String>],
+    ) -> Result<OpenReport, ServeError> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        if !valid_tenant_name(name) {
+            return Err(ServeError::Malformed(format!(
+                "invalid tenant name {name:?} (want [A-Za-z0-9_.-]{{1,128}})"
+            )));
+        }
+        {
+            let tenants = self
+                .tenants
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if tenants.contains_key(name) {
+                return Err(ServeError::TenantExists(name.to_string()));
+            }
+        }
+        // Build the backend outside the registry lock: recovery can
+        // replay an arbitrarily long WAL and must not stall the others.
+        let rel = DynamicRelation::from_rows(schema.clone(), rows)
+            .map_err(|e| ServeError::Engine(DynFdError::from(e)))?;
+        let (backend, recovered) = match self.tenant_dir(name) {
+            Some(dir) => {
+                let (engine, report) = FdEngine::recover_or_create(&dir, rel, self.config.engine)
+                    .map_err(ServeError::Engine)?;
+                if let Some(report) = &report {
+                    let durable = engine.dynfd().relation().schema();
+                    if durable.columns() != schema.columns() {
+                        return Err(ServeError::Engine(DynFdError::Parse(format!(
+                            "tenant {name:?} durable state is for columns {:?}, the open asked for {:?}",
+                            durable.columns(),
+                            schema.columns()
+                        ))));
+                    }
+                    let _ = report; // report returned to the caller below
+                }
+                (Backend::Durable(engine), report)
+            }
+            None => (
+                Backend::Memory(DynFd::new(rel, self.config.engine), 0),
+                None,
+            ),
+        };
+        let shard = (fnv1a(name.as_bytes()) % self.shards.len() as u64) as usize;
+        let tenant = Arc::new(Tenant::new(name.to_string(), shard, backend));
+        let seq = tenant.with_backend(|b| b.seq()).unwrap_or_default();
+        let mut tenants = self
+            .tenants
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Two concurrent opens of the same name: first insert wins.
+        if tenants.contains_key(name) {
+            return Err(ServeError::TenantExists(name.to_string()));
+        }
+        tenants.insert(name.to_string(), tenant);
+        Ok(OpenReport { seq, recovered })
+    }
+
+    /// Submits one batch for `tenant`. On success the batch is queued
+    /// and `done` fires exactly once from a worker thread; on error the
+    /// batch was *not* queued (`done` never fires) and the caller owns
+    /// the typed rejection — admission failures are synchronous by
+    /// design so the wire layer can shed load without waiting.
+    pub fn submit(
+        &self,
+        tenant: &str,
+        request_id: u64,
+        batch: Batch,
+        done: impl FnOnce(BatchReply) + Send + 'static,
+    ) -> Result<(), ServeError> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let tenant = self.lookup(tenant)?;
+        let capacity = self.config.queue_capacity.max(1);
+        let depth = match self.config.policy {
+            AdmissionPolicy::Shed => match tenant.gate.try_acquire(capacity) {
+                Ok(depth) => depth,
+                Err(depth) => {
+                    tenant.metrics.note_submitted(depth);
+                    tenant.metrics.note_shed();
+                    return Err(ServeError::Overloaded {
+                        tenant: tenant.name.clone(),
+                        depth,
+                        capacity,
+                    });
+                }
+            },
+            AdmissionPolicy::Block => tenant.gate.acquire_blocking(capacity),
+        };
+        tenant.metrics.note_submitted(depth);
+        let shard = tenant.shard;
+        let job = Job {
+            tenant: Arc::clone(&tenant),
+            batch,
+            request_id,
+            submitted: Instant::now(),
+            done: Box::new(done),
+        };
+        match self.shards[shard].push(job) {
+            Ok(()) => Ok(()),
+            Err(_job) => {
+                // Raced with shutdown: un-admit and report.
+                tenant.gate.release();
+                Err(ServeError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Blocks until every tenant's queue is idle (no batch in flight).
+    /// Meaningful only once the submitters have stopped.
+    pub fn quiesce(&self) {
+        for tenant in self.tenant_arcs() {
+            tenant.gate.wait_idle();
+        }
+    }
+
+    /// Pauses delivery on every shard (queued jobs are retained).
+    pub fn pause(&self) {
+        for shard in &self.shards {
+            shard.set_paused(true);
+        }
+    }
+
+    /// Resumes delivery on every shard.
+    pub fn resume(&self) {
+        for shard in &self.shards {
+            shard.set_paused(false);
+        }
+    }
+
+    /// Runs `f` against a tenant's engine (read-only view). Waits for
+    /// the engine lock, so call it quiesced unless racy reads are fine.
+    pub fn with_tenant<R>(&self, name: &str, f: impl FnOnce(&DynFd) -> R) -> Result<R, ServeError> {
+        let tenant = self.lookup(name)?;
+        tenant.with_backend(|b| f(b.dynfd()))
+    }
+
+    /// Arms a deterministic failpoint on a tenant's engine (fault
+    /// injection harnesses; see [`DynFd::arm_failpoint`]).
+    pub fn arm_failpoint(&self, name: &str, fp: FailPoint) -> Result<(), ServeError> {
+        let tenant = self.lookup(name)?;
+        tenant.with_backend(|b| b.dynfd_mut().arm_failpoint(fp))
+    }
+
+    /// A tenant's durable sequence number.
+    pub fn tenant_seq(&self, name: &str) -> Result<u64, ServeError> {
+        let tenant = self.lookup(name)?;
+        tenant.with_backend(|b| b.seq())
+    }
+
+    /// A tenant's metrics snapshot.
+    pub fn metrics(&self, name: &str) -> Result<MetricsSnapshot, ServeError> {
+        Ok(self.lookup(name)?.metrics.snapshot())
+    }
+
+    /// A tenant's current in-flight batch count.
+    pub fn queue_depth(&self, name: &str) -> Result<usize, ServeError> {
+        Ok(self.lookup(name)?.gate.depth())
+    }
+
+    /// All tenant names, sorted.
+    pub fn tenant_names(&self) -> Vec<String> {
+        self.tenant_arcs().iter().map(|t| t.name.clone()).collect()
+    }
+
+    /// Total jobs sitting in shard queues right now (diagnostics).
+    pub fn queued_jobs(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether the intake has been closed by [`ServeEngine::shutdown`].
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+
+    /// Drains and stops the pool: closes the intake, lets every queued
+    /// job complete (resuming paused shards), joins the workers, then
+    /// fsyncs each durable tenant's WAL tail. With
+    /// [`ServeConfig::drain_kill_after`] armed, the process aborts
+    /// mid-drain instead — the crash-harness window.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        self.closed.store(true, Ordering::SeqCst);
+        if self.config.drain_kill_after.is_some() {
+            // Budget was pre-loaded at construction; arm the check only
+            // now so that jobs completed *before* the drain window never
+            // count against it.
+            self.drain.armed.store(true, Ordering::SeqCst);
+        }
+        self.resume();
+        for shard in &self.shards {
+            shard.close();
+        }
+        for handle in std::mem::take(&mut self.workers) {
+            let _ = handle.join();
+        }
+        let mut report = ShutdownReport::default();
+        for tenant in self.tenant_arcs() {
+            report.tenants += 1;
+            match tenant.with_backend(|b| b.sync()) {
+                Ok(Ok(())) => report.synced += 1,
+                Ok(Err(e)) => report
+                    .sync_errors
+                    .push((tenant.name.clone(), e.to_string())),
+                Err(_) => report.poisoned.push(tenant.name.clone()),
+            }
+        }
+        report
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        // A dropped engine (shutdown not called, or called — both reach
+        // here) must not leave workers blocked forever on open queues.
+        self.closed.store(true, Ordering::SeqCst);
+        for shard in &self.shards {
+            shard.close();
+        }
+        for handle in std::mem::take(&mut self.workers) {
+            let _ = handle.join();
+        }
+    }
+}

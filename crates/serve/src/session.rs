@@ -1,0 +1,171 @@
+//! One framed client connection: the read-decode-dispatch loop.
+//!
+//! [`serve_connection`] reads frames off a byte stream, dispatches them
+//! to a shared [`ServeEngine`], and writes typed responses back. The
+//! contract the wire fuzzer pins:
+//!
+//! * every well-formed frame is answered **exactly once** — applies are
+//!   answered asynchronously from the worker that ran them, everything
+//!   else synchronously from the read loop;
+//! * a frame whose payload does not decode is answered once with a
+//!   typed parse error (best-effort request id) and the stream stays in
+//!   sync;
+//! * framing damage (torn or impossible length prefix) is answered once
+//!   with a typed error and the loop stops — by definition the stream
+//!   cannot be resynchronized;
+//! * the server never crashes on wire input.
+//!
+//! Responses from different tenants may interleave in any order (the
+//! `request_id` is the correlation key); responses for one tenant are
+//! written in application order because only its one shard produces them.
+
+use crate::server::ServeEngine;
+use crate::wire::{self, FrameError, Request, Response, CODE_PARSE};
+use crate::ServeError;
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// What one connection processed, returned when its stream ends.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConnectionReport {
+    /// Frames read off the stream (well-formed or not).
+    pub frames: u64,
+    /// Responses written back.
+    pub responses: u64,
+    /// Whether the client asked for shutdown (the caller owns actually
+    /// draining the engine).
+    pub shutdown_requested: bool,
+}
+
+/// A writer shared between the read loop and worker completions, with a
+/// response counter for the exactly-once accounting.
+struct SharedWriter<W> {
+    writer: Mutex<W>,
+    responses: AtomicU64,
+}
+
+impl<W: Write> SharedWriter<W> {
+    /// Writes one response frame. Write failures are swallowed: the
+    /// client is gone and tearing down the connection is the read
+    /// loop's job (its next read fails), not a worker thread's.
+    fn send(&self, resp: &Response) {
+        let payload = wire::encode_response(resp);
+        let mut writer = self
+            .writer
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if wire::write_frame(&mut *writer, &payload).is_ok() {
+            self.responses.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+fn error_response(request_id: u64, tenant: &str, err: &ServeError) -> Response {
+    let code = err.wire_code().min(u8::MAX as u32) as u8;
+    Response::error(request_id, tenant, code, err.to_string())
+}
+
+/// Serves one framed connection against `engine` until the stream ends,
+/// framing breaks, the client requests shutdown, or `stop` reports true
+/// between frames (the CLI's SIGINT hook; pass `|| false` when unused).
+///
+/// Before returning, the engine is quiesced so every in-flight apply
+/// has written its response — the writer is never dropped with replies
+/// outstanding.
+pub fn serve_connection<R: Read, W: Write + Send + 'static>(
+    engine: &Arc<ServeEngine>,
+    mut reader: R,
+    writer: W,
+    stop: impl Fn() -> bool,
+) -> ConnectionReport {
+    let shared = Arc::new(SharedWriter {
+        writer: Mutex::new(writer),
+        responses: AtomicU64::new(0),
+    });
+    let mut frames = 0u64;
+    let mut shutdown_requested = false;
+    loop {
+        if stop() {
+            break;
+        }
+        match wire::read_frame(&mut reader) {
+            Ok(None) => break,
+            Ok(Some(payload)) => {
+                frames += 1;
+                match wire::decode_request(&payload) {
+                    Ok(Request::Open {
+                        request_id,
+                        tenant,
+                        columns,
+                        rows,
+                    }) => {
+                        let schema = dynfd_common::Schema::new(tenant.clone(), columns);
+                        match engine.open_tenant(&tenant, schema, &rows) {
+                            Ok(report) => {
+                                shared.send(&Response::ok(request_id, &tenant, report.seq, 0, 0))
+                            }
+                            Err(err) => shared.send(&error_response(request_id, &tenant, &err)),
+                        }
+                    }
+                    Ok(Request::Apply {
+                        request_id,
+                        tenant,
+                        batch,
+                    }) => {
+                        let completion_writer = Arc::clone(&shared);
+                        let submitted = engine.submit(&tenant, request_id, batch, move |reply| {
+                            let resp = match reply.outcome {
+                                Ok(s) => Response::ok(
+                                    reply.request_id,
+                                    &reply.tenant,
+                                    s.seq,
+                                    s.added,
+                                    s.removed,
+                                ),
+                                Err(err) => error_response(reply.request_id, &reply.tenant, &err),
+                            };
+                            completion_writer.send(&resp);
+                        });
+                        // Admission failures are synchronous: the job was
+                        // never queued, so the reply is ours to write.
+                        if let Err(err) = submitted {
+                            shared.send(&error_response(request_id, &tenant, &err));
+                        }
+                    }
+                    Ok(Request::Shutdown { request_id }) => {
+                        shutdown_requested = true;
+                        shared.send(&Response::ok(request_id, "", 0, 0, 0));
+                        break;
+                    }
+                    Err((request_id, detail)) => {
+                        // Payload damage with intact framing: answer once,
+                        // keep reading — the stream is still in sync.
+                        shared.send(&Response::error(
+                            request_id,
+                            "",
+                            CODE_PARSE,
+                            format!("undecodable request: {detail}"),
+                        ));
+                    }
+                }
+            }
+            Err(err @ (FrameError::Torn { .. } | FrameError::Oversized { .. })) => {
+                // Framing damage: answer once, then stop — there is no
+                // frame boundary left to resynchronize on.
+                frames += 1;
+                shared.send(&Response::error(0, "", CODE_PARSE, err.to_string()));
+                break;
+            }
+            Err(FrameError::Io(_)) => break,
+        }
+    }
+    // Let every queued apply finish (and write its response) before the
+    // report claims the connection is done.
+    engine.quiesce();
+    ConnectionReport {
+        frames,
+        responses: shared.responses.load(Ordering::SeqCst),
+        shutdown_requested,
+    }
+}

@@ -1,0 +1,147 @@
+//! A tenant: one independent relation with its own engine and queue
+//! accounting.
+//!
+//! Tenants come in two backends. **Durable** tenants own an
+//! [`FdEngine`] rooted in their own WAL directory (`<root>/<name>/`) —
+//! re-opening a tenant recovers and resumes, and a server crash loses
+//! at most batches never acknowledged. **Memory** tenants wrap a plain
+//! [`DynFd`] for pure-throughput workloads (the load generator's
+//! in-memory mode); they track their own sequence number so replies
+//! look the same either way.
+//!
+//! The backend sits behind a `Mutex`, but it is not contended in steady
+//! state: a tenant maps to exactly one worker shard, so only that shard
+//! ever applies batches to it. The lock's real job is *poisoning* — a
+//! panic that escapes the engine's own transactional boundary poisons
+//! this tenant's lock only, and every later batch for the tenant is
+//! answered with a typed error while all other tenants keep serving
+//! (the isolation property `tests/tenant_isolation.rs` pins).
+
+use crate::metrics::TenantMetrics;
+use crate::queue::Gate;
+use crate::ServeError;
+use dynfd_core::{BatchResult, DynFd, DynFdError, DynFdResult};
+use dynfd_persist::FdEngine;
+use dynfd_relation::Batch;
+use std::sync::Mutex;
+
+/// The engine behind a tenant (see module docs).
+pub(crate) enum Backend {
+    /// Durable: WAL + snapshots in the tenant's own directory.
+    Durable(FdEngine),
+    /// In-memory engine plus its applied-batch counter.
+    Memory(DynFd, u64),
+}
+
+impl Backend {
+    /// Applies one batch and advances the sequence number.
+    pub fn apply(&mut self, batch: &Batch) -> DynFdResult<BatchResult> {
+        match self {
+            Backend::Durable(engine) => engine.apply_batch(batch),
+            Backend::Memory(engine, seq) => {
+                let result = engine.apply_batch(batch)?;
+                *seq += 1;
+                Ok(result)
+            }
+        }
+    }
+
+    /// The wrapped in-memory engine.
+    pub fn dynfd(&self) -> &DynFd {
+        match self {
+            Backend::Durable(engine) => engine.dynfd(),
+            Backend::Memory(engine, _) => engine,
+        }
+    }
+
+    /// Mutable access to the wrapped engine (failpoint arming).
+    pub fn dynfd_mut(&mut self) -> &mut DynFd {
+        match self {
+            Backend::Durable(engine) => engine.dynfd_mut(),
+            Backend::Memory(engine, _) => engine,
+        }
+    }
+
+    /// Sequence number of the last applied batch.
+    pub fn seq(&self) -> u64 {
+        match self {
+            Backend::Durable(engine) => engine.seq(),
+            Backend::Memory(_, seq) => *seq,
+        }
+    }
+
+    /// Fsyncs the WAL tail (no-op for memory tenants).
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        match self {
+            Backend::Durable(engine) => engine.sync_all(),
+            Backend::Memory(..) => Ok(()),
+        }
+    }
+}
+
+/// One registered tenant.
+pub(crate) struct Tenant {
+    /// The tenant's wire name.
+    pub name: String,
+    /// Index of the worker shard that owns this tenant.
+    pub shard: usize,
+    /// The engine, locked per batch by the owning shard.
+    pub backend: Mutex<Backend>,
+    /// Admission gate bounding in-flight batches.
+    pub gate: Gate,
+    /// Telemetry.
+    pub metrics: TenantMetrics,
+}
+
+impl Tenant {
+    pub fn new(name: String, shard: usize, backend: Backend) -> Tenant {
+        Tenant {
+            name,
+            shard,
+            backend: Mutex::new(backend),
+            gate: Gate::new(),
+            metrics: TenantMetrics::default(),
+        }
+    }
+
+    /// Runs `f` on the tenant's engine, turning a poisoned lock (an
+    /// earlier escaped panic) into the typed per-tenant error instead of
+    /// propagating the poison.
+    pub fn with_backend<R>(&self, f: impl FnOnce(&mut Backend) -> R) -> Result<R, ServeError> {
+        match self.backend.lock() {
+            Ok(mut backend) => Ok(f(&mut backend)),
+            Err(_) => Err(ServeError::Engine(DynFdError::PhasePanicked {
+                phase: "serve-worker",
+                detail: format!("tenant {:?} is poisoned by an earlier panic", self.name),
+            })),
+        }
+    }
+}
+
+/// Validates a tenant name for use as a directory component: non-empty,
+/// at most 128 bytes, `[A-Za-z0-9_.-]` only, and not `.`/`..`. Keeps
+/// wire-supplied names from escaping the durable root.
+pub fn valid_tenant_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 128
+        && name != "."
+        && name != ".."
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_names_cannot_traverse_paths() {
+        for good in ["t0", "orders-2026", "a.b_c", "X"] {
+            assert!(valid_tenant_name(good), "{good:?} should be valid");
+        }
+        for bad in ["", ".", "..", "a/b", "a\\b", "a b", "é", &"x".repeat(129)] {
+            assert!(!valid_tenant_name(bad), "{bad:?} should be rejected");
+        }
+    }
+}

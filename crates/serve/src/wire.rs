@@ -1,0 +1,479 @@
+//! The framed wire protocol of the multi-tenant serve engine.
+//!
+//! Every message — request or response — travels as one frame:
+//!
+//! ```text
+//! frame   := len:u32 LE | payload           (len counts payload bytes)
+//! request := tag:u8 | request_id:u64 | ...  (tag 1 open, 2 apply, 3 shutdown)
+//! response:= 0x80  | request_id:u64 | tenant:str | code:u8 |
+//!            seq:u64 | added:u32 | removed:u32 | detail:str
+//! ```
+//!
+//! The payload encoding reuses the hand-rolled binary codec of
+//! `dynfd-persist` (little-endian fixed-width integers, `u32`
+//! length-prefixed strings, the WAL's batch encoding), so a batch on
+//! the wire is byte-identical to a batch in the log.
+//!
+//! Damage tolerance is part of the contract (fuzzed by
+//! `dynfd-testkit`): a frame whose *length prefix* is intact but whose
+//! payload does not decode is answered with a typed parse-error
+//! response and the stream stays in sync — later well-formed frames
+//! are still served. A damaged length prefix (torn read, or a length
+//! above [`MAX_FRAME`]) desynchronizes the stream by definition; the
+//! server answers once with a typed framing error and stops reading.
+//!
+//! Response `code` 0 means success; every failure carries the
+//! stable exit-code discipline of
+//! [`DynFdError::exit_code`](dynfd_core::DynFdError::exit_code) (3–12)
+//! extended with the serve-layer codes of
+//! [`ServeError::wire_code`](crate::ServeError::wire_code) (13–16).
+
+use dynfd_persist::codec::{self, Reader};
+use dynfd_relation::Batch;
+use std::io::{self, Read, Write};
+
+/// Hard upper bound on a frame's payload length (16 MiB). A length
+/// prefix above this is treated as framing damage, not as a request to
+/// allocate gigabytes.
+pub const MAX_FRAME: u32 = 1 << 24;
+
+/// Request tag: open (or recover) a tenant.
+pub const TAG_OPEN: u8 = 1;
+/// Request tag: apply a batch to a tenant.
+pub const TAG_APPLY: u8 = 2;
+/// Request tag: drain every queue and shut the server down.
+pub const TAG_SHUTDOWN: u8 = 3;
+/// Response tag.
+pub const TAG_RESPONSE: u8 = 0x80;
+
+/// Response code for success.
+pub const CODE_OK: u8 = 0;
+/// Response code for a frame that did not parse (the wire face of the
+/// `DynFdError::Parse` family / exit code 4).
+pub const CODE_PARSE: u8 = 4;
+
+/// One decoded client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Open tenant `tenant` with the given column names and initial
+    /// rows, or recover it from its WAL directory if one exists (the
+    /// columns must then match the durable schema).
+    Open {
+        /// Client-chosen id echoed in the response.
+        request_id: u64,
+        /// Tenant name (`[A-Za-z0-9_.-]+`, checked server-side).
+        tenant: String,
+        /// Column names of the tenant's relation.
+        columns: Vec<String>,
+        /// Initial rows (often empty; ignored when the tenant recovers).
+        rows: Vec<Vec<String>>,
+    },
+    /// Apply one batch to an open tenant.
+    Apply {
+        /// Client-chosen id echoed in the response.
+        request_id: u64,
+        /// Target tenant name.
+        tenant: String,
+        /// The batch, in the WAL's encoding.
+        batch: Batch,
+    },
+    /// Drain and stop the server. Answered once, then the stream ends.
+    Shutdown {
+        /// Client-chosen id echoed in the response.
+        request_id: u64,
+    },
+}
+
+impl Request {
+    /// The request's client-chosen id.
+    pub fn request_id(&self) -> u64 {
+        match self {
+            Request::Open { request_id, .. }
+            | Request::Apply { request_id, .. }
+            | Request::Shutdown { request_id } => *request_id,
+        }
+    }
+}
+
+/// One server response; `code` 0 is success, anything else is the typed
+/// wire error code (see the module docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    /// Echo of the request's id (0 when the id itself did not decode).
+    pub request_id: u64,
+    /// Echo of the tenant name (empty when it did not decode).
+    pub tenant: String,
+    /// 0 = ok; else the typed wire error code.
+    pub code: u8,
+    /// The tenant's durable sequence number after the request (0 on
+    /// failure or for non-tenant requests).
+    pub seq: u64,
+    /// Minimal FDs added by an applied batch.
+    pub added: u32,
+    /// Minimal FDs removed by an applied batch.
+    pub removed: u32,
+    /// Human-readable detail: the error message, or empty on success.
+    pub detail: String,
+}
+
+impl Response {
+    /// A success response carrying batch-application results.
+    pub fn ok(request_id: u64, tenant: &str, seq: u64, added: u32, removed: u32) -> Response {
+        Response {
+            request_id,
+            tenant: tenant.to_string(),
+            code: CODE_OK,
+            seq,
+            added,
+            removed,
+            detail: String::new(),
+        }
+    }
+
+    /// An error response with a typed code and diagnostic detail.
+    pub fn error(request_id: u64, tenant: &str, code: u8, detail: impl Into<String>) -> Response {
+        Response {
+            request_id,
+            tenant: tenant.to_string(),
+            code,
+            seq: 0,
+            added: 0,
+            removed: 0,
+            detail: detail.into(),
+        }
+    }
+}
+
+fn put_rows(out: &mut Vec<u8>, rows: &[Vec<String>]) {
+    codec::put_u32(out, rows.len() as u32);
+    for row in rows {
+        codec::put_u32(out, row.len() as u32);
+        for value in row {
+            codec::put_str(out, value);
+        }
+    }
+}
+
+fn read_rows(r: &mut Reader<'_>) -> Result<Vec<Vec<String>>, String> {
+    let nrows = r.count(4)?;
+    let mut rows = Vec::with_capacity(nrows);
+    for _ in 0..nrows {
+        let ncols = r.count(4)?;
+        let mut row = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            row.push(r.str()?);
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Serializes a request into a frame payload (no length prefix).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    match req {
+        Request::Open {
+            request_id,
+            tenant,
+            columns,
+            rows,
+        } => {
+            out.push(TAG_OPEN);
+            codec::put_u64(&mut out, *request_id);
+            codec::put_str(&mut out, tenant);
+            codec::put_u32(&mut out, columns.len() as u32);
+            for c in columns {
+                codec::put_str(&mut out, c);
+            }
+            put_rows(&mut out, rows);
+        }
+        Request::Apply {
+            request_id,
+            tenant,
+            batch,
+        } => {
+            out.push(TAG_APPLY);
+            codec::put_u64(&mut out, *request_id);
+            codec::put_str(&mut out, tenant);
+            codec::encode_batch(&mut out, batch);
+        }
+        Request::Shutdown { request_id } => {
+            out.push(TAG_SHUTDOWN);
+            codec::put_u64(&mut out, *request_id);
+        }
+    }
+    out
+}
+
+/// Parses a frame payload into a [`Request`].
+///
+/// On failure the error carries the *best-effort* request id — the id
+/// decodes before anything variable-length, so a damaged tenant name or
+/// batch still produces an error response the client can correlate.
+/// Only when the damage hits the tag or the id itself does the id fall
+/// back to 0.
+pub fn decode_request(payload: &[u8]) -> Result<Request, (u64, String)> {
+    let mut r = Reader::new(payload);
+    let tag = r.u8().map_err(|e| (0, e))?;
+    let request_id = r.u64().map_err(|e| (0, e))?;
+    let fail = |e: String| (request_id, e);
+    let req = match tag {
+        TAG_OPEN => {
+            let tenant = r.str().map_err(fail)?;
+            let ncols = r.count(4).map_err(fail)?;
+            let mut columns = Vec::with_capacity(ncols);
+            for _ in 0..ncols {
+                columns.push(r.str().map_err(fail)?);
+            }
+            let rows = read_rows(&mut r).map_err(fail)?;
+            Request::Open {
+                request_id,
+                tenant,
+                columns,
+                rows,
+            }
+        }
+        TAG_APPLY => {
+            let tenant = r.str().map_err(fail)?;
+            let batch = codec::decode_batch(&mut r).map_err(fail)?;
+            Request::Apply {
+                request_id,
+                tenant,
+                batch,
+            }
+        }
+        TAG_SHUTDOWN => Request::Shutdown { request_id },
+        other => return Err((request_id, format!("unknown request tag {other}"))),
+    };
+    if !r.is_exhausted() {
+        return Err((
+            request_id,
+            format!("{} trailing bytes after request", r.remaining()),
+        ));
+    }
+    Ok(req)
+}
+
+/// Serializes a response into a frame payload (no length prefix).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.push(TAG_RESPONSE);
+    codec::put_u64(&mut out, resp.request_id);
+    codec::put_str(&mut out, &resp.tenant);
+    out.push(resp.code);
+    codec::put_u64(&mut out, resp.seq);
+    codec::put_u32(&mut out, resp.added);
+    codec::put_u32(&mut out, resp.removed);
+    codec::put_str(&mut out, &resp.detail);
+    out
+}
+
+/// Parses a frame payload into a [`Response`].
+pub fn decode_response(payload: &[u8]) -> Result<Response, String> {
+    let mut r = Reader::new(payload);
+    let tag = r.u8()?;
+    if tag != TAG_RESPONSE {
+        return Err(format!(
+            "expected response tag {TAG_RESPONSE:#x}, got {tag}"
+        ));
+    }
+    let resp = Response {
+        request_id: r.u64()?,
+        tenant: r.str()?,
+        code: r.u8()?,
+        seq: r.u64()?,
+        added: r.u32()?,
+        removed: r.u32()?,
+        detail: r.str()?,
+    };
+    if !r.is_exhausted() {
+        return Err(format!("{} trailing bytes after response", r.remaining()));
+    }
+    Ok(resp)
+}
+
+/// Why a frame could not be read off the stream.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The stream ended inside a frame (mid-length-prefix or
+    /// mid-payload) — a torn frame.
+    Torn {
+        /// Bytes of the frame that did arrive.
+        got: usize,
+        /// Bytes the frame claimed (0 while still in the prefix).
+        want: usize,
+    },
+    /// The length prefix exceeds [`MAX_FRAME`] (or is zero) — framing
+    /// damage; the stream cannot be resynchronized.
+    Oversized {
+        /// The impossible length the prefix claimed.
+        len: u32,
+    },
+    /// A real I/O error from the underlying stream.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Torn { got, want } => {
+                write!(f, "torn frame: stream ended after {got} of {want} bytes")
+            }
+            FrameError::Oversized { len } => {
+                write!(f, "impossible frame length {len} (max {MAX_FRAME})")
+            }
+            FrameError::Io(e) => write!(f, "i/o error reading frame: {e}"),
+        }
+    }
+}
+
+/// Reads one frame payload. `Ok(None)` is a clean end of stream (EOF at
+/// a frame boundary); torn or oversized frames are typed errors, never
+/// panics or huge allocations.
+pub fn read_frame(reader: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match reader.read(&mut prefix[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(FrameError::Torn { got, want: 0 }),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len == 0 || len > MAX_FRAME {
+        return Err(FrameError::Oversized { len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut filled = 0usize;
+    while filled < payload.len() {
+        match reader.read(&mut payload[filled..]) {
+            Ok(0) => {
+                return Err(FrameError::Torn {
+                    got: 4 + filled,
+                    want: 4 + len as usize,
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(Some(payload))
+}
+
+/// Writes one frame (length prefix + payload) and flushes.
+pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    writer.write_all(&(payload.len() as u32).to_le_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynfd_common::RecordId;
+
+    fn sample_requests() -> Vec<Request> {
+        let mut batch = Batch::new();
+        batch
+            .insert(vec!["x", "ünïcode", ""])
+            .delete(RecordId(7))
+            .update(RecordId(3), vec!["a", "b", "c"]);
+        vec![
+            Request::Open {
+                request_id: 1,
+                tenant: "t0".into(),
+                columns: vec!["a".into(), "b".into(), "c".into()],
+                rows: vec![
+                    vec!["1".into(), "2".into(), "3".into()],
+                    vec!["4".into(), "5".into(), "6".into()],
+                ],
+            },
+            Request::Apply {
+                request_id: 2,
+                tenant: "t0".into(),
+                batch,
+            },
+            Request::Shutdown { request_id: 3 },
+        ]
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        for req in sample_requests() {
+            let payload = encode_request(&req);
+            assert_eq!(decode_request(&payload), Ok(req));
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let responses = [
+            Response::ok(9, "tenant-a", 42, 3, 1),
+            Response::error(0, "", CODE_PARSE, "unknown request tag 77"),
+            Response::error(5, "t1", 13, "queue full: 8 of 8 in flight"),
+        ];
+        for resp in responses {
+            let payload = encode_response(&resp);
+            assert_eq!(decode_response(&payload), Ok(resp));
+        }
+    }
+
+    #[test]
+    fn truncated_request_payload_reports_best_effort_id() {
+        let payload = encode_request(&sample_requests()[1]);
+        // Any cut after tag+id (9 bytes) must still recover the id.
+        for cut in 9..payload.len() {
+            let (rid, _) = decode_request(&payload[..cut]).expect_err("truncation must fail");
+            assert_eq!(rid, 2, "cut at {cut}");
+        }
+        // A cut inside tag/id falls back to 0.
+        for cut in 0..9 {
+            let (rid, _) = decode_request(&payload[..cut]).expect_err("truncation must fail");
+            assert_eq!(rid, 0, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn frame_stream_roundtrip_and_clean_eof() {
+        let mut stream = Vec::new();
+        let payloads: Vec<Vec<u8>> = sample_requests().iter().map(encode_request).collect();
+        for p in &payloads {
+            write_frame(&mut stream, p).expect("vec write");
+        }
+        let mut cursor = std::io::Cursor::new(stream);
+        for p in &payloads {
+            let got = read_frame(&mut cursor).expect("frame").expect("not eof");
+            assert_eq!(&got, p);
+        }
+        assert!(read_frame(&mut cursor).expect("clean eof").is_none());
+    }
+
+    #[test]
+    fn torn_and_oversized_frames_are_typed_errors() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &encode_request(&sample_requests()[0])).expect("vec write");
+        // Every strict prefix that is not a frame boundary is torn.
+        for cut in 1..stream.len() {
+            let mut cursor = std::io::Cursor::new(&stream[..cut]);
+            match read_frame(&mut cursor) {
+                Err(FrameError::Torn { .. }) => {}
+                other => panic!("cut {cut}: expected torn frame, got {other:?}"),
+            }
+        }
+        let mut oversized = (MAX_FRAME + 1).to_le_bytes().to_vec();
+        oversized.extend_from_slice(&[0u8; 16]);
+        match read_frame(&mut std::io::Cursor::new(oversized)) {
+            Err(FrameError::Oversized { len }) => assert_eq!(len, MAX_FRAME + 1),
+            other => panic!("expected oversized error, got {other:?}"),
+        }
+        // Zero-length frames cannot carry a tag: also framing damage.
+        match read_frame(&mut std::io::Cursor::new(0u32.to_le_bytes().to_vec())) {
+            Err(FrameError::Oversized { len }) => assert_eq!(len, 0),
+            other => panic!("expected oversized error for len 0, got {other:?}"),
+        }
+    }
+}

@@ -16,7 +16,14 @@
 //! - `frames N` — abort after the Nth frame append + fsync, before the
 //!   in-memory apply (the log-but-not-applied window);
 //! - `snapshot-byte N` — abort once N bytes of `snapshot.tmp` are
-//!   written (partial temp file, no rename).
+//!   written (partial temp file, no rename);
+//! - `serve-drain N` — run a **multi-tenant serve engine** instead
+//!   (tenants `t0..t2` from `dynfd_testkit::tenant_traces(seed, 3)`,
+//!   each durable under `<dir>/<name>/`), queue every batch with
+//!   delivery paused, then shut down and abort after N jobs complete
+//!   inside the drain window — the queue-drain kill point. The parent
+//!   recovers every tenant directory and compares each against a fresh
+//!   replay of its acknowledged prefix.
 //!
 //! Without a mode the run completes cleanly (exit 0) — the baseline
 //! the harness uses for uninterrupted comparisons. If a plan is given
@@ -25,14 +32,72 @@
 
 use dynfd_core::DynFdConfig;
 use dynfd_persist::{CrashPlan, FdEngine};
-use dynfd_testkit::Trace;
+use dynfd_serve::{AdmissionPolicy, ServeConfig, ServeEngine};
+use dynfd_testkit::{tenant_traces, Trace};
 use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: crash_child <dir> <seed> <case> <snapshot_every> [wal-byte|frames|snapshot-byte N]"
+        "usage: crash_child <dir> <seed> <case> <snapshot_every> \
+         [wal-byte|frames|snapshot-byte|serve-drain N]"
     );
     std::process::exit(2);
+}
+
+/// The `serve-drain` mode: queue every tenant's batches with delivery
+/// paused, then shut down with the drain-kill budget armed. The abort
+/// fires on a worker thread after `kill_after` jobs of the drain window
+/// complete; if the budget exceeds the queued work the run completes
+/// cleanly (exit 0) and the parent treats the scenario as vacuous.
+fn run_serve_drain(dir: &std::path::Path, seed: u64, snapshot_every: usize, kill_after: u64) -> ! {
+    let traces = tenant_traces(seed, 3);
+    let total: usize = traces.iter().map(|(_, t)| t.to_batches().len()).sum();
+    let engine = ServeEngine::new(ServeConfig {
+        workers: 2,
+        queue_capacity: total.max(1),
+        policy: AdmissionPolicy::Block,
+        root: Some(dir.to_path_buf()),
+        engine: DynFdConfig {
+            snapshot_every,
+            ..DynFdConfig::default()
+        },
+        start_paused: true,
+        drain_kill_after: Some(kill_after),
+    });
+    for (name, trace) in &traces {
+        if let Err(e) = engine.open_tenant(name, trace.schema.clone(), &trace.initial_rows) {
+            eprintln!("crash_child: open {name}: {e}");
+            std::process::exit(1);
+        }
+    }
+    // Round-robin interleave, same order as check_concurrent_serve, so
+    // the drain window holds a mixed multi-tenant backlog.
+    let mut streams: Vec<(&str, std::vec::IntoIter<dynfd_relation::Batch>)> = traces
+        .iter()
+        .map(|(name, trace)| (name.as_str(), trace.to_batches().into_iter()))
+        .collect();
+    let mut request_id = 0u64;
+    loop {
+        let mut any = false;
+        for (name, stream) in &mut streams {
+            let Some(batch) = stream.next() else { continue };
+            any = true;
+            request_id += 1;
+            if let Err(e) = engine.submit(name, request_id, batch, |_| {}) {
+                eprintln!("crash_child: submit to {name}: {e}");
+                std::process::exit(1);
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    // Everything is queued, nothing has run. Shutdown resumes delivery
+    // with the kill budget armed: the abort lands mid-drain, between a
+    // completed (durable) job and the still-queued remainder.
+    let report = engine.shutdown();
+    let _ = report;
+    std::process::exit(0);
 }
 
 fn main() {
@@ -47,6 +112,7 @@ fn main() {
     let plan = if args.len() == 6 {
         let value: u64 = args[5].parse().unwrap_or_else(|_| usage());
         match args[4].as_str() {
+            "serve-drain" => run_serve_drain(&dir, seed, snapshot_every, value),
             "wal-byte" => CrashPlan {
                 wal_kill_at_byte: Some(value),
                 ..CrashPlan::default()

@@ -35,8 +35,8 @@
 //! metamorphic checks keep running for the in-memory modes.
 
 use dynfd_testkit::{
-    check_trace, check_trace_durable, shrink_trace, CoverFault, CrashStats, EngineFault, Repro,
-    RunnerOptions, Trace, TraceStats, WalFault,
+    check_trace, check_trace_durable, check_wire, shrink_trace, CoverFault, CrashStats,
+    EngineFault, Repro, RunnerOptions, Trace, TraceStats, WalFault, WireFault, WireStats,
 };
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -56,7 +56,9 @@ struct Args {
 enum InjectMode {
     One(EngineFault),
     Wal(WalFault),
+    Wire(WireFault),
     WalAll,
+    WireAll,
     All,
 }
 
@@ -65,6 +67,7 @@ enum InjectMode {
 enum CaseFault {
     Engine(EngineFault),
     Wal(WalFault),
+    Wire(WireFault),
 }
 
 impl CaseFault {
@@ -72,6 +75,7 @@ impl CaseFault {
         match self {
             CaseFault::Engine(mode) => mode.name(),
             CaseFault::Wal(mode) => mode.name(),
+            CaseFault::Wire(mode) => mode.name(),
         }
     }
 }
@@ -81,16 +85,25 @@ impl InjectMode {
         match self {
             InjectMode::One(mode) => CaseFault::Engine(mode),
             InjectMode::Wal(mode) => CaseFault::Wal(mode),
+            InjectMode::Wire(mode) => CaseFault::Wire(mode),
             InjectMode::WalAll => {
                 CaseFault::Wal(WalFault::ALL[(case % WalFault::ALL.len() as u64) as usize])
             }
+            InjectMode::WireAll => {
+                CaseFault::Wire(WireFault::ALL[(case % WireFault::ALL.len() as u64) as usize])
+            }
             InjectMode::All => {
-                let n = (EngineFault::ALL.len() + WalFault::ALL.len()) as u64;
+                let n =
+                    (EngineFault::ALL.len() + WalFault::ALL.len() + WireFault::ALL.len()) as u64;
                 let i = (case % n) as usize;
                 if i < EngineFault::ALL.len() {
                     CaseFault::Engine(EngineFault::ALL[i])
-                } else {
+                } else if i < EngineFault::ALL.len() + WalFault::ALL.len() {
                     CaseFault::Wal(WalFault::ALL[i - EngineFault::ALL.len()])
+                } else {
+                    CaseFault::Wire(
+                        WireFault::ALL[i - EngineFault::ALL.len() - WalFault::ALL.len()],
+                    )
                 }
             }
         }
@@ -102,7 +115,8 @@ fn usage() -> ! {
         "usage: fuzz [--seed N] [--cases N] [--budget-secs N] [--out DIR] \\\n       \
          [--fault drop-first|add-bogus] \\\n       \
          [--inject poisoned-batches|mid-batch-panic|cover-corruption|\\\n               \
-         crash-at-frame|torn-tail|bit-flip-wal|wal-all|all]"
+         crash-at-frame|torn-tail|bit-flip-wal|wal-all|\\\n               \
+         truncated-frame|garbage-frame|oversized-frame|wire-all|all]"
     );
     std::process::exit(2);
 }
@@ -138,9 +152,11 @@ fn parse_args() -> Args {
                 args.inject = Some(match v.as_str() {
                     "all" => InjectMode::All,
                     "wal-all" => InjectMode::WalAll,
+                    "wire-all" => InjectMode::WireAll,
                     name => EngineFault::by_name(name)
                         .map(InjectMode::One)
                         .or_else(|| WalFault::by_name(name).map(InjectMode::Wal))
+                        .or_else(|| WireFault::by_name(name).map(InjectMode::Wire))
                         .unwrap_or_else(|| usage()),
                 })
             }
@@ -160,6 +176,7 @@ fn main() {
     let start = Instant::now();
     let mut totals = TraceStats::default();
     let mut crash_totals = CrashStats::default();
+    let mut wire_totals = WireStats::default();
     let mut completed = 0u64;
     let mut failures = 0u64;
 
@@ -208,6 +225,40 @@ fn main() {
                     let shrunk =
                         shrink_trace(&trace, |t| check_trace_durable(t, wal_fault).is_err());
                     let final_failure = check_trace_durable(&shrunk, wal_fault)
+                        .expect_err("shrunk trace still fails by construction");
+                    println!(
+                        "  shrunk to {} ops, {} rows",
+                        shrunk.ops.len(),
+                        shrunk.initial_rows.len()
+                    );
+                    write_repro(&args.out_dir, Repro::new(shrunk, &final_failure));
+                }
+            }
+            continue;
+        }
+
+        // Wire faults run the framed-protocol oracle; the damage site is
+        // seeded, so failures reproduce from the (seed, case, mode)
+        // triple alone (traces shrink the same way when needed).
+        if let Some(CaseFault::Wire(wire_fault)) = case_fault {
+            match check_wire(&trace, wire_fault, args.seed ^ case) {
+                Ok(stats) => {
+                    wire_totals.absorb(&stats);
+                    completed += 1;
+                    println!(
+                        "{label}: ok ({} well-formed frames, {} responses, {} sheds, {} typed errors)",
+                        stats.wellformed, stats.responses, stats.sheds, stats.errors
+                    );
+                }
+                Err(failure) => {
+                    failures += 1;
+                    completed += 1;
+                    println!("{label}: FAILED — {failure}");
+                    println!("  shrinking ({} ops)...", trace.ops.len());
+                    let shrunk = shrink_trace(&trace, |t| {
+                        check_wire(t, wire_fault, args.seed ^ case).is_err()
+                    });
+                    let final_failure = check_wire(&shrunk, wire_fault, args.seed ^ case)
                         .expect_err("shrunk trace still fails by construction");
                     println!(
                         "  shrunk to {} ops, {} rows",
@@ -289,6 +340,17 @@ fn main() {
             crash_totals.frames_replayed,
             crash_totals.truncations,
             crash_totals.batches_resumed
+        );
+    }
+    if wire_totals.damaged > 0 {
+        println!(
+            "{} damaged wire streams: {} well-formed frames answered, {} responses, \
+             {} sheds, {} typed errors",
+            wire_totals.damaged,
+            wire_totals.wellformed,
+            wire_totals.responses,
+            wire_totals.sheds,
+            wire_totals.errors
         );
     }
     if failures > 0 {

@@ -1,0 +1,221 @@
+//! Concurrent multi-tenant trace replay against `dynfd-serve`.
+//!
+//! The serve layer's headline claim is that concurrency is *invisible*
+//! per tenant: an interleaved multi-tenant batch stream pushed through a
+//! sharded worker pool leaves every tenant in exactly the state a plain
+//! sequential replay of its own batches produces — same relation, same
+//! covers, same §5.2 violation annotations, and (durably) the same WAL
+//! bytes — at any worker count. [`check_concurrent_serve`] turns that
+//! claim into a single checkable property:
+//!
+//! 1. generate one deterministic [`Trace`] per tenant
+//!    (`Trace::for_case(seed, t)`);
+//! 2. open every tenant on one [`ServeEngine`] and submit the tenants'
+//!    batch streams round-robin interleaved (tenant 0 batch 0, tenant 1
+//!    batch 0, …, tenant 0 batch 1, …) under the *blocking* admission
+//!    policy, so nothing is shed and the submission order is total;
+//! 3. quiesce, then compare each tenant against a fresh sequential
+//!    replay with [`DynFd::state_divergence`] (bit-level: relation,
+//!    both covers, violation annotations);
+//! 4. durable runs additionally shut the engine down (drain + fsync)
+//!    and compare each tenant's WAL file **byte for byte** against a
+//!    sequential `FdEngine` replay into a scratch directory.
+//!
+//! Every reply is also accounted: each submitted batch must be answered
+//! exactly once and successfully (generated traces never reject).
+
+use crate::trace::Trace;
+use dynfd_core::{DynFd, DynFdConfig};
+use dynfd_persist::{wal_path, FdEngine};
+use dynfd_serve::{AdmissionPolicy, ServeConfig, ServeEngine};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Aggregate counters from one [`check_concurrent_serve`] run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ConcurrentStats {
+    /// Tenants replayed.
+    pub tenants: usize,
+    /// Worker threads the serve engine ran.
+    pub workers: usize,
+    /// Batches applied across all tenants.
+    pub batches: u64,
+    /// Tenant states compared against the sequential oracle.
+    pub states_compared: usize,
+    /// WAL files compared byte-for-byte (durable runs only).
+    pub wals_compared: usize,
+}
+
+/// The per-tenant traces a run of `(seed, tenants)` replays — exposed so
+/// harnesses (e.g. the crash child and its parent) can regenerate the
+/// identical workload on both sides of a process boundary.
+pub fn tenant_traces(seed: u64, tenants: usize) -> Vec<(String, Trace)> {
+    (0..tenants)
+        .map(|t| (format!("t{t}"), Trace::for_case(seed, t as u64)))
+        .collect()
+}
+
+/// Sequentially replays `trace` through a plain in-memory engine — the
+/// oracle every served tenant is compared against.
+pub fn sequential_oracle(trace: &Trace, config: DynFdConfig) -> Result<DynFd, String> {
+    let mut dynfd = DynFd::new(trace.to_relation(), config);
+    for (i, batch) in trace.to_batches().iter().enumerate() {
+        dynfd
+            .apply_batch(batch)
+            .map_err(|e| format!("oracle replay rejected batch {i}: {e}"))?;
+    }
+    Ok(dynfd)
+}
+
+/// Replays `tenants` interleaved traces on a `workers`-thread serve
+/// engine and verifies every tenant's final state (and, when
+/// `durable_root` is given, its WAL bytes) is identical to a sequential
+/// per-tenant replay. See the module docs for the exact protocol.
+pub fn check_concurrent_serve(
+    seed: u64,
+    tenants: usize,
+    workers: usize,
+    durable_root: Option<&Path>,
+) -> Result<ConcurrentStats, String> {
+    let traces = tenant_traces(seed, tenants);
+    let config = DynFdConfig::default();
+    let total_batches: usize = traces.iter().map(|(_, t)| t.to_batches().len()).sum();
+
+    let engine = Arc::new(ServeEngine::new(ServeConfig {
+        workers,
+        // The blocking policy makes the run lossless; a capacity well
+        // above any single tenant's stream keeps submission non-blocking
+        // in practice without changing the semantics.
+        queue_capacity: 1024,
+        policy: AdmissionPolicy::Block,
+        root: durable_root.map(Path::to_path_buf),
+        engine: config,
+        ..ServeConfig::default()
+    }));
+
+    for (name, trace) in &traces {
+        engine
+            .open_tenant(name, trace.schema.clone(), &trace.initial_rows)
+            .map_err(|e| format!("open {name}: {e}"))?;
+    }
+
+    // Round-robin interleave: per-tenant order is each tenant's batch
+    // order, while the global stream maximally mixes tenants.
+    let ok_replies = Arc::new(AtomicU64::new(0));
+    let failed_replies = Arc::new(AtomicU64::new(0));
+    let mut streams: Vec<(&str, std::vec::IntoIter<dynfd_relation::Batch>)> = traces
+        .iter()
+        .map(|(name, trace)| (name.as_str(), trace.to_batches().into_iter()))
+        .collect();
+    let mut request_id = 0u64;
+    loop {
+        let mut any = false;
+        for (name, stream) in &mut streams {
+            let Some(batch) = stream.next() else { continue };
+            any = true;
+            request_id += 1;
+            let ok = Arc::clone(&ok_replies);
+            let failed = Arc::clone(&failed_replies);
+            engine
+                .submit(name, request_id, batch, move |reply| {
+                    match reply.outcome {
+                        Ok(_) => ok.fetch_add(1, Ordering::SeqCst),
+                        Err(_) => failed.fetch_add(1, Ordering::SeqCst),
+                    };
+                })
+                .map_err(|e| format!("submit to {name}: {e}"))?;
+        }
+        if !any {
+            break;
+        }
+    }
+
+    engine.quiesce();
+    if failed_replies.load(Ordering::SeqCst) != 0 {
+        return Err(format!(
+            "{} batches failed — generated traces must replay cleanly",
+            failed_replies.load(Ordering::SeqCst)
+        ));
+    }
+    if ok_replies.load(Ordering::SeqCst) != total_batches as u64 {
+        return Err(format!(
+            "reply accounting broken: {} submitted, {} acknowledged",
+            total_batches,
+            ok_replies.load(Ordering::SeqCst)
+        ));
+    }
+
+    // Per-tenant bit-identity against the sequential oracle.
+    let mut stats = ConcurrentStats {
+        tenants,
+        workers: engine.worker_count(),
+        batches: total_batches as u64,
+        ..ConcurrentStats::default()
+    };
+    for (name, trace) in &traces {
+        let oracle = sequential_oracle(trace, config)?;
+        let expected_seq = trace.to_batches().len() as u64;
+        let seq = engine
+            .tenant_seq(name)
+            .map_err(|e| format!("seq of {name}: {e}"))?;
+        if seq != expected_seq {
+            return Err(format!(
+                "tenant {name}: served seq {seq}, sequential replay applied {expected_seq}"
+            ));
+        }
+        let divergence = engine
+            .with_tenant(name, |served| oracle.state_divergence(served))
+            .map_err(|e| format!("inspect {name}: {e}"))?;
+        if let Some(divergence) = divergence {
+            return Err(format!(
+                "tenant {name} diverged from sequential replay at {workers} workers: {divergence}"
+            ));
+        }
+        stats.states_compared += 1;
+    }
+
+    // Durable runs: drain + sync, then compare WAL bytes against a
+    // sequential durable replay with the identical configuration.
+    if let Some(root) = durable_root {
+        let engine =
+            Arc::try_unwrap(engine).map_err(|_| "engine still shared after quiesce".to_string())?;
+        let report = engine.shutdown();
+        if report.synced != report.tenants || !report.sync_errors.is_empty() {
+            return Err(format!(
+                "shutdown synced {} of {} tenants (errors: {:?})",
+                report.synced, report.tenants, report.sync_errors
+            ));
+        }
+        for (name, trace) in &traces {
+            let scratch = root.join(format!("{name}.oracle"));
+            let mut oracle_engine = FdEngine::create(&scratch, trace.to_relation(), config)
+                .map_err(|e| format!("oracle engine for {name}: {e}"))?;
+            for (i, batch) in trace.to_batches().iter().enumerate() {
+                oracle_engine
+                    .apply_batch(batch)
+                    .map_err(|e| format!("oracle durable replay {name} batch {i}: {e}"))?;
+            }
+            drop(oracle_engine);
+            let served_wal = std::fs::read(wal_path(&root.join(name)))
+                .map_err(|e| format!("read served WAL of {name}: {e}"))?;
+            let oracle_wal = std::fs::read(wal_path(&scratch))
+                .map_err(|e| format!("read oracle WAL of {name}: {e}"))?;
+            if served_wal != oracle_wal {
+                let first_diff = served_wal
+                    .iter()
+                    .zip(&oracle_wal)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or_else(|| served_wal.len().min(oracle_wal.len()));
+                return Err(format!(
+                    "tenant {name}: WAL bytes diverge from sequential replay \
+                     (served {} bytes, oracle {} bytes, first difference at byte {first_diff})",
+                    served_wal.len(),
+                    oracle_wal.len()
+                ));
+            }
+            stats.wals_compared += 1;
+        }
+    }
+    Ok(stats)
+}

@@ -34,6 +34,15 @@
 //!   the surviving batch prefix — with a `crash_child` binary and a
 //!   child-process harness (`tests/crash_harness.rs`) that exercise the
 //!   real `abort()`-mid-write kill paths;
+//! * [`check_concurrent_serve`] — **concurrent serve replay**: push the
+//!   interleaved batch streams of N tenants through a `dynfd-serve`
+//!   worker pool and verify every tenant's final state (covers,
+//!   violation annotations, and — durably — WAL bytes) is bit-identical
+//!   to a sequential per-tenant replay, at any worker count;
+//! * [`WireFault`] / [`check_wire`] — **wire-protocol fuzzing**: replay
+//!   a trace as a framed request stream with seeded damage
+//!   (truncated/garbage/oversized frames) and hold the server to the
+//!   exactly-once typed-response contract;
 //! * a `fuzz` **binary** (`cargo run -p dynfd-testkit --bin fuzz`) with
 //!   `--seed`, `--cases`, `--budget-secs`, and `--inject` flags, run in
 //!   CI as a fixed-seed smoke job.
@@ -43,13 +52,16 @@
 
 #![warn(missing_docs)]
 
+mod concurrent;
 mod crash;
 mod json;
 mod repro;
 mod runner;
 mod shrink;
 mod trace;
+mod wirefuzz;
 
+pub use concurrent::{check_concurrent_serve, sequential_oracle, tenant_traces, ConcurrentStats};
 pub use crash::{check_trace_durable, CrashStats, WalFault};
 pub use json::Json;
 pub use repro::Repro;
@@ -59,3 +71,4 @@ pub use runner::{
 };
 pub use shrink::shrink_trace;
 pub use trace::{Trace, TraceOp, TraceProfile};
+pub use wirefuzz::{check_wire, WireFault, WireStats};

@@ -1,0 +1,307 @@
+//! Wire-protocol fault injection for the serve layer.
+//!
+//! [`check_wire`] feeds a serve engine a framed request stream built
+//! from a deterministic [`Trace`] with one seeded wire fault injected,
+//! and holds the connection to the damage contract of
+//! `dynfd_serve::session`:
+//!
+//! * every **readable well-formed frame** is answered **exactly once**
+//!   with a typed response — success, or a documented rejection code
+//!   (engine rejections 3–12, overload shedding 13);
+//! * a frame whose payload is damaged but whose framing is intact
+//!   ([`WireFault::GarbageFrame`]) is answered once with the parse code
+//!   and the stream *stays in sync* — every later frame is still served;
+//! * framing damage ([`WireFault::TruncatedFrame`],
+//!   [`WireFault::OversizedFrame`]) is answered once with a typed error
+//!   and ends the conversation — frames after the damage are
+//!   unreachable by construction and must *not* be answered;
+//! * the server never crashes, and the response stream itself stays
+//!   frame-clean (every response decodes).
+//!
+//! Everything is seeded: the damage site and shape derive from the
+//! trace seed, so a failing `(seed, case, fault)` triple reproduces
+//! bit-identically.
+
+use crate::runner::TraceFailure;
+use crate::trace::Trace;
+use dynfd_serve::wire::{self, Request, CODE_OK, CODE_PARSE};
+use dynfd_serve::{AdmissionPolicy, ServeConfig, ServeEngine};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// The wire damage modes `fuzz --inject` can apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireFault {
+    /// The stream ends mid-frame (inside the length prefix or payload):
+    /// a torn frame, as a crashed client or cut connection produces.
+    TruncatedFrame,
+    /// One frame's length prefix is intact but its payload does not
+    /// decode as a request.
+    GarbageFrame,
+    /// One frame claims an impossible payload length (above
+    /// `wire::MAX_FRAME`), which must be refused without allocation.
+    OversizedFrame,
+}
+
+impl WireFault {
+    /// All wire faults, in the order the fuzz binary cycles them.
+    pub const ALL: [WireFault; 3] = [
+        WireFault::TruncatedFrame,
+        WireFault::GarbageFrame,
+        WireFault::OversizedFrame,
+    ];
+
+    /// The fault's `--inject` name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireFault::TruncatedFrame => "truncated-frame",
+            WireFault::GarbageFrame => "garbage-frame",
+            WireFault::OversizedFrame => "oversized-frame",
+        }
+    }
+
+    /// Looks a fault up by its [`WireFault::name`].
+    pub fn by_name(name: &str) -> Option<WireFault> {
+        WireFault::ALL.iter().copied().find(|f| f.name() == name)
+    }
+}
+
+/// Counters from one [`check_wire`] run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WireStats {
+    /// Well-formed frames the server could read before any stream end.
+    pub wellformed: u64,
+    /// Damaged frames injected (always 1 per run).
+    pub damaged: u64,
+    /// Responses received, total.
+    pub responses: u64,
+    /// Responses carrying the overload-shed code 13.
+    pub sheds: u64,
+    /// Responses carrying non-OK engine/parse codes.
+    pub errors: u64,
+}
+
+impl WireStats {
+    /// Accumulates another run's counters.
+    pub fn absorb(&mut self, other: &WireStats) {
+        self.wellformed += other.wellformed;
+        self.damaged += other.damaged;
+        self.responses += other.responses;
+        self.sheds += other.sheds;
+        self.errors += other.errors;
+    }
+}
+
+/// A `Write` the worker threads and the read loop can share; collects
+/// the response byte stream for post-hoc decoding.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Wraps a wire-oracle violation in the shrinker/repro failure shape.
+fn fail(fault: WireFault, detail: String) -> Box<TraceFailure> {
+    Box::new(TraceFailure {
+        check: format!("wire:{}", fault.name()),
+        config: "serve-connection".into(),
+        batch: None,
+        expected: vec!["every readable frame answered exactly once with a typed code".into()],
+        actual: vec![detail],
+    })
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Replays `trace` as a framed single-tenant request stream with one
+/// seeded `fault` injected, and checks the exactly-once response oracle
+/// (see the module docs). The whole run is in-memory and deterministic.
+pub fn check_wire(
+    trace: &Trace,
+    fault: WireFault,
+    seed: u64,
+) -> Result<WireStats, Box<TraceFailure>> {
+    let tenant = "t0";
+    let open = Request::Open {
+        request_id: 1,
+        tenant: tenant.to_string(),
+        columns: trace.schema.columns().to_vec(),
+        rows: trace.initial_rows.clone(),
+    };
+    let applies: Vec<Request> = trace
+        .to_batches()
+        .into_iter()
+        .enumerate()
+        .map(|(i, batch)| Request::Apply {
+            request_id: 2 + i as u64,
+            tenant: tenant.to_string(),
+            batch,
+        })
+        .collect();
+
+    // Build the wire bytes: the open, then the applies with the damage
+    // at a seeded position among them.
+    let damage_at = (splitmix(seed ^ 0xD1CE) as usize) % applies.len().max(1);
+    let mut stream: Vec<u8> = Vec::new();
+    wire::write_frame(&mut stream, &wire::encode_request(&open))
+        .map_err(|e| fail(fault, e.to_string()))?;
+    // Ids the server can read and must answer exactly once each.
+    let mut expected_ids: Vec<u64> = vec![open.request_id()];
+    let mut truncated_stream = false;
+    for (i, req) in applies.iter().enumerate() {
+        if i == damage_at {
+            match fault {
+                WireFault::TruncatedFrame => {
+                    // Write the frame, then tear the stream inside it:
+                    // keep the 4-byte prefix plus a seeded strict prefix
+                    // of the payload (possibly zero payload bytes).
+                    let payload = wire::encode_request(req);
+                    let mut frame = Vec::new();
+                    wire::write_frame(&mut frame, &payload)
+                        .map_err(|e| fail(fault, e.to_string()))?;
+                    let keep = 4 + (splitmix(seed ^ i as u64) as usize) % payload.len();
+                    stream.extend_from_slice(&frame[..keep]);
+                    truncated_stream = true;
+                }
+                WireFault::GarbageFrame => {
+                    // Intact framing, undecodable payload: either chop
+                    // the tail off the request body or append junk the
+                    // decoder must flag as trailing bytes.
+                    let mut payload = wire::encode_request(req);
+                    if splitmix(seed ^ 0xBEEF ^ i as u64).is_multiple_of(2) {
+                        payload.truncate(payload.len() - payload.len() / 3 - 1);
+                    } else {
+                        payload.extend_from_slice(b"\xFF\xFE\xFD");
+                    }
+                    wire::write_frame(&mut stream, &payload)
+                        .map_err(|e| fail(fault, e.to_string()))?;
+                    // Its id still decodes (damage is past the header),
+                    // so its one answer is a parse error carrying the id.
+                    expected_ids.push(req.request_id());
+                }
+                WireFault::OversizedFrame => {
+                    stream.extend_from_slice(
+                        &(wire::MAX_FRAME + 1 + (splitmix(seed) as u32 % 1024)).to_le_bytes(),
+                    );
+                    stream.extend_from_slice(&[0x5A; 8]);
+                    truncated_stream = true;
+                }
+            }
+            if truncated_stream {
+                break;
+            }
+            continue;
+        }
+        wire::write_frame(&mut stream, &wire::encode_request(req))
+            .map_err(|e| fail(fault, e.to_string()))?;
+        expected_ids.push(req.request_id());
+    }
+
+    // A modest queue under the shed policy: overload shedding (code 13)
+    // is allowed to fire, and every shed must still be answered.
+    let engine = Arc::new(ServeEngine::new(ServeConfig {
+        workers: 2,
+        queue_capacity: 4,
+        policy: AdmissionPolicy::Shed,
+        root: None,
+        ..ServeConfig::default()
+    }));
+    let out = SharedBuf::default();
+    let report =
+        dynfd_serve::serve_connection(&engine, std::io::Cursor::new(stream), out.clone(), || false);
+
+    // Decode the response stream; it must itself be frame-clean.
+    let bytes = out
+        .0
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone();
+    let mut cursor = std::io::Cursor::new(bytes);
+    let mut responses = Vec::new();
+    while let Some(payload) =
+        wire::read_frame(&mut cursor).map_err(|e| fail(fault, e.to_string()))?
+    {
+        responses.push(
+            wire::decode_response(&payload)
+                .map_err(|e| fail(fault, format!("bad response: {e}")))?,
+        );
+    }
+
+    // Oracle 1: exactly-once per readable well-formed (or id-bearing
+    // garbage) frame, plus exactly one id-0 framing error for stream
+    // damage. No other responses.
+    let mut by_id: HashMap<u64, u64> = HashMap::new();
+    for resp in &responses {
+        *by_id.entry(resp.request_id).or_insert(0) += 1;
+    }
+    for id in &expected_ids {
+        match by_id.remove(id) {
+            Some(1) => {}
+            Some(n) => return Err(fail(fault, format!("request {id} answered {n} times"))),
+            None => return Err(fail(fault, format!("request {id} never answered"))),
+        }
+    }
+    if truncated_stream {
+        match by_id.remove(&0) {
+            Some(1) => {}
+            other => {
+                return Err(fail(
+                    fault,
+                    format!("framing damage must yield exactly one id-0 error, got {other:?}"),
+                ))
+            }
+        }
+    }
+    if !by_id.is_empty() {
+        return Err(fail(
+            fault,
+            format!("unsolicited responses for ids {:?}", by_id.keys()),
+        ));
+    }
+
+    // Oracle 2: every code is a documented one, and framing/garbage
+    // damage answers carry the parse code.
+    let mut stats = WireStats {
+        wellformed: expected_ids.len() as u64,
+        damaged: 1,
+        responses: responses.len() as u64,
+        ..WireStats::default()
+    };
+    for resp in &responses {
+        match resp.code {
+            CODE_OK => {}
+            13 => stats.sheds += 1,
+            CODE_PARSE | 3 | 5..=12 | 14..=16 => stats.errors += 1,
+            other => return Err(fail(fault, format!("undocumented response code {other}"))),
+        }
+        if resp.request_id == 0 && resp.code != CODE_PARSE {
+            return Err(fail(
+                fault,
+                format!(
+                    "framing-damage response must carry the parse code, got {}",
+                    resp.code
+                ),
+            ));
+        }
+    }
+    if report.frames == 0 {
+        return Err(fail(fault, "server read no frames".into()));
+    }
+    Ok(stats)
+}

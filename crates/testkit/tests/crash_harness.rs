@@ -19,11 +19,14 @@
 //!
 //! The scenario grid is fixed-seed: the same ~30 kills run on every
 //! machine, covering mid-frame byte kills, post-fsync kills between
-//! log and apply, and mid-snapshot kills (leftover `snapshot.tmp`).
+//! log and apply, mid-snapshot kills (leftover `snapshot.tmp`), and —
+//! via the `serve-drain` child mode — kills inside the multi-tenant
+//! serve engine's shutdown drain window, where a mixed backlog of
+//! tenants is being flushed to per-tenant WALs.
 
 use dynfd_core::{DynFd, DynFdConfig};
 use dynfd_persist::{wal_path, FdEngine};
-use dynfd_testkit::Trace;
+use dynfd_testkit::{tenant_traces, Trace};
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
@@ -206,6 +209,72 @@ fn clean_child_run_recovers_completely() {
     let replayed = recover_and_verify(&dir, 1, 3, "clean");
     assert!(replayed <= trace.to_batches().len());
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_drain_kill_leaves_every_tenant_recoverable() {
+    // The queue-drain kill point: the child queues three tenants'
+    // interleaved backlogs with delivery paused, then shuts down with a
+    // drain-kill budget armed — the abort lands after `kill_after` jobs
+    // of the drain window completed, with the rest still queued (and a
+    // job possibly mid-WAL-write on the other worker). Every tenant
+    // directory must recover to a bit-identical replay of its durable
+    // prefix, resume cleanly, and at least `kill_after` jobs in total
+    // must have made it to disk (a completed job is durable *before*
+    // its completion is counted).
+    let mut crashes = 0;
+    for kill_after in [1u64, 2, 4, 7] {
+        for snapshot_every in [0usize, 2] {
+            let tag = format!("serve-drain-{kill_after}-{snapshot_every}");
+            let dir = scratch(&tag);
+            if spawn_child(&dir, 0, snapshot_every, Some(("serve-drain", kill_after))) {
+                crashes += 1;
+                let config = config(snapshot_every);
+                let mut durable_jobs = 0u64;
+                for (name, trace) in &tenant_traces(SEED, 3) {
+                    let tdir = dir.join(name);
+                    let (mut recovered, _) = FdEngine::recover_with_config(&tdir, config)
+                        .unwrap_or_else(|e| panic!("{tag}: recover {name}: {e}"));
+                    let batches = trace.to_batches();
+                    let prefix = recovered.seq() as usize;
+                    assert!(
+                        prefix <= batches.len(),
+                        "{tag}: {name} recovered past its trace"
+                    );
+                    durable_jobs += prefix as u64;
+                    let oracle = fresh_prefix(trace, prefix, config);
+                    assert_eq!(
+                        oracle.logical_divergence(recovered.dynfd()),
+                        None,
+                        "{tag}: {name} must equal a fresh replay of its durable prefix"
+                    );
+                    recovered
+                        .dynfd()
+                        .verify_annotations()
+                        .unwrap_or_else(|e| panic!("{tag}: {name} annotations invalid: {e}"));
+                    // Resume the rest of the tenant's stream: the same
+                    // final state as an uninterrupted run.
+                    for batch in &batches[prefix..] {
+                        recovered
+                            .apply_batch(batch)
+                            .unwrap_or_else(|e| panic!("{tag}: {name} resume rejected: {e}"));
+                    }
+                    let full = fresh_prefix(trace, batches.len(), config);
+                    assert_eq!(
+                        full.logical_divergence(recovered.dynfd()),
+                        None,
+                        "{tag}: {name} resumed state must equal an uninterrupted run"
+                    );
+                }
+                assert!(
+                    durable_jobs >= kill_after,
+                    "{tag}: only {durable_jobs} durable jobs for a budget of {kill_after}"
+                );
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    assert!(crashes >= 4, "only {crashes} serve-drain kills fired");
 }
 
 #[test]

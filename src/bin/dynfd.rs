@@ -6,6 +6,8 @@
 //! dynfd maintain <data.csv> <changes.log> [opts]   replay a change log
 //! dynfd serve    <data.csv> <changes.log> --wal-dir <dir> [opts]
 //!                                                  replay durably (WAL + snapshots)
+//! dynfd serve    --multi [--root <dir>] [opts]     multi-tenant framed server on
+//!                                                  stdin/stdout
 //! dynfd recover  <dir> [--save <f>] [--stats]      recover a WAL directory
 //!
 //! options for maintain and serve:
@@ -23,7 +25,23 @@
 //!   --wal-dir <dir>       durable state directory (required)
 //!   --snapshot-every <n>  batches between snapshots (default 64,
 //!                         0 = never snapshot after the initial one)
+//!
+//! options for serve --multi:
+//!   --root <dir>          durable root: each tenant persists under
+//!                         <dir>/<name>/ (omit for in-memory tenants)
+//!   --workers <n>         worker threads / shards (default: one per core)
+//!   --queue <n>           per-tenant in-flight bound (default 64)
+//!   --block               block full queues (backpressure) instead of
+//!                         shedding with error code 13
+//!   --snapshot-every <n>  as above, applied to every tenant
+//!   --stats               per-tenant metrics on stderr at exit
 //! ```
+//!
+//! `serve --multi` speaks the length-prefixed binary protocol of
+//! [`dynfd::serve::wire`] on stdin/stdout (DESIGN.md §6g has the frame
+//! and error-code tables). The run ends on stdin EOF, a shutdown frame,
+//! or ctrl-c — all three drain every queued batch and fsync every
+//! tenant's WAL tail before the process exits.
 //!
 //! `serve` is crash-safe `maintain`: every batch is appended to a
 //! checksummed write-ahead log and fsynced *before* it mutates the
@@ -51,8 +69,45 @@ use dynfd::lattice::closure::{bcnf_violations, candidate_keys};
 use dynfd::lattice::io::{read_cover, write_cover, write_cover_file};
 use dynfd::persist::{wal_path, FdEngine, RecoveryReport};
 use dynfd::relation::{parse_changelog, read_csv_file, Batch, DynamicRelation};
-use std::path::Path;
+use dynfd::serve::{serve_connection, AdmissionPolicy, ServeConfig, ServeEngine};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
+
+/// SIGINT-to-flag plumbing: the handler only sets an atomic; the serve
+/// loops poll it at batch/frame boundaries so the WAL tail can be
+/// drained and fsynced before the process exits (exit code 130).
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_sigint(_signum: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the handler (no libc dependency: `signal(2)` directly).
+    pub fn install() {
+        #[cfg(unix)]
+        unsafe {
+            extern "C" {
+                fn signal(signum: i32, handler: usize) -> usize;
+            }
+            let _ = signal(
+                2, /* SIGINT */
+                on_sigint as extern "C" fn(i32) as usize,
+            );
+        }
+    }
+
+    /// Whether SIGINT has arrived since [`install`].
+    pub fn received() -> bool {
+        INTERRUPTED.load(Ordering::SeqCst)
+    }
+}
+
+/// Exit code for an orderly SIGINT shutdown (128 + signal 2).
+const EXIT_INTERRUPTED: u8 = 130;
 
 /// A CLI failure: a one-line diagnostic plus the process exit code.
 /// Usage errors exit 2 (and reprint the usage text); engine errors
@@ -135,6 +190,7 @@ const USAGE: &str = "usage: dynfd profile <data.csv>
        dynfd keys <data.csv>
        dynfd maintain <data.csv> <changes.log> [--batch <n>] [--cover <f>] [--save <f>] [--quiet] [--stats]
        dynfd serve <data.csv> <changes.log> --wal-dir <dir> [--batch <n>] [--snapshot-every <n>] [--save <f>] [--quiet] [--stats]
+       dynfd serve --multi [--root <dir>] [--workers <n>] [--queue <n>] [--block] [--snapshot-every <n>] [--stats]
        dynfd recover <dir> [--save <f>] [--stats]";
 
 fn load(path: &str) -> Result<(Schema, DynamicRelation), CliError> {
@@ -339,6 +395,9 @@ fn report_recovery(dir: &str, report: &RecoveryReport) {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    if args.iter().any(|a| a == "--multi") {
+        return cmd_serve_multi(args);
+    }
     let mut positional: Vec<&String> = Vec::new();
     let mut wal_dir: Option<String> = None;
     let mut batch_size = 100usize;
@@ -435,9 +494,25 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         total_batches - already_applied,
     );
 
+    sigint::install();
     let mut monitor = FdMonitor::new(&engine.dynfd().minimal_fds());
     let mut totals = dynfd::core::BatchMetrics::default();
     for (i, batch) in batches.iter().enumerate().skip(already_applied) {
+        if sigint::received() {
+            // Ctrl-c between batches: make the applied prefix durable
+            // (data *and* metadata) before exiting, so a recovery sees
+            // exactly the batches we acknowledged.
+            engine.sync_all().map_err(|e| io_error(&dir, e))?;
+            eprintln!(
+                "# interrupted: WAL tail synced, durable through seq {}",
+                engine.seq()
+            );
+            return Err(CliError {
+                code: EXIT_INTERRUPTED,
+                message: "interrupted (SIGINT); durable state is consistent".into(),
+                show_usage: false,
+            });
+        }
         let result = engine
             .apply_batch(batch)
             .map_err(|e| CliError::engine(format_args!("batch {i}"), e))?;
@@ -454,6 +529,9 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         }
     }
 
+    // End-of-log is an exit path too: force the WAL tail (including
+    // file metadata) down before reporting success.
+    engine.sync_all().map_err(|e| io_error(&dir, e))?;
     eprintln!(
         "# done: {} rows, {} minimal FDs, durable through seq {}",
         engine.dynfd().relation().len(),
@@ -487,6 +565,153 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         write_cover_file(Path::new(&p), engine.dynfd().positive_cover(), &schema)
             .map_err(|e| with_path(&p, e))?;
         eprintln!("# cover saved to {p}");
+    }
+    Ok(())
+}
+
+/// `serve --multi`: the multi-tenant framed server on stdin/stdout.
+fn cmd_serve_multi(args: &[String]) -> Result<(), CliError> {
+    let mut root: Option<PathBuf> = None;
+    let mut workers = 0usize;
+    let mut queue_capacity = 64usize;
+    let mut policy = AdmissionPolicy::Shed;
+    let mut snapshot_every = DynFdConfig::default().snapshot_every;
+    let mut stats = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--multi" => {}
+            "--root" => {
+                root = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| CliError::usage("--root needs a path"))?,
+                ))
+            }
+            "--workers" => {
+                workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| CliError::usage("--workers needs a positive integer"))?;
+            }
+            "--queue" => {
+                queue_capacity = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| CliError::usage("--queue needs a positive integer"))?;
+            }
+            "--block" => policy = AdmissionPolicy::Block,
+            "--snapshot-every" => {
+                snapshot_every = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| CliError::usage("--snapshot-every needs an integer"))?;
+            }
+            "--stats" => stats = true,
+            other => {
+                return Err(CliError::usage(format!(
+                    "unknown serve --multi option {other:?}"
+                )))
+            }
+        }
+    }
+
+    if let Some(dir) = &root {
+        std::fs::create_dir_all(dir).map_err(|e| io_error(&dir.display().to_string(), e))?;
+    }
+    sigint::install();
+    let engine = Arc::new(ServeEngine::new(ServeConfig {
+        workers,
+        queue_capacity,
+        policy,
+        root: root.clone(),
+        engine: DynFdConfig {
+            snapshot_every,
+            ..DynFdConfig::default()
+        },
+        ..ServeConfig::default()
+    }));
+    eprintln!(
+        "# serve --multi: {} workers, per-tenant queue {queue_capacity} ({}), root {}",
+        engine.worker_count(),
+        match policy {
+            AdmissionPolicy::Shed => "shed",
+            AdmissionPolicy::Block => "block",
+        },
+        root.as_deref().map_or_else(
+            || "none (in-memory tenants)".to_string(),
+            |d| d.display().to_string()
+        ),
+    );
+
+    let report = serve_connection(
+        &engine,
+        std::io::stdin().lock(),
+        std::io::stdout(),
+        sigint::received,
+    );
+
+    let interrupted = sigint::received();
+    let Ok(engine) = Arc::try_unwrap(engine) else {
+        // Unreachable: serve_connection quiesces and drops every clone.
+        return Err(CliError::engine(
+            "serve --multi",
+            DynFdError::InvariantBreach {
+                phase: "shutdown",
+                detail: "engine still shared after connection end".into(),
+            },
+        ));
+    };
+    if stats {
+        for name in engine.tenant_names() {
+            if let Ok(m) = engine.metrics(&name) {
+                eprintln!(
+                    "# tenant {name}: {} submitted, {} applied, {} rejected, {} shed, \
+                     +{}/-{} FDs, max depth {}, latency mean {:?} max {:?}",
+                    m.submitted,
+                    m.applied,
+                    m.rejected,
+                    m.shed,
+                    m.fds_added,
+                    m.fds_removed,
+                    m.max_depth,
+                    m.latency_total
+                        .checked_div((m.applied + m.rejected).max(1) as u32)
+                        .unwrap_or_default(),
+                    m.latency_max,
+                );
+            }
+        }
+    }
+    let shutdown = engine.shutdown();
+    eprintln!(
+        "# shutdown: {} frames, {} responses, {} tenants, {} WAL tails synced",
+        report.frames, report.responses, shutdown.tenants, shutdown.synced
+    );
+    for (tenant, err) in &shutdown.sync_errors {
+        eprintln!("# warning: tenant {tenant}: final sync failed: {err}");
+    }
+    for tenant in &shutdown.poisoned {
+        eprintln!("# warning: tenant {tenant}: poisoned by an earlier panic, not synced");
+    }
+    if !shutdown.sync_errors.is_empty() {
+        return Err(CliError {
+            code: 3,
+            message: format!(
+                "{} tenant WAL tail(s) failed to sync",
+                shutdown.sync_errors.len()
+            ),
+            show_usage: false,
+        });
+    }
+    if interrupted {
+        return Err(CliError {
+            code: EXIT_INTERRUPTED,
+            message: "interrupted (SIGINT); queues drained, WAL tails synced".into(),
+            show_usage: false,
+        });
     }
     Ok(())
 }

@@ -12,6 +12,9 @@
 //! * [`core`] — the DynFD maintenance algorithm itself.
 //! * [`persist`] — durable engine state: checksummed batch WAL, atomic
 //!   snapshots, and crash recovery ([`persist::FdEngine`]).
+//! * [`serve`] — the multi-tenant concurrent serve layer: per-tenant
+//!   durable engines behind a sharded worker pool, a framed wire
+//!   protocol, and bounded admission ([`serve::ServeEngine`]).
 //! * [`datagen`] — synthetic datasets and change histories shaped like
 //!   the paper's six evaluation datasets.
 //!
@@ -48,4 +51,5 @@ pub use dynfd_datagen as datagen;
 pub use dynfd_lattice as lattice;
 pub use dynfd_persist as persist;
 pub use dynfd_relation as relation;
+pub use dynfd_serve as serve;
 pub use dynfd_static as staticfd;

@@ -25,12 +25,7 @@ const COLS: usize = 4;
 /// Both stores replayed batch by batch; verdicts and witnesses compared
 /// after every batch under the full and (where applicable) delta-pruned
 /// validation options.
-fn assert_layouts_agree(
-    initial: &[Vec<String>],
-    batches: &[Batch],
-    schema: Schema,
-    label: &str,
-) {
+fn assert_layouts_agree(initial: &[Vec<String>], batches: &[Batch], schema: Schema, label: &str) {
     let mut reference = RowStoreRelation::from_rows(schema.clone(), initial)
         .expect("reference store accepts the trace");
     let mut columnar =
@@ -57,7 +52,9 @@ fn assert_layouts_agree(
         let (ins, del, first_new) = reference
             .apply_batch(batch)
             .expect("reference batch application");
-        let applied = columnar.apply_batch(batch).expect("columnar batch application");
+        let applied = columnar
+            .apply_batch(batch)
+            .expect("columnar batch application");
         assert_eq!(ins, applied.inserted, "{label}: batch {i} inserted set");
         assert_eq!(del, applied.deleted, "{label}: batch {i} deleted set");
         assert_eq!(
@@ -148,7 +145,9 @@ fn engine_on_columnar_store_is_thread_count_invariant() {
     for case in 0..4 {
         let trace = Trace::for_case(29, case);
         let seq = replay_engine(&trace, 1);
-        seq.2.verify_consistency().expect("sequential replay consistent");
+        seq.2
+            .verify_consistency()
+            .expect("sequential replay consistent");
         for threads in [2usize, 8] {
             let par = replay_engine(&trace, threads);
             let label = format!("case {case} ({}), {threads} threads", trace.profile);

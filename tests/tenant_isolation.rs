@@ -1,0 +1,299 @@
+//! Tenant isolation under faults: one tenant blowing up mid-batch —
+//! whether through the engine's own transactional boundary (an injected
+//! failpoint panic, rolled back and rejected with a typed error) or an
+//! *escaped* panic that poisons the tenant's engine lock — must not
+//! perturb any other tenant's covers, violation annotations, metrics,
+//! or queue depth. The blast radius of a panic is exactly one tenant.
+//!
+//! Contract under test (DESIGN.md §6g):
+//!
+//! * an injected mid-batch panic is caught at the engine boundary,
+//!   rolled back bit-identically, and answered with the documented
+//!   `PhasePanicked` code; retrying the same batch succeeds;
+//! * an escaped panic poisons only the victim's lock: every later batch
+//!   for that tenant gets a typed `PhasePanicked` reply (never a hang,
+//!   never a worker death), `shutdown` reports the tenant in
+//!   `poisoned`, and new tenants can still be opened and served;
+//! * in both cases every *other* tenant's final state matches a
+//!   sequential replay bit for bit and its metrics show zero rejects.
+
+use dynfd::core::{DynFdConfig, DynFdError, FailAction, FailPhase, FailPoint};
+use dynfd::serve::{AdmissionPolicy, BatchReply, ServeConfig, ServeEngine, ServeError};
+use dynfd_testkit::{sequential_oracle, silence_injected_panics, tenant_traces};
+use proptest::prelude::*;
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+
+const SEED: u64 = 4242;
+
+fn engine(workers: usize) -> Arc<ServeEngine> {
+    Arc::new(ServeEngine::new(ServeConfig {
+        workers,
+        queue_capacity: 1024,
+        policy: AdmissionPolicy::Block,
+        root: None,
+        ..ServeConfig::default()
+    }))
+}
+
+/// Poisons `victim`'s engine lock by panicking while holding it — the
+/// escaped-panic scenario. The panic unwinds back into this thread (the
+/// inspection closure runs on the caller), so the lock is left poisoned
+/// exactly as a worker-side escape leaves it.
+fn poison_tenant(engine: &ServeEngine, victim: &str) {
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        let _ = engine.with_tenant(victim, |_| -> () {
+            panic!("injected failpoint: poison {victim}")
+        });
+    }));
+    assert!(result.is_err(), "the poisoning panic must propagate");
+}
+
+/// Checks `name` against a fresh sequential replay of its trace.
+fn assert_matches_oracle(
+    engine: &ServeEngine,
+    name: &str,
+    trace: &dynfd_testkit::Trace,
+    label: &str,
+) {
+    let oracle = sequential_oracle(trace, DynFdConfig::default())
+        .unwrap_or_else(|e| panic!("{label}: oracle for {name}: {e}"));
+    let divergence = engine
+        .with_tenant(name, |served| oracle.state_divergence(served))
+        .unwrap_or_else(|e| panic!("{label}: inspect {name}: {e}"));
+    assert_eq!(
+        divergence, None,
+        "{label}: tenant {name} diverged from sequential replay"
+    );
+}
+
+/// The poisoning scenario, shared by the fixed-seed test and the
+/// proptest: poison one of `tenants` tenants, stream everyone's batches
+/// interleaved, and verify the blast radius is exactly the victim.
+fn check_poison_isolation(seed: u64, tenants: usize, victim_idx: usize) {
+    silence_injected_panics();
+    let traces = tenant_traces(seed, tenants);
+    let victim = traces[victim_idx].0.clone();
+    let engine = engine(4);
+    for (name, trace) in &traces {
+        engine
+            .open_tenant(name, trace.schema.clone(), &trace.initial_rows)
+            .unwrap_or_else(|e| panic!("open {name}: {e}"));
+    }
+    poison_tenant(&engine, &victim);
+
+    // Round-robin interleave every tenant's stream, victim included.
+    let replies: Arc<Mutex<Vec<BatchReply>>> = Arc::default();
+    let mut streams: Vec<(&str, std::vec::IntoIter<dynfd::relation::Batch>)> = traces
+        .iter()
+        .map(|(name, trace)| (name.as_str(), trace.to_batches().into_iter()))
+        .collect();
+    let mut request_id = 0u64;
+    loop {
+        let mut any = false;
+        for (name, stream) in &mut streams {
+            let Some(batch) = stream.next() else { continue };
+            any = true;
+            request_id += 1;
+            let sink = Arc::clone(&replies);
+            engine
+                .submit(name, request_id, batch, move |reply| {
+                    sink.lock().unwrap().push(reply);
+                })
+                .unwrap_or_else(|e| panic!("submit to {name}: {e}"));
+        }
+        if !any {
+            break;
+        }
+    }
+    engine.quiesce();
+
+    // Victim: every reply is the typed poisoned-tenant error.
+    let replies = replies.lock().unwrap();
+    let victim_batches = traces[victim_idx].1.to_batches().len() as u64;
+    let mut victim_replies = 0u64;
+    for reply in replies.iter().filter(|r| r.tenant == victim) {
+        victim_replies += 1;
+        match &reply.outcome {
+            Err(ServeError::Engine(DynFdError::PhasePanicked { .. })) => {}
+            other => panic!("victim reply must be PhasePanicked, got {other:?}"),
+        }
+    }
+    assert_eq!(victim_replies, victim_batches, "victim replies accounted");
+    let vm = engine.metrics(&victim).expect("victim metrics");
+    assert_eq!(vm.applied, 0, "no batch may apply on a poisoned tenant");
+    assert_eq!(vm.rejected, victim_batches);
+    assert_eq!(vm.shed, 0);
+
+    // Everyone else: lossless, bit-identical to sequential replay,
+    // zero rejects, drained queue.
+    for (i, (name, trace)) in traces.iter().enumerate() {
+        if i == victim_idx {
+            continue;
+        }
+        let batches = trace.to_batches().len() as u64;
+        let ok = replies
+            .iter()
+            .filter(|r| &r.tenant == name && r.outcome.is_ok())
+            .count() as u64;
+        assert_eq!(ok, batches, "tenant {name} must apply every batch");
+        assert_matches_oracle(&engine, name, trace, "poison");
+        let m = engine
+            .metrics(name)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(m.applied, batches, "tenant {name} applied count");
+        assert_eq!(m.rejected, 0, "tenant {name} must see zero rejects");
+        assert_eq!(m.shed, 0, "tenant {name} must see zero sheds");
+        let depth = engine.queue_depth(name).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(depth, 0, "tenant {name} queue must drain");
+    }
+    drop(replies);
+
+    // The engine itself stays healthy: a *new* tenant opens and serves.
+    let fresh = dynfd_testkit::Trace::for_case(seed ^ 0xF00D, 1);
+    let engine_ref = Arc::clone(&engine);
+    engine_ref
+        .open_tenant("late-arrival", fresh.schema.clone(), &fresh.initial_rows)
+        .expect("opening a tenant after a poisoning must work");
+    let (tx, rx) = mpsc::channel();
+    for (i, batch) in fresh.to_batches().into_iter().enumerate() {
+        let tx = tx.clone();
+        engine_ref
+            .submit("late-arrival", 90_000 + i as u64, batch, move |reply| {
+                tx.send(reply).ok();
+            })
+            .expect("submit to late tenant");
+        let reply = rx.recv().expect("late tenant reply");
+        assert!(reply.outcome.is_ok(), "late tenant batch rejected");
+    }
+    engine_ref.quiesce();
+    assert_matches_oracle(&engine_ref, "late-arrival", &fresh, "late");
+    drop(engine_ref);
+
+    // Shutdown names exactly the victim as poisoned; everyone else
+    // syncs cleanly.
+    let engine = Arc::try_unwrap(engine).unwrap_or_else(|_| panic!("engine still shared"));
+    let report = engine.shutdown();
+    assert_eq!(report.poisoned, vec![victim], "poisoned set is the victim");
+    assert_eq!(report.synced, tenants, "every healthy tenant synced");
+    assert!(report.sync_errors.is_empty(), "{:?}", report.sync_errors);
+}
+
+#[test]
+fn poisoned_tenant_does_not_perturb_others() {
+    check_poison_isolation(SEED, 4, 1);
+}
+
+#[test]
+fn injected_midbatch_panic_rolls_back_and_stays_contained() {
+    silence_injected_panics();
+    let traces = tenant_traces(SEED, 3);
+    let victim = traces[0].0.clone();
+    let engine = engine(2);
+    for (name, trace) in &traces {
+        engine
+            .open_tenant(name, trace.schema.clone(), &trace.initial_rows)
+            .unwrap_or_else(|e| panic!("open {name}: {e}"));
+    }
+
+    // Stream the bystanders' full backlogs up front so they execute
+    // concurrently with the victim's trip-and-retry loop below.
+    let ok_others = Arc::new(Mutex::new(0u64));
+    let mut request_id = 10_000u64;
+    for (name, trace) in traces.iter().skip(1) {
+        for batch in trace.to_batches() {
+            request_id += 1;
+            let ok = Arc::clone(&ok_others);
+            engine
+                .submit(name, request_id, batch, move |reply| {
+                    assert!(reply.outcome.is_ok(), "bystander batch rejected");
+                    *ok.lock().unwrap() += 1;
+                })
+                .unwrap_or_else(|e| panic!("submit to {name}: {e}"));
+        }
+    }
+
+    // Victim: walk the trace one batch at a time with a panic failpoint
+    // re-armed before each submit. A trip must surface as the typed
+    // PhasePanicked rejection, roll back bit-identically, and succeed
+    // on an immediate retry of the *same* batch; a batch whose shape
+    // never reaches the failpoint (no insert phase) applies cleanly.
+    let (tx, rx) = mpsc::channel();
+    let mut trips = 0u64;
+    for (i, batch) in traces[0].1.to_batches().into_iter().enumerate() {
+        engine
+            .arm_failpoint(
+                &victim,
+                FailPoint {
+                    phase: FailPhase::InsertPhase,
+                    after_validations: 0,
+                    action: FailAction::Panic,
+                },
+            )
+            .expect("arm failpoint");
+        let tx2 = tx.clone();
+        engine
+            .submit(&victim, i as u64 + 1, batch.clone(), move |reply| {
+                tx2.send(reply).ok();
+            })
+            .expect("submit victim batch");
+        let reply = rx.recv().expect("victim reply");
+        match reply.outcome {
+            Ok(_) => {}
+            Err(ServeError::Engine(DynFdError::PhasePanicked { ref detail, .. })) => {
+                assert!(
+                    detail.contains("injected failpoint"),
+                    "unexpected panic detail: {detail}"
+                );
+                trips += 1;
+                let tx2 = tx.clone();
+                engine
+                    .submit(&victim, 5_000 + i as u64, batch, move |reply| {
+                        tx2.send(reply).ok();
+                    })
+                    .expect("resubmit victim batch");
+                let retry = rx.recv().expect("victim retry reply");
+                assert!(
+                    retry.outcome.is_ok(),
+                    "retry after rollback must succeed, got {:?}",
+                    retry.outcome
+                );
+            }
+            Err(other) => panic!("victim batch {i} failed unexpectedly: {other}"),
+        }
+    }
+    assert!(
+        trips > 0,
+        "the failpoint never fired — trace has no inserts?"
+    );
+    engine.quiesce();
+
+    // Every tenant — victim included — lands on the sequential oracle.
+    let total_other: u64 = traces
+        .iter()
+        .skip(1)
+        .map(|(_, t)| t.to_batches().len() as u64)
+        .sum();
+    assert_eq!(*ok_others.lock().unwrap(), total_other);
+    for (name, trace) in &traces {
+        assert_matches_oracle(&engine, name, trace, "failpoint");
+    }
+    for (name, _) in traces.iter().skip(1) {
+        let m = engine.metrics(name).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(m.rejected, 0, "bystander {name} must see zero rejects");
+    }
+    let vm = engine.metrics(&victim).expect("victim metrics");
+    assert_eq!(vm.rejected, trips, "victim rejects = failpoint trips");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Seed-randomized poisoning: whatever the trace set and whichever
+    /// tenant is poisoned, the blast radius is exactly that tenant.
+    #[test]
+    fn poison_blast_radius_is_one_tenant(seed in 0u64..1_000_000, victim in 0usize..3) {
+        check_poison_isolation(seed, 3, victim);
+    }
+}
