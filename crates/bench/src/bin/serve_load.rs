@@ -20,8 +20,17 @@
 //! queue wait — the saturated-server number, which is the one that
 //! matters for capacity planning. Workers default to the machine's
 //! available parallelism (`--workers 0`).
+//!
+//! After the tenant-count grid, an **overload shape** runs: one hog
+//! inflating past a calibrated byte quota beside 63 well-behaved
+//! tenants under the shed policy, with the hog evicted live at the
+//! end. The JSON records the shed/quota-rejection/eviction counts and
+//! the bystander latency tail — the number governance exists to
+//! protect.
 
-use dynfd_serve::{AdmissionPolicy, ServeConfig, ServeEngine};
+use dynfd_core::{DynFd, DynFdConfig};
+use dynfd_relation::{Batch, DynamicRelation};
+use dynfd_serve::{AdmissionPolicy, ServeConfig, ServeEngine, ServeError, TenantQuota};
 use dynfd_testkit::{Trace, TraceOp};
 use std::io::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -238,6 +247,238 @@ fn run_shape(args: &Args, tenants: usize) -> ShapeResult {
     }
 }
 
+/// Counters from the governed-overload shape.
+struct OverloadResult {
+    tenants: usize,
+    workers: usize,
+    hog_quota_bytes: u64,
+    hog_submitted: u64,
+    hog_admitted: u64,
+    shed: u64,
+    quota_rejected: u64,
+    evictions: u64,
+    apply_rejected: u64,
+    bystander_batches: u64,
+    wall: Duration,
+    bystander_latencies: Vec<Duration>,
+}
+
+/// The hog's workload: insert-only batches of wide unique values, so
+/// its dictionary and PLIs inflate monotonically — the memory shape a
+/// byte quota exists to stop.
+fn hog_stream(batches: usize) -> (dynfd_common::Schema, Vec<Batch>) {
+    let schema = dynfd_common::Schema::anonymous("hog", 6);
+    let mut counter = 0u64;
+    let stream = (0..batches)
+        .map(|_| {
+            let mut batch = Batch::new();
+            for _ in 0..32 {
+                counter += 1;
+                batch.insert((0..6).map(|c| format!("hog-{c}-{counter:012}")).collect());
+            }
+            batch
+        })
+        .collect();
+    (schema, stream)
+}
+
+/// The governed-overload shape: one hog inflating past a byte quota
+/// beside 63 well-behaved tenants, under the shed policy with a small
+/// queue — the saturated-and-governed server. Reports the hog's
+/// quota-rejection count, pool-wide sheds, and the *bystander* latency
+/// tail (the number the quota exists to protect); the hog is evicted
+/// live at the end of the run so the eviction path is on the record
+/// too.
+fn run_overload(args: &Args) -> OverloadResult {
+    const BYSTANDERS: usize = 63;
+    let (hog_schema, hog_batches) = hog_stream(args.batches);
+
+    // Calibrate the quota from standalone replays: half the hog's final
+    // footprint (the back half of its stream must be refused), floored
+    // at twice a bystander's final footprint (no bystander trips it).
+    let bystander_trace = synthetic_trace(args.seed, args.width, args.rows, args.batches);
+    let mut oracle = DynFd::new(bystander_trace.to_relation(), DynFdConfig::default());
+    for batch in bystander_trace.to_batches() {
+        oracle.apply_batch(&batch).unwrap_or_else(|e| {
+            eprintln!("overload calibration replay: {e}");
+            std::process::exit(1);
+        });
+    }
+    let bystander_peak = oracle.resident_bytes();
+    let no_rows: &[Vec<String>] = &[];
+    let hog_relation =
+        DynamicRelation::from_rows(hog_schema.clone(), no_rows).unwrap_or_else(|e| {
+            eprintln!("overload hog relation: {e}");
+            std::process::exit(1);
+        });
+    let mut hog_oracle = DynFd::new(hog_relation, DynFdConfig::default());
+    let mut footprints = Vec::with_capacity(hog_batches.len());
+    for batch in &hog_batches {
+        hog_oracle.apply_batch(batch).unwrap_or_else(|e| {
+            eprintln!("overload hog replay: {e}");
+            std::process::exit(1);
+        });
+        footprints.push(hog_oracle.resident_bytes());
+    }
+    let quota = footprints[footprints.len() / 2].max(bystander_peak * 2) as u64;
+
+    let traces: Vec<(String, Trace)> = (0..BYSTANDERS)
+        .map(|t| {
+            let name = format!("t{t}");
+            let trace = synthetic_trace(
+                args.seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                args.width,
+                args.rows,
+                args.batches,
+            );
+            (name, trace)
+        })
+        .collect();
+    let engine = Arc::new(ServeEngine::new(ServeConfig {
+        workers: args.workers,
+        queue_capacity: 64,
+        policy: AdmissionPolicy::Shed,
+        root: None,
+        quota: TenantQuota {
+            max_resident_bytes: Some(quota),
+            max_cpu: None,
+        },
+        ..ServeConfig::default()
+    }));
+    for (name, trace) in &traces {
+        engine
+            .open_tenant(name, trace.schema.clone(), &trace.initial_rows)
+            .unwrap_or_else(|e| {
+                eprintln!("open {name}: {e}");
+                std::process::exit(1);
+            });
+    }
+    engine
+        .open_tenant("hog", hog_schema, no_rows)
+        .unwrap_or_else(|e| {
+            eprintln!("open hog: {e}");
+            std::process::exit(1);
+        });
+
+    let bystander_latencies: Arc<Mutex<Vec<Duration>>> = Arc::default();
+    // Shedding a stateful stream leaves gaps: a later delete/update can
+    // land on a row a shed insert never created and draw a typed engine
+    // rejection. Under the shed policy that is expected fallout, so it
+    // is counted, not fatal.
+    let apply_rejected = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+
+    // The hog runs closed-loop on its own thread — it waits for each
+    // ack, so its cached footprint is current at every admission and
+    // the quota trips deterministically once the footprint crosses it
+    // (an open-loop hog would outrun the post-apply accounting).
+    let hog_thread = {
+        let engine = Arc::clone(&engine);
+        let rejected = Arc::clone(&apply_rejected);
+        std::thread::spawn(move || {
+            let mut submitted = 0u64;
+            let mut admitted = 0u64;
+            let mut quota = 0u64;
+            let mut shed = 0u64;
+            for batch in hog_batches {
+                submitted += 1;
+                let (tx, rx) = std::sync::mpsc::channel();
+                let rejected = Arc::clone(&rejected);
+                // Ids above 1e9 keep the hog's space disjoint from the
+                // bystander pump on the main thread.
+                let outcome = engine.submit("hog", 1_000_000_000 + submitted, batch, move |r| {
+                    if r.outcome.is_err() {
+                        rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let _ = tx.send(());
+                });
+                match outcome {
+                    Ok(()) => {
+                        admitted += 1;
+                        let _ = rx.recv();
+                    }
+                    Err(ServeError::Overloaded { .. }) => shed += 1,
+                    Err(ServeError::QuotaExceeded { .. }) => quota += 1,
+                    Err(e) => {
+                        eprintln!("overload submit to hog: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            (submitted, admitted, quota, shed)
+        })
+    };
+
+    let mut streams: Vec<(&str, std::vec::IntoIter<Batch>)> = traces
+        .iter()
+        .map(|(name, trace)| (name.as_str(), trace.to_batches().into_iter()))
+        .collect();
+    let mut shed = 0u64;
+    let mut bystander_batches = 0u64;
+    let mut request_id = 0u64;
+    loop {
+        let mut any = false;
+        for (name, stream) in &mut streams {
+            let Some(batch) = stream.next() else { continue };
+            any = true;
+            request_id += 1;
+            bystander_batches += 1;
+            let sink = Arc::clone(&bystander_latencies);
+            let rejected = Arc::clone(&apply_rejected);
+            let outcome = engine.submit(name, request_id, batch, move |reply| {
+                if reply.outcome.is_err() {
+                    rejected.fetch_add(1, Ordering::Relaxed);
+                }
+                sink.lock().unwrap().push(reply.latency);
+            });
+            match outcome {
+                Ok(()) => {}
+                Err(ServeError::Overloaded { .. }) => shed += 1,
+                Err(e) => {
+                    eprintln!("overload submit to {name}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    let (hog_submitted, hog_admitted, quota_rejected, hog_shed) =
+        hog_thread.join().unwrap_or_else(|_| {
+            eprintln!("overload hog thread panicked");
+            std::process::exit(1);
+        });
+    shed += hog_shed;
+    engine.quiesce();
+    let wall = start.elapsed();
+    // The hog pays for its behavior: a live eviction, on the record.
+    engine.close_tenant("hog").unwrap_or_else(|e| {
+        eprintln!("evict hog: {e}");
+        std::process::exit(1);
+    });
+    let global = engine.global_metrics();
+    let workers = engine.worker_count();
+    let mut bystander_latencies = std::mem::take(&mut *bystander_latencies.lock().unwrap());
+    bystander_latencies.sort();
+    OverloadResult {
+        tenants: BYSTANDERS + 1,
+        workers,
+        hog_quota_bytes: quota,
+        hog_submitted,
+        hog_admitted,
+        // The aggregate counters are authoritative (they survive the
+        // hog's eviction); the loop-local counts cross-check them.
+        shed: global.totals.shed.max(shed),
+        quota_rejected: global.totals.quota_rejected.max(quota_rejected),
+        evictions: global.evictions,
+        apply_rejected: apply_rejected.load(Ordering::Relaxed),
+        bystander_batches,
+        wall,
+        bystander_latencies,
+    }
+}
+
 fn main() {
     let args = parse_args();
     let mut shapes = Vec::new();
@@ -256,6 +497,20 @@ fn main() {
         );
         shapes.push(result);
     }
+
+    let overload = run_overload(&args);
+    eprintln!(
+        "overload 1 hog + {} tenants on {} workers: hog {}/{} admitted, \
+         {} quota-rejected, {} shed, {} evicted, bystander p99 {:?}",
+        overload.tenants - 1,
+        overload.workers,
+        overload.hog_admitted,
+        overload.hog_submitted,
+        overload.quota_rejected,
+        overload.shed,
+        overload.evictions,
+        percentile(&overload.bystander_latencies, 0.99),
+    );
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -290,7 +545,28 @@ fn main() {
                 * 1e6,
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"overload\": {{\"tenants\": {}, \"workers\": {}, \
+         \"hog_quota_bytes\": {}, \"hog_submitted\": {}, \"hog_admitted\": {}, \
+         \"shed\": {}, \"quota_rejected\": {}, \"evictions\": {}, \
+         \"apply_rejected\": {}, \"bystander_batches\": {}, \"wall_ms\": {:.1}, \
+         \"bystander_p50_us\": {:.1}, \"bystander_p99_us\": {:.1}}}\n",
+        overload.tenants,
+        overload.workers,
+        overload.hog_quota_bytes,
+        overload.hog_submitted,
+        overload.hog_admitted,
+        overload.shed,
+        overload.quota_rejected,
+        overload.evictions,
+        overload.apply_rejected,
+        overload.bystander_batches,
+        overload.wall.as_secs_f64() * 1e3,
+        percentile(&overload.bystander_latencies, 0.50).as_secs_f64() * 1e6,
+        percentile(&overload.bystander_latencies, 0.99).as_secs_f64() * 1e6,
+    ));
+    json.push_str("}\n");
 
     let mut file = std::fs::File::create(&args.out).unwrap_or_else(|e| {
         eprintln!("create {}: {e}", args.out);

@@ -83,6 +83,13 @@ pub struct BatchMetrics {
     /// Wall-clock time spent writing a snapshot after this batch
     /// (zero when the snapshot cadence did not fire).
     pub snapshot_time: Duration,
+    /// Batches this engine applied while resource governance had
+    /// degraded its PLI cache (budget shrunk or cache disabled by
+    /// [`DynFd::set_cache_pressure`](crate::DynFd::set_cache_pressure)).
+    /// Validation verdicts and covers are unaffected — only the
+    /// acceleration layer runs squeezed — but operators watching batch
+    /// latency need to know the engine was under memory pressure.
+    pub degraded_batches: usize,
     /// WAL frames replayed by the `FdEngine::recover` call that
     /// preceded this batch. The durable engine stamps the count into
     /// the first batch applied after a recovery so longitudinal
@@ -135,6 +142,7 @@ impl BatchMetrics {
         self.wal_bytes += other.wal_bytes;
         self.fsyncs += other.fsyncs;
         self.snapshot_time += other.snapshot_time;
+        self.degraded_batches += other.degraded_batches;
         self.recovery_replayed_batches += other.recovery_replayed_batches;
         self.last_truncated_seq = self.last_truncated_seq.max(other.last_truncated_seq);
     }

@@ -14,6 +14,29 @@ use dynfd_relation::{
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
+/// Memory-pressure level a resource governor may impose on the
+/// acceleration layer (the PLI-intersection cache).
+///
+/// Pressure is *observationally invisible* to the FD semantics: covers,
+/// verdicts, and annotation validity are identical at any level (the
+/// cache-equivalence guarantee) — only wall-clock time and resident
+/// bytes change. Governors (the serve layer's global byte budget) step
+/// an engine down through [`Squeezed`](CachePressure::Squeezed) to
+/// [`Uncached`](CachePressure::Uncached) before resorting to eviction,
+/// and back to [`Normal`](CachePressure::Normal) when pressure clears.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CachePressure {
+    /// No pressure: the configured `pli_cache`/`pli_cache_bytes` apply.
+    #[default]
+    Normal,
+    /// Cache budget clamped to `min(configured, given)` bytes; excess
+    /// entries are evicted immediately.
+    Squeezed(usize),
+    /// Cache dropped entirely; validation runs uncached until pressure
+    /// lifts.
+    Uncached,
+}
+
 /// Maintains the minimal, non-trivial FDs of a relation under batches of
 /// inserts, updates, and deletes.
 ///
@@ -65,6 +88,10 @@ pub struct DynFd {
     /// the relation: [`DynFd::state_divergence`] deliberately ignores
     /// it, and it is cleared whenever a batch rolls back.
     pub(crate) pli_cache: PliCache,
+    /// Governor-imposed memory pressure on the acceleration layer (see
+    /// [`CachePressure`]). Operator bookkeeping like `failpoint`:
+    /// [`DynFd::state_divergence`] ignores it.
+    cache_pressure: CachePressure,
     /// Lifetime count of degraded-mode cover rebuilds.
     recoveries: u64,
     /// Human-readable description of the most recent consistency breach
@@ -94,6 +121,7 @@ impl DynFd {
             config,
             failpoint: None,
             pli_cache: PliCache::new(config.pli_cache_bytes),
+            cache_pressure: CachePressure::Normal,
             recoveries: 0,
             last_breach: None,
         }
@@ -129,6 +157,7 @@ impl DynFd {
             config,
             failpoint: None,
             pli_cache: PliCache::new(config.pli_cache_bytes),
+            cache_pressure: CachePressure::Normal,
             recoveries: 0,
             last_breach: None,
         }
@@ -157,6 +186,55 @@ impl DynFd {
     /// The active configuration.
     pub fn config(&self) -> &DynFdConfig {
         &self.config
+    }
+
+    /// Approximate resident bytes of this engine: the relation's
+    /// columnar arena, dictionaries, and PLIs plus the PLI-intersection
+    /// cache. The estimate is monotone in the real footprint (see
+    /// `DynamicRelation::approx_bytes`), which is what byte quotas need.
+    pub fn resident_bytes(&self) -> usize {
+        self.rel.approx_bytes() + self.pli_cache.bytes()
+    }
+
+    /// The memory pressure currently imposed on the acceleration layer.
+    pub fn cache_pressure(&self) -> CachePressure {
+        self.cache_pressure
+    }
+
+    /// Imposes (or lifts) memory pressure on the acceleration layer.
+    /// Takes effect immediately — a squeeze evicts down to the clamped
+    /// budget, [`CachePressure::Uncached`] drops the cache — and stays
+    /// in force for subsequent batches until reset to
+    /// [`CachePressure::Normal`]. Covers and verdicts are unaffected;
+    /// batches applied under pressure stamp
+    /// [`BatchMetrics::degraded_batches`].
+    pub fn set_cache_pressure(&mut self, pressure: CachePressure) {
+        self.cache_pressure = pressure;
+        match pressure {
+            CachePressure::Normal => {
+                self.pli_cache.set_budget(self.config.pli_cache_bytes);
+            }
+            CachePressure::Squeezed(bytes) => {
+                self.pli_cache
+                    .set_budget(bytes.min(self.config.pli_cache_bytes));
+            }
+            CachePressure::Uncached => self.pli_cache.clear(),
+        }
+    }
+
+    /// Whether the PLI-intersection cache is active for the next batch:
+    /// configured on *and* not suppressed by governor pressure.
+    pub fn cache_enabled(&self) -> bool {
+        self.config.pli_cache && self.cache_pressure != CachePressure::Uncached
+    }
+
+    /// The cache byte budget the next batch will run under (the
+    /// configured budget clamped by any squeeze).
+    fn effective_cache_budget(&self) -> usize {
+        match self.cache_pressure {
+            CachePressure::Squeezed(bytes) => bytes.min(self.config.pli_cache_bytes),
+            _ => self.config.pli_cache_bytes,
+        }
     }
 
     /// Number of §5.2 violation annotations currently cached.
@@ -201,12 +279,15 @@ impl DynFd {
         // relation before any phase probes them; counters are read as a
         // delta at the end so patch-time evictions are included.
         let cache_stats_before = self.pli_cache.stats();
-        if self.config.pli_cache {
-            self.pli_cache.set_budget(self.config.pli_cache_bytes);
+        if self.cache_enabled() {
+            self.pli_cache.set_budget(self.effective_cache_budget());
             self.pli_cache
                 .apply_batch(&self.rel, &applied.deleted, &applied.inserted);
         } else if !self.pli_cache.is_empty() {
             self.pli_cache.clear();
+        }
+        if self.config.pli_cache && self.cache_pressure != CachePressure::Normal {
+            metrics.degraded_batches = 1;
         }
 
         if applied.has_deletes() || applied.has_inserts() {
@@ -297,7 +378,7 @@ impl DynFd {
         opts: &ValidationOptions,
     ) -> Vec<ValidationResult> {
         let threads = self.config.effective_parallelism();
-        if self.config.pli_cache {
+        if self.cache_enabled() {
             validate_many_cached(
                 &self.rel,
                 jobs,

@@ -145,6 +145,18 @@ impl Dictionary {
         }
     }
 
+    /// Approximate resident bytes: each interned value is stored once
+    /// (the map key and the list entry share the `Arc<str>` allocation)
+    /// plus per-entry map/list overhead. A monotone-in-footprint
+    /// estimate for quota accounting, not an exact allocator number.
+    pub fn approx_bytes(&self) -> usize {
+        64 + self
+            .values
+            .iter()
+            .map(|v| v.len() + 64) // string bytes + Arc header + map entry + list slot
+            .sum::<usize>()
+    }
+
     /// Number of distinct values ever encoded.
     pub fn len(&self) -> usize {
         self.values.len()

@@ -337,6 +337,21 @@ impl Pli {
     pub fn arena_capacity(&self) -> usize {
         self.data.len()
     }
+
+    /// Approximate resident bytes of this PLI: head table, cluster
+    /// descriptors, and the backing arena (free ranges included — they
+    /// are allocated memory). A monotone-in-footprint estimate for quota
+    /// accounting, not an exact allocator number.
+    pub fn approx_bytes(&self) -> usize {
+        64 + self.heads.len() * 4
+            + self.meta.len() * std::mem::size_of::<ClusterMeta>()
+            + self.data.len() * 4
+            + self
+                .free_ranges
+                .iter()
+                .map(|f| 24 + f.len() * 4)
+                .sum::<usize>()
+    }
 }
 
 /// Intersects two rid-sorted clusters (slot slices of possibly different

@@ -378,6 +378,22 @@ impl DynamicRelation {
         self.slot_rids.len()
     }
 
+    /// Approximate resident bytes of the whole relation: dictionaries,
+    /// PLIs, the columnar arena, and the slot bookkeeping vectors. A
+    /// monotone-in-footprint estimate for quota accounting (it grows
+    /// when the structures grow and shrinks when they are truncated),
+    /// not an exact allocator number.
+    pub fn approx_bytes(&self) -> usize {
+        let dict: usize = self.dictionaries.iter().map(Dictionary::approx_bytes).sum();
+        let plis: usize = self.plis.iter().map(Pli::approx_bytes).sum();
+        let arena = self.columns.len() * self.slot_rids.len() * 4;
+        let slots = self.slot_rids.len() * 8 // RecordId
+            + self.slot_of.len() * 4
+            + self.free.len() * 4
+            + self.generations.len() * 4;
+        128 + dict + plis + arena + slots
+    }
+
     /// The free-list, most recently freed slot last (LIFO order).
     pub fn free_slots(&self) -> &[u32] {
         &self.free

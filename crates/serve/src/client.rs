@@ -1,0 +1,181 @@
+//! Client-side session helper: synchronous submit with
+//! jittered-exponential-backoff retry.
+//!
+//! The engine's governance rejections (overload, quota, eviction
+//! window) carry a machine-readable `retry_after_ms` hint that grows
+//! with the tenant's consecutive-rejection streak. A compliant client
+//! treats the hint as a *floor*: it sleeps `max(hint, base × 2^retry)`
+//! plus bounded jitter, so a fleet of rejected clients neither hammers
+//! the server (the hint floor) nor stampedes back in lockstep (the
+//! jitter). Rejections without a hint — missed deadlines, unknown
+//! tenants, engine rejections, shutdown — are the caller's problem and
+//! are returned immediately.
+//!
+//! The jitter PRNG is a seeded splitmix64, so a fixed
+//! [`RetryPolicy::seed`] makes the whole retry schedule reproducible —
+//! the property the overload-governance proptests replay.
+
+use crate::server::{ApplySummary, ServeEngine};
+use crate::ServeError;
+use dynfd_relation::Batch;
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Backoff schedule for [`submit_with_retry`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// First-retry backoff (doubles per consecutive rejection).
+    pub base: Duration,
+    /// Ceiling on a single computed backoff (the server hint may still
+    /// exceed it — the hint always wins as a floor).
+    pub cap: Duration,
+    /// Total attempts, including the first (`1` = no retries).
+    pub max_attempts: u32,
+    /// Seed of the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(640),
+            max_attempts: 8,
+            seed: 0x9e3779b97f4a7c15,
+        }
+    }
+}
+
+/// What one [`submit_with_retry`] call did end to end.
+#[derive(Debug)]
+pub struct RetryReport {
+    /// Attempts made (>= 1).
+    pub attempts: u32,
+    /// Total time slept between attempts.
+    pub backoff_total: Duration,
+    /// Retry-after hints observed, in order — the overload-governance
+    /// proptests assert these are monotone under sustained pressure.
+    pub hints_ms: Vec<u64>,
+    /// The final outcome: the applied batch's summary, or the error
+    /// that was not retryable (or exhausted the attempt budget).
+    pub outcome: Result<ApplySummary, ServeError>,
+}
+
+impl RetryReport {
+    /// Whether the batch was eventually applied.
+    pub fn succeeded(&self) -> bool {
+        self.outcome.is_ok()
+    }
+}
+
+/// splitmix64 step: a tiny, seedable, statistically fine generator for
+/// jitter — no dependency, fully deterministic per [`RetryPolicy::seed`].
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Submits `batch` and blocks for the reply, retrying governance
+/// rejections per `policy`. Each retry sleeps
+/// `max(server hint, base × 2^retry, capped) + jitter` where the jitter
+/// is uniform over half the computed backoff (decorrelates clients
+/// that were rejected together). Non-governance errors and exhausted
+/// attempts are returned in the report without further retries.
+pub fn submit_with_retry(
+    engine: &ServeEngine,
+    tenant: &str,
+    request_id: u64,
+    batch: &Batch,
+    deadline: Option<Duration>,
+    policy: &RetryPolicy,
+) -> RetryReport {
+    let mut rng = policy.seed;
+    let mut report = RetryReport {
+        attempts: 0,
+        backoff_total: Duration::ZERO,
+        hints_ms: Vec::new(),
+        outcome: Err(ServeError::ShuttingDown),
+    };
+    let attempts = policy.max_attempts.max(1);
+    for retry in 0..attempts {
+        report.attempts = retry + 1;
+        let (tx, rx) = mpsc::channel();
+        let submitted = engine.submit_with_deadline(
+            tenant,
+            request_id,
+            batch.clone(),
+            deadline,
+            move |reply| {
+                // The submitter may have given up; a dead receiver is
+                // fine, the reply is simply dropped.
+                let _ = tx.send(reply.outcome);
+            },
+        );
+        let outcome = match submitted {
+            // Admitted: the completion fires exactly once.
+            Ok(()) => match rx.recv() {
+                Ok(outcome) => outcome,
+                Err(_) => Err(ServeError::ShuttingDown),
+            },
+            Err(rejected) => Err(rejected),
+        };
+        let hint = match &outcome {
+            Err(e) => e.retry_after_ms(),
+            Ok(_) => None,
+        };
+        let Some(hint_ms) = hint else {
+            report.outcome = outcome;
+            return report;
+        };
+        report.hints_ms.push(hint_ms);
+        if retry + 1 == attempts {
+            report.outcome = outcome;
+            return report;
+        }
+        let exp = policy
+            .base
+            .saturating_mul(1u32 << retry.min(16))
+            .min(policy.cap);
+        let floor = Duration::from_millis(hint_ms).max(exp);
+        let jitter_range = (floor / 2).as_millis().min(u64::MAX as u128) as u64;
+        let jitter = if jitter_range == 0 {
+            0
+        } else {
+            splitmix64(&mut rng) % jitter_range
+        };
+        let sleep = floor + Duration::from_millis(jitter);
+        report.backoff_total += sleep;
+        std::thread::sleep(sleep);
+        report.outcome = outcome;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_stream_is_deterministic_per_seed() {
+        let mut a = 42u64;
+        let mut b = 42u64;
+        let first: Vec<u64> = (0..8).map(|_| splitmix64(&mut a)).collect();
+        let second: Vec<u64> = (0..8).map(|_| splitmix64(&mut b)).collect();
+        assert_eq!(first, second);
+        let mut c = 43u64;
+        let third: Vec<u64> = (0..8).map(|_| splitmix64(&mut c)).collect();
+        assert_ne!(first, third);
+    }
+
+    #[test]
+    fn default_policy_backoff_is_bounded() {
+        let p = RetryPolicy::default();
+        // base × 2^7 = 640ms hits the cap exactly; deeper retries must
+        // not overflow or exceed it.
+        let exp = p.base.saturating_mul(1u32 << 16).min(p.cap);
+        assert_eq!(exp, p.cap);
+    }
+}

@@ -16,19 +16,33 @@
 //!   poisoned engine lock; every other tenant's state and throughput
 //!   are untouched (pinned by `tests/tenant_isolation.rs`).
 //!
+//! On top of admission sits **resource governance** (DESIGN.md §6h):
+//! per-tenant quotas over resident bytes and cumulative apply CPU time
+//! ([`TenantQuota`], wire code 17 with a retry-after hint), per-job
+//! deadlines enforced on the worker *before* apply (code 18 — a
+//! past-deadline job never starts, so the PR 3 transactional guarantee
+//! is preserved), live tenant eviction/close
+//! ([`ServeEngine::close_tenant`]: drain → snapshot+fsync → release,
+//! code 19 inside the window), and a global byte budget that degrades
+//! the fattest tenant's PLI cache before LRU-evicting idle tenants.
+//! Every governance rejection is deterministic given the admission
+//! sequence — the chaos harness replays them across worker counts.
+//!
 //! Shutdown is drain-then-sync: the intake closes (new submissions get
 //! [`ServeError::ShuttingDown`]), every queued job still completes,
 //! workers join, and each durable tenant's WAL tail is fsynced. The
 //! `drain_kill_after` hook aborts the process mid-drain — the crash
 //! harness uses it to prove recovery works from inside that window.
+//! The analogous `evict_kill_point` hook aborts inside the eviction
+//! window instead.
 
-use crate::metrics::MetricsSnapshot;
+use crate::metrics::{GlobalSnapshot, TenantMetrics};
 use crate::queue::ShardQueue;
 use crate::tenant::{valid_tenant_name, Backend, Tenant};
-use crate::ServeError;
+use crate::{QuotaKind, ServeError};
 use dynfd_common::Schema;
-use dynfd_core::{DynFd, DynFdConfig, DynFdError, FailPoint};
-use dynfd_persist::{FdEngine, RecoveryReport};
+use dynfd_core::{CachePressure, DynFd, DynFdConfig, DynFdError, FailPoint};
+use dynfd_persist::{CrashPlan, FdEngine, RecoveryReport};
 use dynfd_relation::{Batch, DynamicRelation};
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
@@ -51,6 +65,34 @@ pub enum AdmissionPolicy {
     Block,
 }
 
+/// Per-tenant resource quotas, checked at admission. `None` fields are
+/// unlimited (the default).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Ceiling on a tenant's resident-byte estimate (relation arena +
+    /// dictionaries + PLIs + PLI-intersection cache, per
+    /// `DynFd::resident_bytes`). A tenant over the ceiling is first
+    /// *degraded* (cache squeezed, then dropped); only if it stays over
+    /// uncached is the submission rejected with wire code 17.
+    pub max_resident_bytes: Option<u64>,
+    /// Ceiling on a tenant's cumulative wall-clock time spent inside
+    /// `apply`. Once crossed, further submissions are rejected with
+    /// wire code 17 — the tenant keeps its state and can be read, but
+    /// may not burn more compute.
+    pub max_cpu: Option<Duration>,
+}
+
+/// Where inside [`ServeEngine::close_tenant`] the chaos harness aborts
+/// the process (see [`ServeConfig::evict_kill_point`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvictKillPoint {
+    /// After the tenant's queue drained, before snapshot + fsync: the
+    /// WAL holds every applied batch, the final snapshot does not exist.
+    AfterDrain,
+    /// After snapshot + fsync, before the registry entry is removed.
+    AfterPersist,
+}
+
 /// Configuration of a [`ServeEngine`].
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
@@ -71,6 +113,20 @@ pub struct ServeConfig {
     /// Crash-harness hook: during shutdown's drain, abort the process
     /// after this many more jobs complete (`>= 1`; `None` disables).
     pub drain_kill_after: Option<u64>,
+    /// Per-tenant resource quotas (unlimited by default).
+    pub quota: TenantQuota,
+    /// Engine-wide ceiling on the summed resident-byte estimates. When
+    /// a submission finds the pool over budget, the governor degrades
+    /// the fattest tenant's cache one step, then LRU-evicts *idle*
+    /// tenants (never the submitter) until back under. `None` disables.
+    pub global_bytes_budget: Option<u64>,
+    /// Deadline applied to submissions that do not carry their own: a
+    /// job still queued when its deadline elapses is rejected by the
+    /// worker before apply (wire code 18). `None` = no default.
+    pub default_deadline: Option<Duration>,
+    /// Crash-harness hook: abort the process at this point inside the
+    /// next [`ServeEngine::close_tenant`] call (`None` disables).
+    pub evict_kill_point: Option<EvictKillPoint>,
 }
 
 impl Default for ServeConfig {
@@ -83,6 +139,10 @@ impl Default for ServeConfig {
             engine: DynFdConfig::default(),
             start_paused: false,
             drain_kill_after: None,
+            quota: TenantQuota::default(),
+            global_bytes_budget: None,
+            default_deadline: None,
+            evict_kill_point: None,
         }
     }
 }
@@ -138,6 +198,21 @@ pub struct OpenReport {
     pub recovered: Option<RecoveryReport>,
 }
 
+/// What [`ServeEngine::close_tenant`] drained, persisted, and released.
+#[derive(Clone, Debug)]
+pub struct CloseReport {
+    /// The released tenant's name.
+    pub tenant: String,
+    /// Durable sequence number at release (`None` when the engine was
+    /// poisoned and could not report one).
+    pub seq: Option<u64>,
+    /// Whether snapshot + WAL fsync succeeded before release. Memory
+    /// tenants report `true` (there is nothing to persist).
+    pub persisted: bool,
+    /// The I/O or poisoning detail when `persisted` is false.
+    pub detail: Option<String>,
+}
+
 type Completion = Box<dyn FnOnce(BatchReply) + Send>;
 
 struct Job {
@@ -145,6 +220,10 @@ struct Job {
     batch: Batch,
     request_id: u64,
     submitted: Instant,
+    /// Deadline budget measured from `submitted`; `None` = no deadline.
+    deadline: Option<Duration>,
+    /// The engine-wide aggregate the job's outcome is mirrored onto.
+    aggregate: Arc<TenantMetrics>,
     done: Completion,
 }
 
@@ -163,6 +242,13 @@ pub struct ServeEngine {
     config: ServeConfig,
     closed: AtomicBool,
     drain: Arc<DrainKill>,
+    /// Engine-wide aggregate of every tenant's counters; survives
+    /// tenant eviction (see [`ServeEngine::global_metrics`]).
+    aggregate: Arc<TenantMetrics>,
+    /// Tenants evicted/closed over the engine's lifetime.
+    evictions: AtomicU64,
+    /// Monotone admission counter — the LRU clock.
+    admission_tick: AtomicU64,
 }
 
 /// FNV-1a, hand-rolled so the tenant→shard map is stable across
@@ -195,31 +281,64 @@ fn run_job(job: Job) {
         batch,
         request_id,
         submitted,
+        deadline,
+        aggregate,
         done,
     } = job;
-    let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        tenant.with_backend(|backend| {
-            backend.apply(&batch).map(|result| ApplySummary {
-                seq: backend.seq(),
-                added: result.added.len() as u32,
-                removed: result.removed.len() as u32,
-                rows: backend.dynfd().relation().len() as u64,
-            })
+    // Deadline gate: a job past its budget is rejected *before* the
+    // engine is touched, so the tenant's state, WAL, and covers are
+    // exactly as if the batch was never submitted.
+    let expired = deadline.filter(|d| submitted.elapsed() >= *d);
+    let mut degraded = false;
+    let outcome: Result<ApplySummary, ServeError> = if let Some(deadline) = expired {
+        tenant.metrics.note_deadline_rejected();
+        aggregate.note_deadline_rejected();
+        Err(ServeError::DeadlineExceeded {
+            tenant: tenant.name.clone(),
+            deadline_ms: deadline.as_millis().min(u64::MAX as u128) as u64,
+            waited_ms: submitted.elapsed().as_millis().min(u64::MAX as u128) as u64,
         })
-    }));
-    let outcome: Result<ApplySummary, ServeError> = match caught {
-        Ok(Ok(Ok(summary))) => Ok(summary),
-        Ok(Ok(Err(engine_err))) => Err(ServeError::Engine(engine_err)),
-        // Poisoned lock from an earlier escaped panic.
-        Ok(Err(poisoned)) => Err(poisoned),
-        // A panic that escaped the engine's own transactional boundary:
-        // the unwind poisoned this tenant's lock on the way out, so the
-        // damage is contained to this tenant (later batches get the
-        // poisoned-tenant error above); the worker itself survives.
-        Err(payload) => Err(ServeError::Engine(DynFdError::PhasePanicked {
-            phase: "serve-worker",
-            detail: panic_text(payload.as_ref()),
-        })),
+    } else {
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            tenant.with_backend(|backend| {
+                let apply_start = Instant::now();
+                let applied = backend.apply(&batch);
+                let spent = apply_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                tenant.cpu_nanos.fetch_add(spent, Ordering::Relaxed);
+                tenant
+                    .resident_bytes
+                    .store(backend.dynfd().resident_bytes() as u64, Ordering::Relaxed);
+                applied.map(|result| {
+                    (
+                        ApplySummary {
+                            seq: backend.seq(),
+                            added: result.added.len() as u32,
+                            removed: result.removed.len() as u32,
+                            rows: backend.dynfd().relation().len() as u64,
+                        },
+                        result.metrics.degraded_batches > 0,
+                    )
+                })
+            })
+        }));
+        match caught {
+            Ok(Ok(Ok((summary, was_degraded)))) => {
+                degraded = was_degraded;
+                Ok(summary)
+            }
+            Ok(Ok(Err(engine_err))) => Err(ServeError::Engine(engine_err)),
+            // Poisoned lock from an earlier escaped panic.
+            Ok(Err(poisoned)) => Err(poisoned),
+            // A panic that escaped the engine's own transactional
+            // boundary: the unwind poisoned this tenant's lock on the
+            // way out, so the damage is contained to this tenant (later
+            // batches get the poisoned-tenant error above); the worker
+            // itself survives.
+            Err(payload) => Err(ServeError::Engine(DynFdError::PhasePanicked {
+                phase: "serve-worker",
+                detail: panic_text(payload.as_ref()),
+            })),
+        }
     };
     let latency = submitted.elapsed();
     let (applied, added, removed) = match &outcome {
@@ -228,7 +347,8 @@ fn run_job(job: Job) {
     };
     tenant
         .metrics
-        .note_completed(applied, added, removed, latency);
+        .note_completed(applied, added, removed, latency, degraded);
+    aggregate.note_completed(applied, added, removed, latency, degraded);
     // Completion fires *before* the gate slot is released: quiesce
     // (gate idle) must imply every reply has been delivered.
     done(BatchReply {
@@ -283,6 +403,9 @@ impl ServeEngine {
             config,
             closed: AtomicBool::new(false),
             drain,
+            aggregate: Arc::new(TenantMetrics::default()),
+            evictions: AtomicU64::new(0),
+            admission_tick: AtomicU64::new(0),
         }
     }
 
@@ -324,7 +447,9 @@ impl ServeEngine {
 
     /// Opens tenant `name` with the given schema and initial rows, or
     /// recovers it from `<root>/<name>/` when durable state exists
-    /// there (the rows are then ignored; the schema must match).
+    /// there (the rows are then ignored; the schema must match). An
+    /// evicted tenant re-opened here resumes from its persisted state —
+    /// the transparent re-admission path.
     pub fn open_tenant(
         &self,
         name: &str,
@@ -389,11 +514,143 @@ impl ServeEngine {
         Ok(OpenReport { seq, recovered })
     }
 
-    /// Submits one batch for `tenant`. On success the batch is queued
-    /// and `done` fires exactly once from a worker thread; on error the
-    /// batch was *not* queued (`done` never fires) and the caller owns
-    /// the typed rejection — admission failures are synchronous by
-    /// design so the wire layer can shed load without waiting.
+    /// Steps a tenant's cache pressure one notch down (Normal →
+    /// Squeezed(quarter budget) → Uncached), refreshes its resident
+    /// estimate, and returns it. Waits for the engine lock, so the cost
+    /// lands on the submitter that triggered governance.
+    fn degrade_tenant(&self, tenant: &Arc<Tenant>) -> u64 {
+        let stepped = tenant.with_backend(|b| {
+            let engine = b.dynfd_mut();
+            let next = match engine.cache_pressure() {
+                CachePressure::Normal => {
+                    Some(CachePressure::Squeezed(engine.config().pli_cache_bytes / 4))
+                }
+                CachePressure::Squeezed(_) => Some(CachePressure::Uncached),
+                CachePressure::Uncached => None,
+            };
+            if let Some(pressure) = next {
+                engine.set_cache_pressure(pressure);
+            }
+            (next.is_some(), engine.resident_bytes() as u64)
+        });
+        match stepped {
+            Ok((true, bytes)) => {
+                tenant.metrics.note_degrade();
+                self.aggregate.note_degrade();
+                tenant.resident_bytes.store(bytes, Ordering::Relaxed);
+                bytes
+            }
+            Ok((false, bytes)) => {
+                tenant.resident_bytes.store(bytes, Ordering::Relaxed);
+                bytes
+            }
+            // Poisoned engine: keep the stale estimate; the tenant is
+            // already unable to apply anything.
+            Err(_) => tenant.resident_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Checks the per-tenant quotas for one submission, degrading the
+    /// tenant's cache before giving up on the byte quota.
+    fn check_quota(&self, tenant: &Arc<Tenant>) -> Result<(), ServeError> {
+        if let Some(limit) = self.config.quota.max_resident_bytes {
+            let mut used = tenant.resident_bytes.load(Ordering::Relaxed);
+            if used > limit {
+                // Graceful degradation first: squeezing (then dropping)
+                // the PLI cache may bring the tenant back under quota
+                // without refusing work.
+                used = self.degrade_tenant(tenant);
+            }
+            if used > limit {
+                tenant.metrics.note_submitted(tenant.gate.depth());
+                self.aggregate.note_submitted(tenant.gate.depth());
+                tenant.metrics.note_quota_rejected();
+                self.aggregate.note_quota_rejected();
+                return Err(ServeError::QuotaExceeded {
+                    tenant: tenant.name.clone(),
+                    kind: QuotaKind::Bytes,
+                    used,
+                    limit,
+                    retry_after_ms: tenant.next_retry_after_ms(),
+                });
+            }
+        }
+        if let Some(max_cpu) = self.config.quota.max_cpu {
+            let used = Duration::from_nanos(tenant.cpu_nanos.load(Ordering::Relaxed));
+            if used > max_cpu {
+                tenant.metrics.note_submitted(tenant.gate.depth());
+                self.aggregate.note_submitted(tenant.gate.depth());
+                tenant.metrics.note_quota_rejected();
+                self.aggregate.note_quota_rejected();
+                return Err(ServeError::QuotaExceeded {
+                    tenant: tenant.name.clone(),
+                    kind: QuotaKind::Cpu,
+                    used: used.as_millis().min(u64::MAX as u128) as u64,
+                    limit: max_cpu.as_millis().min(u64::MAX as u128) as u64,
+                    retry_after_ms: tenant.next_retry_after_ms(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Enforces the global byte budget: degrade the fattest tenant one
+    /// step, then LRU-evict idle tenants (never the submitter, never a
+    /// tenant with work in flight) until back under budget or out of
+    /// candidates. Best-effort — a pool where every tenant is busy
+    /// simply stays over budget until one goes idle.
+    fn enforce_global_budget(&self, protect: &Arc<Tenant>) {
+        let Some(budget) = self.config.global_bytes_budget else {
+            return;
+        };
+        let total: u64 = self
+            .tenant_arcs()
+            .iter()
+            .map(|t| t.resident_bytes.load(Ordering::Relaxed))
+            .sum();
+        if total <= budget {
+            return;
+        }
+        // Degrade before evicting: squeeze the fattest tenant's cache
+        // (deterministic tie-break on name via the sorted arcs).
+        if let Some(fattest) = self
+            .tenant_arcs()
+            .into_iter()
+            .max_by_key(|t| t.resident_bytes.load(Ordering::Relaxed))
+        {
+            self.degrade_tenant(&fattest);
+        }
+        let mut total: u64 = self
+            .tenant_arcs()
+            .iter()
+            .map(|t| t.resident_bytes.load(Ordering::Relaxed))
+            .sum();
+        while total > budget {
+            // LRU victim: idle, not closing, not the submitter; oldest
+            // admission tick, name as the deterministic tie-break
+            // (tenant_arcs is name-sorted and min_by_key keeps the
+            // first minimum).
+            let victim = self
+                .tenant_arcs()
+                .into_iter()
+                .filter(|t| {
+                    !Arc::ptr_eq(t, protect)
+                        && !t.closing.load(Ordering::SeqCst)
+                        && t.gate.depth() == 0
+                })
+                .min_by_key(|t| t.last_admitted.load(Ordering::Relaxed));
+            let Some(victim) = victim else { break };
+            let freed = victim.resident_bytes.load(Ordering::Relaxed);
+            if self.close_tenant_inner(&victim).is_err() {
+                break;
+            }
+            total = total.saturating_sub(freed);
+        }
+    }
+
+    /// Submits one batch for `tenant` with no explicit deadline (the
+    /// configured [`ServeConfig::default_deadline`] still applies). See
+    /// [`ServeEngine::submit_with_deadline`].
     pub fn submit(
         &self,
         tenant: &str,
@@ -401,33 +658,74 @@ impl ServeEngine {
         batch: Batch,
         done: impl FnOnce(BatchReply) + Send + 'static,
     ) -> Result<(), ServeError> {
+        self.submit_with_deadline(tenant, request_id, batch, None, done)
+    }
+
+    /// Submits one batch for `tenant`. On success the batch is queued
+    /// and `done` fires exactly once from a worker thread; on error the
+    /// batch was *not* queued (`done` never fires) and the caller owns
+    /// the typed rejection — admission failures are synchronous by
+    /// design so the wire layer can shed load without waiting.
+    ///
+    /// `deadline` bounds how long the job may sit in the queue: a
+    /// worker that reaches it past the budget rejects it *before*
+    /// apply. Governance runs here too: the eviction window (code 19),
+    /// the global byte budget, and the per-tenant quotas (code 17) are
+    /// all checked before the admission gate.
+    pub fn submit_with_deadline(
+        &self,
+        tenant: &str,
+        request_id: u64,
+        batch: Batch,
+        deadline: Option<Duration>,
+        done: impl FnOnce(BatchReply) + Send + 'static,
+    ) -> Result<(), ServeError> {
         if self.closed.load(Ordering::SeqCst) {
             return Err(ServeError::ShuttingDown);
         }
         let tenant = self.lookup(tenant)?;
+        if tenant.closing.load(Ordering::SeqCst) {
+            tenant.metrics.note_submitted(tenant.gate.depth());
+            self.aggregate.note_submitted(tenant.gate.depth());
+            tenant.metrics.note_closed_rejected();
+            self.aggregate.note_closed_rejected();
+            return Err(ServeError::Evicted {
+                tenant: tenant.name.clone(),
+                retry_after_ms: tenant.next_retry_after_ms(),
+            });
+        }
+        self.enforce_global_budget(&tenant);
+        self.check_quota(&tenant)?;
         let capacity = self.config.queue_capacity.max(1);
         let depth = match self.config.policy {
             AdmissionPolicy::Shed => match tenant.gate.try_acquire(capacity) {
                 Ok(depth) => depth,
                 Err(depth) => {
                     tenant.metrics.note_submitted(depth);
+                    self.aggregate.note_submitted(depth);
                     tenant.metrics.note_shed();
+                    self.aggregate.note_shed();
                     return Err(ServeError::Overloaded {
                         tenant: tenant.name.clone(),
                         depth,
                         capacity,
+                        retry_after_ms: tenant.next_retry_after_ms(),
                     });
                 }
             },
             AdmissionPolicy::Block => tenant.gate.acquire_blocking(capacity),
         };
         tenant.metrics.note_submitted(depth);
+        self.aggregate.note_submitted(depth);
+        tenant.note_admitted(self.admission_tick.fetch_add(1, Ordering::Relaxed) + 1);
         let shard = tenant.shard;
         let job = Job {
             tenant: Arc::clone(&tenant),
             batch,
             request_id,
             submitted: Instant::now(),
+            deadline: deadline.or(self.config.default_deadline),
+            aggregate: Arc::clone(&self.aggregate),
             done: Box::new(done),
         };
         match self.shards[shard].push(job) {
@@ -438,6 +736,77 @@ impl ServeEngine {
                 Err(ServeError::ShuttingDown)
             }
         }
+    }
+
+    /// Closes (or evicts — same operation, different initiator) a live
+    /// tenant: marks it closing (submissions get wire code 19), drains
+    /// its in-flight and queued batches, snapshots and fsyncs its
+    /// durable state, and releases the registry entry and its memory.
+    /// The next `Open` of the name re-admits it via `recover_or_create`.
+    ///
+    /// Do not call from a worker thread — the drain would wait on the
+    /// calling thread's own queue.
+    pub fn close_tenant(&self, name: &str) -> Result<CloseReport, ServeError> {
+        let tenant = self.lookup(name)?;
+        self.close_tenant_inner(&tenant)
+    }
+
+    fn close_tenant_inner(&self, tenant: &Arc<Tenant>) -> Result<CloseReport, ServeError> {
+        if tenant.closing.swap(true, Ordering::SeqCst) {
+            // A second closer lost the race; the first owns the drain.
+            return Err(ServeError::Evicted {
+                tenant: tenant.name.clone(),
+                retry_after_ms: tenant.next_retry_after_ms(),
+            });
+        }
+        // Drain: queued jobs hold gate slots until their completion
+        // fires, so an idle gate means the shard FIFO holds nothing of
+        // this tenant's and no apply is mid-flight.
+        tenant.gate.wait_idle();
+        if self.config.evict_kill_point == Some(EvictKillPoint::AfterDrain) {
+            // Chaos harness: die between drain and persist — the WAL
+            // already holds every applied batch, the snapshot does not.
+            std::process::abort();
+        }
+        let persisted = tenant.with_backend(|b| {
+            let seq = b.seq();
+            (seq, b.persist_for_release())
+        });
+        let report = match persisted {
+            Ok((seq, Ok(()))) => CloseReport {
+                tenant: tenant.name.clone(),
+                seq: Some(seq),
+                persisted: true,
+                detail: None,
+            },
+            Ok((seq, Err(io))) => CloseReport {
+                tenant: tenant.name.clone(),
+                seq: Some(seq),
+                persisted: false,
+                detail: Some(io.to_string()),
+            },
+            // Poisoned by an earlier panic: release it anyway — its WAL
+            // holds everything acknowledged (log-before-apply), so
+            // recovery on re-open is still exact.
+            Err(e) => CloseReport {
+                tenant: tenant.name.clone(),
+                seq: None,
+                persisted: false,
+                detail: Some(e.to_string()),
+            },
+        };
+        if self.config.evict_kill_point == Some(EvictKillPoint::AfterPersist) {
+            // Chaos harness: die between persist and release.
+            std::process::abort();
+        }
+        let mut tenants = self
+            .tenants
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        tenants.remove(&tenant.name);
+        drop(tenants);
+        self.evictions.fetch_add(1, Ordering::SeqCst);
+        Ok(report)
     }
 
     /// Blocks until every tenant's queue is idle (no batch in flight).
@@ -476,6 +845,13 @@ impl ServeEngine {
         tenant.with_backend(|b| b.dynfd_mut().arm_failpoint(fp))
     }
 
+    /// Arms a deterministic crash plan on a tenant's durable engine
+    /// (crash harness; no-op for memory tenants).
+    pub fn arm_crash_plan(&self, name: &str, plan: CrashPlan) -> Result<(), ServeError> {
+        let tenant = self.lookup(name)?;
+        tenant.with_backend(|b| b.set_crash_plan(plan))
+    }
+
     /// A tenant's durable sequence number.
     pub fn tenant_seq(&self, name: &str) -> Result<u64, ServeError> {
         let tenant = self.lookup(name)?;
@@ -483,8 +859,29 @@ impl ServeEngine {
     }
 
     /// A tenant's metrics snapshot.
-    pub fn metrics(&self, name: &str) -> Result<MetricsSnapshot, ServeError> {
+    pub fn metrics(&self, name: &str) -> Result<crate::MetricsSnapshot, ServeError> {
         Ok(self.lookup(name)?.metrics.snapshot())
+    }
+
+    /// The engine-wide aggregate: every tenant's counters summed (and
+    /// retained past eviction), lifetime eviction count, live tenant
+    /// count, and the pool's resident-byte estimate.
+    pub fn global_metrics(&self) -> GlobalSnapshot {
+        let tenants = self.tenant_arcs();
+        GlobalSnapshot {
+            totals: self.aggregate.snapshot(),
+            evictions: self.evictions.load(Ordering::SeqCst),
+            live_tenants: tenants.len() as u64,
+            resident_bytes: tenants
+                .iter()
+                .map(|t| t.resident_bytes.load(Ordering::Relaxed))
+                .sum(),
+        }
+    }
+
+    /// A tenant's resident-byte estimate after its last applied batch.
+    pub fn tenant_resident_bytes(&self, name: &str) -> Result<u64, ServeError> {
+        Ok(self.lookup(name)?.resident_bytes.load(Ordering::Relaxed))
     }
 
     /// A tenant's current in-flight batch count.

@@ -25,6 +25,7 @@ use crate::ServeError;
 use std::io::{Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// What one connection processed, returned when its stream ends.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -64,6 +65,7 @@ impl<W: Write> SharedWriter<W> {
 fn error_response(request_id: u64, tenant: &str, err: &ServeError) -> Response {
     let code = err.wire_code().min(u8::MAX as u32) as u8;
     Response::error(request_id, tenant, code, err.to_string())
+        .with_retry_after(err.retry_after_ms().unwrap_or(0))
 }
 
 /// Serves one framed connection against `engine` until the stream ends,
@@ -111,22 +113,34 @@ pub fn serve_connection<R: Read, W: Write + Send + 'static>(
                     Ok(Request::Apply {
                         request_id,
                         tenant,
+                        deadline_ms,
                         batch,
                     }) => {
                         let completion_writer = Arc::clone(&shared);
-                        let submitted = engine.submit(&tenant, request_id, batch, move |reply| {
-                            let resp = match reply.outcome {
-                                Ok(s) => Response::ok(
-                                    reply.request_id,
-                                    &reply.tenant,
-                                    s.seq,
-                                    s.added,
-                                    s.removed,
-                                ),
-                                Err(err) => error_response(reply.request_id, &reply.tenant, &err),
-                            };
-                            completion_writer.send(&resp);
-                        });
+                        // deadline_ms 0 = "server default" (possibly none).
+                        let deadline =
+                            (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
+                        let submitted = engine.submit_with_deadline(
+                            &tenant,
+                            request_id,
+                            batch,
+                            deadline,
+                            move |reply| {
+                                let resp = match reply.outcome {
+                                    Ok(s) => Response::ok(
+                                        reply.request_id,
+                                        &reply.tenant,
+                                        s.seq,
+                                        s.added,
+                                        s.removed,
+                                    ),
+                                    Err(err) => {
+                                        error_response(reply.request_id, &reply.tenant, &err)
+                                    }
+                                };
+                                completion_writer.send(&resp);
+                            },
+                        );
                         // Admission failures are synchronous: the job was
                         // never queued, so the reply is ours to write.
                         if let Err(err) = submitted {
@@ -137,6 +151,21 @@ pub fn serve_connection<R: Read, W: Write + Send + 'static>(
                         shutdown_requested = true;
                         shared.send(&Response::ok(request_id, "", 0, 0, 0));
                         break;
+                    }
+                    Ok(Request::Close { request_id, tenant }) => {
+                        // Synchronous by design: the drain blocks the read
+                        // loop, so a client cannot race its own close with
+                        // later applies to the same tenant on this stream.
+                        match engine.close_tenant(&tenant) {
+                            Ok(report) => shared.send(&Response::ok(
+                                request_id,
+                                &tenant,
+                                report.seq.unwrap_or(0),
+                                0,
+                                0,
+                            )),
+                            Err(err) => shared.send(&error_response(request_id, &tenant, &err)),
+                        }
                     }
                     Err((request_id, detail)) => {
                         // Payload damage with intact framing: answer once,

@@ -21,8 +21,9 @@ use crate::metrics::TenantMetrics;
 use crate::queue::Gate;
 use crate::ServeError;
 use dynfd_core::{BatchResult, DynFd, DynFdError, DynFdResult};
-use dynfd_persist::FdEngine;
+use dynfd_persist::{CrashPlan, FdEngine};
 use dynfd_relation::Batch;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// The engine behind a tenant (see module docs).
@@ -77,6 +78,28 @@ impl Backend {
             Backend::Memory(..) => Ok(()),
         }
     }
+
+    /// Persists the tenant for release: snapshot + WAL fsync, so the
+    /// next `recover_or_create` restores from the snapshot instead of a
+    /// long replay. No-op for memory tenants (their state dies with
+    /// them by design).
+    pub fn persist_for_release(&mut self) -> std::io::Result<()> {
+        match self {
+            Backend::Durable(engine) => {
+                engine.snapshot()?;
+                engine.sync_all()
+            }
+            Backend::Memory(..) => Ok(()),
+        }
+    }
+
+    /// Arms a deterministic crash plan on the durable engine (crash
+    /// harness; no-op for memory tenants).
+    pub fn set_crash_plan(&mut self, plan: CrashPlan) {
+        if let Backend::Durable(engine) = self {
+            engine.set_crash_plan(plan);
+        }
+    }
 }
 
 /// One registered tenant.
@@ -91,17 +114,62 @@ pub(crate) struct Tenant {
     pub gate: Gate,
     /// Telemetry.
     pub metrics: TenantMetrics,
+    /// Set while an eviction drains this tenant; admissions are
+    /// answered with [`ServeError::Evicted`] until the registry entry
+    /// is gone (then they get `UnknownTenant`).
+    pub closing: AtomicBool,
+    /// Resident-byte estimate after the last applied batch
+    /// (`DynFd::resident_bytes`), cached here so admission-time quota
+    /// checks never touch the engine lock.
+    pub resident_bytes: AtomicU64,
+    /// Cumulative wall-clock nanoseconds spent inside `apply` — the
+    /// meter behind the CPU quota.
+    pub cpu_nanos: AtomicU64,
+    /// Engine-wide admission tick of the last admitted batch; the LRU
+    /// key for global-budget auto-eviction.
+    pub last_admitted: AtomicU64,
+    /// Consecutive governance rejections since the last admission;
+    /// drives the exponential retry-after hint.
+    pub reject_streak: AtomicU64,
 }
 
 impl Tenant {
     pub fn new(name: String, shard: usize, backend: Backend) -> Tenant {
+        let resident = backend.dynfd().resident_bytes() as u64;
         Tenant {
             name,
             shard,
             backend: Mutex::new(backend),
             gate: Gate::new(),
             metrics: TenantMetrics::default(),
+            closing: AtomicBool::new(false),
+            resident_bytes: AtomicU64::new(resident),
+            cpu_nanos: AtomicU64::new(0),
+            last_admitted: AtomicU64::new(0),
+            reject_streak: AtomicU64::new(0),
         }
+    }
+
+    /// Base retry-after hint in milliseconds.
+    const RETRY_BASE_MS: u64 = 10;
+    /// Cap exponent: hints stop doubling at `base << CAP` (1280 ms).
+    const RETRY_CAP: u32 = 7;
+
+    /// Bumps the rejection streak and returns the retry-after hint for
+    /// this rejection: `base × 2^min(streak-1, cap)`. Deterministic
+    /// given the admission/rejection sequence, monotone while the
+    /// streak grows, reset by [`Tenant::note_admitted`].
+    pub fn next_retry_after_ms(&self) -> u64 {
+        let streak = self.reject_streak.fetch_add(1, Ordering::Relaxed) + 1;
+        let exp = (streak - 1).min(Self::RETRY_CAP as u64) as u32;
+        Self::RETRY_BASE_MS << exp
+    }
+
+    /// Records a successful admission: resets the rejection streak and
+    /// stamps the LRU tick.
+    pub fn note_admitted(&self, tick: u64) {
+        self.reject_streak.store(0, Ordering::Relaxed);
+        self.last_admitted.store(tick, Ordering::Relaxed);
     }
 
     /// Runs `f` on the tenant's engine, turning a poisoned lock (an

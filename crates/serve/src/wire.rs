@@ -4,9 +4,11 @@
 //!
 //! ```text
 //! frame   := len:u32 LE | payload           (len counts payload bytes)
-//! request := tag:u8 | request_id:u64 | ...  (tag 1 open, 2 apply, 3 shutdown)
+//! request := tag:u8 | request_id:u64 | ...  (tag 1 open, 2 apply,
+//!                                            3 shutdown, 4 close)
 //! response:= 0x80  | request_id:u64 | tenant:str | code:u8 |
-//!            seq:u64 | added:u32 | removed:u32 | detail:str
+//!            seq:u64 | added:u32 | removed:u32 |
+//!            retry_after_ms:u64 | detail:str
 //! ```
 //!
 //! The payload encoding reuses the hand-rolled binary codec of
@@ -26,7 +28,9 @@
 //! stable exit-code discipline of
 //! [`DynFdError::exit_code`](dynfd_core::DynFdError::exit_code) (3–12)
 //! extended with the serve-layer codes of
-//! [`ServeError::wire_code`](crate::ServeError::wire_code) (13–16).
+//! [`ServeError::wire_code`](crate::ServeError::wire_code) (13–19).
+//! Governance rejections (codes 13, 17, 19) additionally carry a
+//! non-zero `retry_after_ms` hint; it is 0 everywhere else.
 
 use dynfd_persist::codec::{self, Reader};
 use dynfd_relation::Batch;
@@ -43,6 +47,8 @@ pub const TAG_OPEN: u8 = 1;
 pub const TAG_APPLY: u8 = 2;
 /// Request tag: drain every queue and shut the server down.
 pub const TAG_SHUTDOWN: u8 = 3;
+/// Request tag: close (evict) one tenant — drain, persist, release.
+pub const TAG_CLOSE: u8 = 4;
 /// Response tag.
 pub const TAG_RESPONSE: u8 = 0x80;
 
@@ -74,6 +80,10 @@ pub enum Request {
         request_id: u64,
         /// Target tenant name.
         tenant: String,
+        /// Queue-wait deadline in milliseconds; 0 means "use the
+        /// server's configured default" (which may be none). A job past
+        /// its deadline is rejected before apply (code 18).
+        deadline_ms: u64,
         /// The batch, in the WAL's encoding.
         batch: Batch,
     },
@@ -81,6 +91,15 @@ pub enum Request {
     Shutdown {
         /// Client-chosen id echoed in the response.
         request_id: u64,
+    },
+    /// Close (evict) one tenant: drain its queue, snapshot + fsync its
+    /// durable state, release it. A later `Open` of the same name
+    /// recovers it.
+    Close {
+        /// Client-chosen id echoed in the response.
+        request_id: u64,
+        /// The tenant to release.
+        tenant: String,
     },
 }
 
@@ -90,7 +109,8 @@ impl Request {
         match self {
             Request::Open { request_id, .. }
             | Request::Apply { request_id, .. }
-            | Request::Shutdown { request_id } => *request_id,
+            | Request::Shutdown { request_id }
+            | Request::Close { request_id, .. } => *request_id,
         }
     }
 }
@@ -112,6 +132,9 @@ pub struct Response {
     pub added: u32,
     /// Minimal FDs removed by an applied batch.
     pub removed: u32,
+    /// Machine-readable backoff hint in milliseconds; non-zero only on
+    /// governance rejections (codes 13, 17, 19).
+    pub retry_after_ms: u64,
     /// Human-readable detail: the error message, or empty on success.
     pub detail: String,
 }
@@ -126,6 +149,7 @@ impl Response {
             seq,
             added,
             removed,
+            retry_after_ms: 0,
             detail: String::new(),
         }
     }
@@ -139,8 +163,15 @@ impl Response {
             seq: 0,
             added: 0,
             removed: 0,
+            retry_after_ms: 0,
             detail: detail.into(),
         }
+    }
+
+    /// Attaches the governance backoff hint.
+    pub fn with_retry_after(mut self, retry_after_ms: u64) -> Response {
+        self.retry_after_ms = retry_after_ms;
+        self
     }
 }
 
@@ -190,16 +221,23 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Apply {
             request_id,
             tenant,
+            deadline_ms,
             batch,
         } => {
             out.push(TAG_APPLY);
             codec::put_u64(&mut out, *request_id);
             codec::put_str(&mut out, tenant);
+            codec::put_u64(&mut out, *deadline_ms);
             codec::encode_batch(&mut out, batch);
         }
         Request::Shutdown { request_id } => {
             out.push(TAG_SHUTDOWN);
             codec::put_u64(&mut out, *request_id);
+        }
+        Request::Close { request_id, tenant } => {
+            out.push(TAG_CLOSE);
+            codec::put_u64(&mut out, *request_id);
+            codec::put_str(&mut out, tenant);
         }
     }
     out
@@ -235,14 +273,20 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, (u64, String)> {
         }
         TAG_APPLY => {
             let tenant = r.str().map_err(fail)?;
+            let deadline_ms = r.u64().map_err(fail)?;
             let batch = codec::decode_batch(&mut r).map_err(fail)?;
             Request::Apply {
                 request_id,
                 tenant,
+                deadline_ms,
                 batch,
             }
         }
         TAG_SHUTDOWN => Request::Shutdown { request_id },
+        TAG_CLOSE => {
+            let tenant = r.str().map_err(fail)?;
+            Request::Close { request_id, tenant }
+        }
         other => return Err((request_id, format!("unknown request tag {other}"))),
     };
     if !r.is_exhausted() {
@@ -264,6 +308,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
     codec::put_u64(&mut out, resp.seq);
     codec::put_u32(&mut out, resp.added);
     codec::put_u32(&mut out, resp.removed);
+    codec::put_u64(&mut out, resp.retry_after_ms);
     codec::put_str(&mut out, &resp.detail);
     out
 }
@@ -284,6 +329,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, String> {
         seq: r.u64()?,
         added: r.u32()?,
         removed: r.u32()?,
+        retry_after_ms: r.u64()?,
         detail: r.str()?,
     };
     if !r.is_exhausted() {
@@ -395,9 +441,14 @@ mod tests {
             Request::Apply {
                 request_id: 2,
                 tenant: "t0".into(),
+                deadline_ms: 250,
                 batch,
             },
             Request::Shutdown { request_id: 3 },
+            Request::Close {
+                request_id: 4,
+                tenant: "t0".into(),
+            },
         ]
     }
 
@@ -414,7 +465,8 @@ mod tests {
         let responses = [
             Response::ok(9, "tenant-a", 42, 3, 1),
             Response::error(0, "", CODE_PARSE, "unknown request tag 77"),
-            Response::error(5, "t1", 13, "queue full: 8 of 8 in flight"),
+            Response::error(5, "t1", 13, "queue full: 8 of 8 in flight").with_retry_after(40),
+            Response::error(6, "t2", 19, "tenant is being evicted").with_retry_after(1280),
         ];
         for resp in responses {
             let payload = encode_response(&resp);

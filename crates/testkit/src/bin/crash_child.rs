@@ -24,6 +24,21 @@
 //!   inside the drain window — the queue-drain kill point. The parent
 //!   recovers every tenant directory and compares each against a fresh
 //!   replay of its acknowledged prefix.
+//! - `evict-drain N` / `evict-persist N` — multi-tenant serve engine
+//!   again, but the kill lands inside a **live tenant eviction**: apply
+//!   the victim's first N batches (bystanders run their full streams),
+//!   quiesce, then `close_tenant` the victim with
+//!   [`EvictKillPoint::AfterDrain`] or `AfterPersist` armed — the
+//!   abort fires after the victim's FIFO drained (its snapshot never
+//!   written) or after its release snapshot synced (the registry
+//!   removal never happens). Either way the victim must recover to
+//!   exactly its N applied batches and bystander durable state must be
+//!   untouched.
+//! - `evict-snap N` — like the above, but the kill is a
+//!   [`CrashPlan`] `snapshot_kill_at_byte` armed on the victim before
+//!   the close: the abort lands N bytes into the *eviction's own*
+//!   release snapshot, leaving a torn `snapshot.tmp` behind. The
+//!   victim applies half its trace before the close.
 //!
 //! Without a mode the run completes cleanly (exit 0) — the baseline
 //! the harness uses for uninterrupted comparisons. If a plan is given
@@ -32,14 +47,14 @@
 
 use dynfd_core::DynFdConfig;
 use dynfd_persist::{CrashPlan, FdEngine};
-use dynfd_serve::{AdmissionPolicy, ServeConfig, ServeEngine};
+use dynfd_serve::{AdmissionPolicy, EvictKillPoint, ServeConfig, ServeEngine};
 use dynfd_testkit::{tenant_traces, Trace};
 use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
         "usage: crash_child <dir> <seed> <case> <snapshot_every> \
-         [wal-byte|frames|snapshot-byte|serve-drain N]"
+         [wal-byte|frames|snapshot-byte|serve-drain|evict-drain|evict-persist|evict-snap N]"
     );
     std::process::exit(2);
 }
@@ -63,6 +78,7 @@ fn run_serve_drain(dir: &std::path::Path, seed: u64, snapshot_every: usize, kill
         },
         start_paused: true,
         drain_kill_after: Some(kill_after),
+        ..ServeConfig::default()
     });
     for (name, trace) in &traces {
         if let Err(e) = engine.open_tenant(name, trace.schema.clone(), &trace.initial_rows) {
@@ -100,6 +116,90 @@ fn run_serve_drain(dir: &std::path::Path, seed: u64, snapshot_every: usize, kill
     std::process::exit(0);
 }
 
+/// The eviction kill points: apply a deterministic per-tenant workload
+/// (the victim `t0` gets a prefix, bystanders their full streams),
+/// quiesce so every applied batch is durable, then close the victim
+/// with the planned kill armed. `evict-drain`/`evict-persist` abort at
+/// the lifecycle kill points unconditionally; `evict-snap` aborts once
+/// the release snapshot grows past `value` bytes (vacuous — clean exit
+/// 0 — if it never does).
+fn run_evict_crash(
+    dir: &std::path::Path,
+    seed: u64,
+    snapshot_every: usize,
+    mode: &str,
+    value: u64,
+) -> ! {
+    let kill_point = match mode {
+        "evict-drain" => Some(EvictKillPoint::AfterDrain),
+        "evict-persist" => Some(EvictKillPoint::AfterPersist),
+        _ => None, // evict-snap: the kill is a CrashPlan on the victim.
+    };
+    let traces = tenant_traces(seed, 3);
+    let engine = ServeEngine::new(ServeConfig {
+        workers: 2,
+        queue_capacity: 64,
+        policy: AdmissionPolicy::Block,
+        root: Some(dir.to_path_buf()),
+        engine: DynFdConfig {
+            snapshot_every,
+            ..DynFdConfig::default()
+        },
+        evict_kill_point: kill_point,
+        ..ServeConfig::default()
+    });
+    for (name, trace) in &traces {
+        if let Err(e) = engine.open_tenant(name, trace.schema.clone(), &trace.initial_rows) {
+            eprintln!("crash_child: open {name}: {e}");
+            std::process::exit(1);
+        }
+    }
+    let victim = traces[0].0.clone();
+    let mut request_id = 0u64;
+    for (i, (name, trace)) in traces.iter().enumerate() {
+        let batches = trace.to_batches();
+        let prefix = if i == 0 {
+            if kill_point.is_some() {
+                (value as usize).min(batches.len())
+            } else {
+                batches.len() / 2
+            }
+        } else {
+            batches.len()
+        };
+        for batch in batches.into_iter().take(prefix) {
+            request_id += 1;
+            if let Err(e) = engine.submit(name, request_id, batch, |_| {}) {
+                eprintln!("crash_child: submit to {name}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    // Every submitted job completes — and is therefore durable — before
+    // the close begins, so the parent can assert an exact prefix.
+    engine.quiesce();
+    if kill_point.is_none() {
+        if let Err(e) = engine.arm_crash_plan(
+            &victim,
+            CrashPlan {
+                snapshot_kill_at_byte: Some(value),
+                ..CrashPlan::default()
+            },
+        ) {
+            eprintln!("crash_child: arm plan on {victim}: {e}");
+            std::process::exit(1);
+        }
+    }
+    // The abort fires inside this call (drain / persist kill points, or
+    // mid-release-snapshot for evict-snap). Reaching the other side
+    // means the plan was vacuous: the close completed cleanly.
+    if let Err(e) = engine.close_tenant(&victim) {
+        eprintln!("crash_child: close {victim}: {e}");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.len() != 4 && args.len() != 6 {
@@ -113,6 +213,9 @@ fn main() {
         let value: u64 = args[5].parse().unwrap_or_else(|_| usage());
         match args[4].as_str() {
             "serve-drain" => run_serve_drain(&dir, seed, snapshot_every, value),
+            mode @ ("evict-drain" | "evict-persist" | "evict-snap") => {
+                run_evict_crash(&dir, seed, snapshot_every, mode, value)
+            }
             "wal-byte" => CrashPlan {
                 wal_kill_at_byte: Some(value),
                 ..CrashPlan::default()

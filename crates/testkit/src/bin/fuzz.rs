@@ -30,13 +30,17 @@
 //! byte, and `bit-flip-wal` flips a seeded bit anywhere in the log —
 //! recovery must truncate to the last valid frame (never panic) and
 //! reconstruct a state bit-identical to a fresh replay of the
-//! surviving prefix. `wal-all` cycles the three durable modes and
-//! `all` cycles all six, case by case. The differential oracle and
-//! metamorphic checks keep running for the in-memory modes.
+//! surviving prefix. `wal-all` cycles the three durable modes. Three
+//! governance chaos modes attack the serve layer's resource governor
+//! (`quota-storm`, `deadline-storm`, `evict-during-apply`; `chaos-all`
+//! cycles them) at worker counts cycling 1/2/8. `all` cycles every
+//! mode, case by case. The differential oracle and metamorphic checks
+//! keep running for the in-memory modes.
 
 use dynfd_testkit::{
-    check_trace, check_trace_durable, check_wire, shrink_trace, CoverFault, CrashStats,
-    EngineFault, Repro, RunnerOptions, Trace, TraceStats, WalFault, WireFault, WireStats,
+    check_chaos, check_trace, check_trace_durable, check_wire, shrink_trace, ChaosFault,
+    ChaosStats, CoverFault, CrashStats, EngineFault, Repro, RunnerOptions, Trace, TraceStats,
+    WalFault, WireFault, WireStats,
 };
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -57,8 +61,10 @@ enum InjectMode {
     One(EngineFault),
     Wal(WalFault),
     Wire(WireFault),
+    Chaos(ChaosFault),
     WalAll,
     WireAll,
+    ChaosAll,
     All,
 }
 
@@ -68,6 +74,7 @@ enum CaseFault {
     Engine(EngineFault),
     Wal(WalFault),
     Wire(WireFault),
+    Chaos(ChaosFault),
 }
 
 impl CaseFault {
@@ -76,6 +83,7 @@ impl CaseFault {
             CaseFault::Engine(mode) => mode.name(),
             CaseFault::Wal(mode) => mode.name(),
             CaseFault::Wire(mode) => mode.name(),
+            CaseFault::Chaos(mode) => mode.name(),
         }
     }
 }
@@ -92,17 +100,30 @@ impl InjectMode {
             InjectMode::WireAll => {
                 CaseFault::Wire(WireFault::ALL[(case % WireFault::ALL.len() as u64) as usize])
             }
+            InjectMode::Chaos(mode) => CaseFault::Chaos(mode),
+            InjectMode::ChaosAll => {
+                CaseFault::Chaos(ChaosFault::ALL[(case % ChaosFault::ALL.len() as u64) as usize])
+            }
             InjectMode::All => {
-                let n =
-                    (EngineFault::ALL.len() + WalFault::ALL.len() + WireFault::ALL.len()) as u64;
+                let n = (EngineFault::ALL.len()
+                    + WalFault::ALL.len()
+                    + WireFault::ALL.len()
+                    + ChaosFault::ALL.len()) as u64;
                 let i = (case % n) as usize;
                 if i < EngineFault::ALL.len() {
                     CaseFault::Engine(EngineFault::ALL[i])
                 } else if i < EngineFault::ALL.len() + WalFault::ALL.len() {
                     CaseFault::Wal(WalFault::ALL[i - EngineFault::ALL.len()])
-                } else {
+                } else if i < EngineFault::ALL.len() + WalFault::ALL.len() + WireFault::ALL.len() {
                     CaseFault::Wire(
                         WireFault::ALL[i - EngineFault::ALL.len() - WalFault::ALL.len()],
+                    )
+                } else {
+                    CaseFault::Chaos(
+                        ChaosFault::ALL[i
+                            - EngineFault::ALL.len()
+                            - WalFault::ALL.len()
+                            - WireFault::ALL.len()],
                     )
                 }
             }
@@ -116,7 +137,8 @@ fn usage() -> ! {
          [--fault drop-first|add-bogus] \\\n       \
          [--inject poisoned-batches|mid-batch-panic|cover-corruption|\\\n               \
          crash-at-frame|torn-tail|bit-flip-wal|wal-all|\\\n               \
-         truncated-frame|garbage-frame|oversized-frame|wire-all|all]"
+         truncated-frame|garbage-frame|oversized-frame|wire-all|\\\n               \
+         quota-storm|deadline-storm|evict-during-apply|chaos-all|all]"
     );
     std::process::exit(2);
 }
@@ -153,10 +175,12 @@ fn parse_args() -> Args {
                     "all" => InjectMode::All,
                     "wal-all" => InjectMode::WalAll,
                     "wire-all" => InjectMode::WireAll,
+                    "chaos-all" => InjectMode::ChaosAll,
                     name => EngineFault::by_name(name)
                         .map(InjectMode::One)
                         .or_else(|| WalFault::by_name(name).map(InjectMode::Wal))
                         .or_else(|| WireFault::by_name(name).map(InjectMode::Wire))
+                        .or_else(|| ChaosFault::by_name(name).map(InjectMode::Chaos))
                         .unwrap_or_else(|| usage()),
                 })
             }
@@ -177,6 +201,7 @@ fn main() {
     let mut totals = TraceStats::default();
     let mut crash_totals = CrashStats::default();
     let mut wire_totals = WireStats::default();
+    let mut chaos_totals = ChaosStats::default();
     let mut completed = 0u64;
     let mut failures = 0u64;
 
@@ -271,6 +296,51 @@ fn main() {
             continue;
         }
 
+        // Chaos (governance) faults run their own multi-tenant storm —
+        // the per-case trace only sets the label; the storm derives its
+        // workloads from (seed ^ case). Worker counts cycle 1/2/8 so
+        // every mode is exercised serial, narrow, and wide. A failing
+        // case reproduces from the (seed, case, mode) triple alone.
+        if let Some(CaseFault::Chaos(chaos_fault)) = case_fault {
+            let workers = [1usize, 2, 8][(case % 3) as usize];
+            let scratch = std::env::temp_dir().join(format!(
+                "dynfd-chaos-{}-{case}-{}",
+                args.seed,
+                std::process::id()
+            ));
+            let result = check_chaos(chaos_fault, args.seed ^ case, workers, &scratch);
+            let _ = std::fs::remove_dir_all(&scratch);
+            match result {
+                Ok(stats) => {
+                    chaos_totals.absorb(&stats);
+                    completed += 1;
+                    println!(
+                        "{label}: ok ({} workers, {} applied, {} quota / {} deadline / {} evict \
+                         rejections, {} degrades, {} evictions)",
+                        stats.workers,
+                        stats.applied,
+                        stats.quota_rejections,
+                        stats.deadline_rejections,
+                        stats.evict_rejections,
+                        stats.degrades,
+                        stats.evictions
+                    );
+                }
+                Err(failure) => {
+                    failures += 1;
+                    completed += 1;
+                    println!("{label}: FAILED — {failure}");
+                    println!(
+                        "  repro: fuzz --seed {} --cases {} --inject {} (case {case}, {workers} workers)",
+                        args.seed,
+                        case + 1,
+                        chaos_fault.name()
+                    );
+                }
+            }
+            continue;
+        }
+
         let engine_fault = match case_fault {
             Some(CaseFault::Engine(mode)) => Some(mode),
             _ => None,
@@ -351,6 +421,19 @@ fn main() {
             wire_totals.responses,
             wire_totals.sheds,
             wire_totals.errors
+        );
+    }
+    if chaos_totals.tenants > 0 {
+        println!(
+            "governance chaos: {} tenants stormed, {} batches applied, \
+             {} quota / {} deadline / {} evict rejections, {} degrades, {} evictions",
+            chaos_totals.tenants,
+            chaos_totals.applied,
+            chaos_totals.quota_rejections,
+            chaos_totals.deadline_rejections,
+            chaos_totals.evict_rejections,
+            chaos_totals.degrades,
+            chaos_totals.evictions
         );
     }
     if failures > 0 {

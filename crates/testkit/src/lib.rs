@@ -43,6 +43,12 @@
 //!   a trace as a framed request stream with seeded damage
 //!   (truncated/garbage/oversized frames) and hold the server to the
 //!   exactly-once typed-response contract;
+//! * [`ChaosFault`] / [`check_chaos`] — **governance chaos**: quota
+//!   storms (a hog inflating past a byte quota beside bystanders whose
+//!   covers must stay bit-identical to a no-hog replay), deadline
+//!   storms (zero-deadline twins that must be refused before apply),
+//!   and evict-during-apply (a live close that must drain, persist,
+//!   and recover to its exact durable prefix on re-open);
 //! * a `fuzz` **binary** (`cargo run -p dynfd-testkit --bin fuzz`) with
 //!   `--seed`, `--cases`, `--budget-secs`, and `--inject` flags, run in
 //!   CI as a fixed-seed smoke job.
@@ -52,6 +58,7 @@
 
 #![warn(missing_docs)]
 
+mod chaos;
 mod concurrent;
 mod crash;
 mod json;
@@ -61,6 +68,10 @@ mod shrink;
 mod trace;
 mod wirefuzz;
 
+pub use chaos::{
+    check_chaos, check_deadline_storm, check_evict_during_apply, check_quota_storm, ChaosFault,
+    ChaosStats,
+};
 pub use concurrent::{check_concurrent_serve, sequential_oracle, tenant_traces, ConcurrentStats};
 pub use crash::{check_trace_durable, CrashStats, WalFault};
 pub use json::Json;

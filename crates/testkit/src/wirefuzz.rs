@@ -151,6 +151,7 @@ pub fn check_wire(
         .map(|(i, batch)| Request::Apply {
             request_id: 2 + i as u64,
             tenant: tenant.to_string(),
+            deadline_ms: 0,
             batch,
         })
         .collect();
@@ -287,7 +288,7 @@ pub fn check_wire(
         match resp.code {
             CODE_OK => {}
             13 => stats.sheds += 1,
-            CODE_PARSE | 3 | 5..=12 | 14..=16 => stats.errors += 1,
+            CODE_PARSE | 3 | 5..=12 | 14..=19 => stats.errors += 1,
             other => return Err(fail(fault, format!("undocumented response code {other}"))),
         }
         if resp.request_id == 0 && resp.code != CODE_PARSE {

@@ -22,7 +22,12 @@
 //! log and apply, mid-snapshot kills (leftover `snapshot.tmp`), and —
 //! via the `serve-drain` child mode — kills inside the multi-tenant
 //! serve engine's shutdown drain window, where a mixed backlog of
-//! tenants is being flushed to per-tenant WALs.
+//! tenants is being flushed to per-tenant WALs. The
+//! `evict-drain`/`evict-persist`/`evict-snap` modes add kills inside a
+//! **live tenant eviction** (after the victim's FIFO drained, after
+//! its release snapshot synced, and mid-release-snapshot), proving an
+//! evicted tenant re-opens to its exact durable prefix and bystanders
+//! are never corrupted.
 
 use dynfd_core::{DynFd, DynFdConfig};
 use dynfd_persist::{wal_path, FdEngine};
@@ -275,6 +280,90 @@ fn serve_drain_kill_leaves_every_tenant_recoverable() {
         }
     }
     assert!(crashes >= 4, "only {crashes} serve-drain kills fired");
+}
+
+#[test]
+fn evict_kills_preserve_victim_prefix_and_bystanders() {
+    // The eviction kill points: the child applies the victim's first
+    // `value` batches (bystanders run their full streams), quiesces,
+    // then closes the victim with the kill armed — `evict-drain`
+    // aborts after the victim's FIFO drained but before its release
+    // snapshot, `evict-persist` after the snapshot synced but before
+    // the registry removal, and `evict-snap` lands `value` bytes into
+    // the release snapshot itself (torn `snapshot.tmp`). Whatever the
+    // kill, re-opening the victim must recover *exactly* its applied
+    // prefix (bit-identical to a fresh replay, resumable to the
+    // uninterrupted final state), and every bystander's durable state
+    // must be complete and untouched.
+    let mut crashes = 0;
+    for (mode, value) in [
+        ("evict-drain", 0u64),
+        ("evict-drain", 2),
+        ("evict-drain", 5),
+        ("evict-persist", 0),
+        ("evict-persist", 3),
+        ("evict-persist", 7),
+        ("evict-snap", 5),
+        ("evict-snap", 60),
+        ("evict-snap", 350),
+    ] {
+        for snapshot_every in [0usize, 2] {
+            let tag = format!("{mode}-{value}-{snapshot_every}");
+            let dir = scratch(&tag);
+            if spawn_child(&dir, 0, snapshot_every, Some((mode, value))) {
+                crashes += 1;
+                let config = config(snapshot_every);
+                for (i, (name, trace)) in tenant_traces(SEED, 3).iter().enumerate() {
+                    let batches = trace.to_batches();
+                    let expected_prefix = if i == 0 {
+                        if mode == "evict-snap" {
+                            batches.len() / 2
+                        } else {
+                            (value as usize).min(batches.len())
+                        }
+                    } else {
+                        batches.len()
+                    };
+                    let tdir = dir.join(name);
+                    let (mut recovered, _) = FdEngine::recover_with_config(&tdir, config)
+                        .unwrap_or_else(|e| panic!("{tag}: recover {name}: {e}"));
+                    // The child quiesced before the close: every
+                    // applied batch was durable when the kill fired, so
+                    // the recovered prefix is exact, not a bound.
+                    assert_eq!(
+                        recovered.seq() as usize,
+                        expected_prefix,
+                        "{tag}: {name} must recover exactly its applied prefix"
+                    );
+                    let oracle = fresh_prefix(trace, expected_prefix, config);
+                    assert_eq!(
+                        oracle.logical_divergence(recovered.dynfd()),
+                        None,
+                        "{tag}: {name} must equal a fresh replay of {expected_prefix} batches"
+                    );
+                    recovered
+                        .dynfd()
+                        .verify_annotations()
+                        .unwrap_or_else(|e| panic!("{tag}: {name} annotations invalid: {e}"));
+                    for batch in &batches[expected_prefix..] {
+                        recovered
+                            .apply_batch(batch)
+                            .unwrap_or_else(|e| panic!("{tag}: {name} resume rejected: {e}"));
+                    }
+                    let full = fresh_prefix(trace, batches.len(), config);
+                    assert_eq!(
+                        full.logical_divergence(recovered.dynfd()),
+                        None,
+                        "{tag}: {name} resumed state must equal an uninterrupted run"
+                    );
+                }
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    // The lifecycle kill points fire unconditionally: 6 modes x 2
+    // snapshot cadences. evict-snap may be vacuous at large kill bytes.
+    assert!(crashes >= 12, "only {crashes} eviction kills fired");
 }
 
 #[test]

@@ -34,7 +34,19 @@
 //!   --block               block full queues (backpressure) instead of
 //!                         shedding with error code 13
 //!   --snapshot-every <n>  as above, applied to every tenant
-//!   --stats               per-tenant metrics on stderr at exit
+//!   --tenant-bytes <n>    per-tenant resident-byte quota; a tenant over
+//!                         it is cache-degraded, then refused with code
+//!                         17 and a retry-after hint
+//!   --tenant-cpu-ms <n>   per-tenant cumulative batch-CPU quota (code 17)
+//!   --global-bytes <n>    pool-wide byte budget: over it, the fattest
+//!                         tenant degrades and idle tenants are
+//!                         LRU-evicted (snapshot + release)
+//!   --deadline-ms <n>     default per-job deadline, refused with code 18
+//!                         before apply (an Apply frame's own deadline
+//!                         field overrides it)
+//!   --stats               per-tenant + aggregate metrics on stderr at
+//!                         exit (includes quota/deadline/eviction
+//!                         counters)
 //! ```
 //!
 //! `serve --multi` speaks the length-prefixed binary protocol of
@@ -73,6 +85,7 @@ use dynfd::serve::{serve_connection, AdmissionPolicy, ServeConfig, ServeEngine};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// SIGINT-to-flag plumbing: the handler only sets an atomic; the serve
 /// loops poll it at batch/frame boundaries so the WAL tail can be
@@ -190,7 +203,7 @@ const USAGE: &str = "usage: dynfd profile <data.csv>
        dynfd keys <data.csv>
        dynfd maintain <data.csv> <changes.log> [--batch <n>] [--cover <f>] [--save <f>] [--quiet] [--stats]
        dynfd serve <data.csv> <changes.log> --wal-dir <dir> [--batch <n>] [--snapshot-every <n>] [--save <f>] [--quiet] [--stats]
-       dynfd serve --multi [--root <dir>] [--workers <n>] [--queue <n>] [--block] [--snapshot-every <n>] [--stats]
+       dynfd serve --multi [--root <dir>] [--workers <n>] [--queue <n>] [--block] [--snapshot-every <n>] [--tenant-bytes <n>] [--tenant-cpu-ms <n>] [--global-bytes <n>] [--deadline-ms <n>] [--stats]
        dynfd recover <dir> [--save <f>] [--stats]";
 
 fn load(path: &str) -> Result<(Schema, DynamicRelation), CliError> {
@@ -577,11 +590,53 @@ fn cmd_serve_multi(args: &[String]) -> Result<(), CliError> {
     let mut policy = AdmissionPolicy::Shed;
     let mut snapshot_every = DynFdConfig::default().snapshot_every;
     let mut stats = false;
+    let mut tenant_bytes: Option<u64> = None;
+    let mut tenant_cpu_ms: Option<u64> = None;
+    let mut global_bytes: Option<u64> = None;
+    let mut deadline_ms: Option<u64> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--multi" => {}
+            "--tenant-bytes" => {
+                tenant_bytes = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| {
+                            CliError::usage("--tenant-bytes needs a positive integer")
+                        })?,
+                );
+            }
+            "--tenant-cpu-ms" => {
+                tenant_cpu_ms = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| {
+                            CliError::usage("--tenant-cpu-ms needs a positive integer")
+                        })?,
+                );
+            }
+            "--global-bytes" => {
+                global_bytes = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| {
+                            CliError::usage("--global-bytes needs a positive integer")
+                        })?,
+                );
+            }
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| CliError::usage("--deadline-ms needs a positive integer"))?,
+                );
+            }
             "--root" => {
                 root = Some(PathBuf::from(
                     it.next()
@@ -631,6 +686,12 @@ fn cmd_serve_multi(args: &[String]) -> Result<(), CliError> {
             snapshot_every,
             ..DynFdConfig::default()
         },
+        quota: dynfd::serve::TenantQuota {
+            max_resident_bytes: tenant_bytes,
+            max_cpu: tenant_cpu_ms.map(Duration::from_millis),
+        },
+        global_bytes_budget: global_bytes,
+        default_deadline: deadline_ms.map(Duration::from_millis),
         ..ServeConfig::default()
     }));
     eprintln!(
@@ -669,11 +730,15 @@ fn cmd_serve_multi(args: &[String]) -> Result<(), CliError> {
             if let Ok(m) = engine.metrics(&name) {
                 eprintln!(
                     "# tenant {name}: {} submitted, {} applied, {} rejected, {} shed, \
+                     {} quota-rejected, {} deadline-rejected, {} degraded, \
                      +{}/-{} FDs, max depth {}, latency mean {:?} max {:?}",
                     m.submitted,
                     m.applied,
                     m.rejected,
                     m.shed,
+                    m.quota_rejected,
+                    m.deadline_rejected,
+                    m.degraded_batches,
                     m.fds_added,
                     m.fds_removed,
                     m.max_depth,
@@ -684,6 +749,23 @@ fn cmd_serve_multi(args: &[String]) -> Result<(), CliError> {
                 );
             }
         }
+        // The aggregate survives tenant eviction: it is the sum over
+        // every tenant the engine ever served, not just the live set.
+        let g = engine.global_metrics();
+        eprintln!(
+            "# global: {} submitted, {} applied, {} shed, {} quota-rejected, \
+             {} deadline-rejected, {} closed-rejected, {} evictions, \
+             {} live tenants, {} bytes resident",
+            g.totals.submitted,
+            g.totals.applied,
+            g.totals.shed,
+            g.totals.quota_rejected,
+            g.totals.deadline_rejected,
+            g.totals.closed_rejected,
+            g.evictions,
+            g.live_tenants,
+            g.resident_bytes,
+        );
     }
     let shutdown = engine.shutdown();
     eprintln!(

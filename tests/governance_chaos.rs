@@ -1,0 +1,94 @@
+//! Resource governance must be deterministic and rollback-clean under
+//! chaos: a hog tripping its byte quota is degraded then refused while
+//! bystander covers stay bit-identical to a no-hog run; zero-deadline
+//! submissions are rejected *before* apply at any worker count; and a
+//! tenant evicted mid-backlog drains, persists, and re-opens to its
+//! exact durable prefix.
+//!
+//! The oracles live in `dynfd_testkit::check_chaos` (see
+//! `crates/testkit/src/chaos.rs` for the per-mode contracts). These
+//! tests pin the same worker grid as `serve_determinism.rs` — 1
+//! (sequential), 2 (smallest real interleaving), 8 (more workers than
+//! shards) — so every scheduling hazard the pool can produce runs
+//! under every governance mode.
+
+use dynfd_testkit::{check_chaos, ChaosFault};
+use std::path::PathBuf;
+
+const SEED: u64 = 4211;
+
+/// A scratch directory under the system temp dir, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("dynfd-gov-chaos-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn quota_storm_sheds_hog_and_preserves_bystanders() {
+    for workers in [1usize, 2, 8] {
+        let scratch = Scratch::new(&format!("quota-{workers}"));
+        let stats = check_chaos(ChaosFault::QuotaStorm, SEED, workers, &scratch.0)
+            .unwrap_or_else(|e| panic!("quota-storm at {workers} workers: {e}"));
+        assert!(
+            stats.quota_rejections > 0,
+            "{workers} workers: hog never refused"
+        );
+        assert!(stats.degrades > 0, "{workers} workers: hog never degraded");
+    }
+}
+
+#[test]
+fn deadline_storm_rejects_before_apply() {
+    for workers in [1usize, 2, 8] {
+        let scratch = Scratch::new(&format!("deadline-{workers}"));
+        let stats = check_chaos(ChaosFault::DeadlineStorm, SEED, workers, &scratch.0)
+            .unwrap_or_else(|e| panic!("deadline-storm at {workers} workers: {e}"));
+        assert!(
+            stats.deadline_rejections > 0,
+            "{workers} workers: no doomed submission was refused"
+        );
+        assert!(stats.applied > 0, "{workers} workers: real work starved");
+    }
+}
+
+#[test]
+fn evict_during_apply_recovers_exact_prefix() {
+    for workers in [1usize, 2, 8] {
+        let scratch = Scratch::new(&format!("evict-{workers}"));
+        let stats = check_chaos(ChaosFault::EvictDuringApply, SEED, workers, &scratch.0)
+            .unwrap_or_else(|e| panic!("evict-during-apply at {workers} workers: {e}"));
+        assert_eq!(
+            stats.evictions, 1,
+            "{workers} workers: exactly one eviction"
+        );
+        assert!(
+            stats.evict_rejections > 0,
+            "{workers} workers: the eviction window was never observed"
+        );
+    }
+}
+
+#[test]
+fn chaos_modes_hold_across_seeds() {
+    // A small seed sweep at the interesting worker count: governance
+    // determinism is a property of the protocol, not of one trace.
+    for seed in [7u64, 1999, 77777] {
+        for fault in ChaosFault::ALL {
+            let scratch = Scratch::new(&format!("sweep-{seed}-{}", fault.name()));
+            check_chaos(fault, seed, 2, &scratch.0)
+                .unwrap_or_else(|e| panic!("{} at seed {seed}: {e}", fault.name()));
+        }
+    }
+}
