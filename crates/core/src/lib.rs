@@ -40,6 +40,7 @@ mod induction;
 mod inserts;
 mod metrics;
 mod monitor;
+mod ordering;
 mod pipeline;
 mod violation_search;
 mod violations;

@@ -1,0 +1,453 @@
+//! Sampling-guided validation ordering for the insert phase.
+//!
+//! The unordered insert phase (Algorithm 2) validates every candidate of
+//! a lattice level and only *then* applies the discovered violation
+//! witnesses. But witnesses compose: one violating pair's agree set
+//! refutes every candidate `X -> r` with `X ⊆ agree ∧ r ∉ agree`, and
+//! the level's witness-application fold (`process_inserts`) already
+//! skips candidates an earlier witness evicted. The fold just learns
+//! about the witnesses too late to save any validation work.
+//!
+//! This module reorders the level so the fold's knowledge arrives
+//! early, **without changing a single observable output**:
+//!
+//! 1. **Probe**: every job is probed against a small deterministic
+//!    sample of *dirty* PLI clusters (clusters holding at least one
+//!    newly inserted record — only those can hide a new violation),
+//!    found through the batch's inserted slots so the sample stays on
+//!    the dirt at any relation scale.
+//!    A probe that finds a genuine violating pair proves the job
+//!    invalid; the score counts how many it found.
+//! 2. **Wave 1**: flagged jobs (score > 0, i.e. *certainly* invalid)
+//!    validate first, ordered by descending score.
+//! 3. **Resolved-prefix scan**: the fold over the level's violation
+//!    entries is simulated exactly — but only across the contiguous
+//!    *resolved* job-index prefix (every job validated or proven
+//!    skippable). Agree sets applied inside that prefix are certain;
+//!    beyond it the applied set is frozen, because an unvalidated job
+//!    in between could contribute a witness that suppresses a later
+//!    application. A remaining job is **skipped** outright when every
+//!    one of its candidates is refuted by a certainly-applied agree
+//!    set — the real fold would `continue` past each of its entries —
+//!    *and* its cache effects can be reproduced without validating
+//!    (see below).
+//! 4. **Wave 2**: still-unresolved jobs validate in ascending index
+//!    order in small chunks; each chunk extends the resolved prefix,
+//!    which re-arms the scan. When a scan resolves everything that is
+//!    left, the level terminates early — induction specialized the
+//!    rest away. If the applied log instead grows deep without ever
+//!    refuting a whole job, the scheduler stops simulating and
+//!    validates the rest in one batch — that level's agree sets were
+//!    too diverse for skipping to converge, and simulating the fold
+//!    costs one agree-set materialization per surviving violation.
+//!
+//! Why outputs cannot change (`DESIGN.md` §6i has the full argument):
+//!
+//! * A probe hit is a genuine violating pair in the frozen relation, so
+//!   a flagged job's verdict is already decided; validation order never
+//!   affects verdicts because the relation is frozen for the level.
+//! * Within a level, a candidate is evicted by the fold **iff** an
+//!   applied agree set refutes it (specialization only inserts at
+//!   deeper levels, and shallower levels hold only genuinely valid
+//!   FDs, so re-addition at the current level is impossible). Applied
+//!   agrees only grow monotonically along the fold, so a certain
+//!   refutation inside the resolved prefix stays a refutation at the
+//!   skipped job's true fold position — its entries contribute
+//!   nothing, exactly as if validated.
+//! * Every cover FD is violation-free over the *surviving old* records
+//!   (pre-batch FDs held before the batch; delete-phase additions were
+//!   validated against the final relation), so every refuting pair
+//!   involves a new record. Cluster-pruned validation therefore finds
+//!   a witness for every refuted candidate: a skipped job would have
+//!   reported exactly its full RHS set as violated, which is how
+//!   [`process_inserts`](crate::DynFd::process_inserts) accounts
+//!   skipped jobs toward the inefficiency threshold.
+//! * All validations of the level run against **one** PLI-cache
+//!   snapshot and all effects merge at the level barrier in original
+//!   job order — the same discipline `validate_many_cached` uses — and
+//!   a skipped job's effects are reproduced by
+//!   [`probe_cache_effects`]. A job whose validation would have
+//!   *built* a cache entry is never skipped.
+
+use crate::errors::{DynFdError, DynFdResult};
+use crate::{BatchMetrics, DynFd};
+use dynfd_common::{AttrSet, RecordId};
+use dynfd_relation::{
+    adaptive_workers, agree_set, par_map, probe_cache_effects, probe_violation_score,
+    validate_cached, validate_jobs_on_snapshot, validate_many, validate_with, CacheEffects,
+    PliCacheSnapshot, ValidationJob, ValidationOptions, ValidationResult, ValidatorScratch,
+};
+use std::cmp::Reverse;
+
+/// Levels smaller than this skip the probe pass: the fixed cost of a
+/// probe sweep cannot beat validating a handful of jobs directly.
+const MIN_ORDERED_JOBS: usize = 4;
+
+/// Wave-2 chunk size is `max(CHUNK_FLOOR, CHUNK_PER_THREAD * threads)`:
+/// big enough to amortize a parallel fan-out, small enough that the
+/// resolved prefix — and with it the skip scan — re-arms frequently.
+const CHUNK_FLOOR: usize = 16;
+const CHUNK_PER_THREAD: usize = 4;
+
+/// A level abandons the skip simulation once the applied-witness log
+/// exceeds `APPLIED_BAIL_FACTOR * jobs + APPLIED_BAIL_FLOOR` entries
+/// without refuting a single job. Agree sets that diverse never
+/// converge on a skip, and the simulation's only real cost —
+/// materializing one agree set per surviving violation, which the
+/// actual witness fold recomputes after the level — would otherwise
+/// scale with the violation count for zero benefit. The remaining jobs
+/// then validate in one batch, which is exactly the unordered schedule
+/// for the level's tail.
+const APPLIED_BAIL_FACTOR: usize = 4;
+const APPLIED_BAIL_FLOOR: usize = 64;
+
+/// SplitMix64 finalizer: decorrelates the per-job probe seeds from the
+/// (first_new, level, job-index) triple that derives them. Seeds are a
+/// pure function of batch content, so probe sampling is deterministic
+/// and thread-invariant.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl DynFd {
+    /// Whether the sampling-guided scheduler should run this level.
+    pub(crate) fn ordering_enabled(&self, job_count: usize) -> bool {
+        self.config.sample_ordering
+            && self.config.sample_budget > 0
+            && job_count >= MIN_ORDERED_JOBS
+    }
+
+    /// Validates one insert-phase level under sampling-guided ordering.
+    ///
+    /// Returns one entry per job, in job order: `Some(result)` for
+    /// validated jobs (bit-identical to the unordered run's result) and
+    /// `None` for jobs proven invalid-and-evicted without validating.
+    /// The caller accounts each skipped job's full RHS set as invalid
+    /// for the inefficiency threshold and feeds it nothing into the
+    /// witness fold — both exactly what the unordered run would do.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_level_ordered(
+        &mut self,
+        jobs: &[ValidationJob],
+        opts: &ValidationOptions,
+        first_new: RecordId,
+        new_slots: &[u32],
+        level: usize,
+        metrics: &mut BatchMetrics,
+    ) -> DynFdResult<Vec<Option<ValidationResult>>> {
+        let threads = self.config.effective_parallelism();
+        let cache_on = self.cache_enabled();
+        let snapshot = if cache_on {
+            self.pli_cache.snapshot()
+        } else {
+            PliCacheSnapshot::empty()
+        };
+
+        // ---- Phase 1: probe every job against a sampled set of dirty
+        // clusters. Seeds depend only on batch content and job index,
+        // never on thread interleaving.
+        let base = mix(first_new.0 ^ ((level as u64) << 32));
+        let budget = self.config.sample_budget;
+        let indexed: Vec<(usize, ValidationJob)> = jobs.iter().copied().enumerate().collect();
+        let probe_workers = adaptive_workers(threads, jobs.len(), self.config.parallel_min_jobs);
+        let scores: Vec<u32> = par_map(&indexed, probe_workers, |&(i, (lhs, rhs))| {
+            probe_violation_score(
+                &self.rel,
+                lhs,
+                rhs,
+                first_new,
+                new_slots,
+                budget,
+                mix(base ^ i as u64),
+                &snapshot,
+            )
+        });
+        metrics.sampling_probes += jobs.len();
+
+        let mut flagged: Vec<usize> = (0..jobs.len()).filter(|&i| scores[i] > 0).collect();
+        metrics.sampling_flagged += flagged.len();
+        flagged.sort_by_key(|&i| (Reverse(scores[i]), i));
+
+        // Nothing flagged (no reordering signal) or everything flagged
+        // (no one left to skip): the schedule degenerates to the plain
+        // level-at-once fan-out — take the cheap path.
+        if flagged.is_empty() || flagged.len() == jobs.len() {
+            return Ok(self
+                .run_level_validations(jobs, opts)
+                .into_iter()
+                .map(Some)
+                .collect());
+        }
+
+        let mut results: Vec<Option<ValidationResult>> = vec![None; jobs.len()];
+        let mut effects: Vec<Option<CacheEffects>> = vec![None; jobs.len()];
+        let mut skipped = vec![false; jobs.len()];
+        let mut scratch = ValidatorScratch::new();
+
+        // ---- Phase 2, wave 1: validate the certainly-invalid jobs
+        // first, most violations first.
+        self.validate_scatter(
+            &flagged,
+            jobs,
+            opts,
+            threads,
+            cache_on,
+            &snapshot,
+            &mut scratch,
+        )
+        .into_iter()
+        .zip(&flagged)
+        .for_each(|((r, e), &i)| {
+            results[i] = Some(r);
+            effects[i] = e;
+        });
+
+        // ---- Phase 3: resolved-prefix scan + chunked wave 2.
+        //
+        // `applied` mirrors the witness fold exactly across the resolved
+        // prefix `0..prefix_end`: entries of validated jobs apply their
+        // agree set unless an earlier applied agree already evicted
+        // their FD; skipped jobs contribute nothing (their entries are
+        // all certain `continue`s).
+        //
+        // Refutation checks never enumerate `applied`. A candidate
+        // `lhs -> r` is refuted iff some applicable agree (one with
+        // `lhs ⊆ agree`) misses `r` — equivalently, iff `r` is outside
+        // the *intersection* of all applicable agrees. So one
+        // `surviving` attribute set per job carries the full refutation
+        // state, each unresolved job holds a cursor into the append-only
+        // `applied` log, and every `(job, agree)` pair is examined at
+        // most once across the level — a violation-heavy level with
+        // thousands of witnesses stays linear instead of rescanning the
+        // whole log every chunk round.
+        let universe: AttrSet = (0..self.rel.arity()).collect();
+        let mut applied: Vec<AttrSet> = Vec::new();
+        let mut prefix_end = 0usize;
+        let mut remaining: Vec<Pending> = (0..jobs.len())
+            .filter(|&i| scores[i] == 0)
+            .map(|i| Pending {
+                job: i,
+                surviving: universe,
+                seen: 0,
+            })
+            .collect();
+        let chunk = CHUNK_FLOOR.max(CHUNK_PER_THREAD * threads);
+        let bail_at = APPLIED_BAIL_FACTOR * jobs.len() + APPLIED_BAIL_FLOOR;
+        let mut any_skip = false;
+
+        loop {
+            // Every job resolved: the simulation has no consumer left,
+            // so don't fold the final chunk's violations for nothing.
+            if remaining.is_empty() {
+                break;
+            }
+
+            // Extend the resolved prefix, simulating the fold.
+            while prefix_end < jobs.len() && (results[prefix_end].is_some() || skipped[prefix_end])
+            {
+                if let Some(result) = &results[prefix_end] {
+                    let lhs = jobs[prefix_end].0;
+                    let mut surviving = universe;
+                    for agree in &applied {
+                        if lhs.is_subset_of(agree) {
+                            surviving = surviving.intersect(agree);
+                        }
+                    }
+                    for (r, a, b) in result.violations() {
+                        if !surviving.contains(r) {
+                            continue; // refuted — the fold would `continue` too
+                        }
+                        let agree = agree_set(&self.rel, a, b).ok_or_else(|| {
+                            DynFdError::invariant(
+                                "insert-phase",
+                                format!("violating pair ({a}, {b}) references dead records"),
+                            )
+                        })?;
+                        // `lhs ⊆ agree` by construction, so the new
+                        // entry applies to this job's own remaining
+                        // candidates as well.
+                        surviving = surviving.intersect(&agree);
+                        applied.push(agree);
+                    }
+                }
+                prefix_end += 1;
+            }
+
+            // Advance the unresolved jobs' cursors over the new tail of
+            // the applied log and collect the now fully-refuted ones.
+            let mut still = Vec::with_capacity(remaining.len());
+            for mut p in remaining {
+                let (lhs, live) = jobs[p.job];
+                while p.seen < applied.len() {
+                    let agree = &applied[p.seen];
+                    p.seen += 1;
+                    if lhs.is_subset_of(agree) {
+                        p.surviving = p.surviving.intersect(agree);
+                    }
+                }
+                if live.intersect(&p.surviving).is_empty() {
+                    let cache_ok = if cache_on {
+                        // A job whose validation would *build* a cache
+                        // entry must run for real; probe-only effects
+                        // (hit / resident / miss) are reproducible.
+                        match probe_cache_effects(&self.rel, lhs, opts, &snapshot) {
+                            Some(e) => {
+                                effects[p.job] = Some(e);
+                                true
+                            }
+                            None => false,
+                        }
+                    } else {
+                        true
+                    };
+                    if cache_ok {
+                        skipped[p.job] = true;
+                        metrics.sampling_skipped += 1;
+                        any_skip = true;
+                        continue;
+                    }
+                }
+                still.push(p);
+            }
+            remaining = still;
+
+            if remaining.is_empty() {
+                break; // early level termination: induction got the rest
+            }
+            // A skip at the prefix boundary unlocked more of the fold:
+            // re-extend and rescan before spending any validation.
+            if prefix_end < jobs.len() && skipped[prefix_end] {
+                continue;
+            }
+
+            // Bail: the log is deep and nothing has been refuted — this
+            // level's agree sets are too diverse for the simulation to
+            // ever pay off. Validate everything left at once and stop
+            // simulating (skipping is an optimization; validating is
+            // always correct and what the unordered schedule does).
+            if !any_skip && applied.len() > bail_at {
+                let batch: Vec<usize> = remaining.drain(..).map(|p| p.job).collect();
+                self.validate_scatter(
+                    &batch,
+                    jobs,
+                    opts,
+                    threads,
+                    cache_on,
+                    &snapshot,
+                    &mut scratch,
+                )
+                .into_iter()
+                .zip(&batch)
+                .for_each(|((r, e), &i)| {
+                    results[i] = Some(r);
+                    effects[i] = e;
+                });
+                break;
+            }
+
+            // Wave 2: validate the next chunk in ascending job order so
+            // the prefix keeps extending.
+            let take = chunk.min(remaining.len());
+            let batch: Vec<usize> = remaining.drain(..take).map(|p| p.job).collect();
+            self.validate_scatter(
+                &batch,
+                jobs,
+                opts,
+                threads,
+                cache_on,
+                &snapshot,
+                &mut scratch,
+            )
+            .into_iter()
+            .zip(&batch)
+            .for_each(|((r, e), &i)| {
+                results[i] = Some(r);
+                effects[i] = e;
+            });
+        }
+
+        // ---- Level barrier: merge all cache effects in original job
+        // order — the same discipline as `validate_many_cached`, so the
+        // cache contents, LRU order, and counters are bit-identical to
+        // the unordered run.
+        if cache_on {
+            let ordered: Vec<CacheEffects> = effects
+                .into_iter()
+                .map(|e| e.expect("every job resolved with cache effects"))
+                .collect();
+            self.pli_cache.merge(&ordered);
+        }
+        Ok(results)
+    }
+
+    /// Validates the jobs at `picks` (a subset of indices into `jobs`)
+    /// and returns their results in `picks` order, with cache effects
+    /// when the cache is on.
+    ///
+    /// `scratch` lives for the whole level: the schedule validates in
+    /// several waves, and a fresh scratch per wave would re-grow the
+    /// group tables the unordered level-at-once fan-out amortizes once.
+    /// On the sequential path (the adaptive fallback, or one core) the
+    /// caller's scratch is used directly; parallel workers own
+    /// per-thread scratches as always.
+    #[allow(clippy::too_many_arguments)]
+    fn validate_scatter(
+        &self,
+        picks: &[usize],
+        jobs: &[ValidationJob],
+        opts: &ValidationOptions,
+        threads: usize,
+        cache_on: bool,
+        snapshot: &PliCacheSnapshot,
+        scratch: &mut ValidatorScratch,
+    ) -> Vec<(ValidationResult, Option<CacheEffects>)> {
+        let subset: Vec<ValidationJob> = picks.iter().map(|&i| jobs[i]).collect();
+        let workers = adaptive_workers(threads, subset.len(), self.config.parallel_min_jobs);
+        if workers <= 1 {
+            return subset
+                .iter()
+                .map(|&(lhs, rhs)| {
+                    if cache_on {
+                        let (r, e) = validate_cached(&self.rel, lhs, rhs, opts, scratch, snapshot);
+                        (r, Some(e))
+                    } else {
+                        (validate_with(&self.rel, lhs, rhs, opts, scratch), None)
+                    }
+                })
+                .collect();
+        }
+        if cache_on {
+            let (results, effects) = validate_jobs_on_snapshot(
+                &self.rel,
+                &subset,
+                opts,
+                threads,
+                self.config.parallel_min_jobs,
+                snapshot,
+            );
+            results
+                .into_iter()
+                .zip(effects.into_iter().map(Some))
+                .collect()
+        } else {
+            validate_many(&self.rel, &subset, opts, workers)
+                .into_iter()
+                .map(|r| (r, None))
+                .collect()
+        }
+    }
+}
+
+/// Incremental refutation state for one not-yet-resolved job: the
+/// intersection of every applied agree set applicable to its LHS
+/// (`surviving` — a candidate RHS is refuted iff it fell out of this
+/// set) and a cursor over the append-only applied log marking how far
+/// the intersection has been folded.
+struct Pending {
+    job: usize,
+    surviving: AttrSet,
+    seen: usize,
+}

@@ -24,11 +24,11 @@ fn check(trace: &Trace, opts: &RunnerOptions) {
 
 #[test]
 fn every_config_tracks_static_discovery_small() {
-    // One trace per data shape, each replayed under all 32
+    // One trace per data shape, each replayed under all 128
     // configurations (the §6.5 ablation matrix crossed with the
-    // PLI-cache axis).
+    // PLI-cache, SIMD-kernel, and sampling-ordering axes).
     let opts = RunnerOptions::default();
-    assert_eq!(opts.configs.len(), 32, "ablation matrix is the default");
+    assert_eq!(opts.configs.len(), 128, "ablation matrix is the default");
     for profile in [TraceProfile::Uniform, TraceProfile::KeyHeavy] {
         check(&Trace::generate(profile, 1), &opts);
     }

@@ -299,6 +299,28 @@ impl Bencher {
     }
 }
 
+fn record(id: String, median_ns: f64, samples: usize, iters: u64) {
+    let unit = if median_ns >= 1e6 {
+        format!("{:.3} ms", median_ns / 1e6)
+    } else if median_ns >= 1e3 {
+        format!("{:.3} µs", median_ns / 1e3)
+    } else {
+        format!("{median_ns:.1} ns")
+    };
+    println!("{id:<55} time: {unit}/iter  ({samples} samples × {iters} iters)");
+    RESULTS.lock().expect("results lock").push(BenchResult {
+        id,
+        median_ns,
+        samples,
+        iters_per_sample: iters,
+    });
+}
+
+fn median(mut times: Vec<f64>) -> f64 {
+    times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    times[times.len() / 2]
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(id: String, samples: usize, mut f: F) {
     let mut bencher = Bencher {
         samples: samples.max(5),
@@ -307,23 +329,7 @@ fn run_one<F: FnMut(&mut Bencher)>(id: String, samples: usize, mut f: F) {
         iters: 0,
     };
     f(&mut bencher);
-    let unit = if bencher.result_ns >= 1e6 {
-        format!("{:.3} ms", bencher.result_ns / 1e6)
-    } else if bencher.result_ns >= 1e3 {
-        format!("{:.3} µs", bencher.result_ns / 1e3)
-    } else {
-        format!("{:.1} ns", bencher.result_ns)
-    };
-    println!(
-        "{id:<55} time: {unit}/iter  ({} samples × {} iters)",
-        bencher.samples, bencher.iters
-    );
-    RESULTS.lock().expect("results lock").push(BenchResult {
-        id,
-        median_ns: bencher.result_ns,
-        samples: bencher.samples,
-        iters_per_sample: bencher.iters,
-    });
+    record(id, bencher.result_ns, bencher.samples, bencher.iters);
 }
 
 /// The benchmark driver.
@@ -397,6 +403,68 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Times two related routines with **interleaved** samples
+    /// (A, B, A, B, …), reporting each arm's median as its own result
+    /// row — in that order, setup time excluded, one iteration per
+    /// sample.
+    ///
+    /// The contiguous-block measurement of [`bench_function`] is the
+    /// wrong tool for A/B arms whose *ratio* is the deliverable: on a
+    /// shared-CPU container the machine drifts over the minutes one
+    /// block takes, and the drift lands asymmetrically on whichever arm
+    /// ran second. Interleaving puts every pair of samples under the
+    /// same instantaneous machine conditions. Meant for arms whose
+    /// single iteration is far above timer resolution (milliseconds).
+    ///
+    /// [`bench_function`]: BenchmarkGroup::bench_function
+    #[allow(clippy::too_many_arguments)]
+    pub fn bench_pair<I1, O1, S1, R1, I2, O2, S2, R2>(
+        &mut self,
+        id_a: impl IntoBenchmarkId,
+        mut setup_a: S1,
+        mut routine_a: R1,
+        id_b: impl IntoBenchmarkId,
+        mut setup_b: S2,
+        mut routine_b: R2,
+    ) -> &mut Self
+    where
+        S1: FnMut() -> I1,
+        R1: FnMut(I1) -> O1,
+        S2: FnMut() -> I2,
+        R2: FnMut(I2) -> O2,
+    {
+        // One untimed warm-up of each arm (first-touch page faults,
+        // lazily grown scratch, branch predictors).
+        black_box(routine_a(setup_a()));
+        black_box(routine_b(setup_b()));
+        let samples = self.sample_size.max(5);
+        let mut times_a: Vec<f64> = Vec::with_capacity(samples);
+        let mut times_b: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let input = setup_a();
+            let start = Instant::now();
+            black_box(routine_a(input));
+            times_a.push(start.elapsed().as_secs_f64() * 1e9);
+            let input = setup_b();
+            let start = Instant::now();
+            black_box(routine_b(input));
+            times_b.push(start.elapsed().as_secs_f64() * 1e9);
+        }
+        record(
+            format!("{}/{}", self.name, id_a.into_id()),
+            median(times_a),
+            samples,
+            1,
+        );
+        record(
+            format!("{}/{}", self.name, id_b.into_id()),
+            median(times_b),
+            samples,
+            1,
+        );
+        self
+    }
+
     /// Runs one benchmark with an explicit input value.
     pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
         &mut self,
@@ -460,6 +528,32 @@ mod tests {
         assert!(results.iter().any(|r| r.id == "noop_add"));
         assert!(results.iter().any(|r| r.id == "grouped/4"));
         assert!(results.iter().all(|r| r.median_ns >= 0.0));
+    }
+
+    #[test]
+    fn bench_pair_interleaves_and_records_both_arms() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("paired");
+        group.sample_size(5);
+        let log = std::cell::RefCell::new(Vec::new());
+        group.bench_pair(
+            "a",
+            || (),
+            |_| log.borrow_mut().push('a'),
+            "b",
+            || (),
+            |_| log.borrow_mut().push('b'),
+        );
+        group.finish();
+        // Warm-up pair + 5 interleaved sample pairs, strictly A,B,A,B…
+        let order: String = log.borrow().iter().collect();
+        assert_eq!(order, "abababababab");
+        let results = collected_results();
+        let a = results.iter().find(|r| r.id == "paired/a").expect("arm a");
+        let b = results.iter().find(|r| r.id == "paired/b").expect("arm b");
+        assert_eq!(a.samples, 5);
+        assert_eq!(b.iters_per_sample, 1);
+        assert!(a.median_ns >= 0.0 && b.median_ns >= 0.0);
     }
 
     #[test]
