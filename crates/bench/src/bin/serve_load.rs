@@ -27,10 +27,20 @@
 //! end. The JSON records the shed/quota-rejection/eviction counts and
 //! the bystander latency tail — the number governance exists to
 //! protect.
+//!
+//! Finally a **socket shape** runs the grid's 8-tenant workload through
+//! the real unix-socket transport: a `serve_listener` accept loop and
+//! one closed-loop [`SessionClient`] per tenant, so the reported
+//! latency is the full client-observed round trip (framing, session
+//! bookkeeping, the connection writer, and the pool). Comparing it
+//! against the in-process 8-tenant shape prices the transport itself.
 
 use dynfd_core::{DynFd, DynFdConfig};
 use dynfd_relation::{Batch, DynamicRelation};
-use dynfd_serve::{AdmissionPolicy, ServeConfig, ServeEngine, ServeError, TenantQuota};
+use dynfd_serve::{
+    serve_listener, AdmissionPolicy, ListenAddr, RetryPolicy, ServeConfig, ServeEngine, ServeError,
+    SessionClient, TenantQuota, TransportConfig,
+};
 use dynfd_testkit::{Trace, TraceOp};
 use std::io::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -479,6 +489,133 @@ fn run_overload(args: &Args) -> OverloadResult {
     }
 }
 
+/// Counters from the socket-transport shape.
+struct SocketResult {
+    tenants: usize,
+    workers: usize,
+    batches: u64,
+    wall: Duration,
+    /// Client-observed apply round trips (submit → ack), all tenants.
+    round_trips: Vec<Duration>,
+    connections: u64,
+    sessions: u64,
+    frames: u64,
+}
+
+/// The socket shape: the 8-tenant grid workload served over a real
+/// unix socket, one session client per tenant on its own thread. Each
+/// client is closed-loop (one in-flight apply), so the round trip it
+/// measures is transport + queue wait + apply — the latency a remote
+/// caller actually sees.
+fn run_socket(args: &Args) -> SocketResult {
+    const TENANTS: usize = 8;
+    let traces: Vec<(String, Trace)> = (0..TENANTS)
+        .map(|t| {
+            let name = format!("t{t}");
+            let trace = synthetic_trace(
+                args.seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                args.width,
+                args.rows,
+                args.batches,
+            );
+            (name, trace)
+        })
+        .collect();
+    let engine = Arc::new(ServeEngine::new(ServeConfig {
+        workers: args.workers,
+        queue_capacity: 256,
+        policy: AdmissionPolicy::Block,
+        root: None,
+        ..ServeConfig::default()
+    }));
+    let sock = std::env::temp_dir().join(format!("dynfd-bench-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let listener = {
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        let addr = ListenAddr::Unix(sock.clone());
+        std::thread::spawn(move || {
+            serve_listener(&engine, &addr, TransportConfig::default(), || {
+                stop.load(Ordering::SeqCst)
+            })
+        })
+    };
+    for _ in 0..400 {
+        if sock.exists() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let start = Instant::now();
+    let clients: Vec<_> = traces
+        .into_iter()
+        .map(|(name, trace)| {
+            let addr = ListenAddr::Unix(sock.clone());
+            std::thread::spawn(move || {
+                let mut client =
+                    SessionClient::new(addr, format!("bench-{name}"), RetryPolicy::default());
+                client
+                    .open(&name, trace.schema.columns(), &trace.initial_rows)
+                    .unwrap_or_else(|e| {
+                        eprintln!("socket open {name}: {e}");
+                        std::process::exit(1);
+                    });
+                let mut round_trips = Vec::new();
+                for batch in trace.to_batches() {
+                    let sent = Instant::now();
+                    let resp = client.apply(&name, &batch, 0).unwrap_or_else(|e| {
+                        eprintln!("socket apply to {name}: {e}");
+                        std::process::exit(1);
+                    });
+                    if resp.code != 0 {
+                        eprintln!(
+                            "socket apply to {name}: code {} ({})",
+                            resp.code, resp.detail
+                        );
+                        std::process::exit(1);
+                    }
+                    round_trips.push(sent.elapsed());
+                }
+                round_trips
+            })
+        })
+        .collect();
+    let mut round_trips = Vec::new();
+    for client in clients {
+        round_trips.extend(client.join().unwrap_or_else(|_| {
+            eprintln!("socket client thread panicked");
+            std::process::exit(1);
+        }));
+    }
+    let wall = start.elapsed();
+    stop.store(true, Ordering::SeqCst);
+    let report = listener
+        .join()
+        .unwrap_or_else(|_| {
+            eprintln!("socket listener thread panicked");
+            std::process::exit(1);
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("socket listener: {e}");
+            std::process::exit(1);
+        });
+    let workers = engine.worker_count();
+    let batches = round_trips.len() as u64;
+    round_trips.sort();
+    SocketResult {
+        tenants: TENANTS,
+        workers,
+        batches,
+        wall,
+        round_trips,
+        connections: report.connections,
+        sessions: report.sessions,
+        frames: report.frames,
+    }
+}
+
 fn main() {
     let args = parse_args();
     let mut shapes = Vec::new();
@@ -510,6 +647,21 @@ fn main() {
         overload.shed,
         overload.evictions,
         percentile(&overload.bystander_latencies, 0.99),
+    );
+
+    let socket = run_socket(&args);
+    eprintln!(
+        "socket {} tenants x {} batches on {} workers: {:>9.0} batches/s, \
+         rtt p50 {:?}, p99 {:?} ({} conns, {} sessions, {} frames)",
+        socket.tenants,
+        args.batches,
+        socket.workers,
+        socket.batches as f64 / socket.wall.as_secs_f64(),
+        percentile(&socket.round_trips, 0.50),
+        percentile(&socket.round_trips, 0.99),
+        socket.connections,
+        socket.sessions,
+        socket.frames,
     );
 
     let mut json = String::new();
@@ -551,7 +703,7 @@ fn main() {
          \"hog_quota_bytes\": {}, \"hog_submitted\": {}, \"hog_admitted\": {}, \
          \"shed\": {}, \"quota_rejected\": {}, \"evictions\": {}, \
          \"apply_rejected\": {}, \"bystander_batches\": {}, \"wall_ms\": {:.1}, \
-         \"bystander_p50_us\": {:.1}, \"bystander_p99_us\": {:.1}}}\n",
+         \"bystander_p50_us\": {:.1}, \"bystander_p99_us\": {:.1}}},\n",
         overload.tenants,
         overload.workers,
         overload.hog_quota_bytes,
@@ -565,6 +717,22 @@ fn main() {
         overload.wall.as_secs_f64() * 1e3,
         percentile(&overload.bystander_latencies, 0.50).as_secs_f64() * 1e6,
         percentile(&overload.bystander_latencies, 0.99).as_secs_f64() * 1e6,
+    ));
+    json.push_str(&format!(
+        "  \"socket\": {{\"tenants\": {}, \"workers\": {}, \"batches\": {}, \
+         \"wall_ms\": {:.1}, \"throughput_batches_per_sec\": {:.1}, \
+         \"rtt_p50_us\": {:.1}, \"rtt_p99_us\": {:.1}, \"connections\": {}, \
+         \"sessions\": {}, \"frames\": {}}}\n",
+        socket.tenants,
+        socket.workers,
+        socket.batches,
+        socket.wall.as_secs_f64() * 1e3,
+        socket.batches as f64 / socket.wall.as_secs_f64(),
+        percentile(&socket.round_trips, 0.50).as_secs_f64() * 1e6,
+        percentile(&socket.round_trips, 0.99).as_secs_f64() * 1e6,
+        socket.connections,
+        socket.sessions,
+        socket.frames,
     ));
     json.push_str("}\n");
 

@@ -21,19 +21,26 @@
 mod client;
 mod metrics;
 mod queue;
+pub mod resume;
 mod server;
 mod session;
 mod tenant;
+pub mod transport;
 pub mod wire;
 
-pub use client::{submit_with_retry, RetryPolicy, RetryReport};
+pub use client::{submit_with_retry, RetryPolicy, RetryReport, SessionClient, SessionClientReport};
 pub use metrics::{GlobalSnapshot, MetricsSnapshot};
+pub use resume::{SessionHandle, SessionRegistry};
 pub use server::{
     AdmissionPolicy, ApplySummary, BatchReply, CloseReport, EvictKillPoint, OpenReport,
     ServeConfig, ServeEngine, ShutdownReport, TenantQuota,
 };
-pub use session::{serve_connection, ConnectionReport};
+pub use session::{
+    serve_connection, serve_connection_with, ChannelReader, ConnOptions, ConnectionReport,
+    ResponseSink,
+};
 pub use tenant::valid_tenant_name;
+pub use transport::{serve_listener, ListenAddr, TransportConfig, TransportReport};
 
 use dynfd_core::DynFdError;
 use std::fmt;
@@ -54,6 +61,14 @@ pub const CODE_DEADLINE_EXCEEDED: u32 = 18;
 /// Wire error code for submissions landing inside a tenant's eviction
 /// window (drain → persist → release in progress).
 pub const CODE_EVICTED: u32 = 19;
+/// Wire error code for a session-protocol violation: a sessioned apply
+/// before `Hello`, a sequence gap, or a re-send older than the
+/// ack-replay window.
+pub const CODE_SESSION: u32 = 20;
+/// Wire error code for a connection shed because the client consumed
+/// responses too slowly (bounded outbox overflow or write/idle deadline
+/// hit); sent best-effort, then the connection is closed.
+pub const CODE_SLOW_CLIENT: u32 = 21;
 
 /// Which resource a [`ServeError::QuotaExceeded`] rejection meters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -77,7 +92,7 @@ impl fmt::Display for QuotaKind {
 
 /// A typed serve-layer failure. Engine failures pass through with their
 /// PR 3 exit codes; the serve layer adds admission/lifecycle codes in
-/// the 13–19 range (engine codes stop at 12).
+/// the 13–21 range (engine codes stop at 12).
 #[derive(Debug)]
 pub enum ServeError {
     /// The tenant's engine rejected or failed the batch.
@@ -142,12 +157,31 @@ pub enum ServeError {
     /// The request was syntactically invalid (bad frame payload or
     /// tenant name).
     Malformed(String),
+    /// A sessioned request broke the exactly-once resume protocol (see
+    /// `crate::resume`): apply before `Hello`, a sequence gap, or a
+    /// re-send that fell off the bounded ack-replay window.
+    SessionViolation {
+        /// The client session the request rode on (empty when the
+        /// violation is "no session bound").
+        session: String,
+        /// The tenant the request targeted (empty for `Hello` errors).
+        tenant: String,
+        /// What exactly was violated.
+        detail: String,
+    },
+    /// The connection's bounded outbox overflowed: the client is not
+    /// reading responses fast enough and is disconnected so worker
+    /// threads never block on a dead socket.
+    SlowClient {
+        /// The configured outbox capacity that was exhausted.
+        capacity: usize,
+    },
 }
 
 impl ServeError {
     /// The stable wire error code (also the CLI exit code for fatal
     /// serve errors): engine errors keep their exit codes (3–12),
-    /// serve-layer conditions use 13–19, malformed input maps to the
+    /// serve-layer conditions use 13–21, malformed input maps to the
     /// parse code 4.
     pub fn wire_code(&self) -> u32 {
         match self {
@@ -160,6 +194,8 @@ impl ServeError {
             ServeError::TenantExists(_) => CODE_TENANT_EXISTS,
             ServeError::ShuttingDown => CODE_SHUTTING_DOWN,
             ServeError::Malformed(_) => 4,
+            ServeError::SessionViolation { .. } => CODE_SESSION,
+            ServeError::SlowClient { .. } => CODE_SLOW_CLIENT,
         }
     }
 
@@ -231,6 +267,19 @@ impl fmt::Display for ServeError {
             ServeError::TenantExists(name) => write!(f, "tenant {name:?} already exists"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::Malformed(detail) => write!(f, "malformed request: {detail}"),
+            ServeError::SessionViolation {
+                session,
+                tenant,
+                detail,
+            } => write!(
+                f,
+                "session {session:?} violation on tenant {tenant:?}: {detail}"
+            ),
+            ServeError::SlowClient { capacity } => write!(
+                f,
+                "client reads too slowly: outbox full ({capacity} responses buffered); \
+                 disconnecting"
+            ),
         }
     }
 }
@@ -260,8 +309,10 @@ mod tests {
             CODE_QUOTA_EXCEEDED,
             CODE_DEADLINE_EXCEEDED,
             CODE_EVICTED,
+            CODE_SESSION,
+            CODE_SLOW_CLIENT,
         ];
-        assert_eq!(serve_codes, [13, 14, 15, 16, 17, 18, 19]);
+        assert_eq!(serve_codes, [13, 14, 15, 16, 17, 18, 19, 20, 21]);
         assert_eq!(
             ServeError::Overloaded {
                 tenant: "t".into(),
@@ -302,6 +353,21 @@ mod tests {
             }
             .wire_code(),
             19
+        );
+        assert_eq!(
+            ServeError::SessionViolation {
+                session: "s".into(),
+                tenant: "t".into(),
+                detail: "gap".into(),
+            }
+            .wire_code(),
+            20
+        );
+        assert_eq!(ServeError::SlowClient { capacity: 8 }.wire_code(), 21);
+        assert!(ServeError::SlowClient { capacity: 8 }.is_rejection());
+        assert_eq!(
+            ServeError::SlowClient { capacity: 8 }.retry_after_ms(),
+            None
         );
         assert_eq!(ServeError::Malformed("x".into()).wire_code(), 4);
         assert_eq!(

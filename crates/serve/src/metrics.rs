@@ -30,6 +30,8 @@ pub struct TenantMetrics {
     closed_rejected: AtomicU64,
     degrades: AtomicU64,
     degraded_batches: AtomicU64,
+    session_replays: AtomicU64,
+    session_dedups: AtomicU64,
     fds_added: AtomicU64,
     fds_removed: AtomicU64,
     max_depth: AtomicU64,
@@ -65,6 +67,13 @@ pub struct MetricsSnapshot {
     /// Batches applied while the tenant's cache was degraded (the serve
     /// face of `BatchMetrics::degraded_batches`).
     pub degraded_batches: u64,
+    /// Sessioned applies answered from the ack-replay window (a re-sent
+    /// frame whose batch was already settled — nothing re-applied).
+    /// Outside the `submitted` partition: a replay is not a submission.
+    pub session_replays: u64,
+    /// Duplicate sessioned applies absorbed while the original was
+    /// still in flight. Also outside the `submitted` partition.
+    pub session_dedups: u64,
     /// Minimal FDs added across all applied batches.
     pub fds_added: u64,
     /// Minimal FDs removed across all applied batches.
@@ -121,6 +130,16 @@ impl TenantMetrics {
         self.degrades.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a sessioned apply answered from the replay window.
+    pub fn note_session_replay(&self) {
+        self.session_replays.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a duplicate sessioned apply absorbed in flight.
+    pub fn note_session_dedup(&self) {
+        self.session_dedups.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records a completed batch: applied or rejected, with its
     /// submit→completion latency and (when applied) the FD delta sizes.
     /// `degraded` marks a batch applied under cache pressure.
@@ -159,6 +178,8 @@ impl TenantMetrics {
             closed_rejected: self.closed_rejected.load(Ordering::Relaxed),
             degrades: self.degrades.load(Ordering::Relaxed),
             degraded_batches: self.degraded_batches.load(Ordering::Relaxed),
+            session_replays: self.session_replays.load(Ordering::Relaxed),
+            session_dedups: self.session_dedups.load(Ordering::Relaxed),
             fds_added: self.fds_added.load(Ordering::Relaxed),
             fds_removed: self.fds_removed.load(Ordering::Relaxed),
             max_depth: self.max_depth.load(Ordering::Relaxed),

@@ -92,6 +92,11 @@ impl<T> ShardQueue<T> {
         self.ready.notify_all();
     }
 
+    /// Whether delivery is currently paused.
+    pub fn is_paused(&self) -> bool {
+        recover(self.inner.lock()).paused
+    }
+
     /// Closes the queue: no new pushes, pops drain the backlog (pausing
     /// is overridden so a close always drains) and then return `None`.
     pub fn close(&self) {

@@ -1,0 +1,360 @@
+//! Exactly-once session resume: the server side of the reconnect
+//! protocol.
+//!
+//! A client that wants exactly-once apply semantics opens its
+//! connection with a `Hello` frame naming a *session* (a stable
+//! client-chosen id that outlives any one TCP/unix connection) and then
+//! stamps every `Apply` with a per-tenant **session sequence number**:
+//! 1, 2, 3, … in submission order. The registry keeps, per session and
+//! tenant, the highest sequence accepted, the set still in flight, and
+//! a bounded window of already-settled responses (the **ack-replay
+//! window**). The rules, applied under one lock per session:
+//!
+//! * `seq == highest + 1` — fresh work: accepted, marked pending, and
+//!   the caller submits it to the engine exactly once;
+//! * `seq <= highest` and settled within the window — a re-send of work
+//!   the server already finished (the response frame was lost): the
+//!   recorded response is **replayed**, the batch is not re-applied;
+//! * `seq <= highest` but still pending — a re-send racing its own
+//!   completion (client reconnected while the batch sat queued): the
+//!   duplicate is **absorbed**; the completion will route to whichever
+//!   connection the session is attached to now;
+//! * `seq <= highest` but older than the window, or `seq > highest + 1`
+//!   (a gap) — protocol violation, answered with wire code 20. A
+//!   compliant client never does either: it re-sends contiguously from
+//!   its oldest unacked frame, and the window is sized to its maximum
+//!   in-flight count (see [`SessionRegistry::new`]).
+//!
+//! Every accepted sequence settles into the window **whatever the
+//! outcome** — a governance rejection (codes 13/17/19…) is a settled
+//! response like any success. That keeps sequences strictly contiguous:
+//! a client retrying a rejected batch assigns a *new* sequence number,
+//! while a client re-sending an *unacked* frame (it never saw any
+//! response) deduplicates against the old one. Batches therefore apply
+//! at most once no matter how often the network forces a re-send.
+//!
+//! Responses for sessioned applies route through the session's
+//! currently-attached sink, not the connection that carried the frame —
+//! after a reconnect, completions for batches submitted on the dead
+//! connection land on the live one. Under duplicated frames a response
+//! may be delivered more than once (settle + replay); *applies* are
+//! exactly-once, responses are at-least-once, and clients correlate by
+//! request id.
+
+use crate::session::ResponseSink;
+use crate::wire::Response;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Default ack-replay window: settled responses retained per (session,
+/// tenant). Must be at least the client's maximum in-flight frames per
+/// tenant; the bundled [`crate::SessionClient`] pipelines far less.
+pub const DEFAULT_WINDOW: usize = 64;
+
+/// What the registry decided about one sessioned apply.
+#[derive(Debug)]
+pub enum Route {
+    /// `highest + 1`: fresh work. The caller submits to the engine and
+    /// settles the outcome via [`SessionHandle::settle`].
+    Fresh,
+    /// A re-send of an already-settled sequence: re-send this recorded
+    /// response, do not re-apply.
+    Replay(Response),
+    /// A re-send of a sequence still in flight: absorb the duplicate;
+    /// the pending completion will answer it.
+    InFlight,
+    /// A gap or an off-window re-send: answer wire code 20.
+    Violation(String),
+}
+
+struct TenantLedger {
+    highest: u64,
+    pending: BTreeSet<u64>,
+    settled: VecDeque<(u64, Response)>,
+}
+
+struct SessionInner {
+    epoch: u64,
+    sink: Option<Arc<dyn ResponseSink>>,
+    tenants: HashMap<String, TenantLedger>,
+}
+
+/// One live client session: per-tenant sequence ledgers plus the sink
+/// of whichever connection currently speaks for the session.
+pub struct SessionHandle {
+    id: String,
+    window: usize,
+    inner: Mutex<SessionInner>,
+}
+
+impl SessionHandle {
+    /// The client-chosen session id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SessionInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Classifies one sessioned apply (see the module docs for the
+    /// rules). `Fresh` reserves the sequence: the caller *must* follow
+    /// up with [`SessionHandle::settle`] once the outcome is known.
+    pub fn route(&self, tenant: &str, seq: u64) -> Route {
+        let mut inner = self.lock();
+        let ledger = inner
+            .tenants
+            .entry(tenant.to_string())
+            .or_insert_with(|| TenantLedger {
+                highest: 0,
+                pending: BTreeSet::new(),
+                settled: VecDeque::new(),
+            });
+        if seq == ledger.highest + 1 {
+            ledger.highest = seq;
+            ledger.pending.insert(seq);
+            return Route::Fresh;
+        }
+        if seq > ledger.highest {
+            return Route::Violation(format!(
+                "sequence gap: got {seq}, expected {}",
+                ledger.highest + 1
+            ));
+        }
+        if ledger.pending.contains(&seq) {
+            return Route::InFlight;
+        }
+        match ledger.settled.iter().find(|(s, _)| *s == seq) {
+            Some((_, resp)) => Route::Replay(resp.clone()),
+            None => Route::Violation(format!(
+                "sequence {seq} fell off the {}-deep replay window (highest {})",
+                self.window, ledger.highest
+            )),
+        }
+    }
+
+    /// Records the outcome of sequence `seq` on `tenant` and forwards
+    /// it to the session's currently-attached sink (if any). Called
+    /// from worker completions and from synchronous admission errors —
+    /// every `Fresh` route settles exactly once.
+    pub fn settle(&self, tenant: &str, seq: u64, resp: Response) {
+        let sink = {
+            let mut inner = self.lock();
+            if let Some(ledger) = inner.tenants.get_mut(tenant) {
+                ledger.pending.remove(&seq);
+                ledger.settled.push_back((seq, resp.clone()));
+                while ledger.settled.len() > self.window {
+                    ledger.settled.pop_front();
+                }
+            }
+            inner.sink.clone()
+        };
+        // Send outside the session lock: the sink may do real I/O.
+        if let Some(sink) = sink {
+            sink.send(&resp);
+        }
+    }
+
+    /// Points the session at a new connection's sink, detaching any
+    /// previous one. Returns the new epoch (1 = first attach).
+    pub fn attach(&self, sink: Arc<dyn ResponseSink>) -> u64 {
+        let mut inner = self.lock();
+        inner.epoch += 1;
+        inner.sink = Some(sink);
+        inner.epoch
+    }
+
+    /// Detaches `sink` if it is still the session's current one (a
+    /// newer connection may have re-attached first — then this is a
+    /// no-op).
+    pub fn detach(&self, sink: &Arc<dyn ResponseSink>) {
+        let mut inner = self.lock();
+        if let Some(current) = &inner.sink {
+            if Arc::ptr_eq(current, sink) {
+                inner.sink = None;
+            }
+        }
+    }
+
+    /// Highest sequence accepted for `tenant` (0 = none yet).
+    pub fn highest(&self, tenant: &str) -> u64 {
+        self.lock().tenants.get(tenant).map_or(0, |l| l.highest)
+    }
+}
+
+/// All sessions the server knows, keyed by client-chosen id. Shared by
+/// every connection of a transport so a reconnect (same id, new
+/// connection) resumes the same ledgers.
+pub struct SessionRegistry {
+    window: usize,
+    sessions: Mutex<HashMap<String, Arc<SessionHandle>>>,
+    resumed: std::sync::atomic::AtomicU64,
+}
+
+impl Default for SessionRegistry {
+    fn default() -> Self {
+        SessionRegistry::new(DEFAULT_WINDOW)
+    }
+}
+
+impl SessionRegistry {
+    /// A registry whose sessions retain `window` settled responses per
+    /// tenant. Size it to at least the maximum frames a client may have
+    /// unacked per tenant — a re-send older than the window is
+    /// unanswerable (code 20) because its response is gone.
+    pub fn new(window: usize) -> SessionRegistry {
+        SessionRegistry {
+            window: window.max(1),
+            sessions: Mutex::new(HashMap::new()),
+            resumed: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Finds or creates session `id` and attaches `sink` as its current
+    /// connection. Returns the handle and the attach epoch (1 = brand
+    /// new, >1 = resumed).
+    pub fn attach(&self, id: &str, sink: Arc<dyn ResponseSink>) -> (Arc<SessionHandle>, u64) {
+        let handle = {
+            let mut sessions = self.sessions.lock().unwrap_or_else(PoisonError::into_inner);
+            Arc::clone(sessions.entry(id.to_string()).or_insert_with(|| {
+                Arc::new(SessionHandle {
+                    id: id.to_string(),
+                    window: self.window,
+                    inner: Mutex::new(SessionInner {
+                        epoch: 0,
+                        sink: None,
+                        tenants: HashMap::new(),
+                    }),
+                })
+            }))
+        };
+        let epoch = handle.attach(sink);
+        if epoch > 1 {
+            self.resumed
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        (handle, epoch)
+    }
+
+    /// Sessions ever created.
+    pub fn len(&self) -> usize {
+        self.sessions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether no session was ever created.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Re-attaches (resumes) observed over the registry's lifetime.
+    pub fn resumed(&self) -> u64 {
+        self.resumed.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Default)]
+    struct CollectSink {
+        sent: Mutex<Vec<Response>>,
+        count: AtomicU64,
+    }
+
+    impl ResponseSink for CollectSink {
+        fn send(&self, resp: &Response) {
+            self.sent
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(resp.clone());
+            self.count.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn ok(seq: u64) -> Response {
+        Response::ok(seq, "t", seq, 0, 0)
+    }
+
+    #[test]
+    fn contiguous_sequences_are_fresh_then_replayable() {
+        let reg = SessionRegistry::new(4);
+        let sink = Arc::new(CollectSink::default());
+        let (h, epoch) = reg.attach("s", sink.clone());
+        assert_eq!(epoch, 1);
+        assert!(matches!(h.route("t", 1), Route::Fresh));
+        h.settle("t", 1, ok(1));
+        // Re-send of a settled seq replays without touching `highest`.
+        match h.route("t", 1) {
+            Route::Replay(r) => assert_eq!(r.request_id, 1),
+            other => panic!("expected replay, got {other:?}"),
+        }
+        assert_eq!(h.highest("t"), 1);
+        assert!(matches!(h.route("t", 2), Route::Fresh));
+    }
+
+    #[test]
+    fn gaps_and_off_window_resends_are_violations() {
+        let reg = SessionRegistry::new(2);
+        let sink = Arc::new(CollectSink::default());
+        let (h, _) = reg.attach("s", sink);
+        assert!(matches!(h.route("t", 3), Route::Violation(_)), "gap");
+        for seq in 1..=4 {
+            assert!(matches!(h.route("t", seq), Route::Fresh));
+            h.settle("t", seq, ok(seq));
+        }
+        // Window depth 2: seqs 3 and 4 replay, 1 and 2 are gone.
+        assert!(matches!(h.route("t", 4), Route::Replay(_)));
+        assert!(matches!(h.route("t", 3), Route::Replay(_)));
+        assert!(matches!(h.route("t", 1), Route::Violation(_)));
+    }
+
+    #[test]
+    fn in_flight_duplicates_are_absorbed_and_settle_once() {
+        let reg = SessionRegistry::new(4);
+        let sink = Arc::new(CollectSink::default());
+        let (h, _) = reg.attach("s", sink.clone());
+        assert!(matches!(h.route("t", 1), Route::Fresh));
+        // The client reconnected and re-sent seq 1 before it completed.
+        assert!(matches!(h.route("t", 1), Route::InFlight));
+        assert_eq!(sink.count.load(Ordering::SeqCst), 0);
+        h.settle("t", 1, ok(1));
+        assert_eq!(sink.count.load(Ordering::SeqCst), 1, "one settle, one send");
+    }
+
+    #[test]
+    fn settle_routes_to_the_newest_attached_sink() {
+        let reg = SessionRegistry::new(4);
+        let first = Arc::new(CollectSink::default());
+        let (h, _) = reg.attach("s", first.clone());
+        assert!(matches!(h.route("t", 1), Route::Fresh));
+        // Reconnect: a second connection takes over the session.
+        let second = Arc::new(CollectSink::default());
+        let (h2, epoch) = reg.attach("s", second.clone());
+        assert!(Arc::ptr_eq(&h, &h2));
+        assert_eq!(epoch, 2);
+        assert_eq!(reg.resumed(), 1);
+        // The old connection detaching must not steal the new sink.
+        let first_dyn: Arc<dyn ResponseSink> = first.clone();
+        h.detach(&first_dyn);
+        h.settle("t", 1, ok(1));
+        assert_eq!(first.count.load(Ordering::SeqCst), 0);
+        assert_eq!(second.count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn tenant_ledgers_are_independent() {
+        let reg = SessionRegistry::default();
+        let sink = Arc::new(CollectSink::default());
+        let (h, _) = reg.attach("s", sink);
+        assert!(matches!(h.route("a", 1), Route::Fresh));
+        assert!(matches!(h.route("b", 1), Route::Fresh));
+        h.settle("a", 1, ok(1));
+        assert!(matches!(h.route("a", 1), Route::Replay(_)));
+        assert!(matches!(h.route("b", 1), Route::InFlight));
+    }
+}

@@ -817,6 +817,14 @@ impl ServeEngine {
         }
     }
 
+    /// Whether every shard currently has delivery paused (see
+    /// [`ServeConfig::start_paused`] / [`ServeEngine::pause`]). A
+    /// paused engine with a backlog never goes idle, so teardown paths
+    /// must not [`ServeEngine::quiesce`] it.
+    pub fn is_paused(&self) -> bool {
+        !self.shards.is_empty() && self.shards.iter().all(|s| s.is_paused())
+    }
+
     /// Pauses delivery on every shard (queued jobs are retained).
     pub fn pause(&self) {
         for shard in &self.shards {
@@ -861,6 +869,26 @@ impl ServeEngine {
     /// A tenant's metrics snapshot.
     pub fn metrics(&self, name: &str) -> Result<crate::MetricsSnapshot, ServeError> {
         Ok(self.lookup(name)?.metrics.snapshot())
+    }
+
+    /// Records a sessioned apply answered from the ack-replay window
+    /// (the batch was settled earlier; nothing re-applied). Counted
+    /// even when the tenant has since been evicted — the aggregate
+    /// keeps it.
+    pub fn note_session_replay(&self, name: &str) {
+        if let Ok(tenant) = self.lookup(name) {
+            tenant.metrics.note_session_replay();
+        }
+        self.aggregate.note_session_replay();
+    }
+
+    /// Records a duplicate sessioned apply absorbed while the original
+    /// was still in flight (no second apply, no second response).
+    pub fn note_session_dedup(&self, name: &str) {
+        if let Ok(tenant) = self.lookup(name) {
+            tenant.metrics.note_session_dedup();
+        }
+        self.aggregate.note_session_dedup();
     }
 
     /// The engine-wide aggregate: every tenant's counters summed (and

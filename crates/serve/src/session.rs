@@ -1,8 +1,11 @@
 //! One framed client connection: the read-decode-dispatch loop.
 //!
-//! [`serve_connection`] reads frames off a byte stream, dispatches them
-//! to a shared [`ServeEngine`], and writes typed responses back. The
-//! contract the wire fuzzer pins:
+//! [`serve_connection_with`] reads frames off a byte stream, dispatches
+//! them to a shared [`ServeEngine`], and writes typed responses back.
+//! The same [`Dispatcher`] drives the legacy stdin/stdout transport,
+//! every socket connection (`crate::transport`), and the testkit wire
+//! fuzzer, so the protocol contract cannot drift between transports.
+//! The contract the wire fuzzer pins:
 //!
 //! * every well-formed frame is answered **exactly once** — applies are
 //!   answered asynchronously from the worker that ran them, everything
@@ -15,17 +18,66 @@
 //!   cannot be resynchronized;
 //! * the server never crashes on wire input.
 //!
+//! Sessioned applies (`Hello` + non-zero `session_seq`) relax
+//! "answered exactly once" in one direction only: a *re-sent* frame may
+//! be answered from the ack-replay window instead of re-applied, so
+//! responses become at-least-once while batch application stays
+//! exactly-once (see `crate::resume`).
+//!
+//! Guards ([`ConnOptions`]): an enforced max-frame-size bound and an
+//! idle/read-deadline budget. Idle enforcement needs a stream whose
+//! reads time out — sockets arm `SO_RCVTIMEO`; for stdin-like blocking
+//! readers, [`ChannelReader`] pumps the stream through a thread and
+//! surfaces timeouts. An idle connection is killed with a typed code-21
+//! reply instead of stalling silently; a read deadline that expires
+//! *mid-frame* is torn framing and gets the typed parse reply.
+//!
 //! Responses from different tenants may interleave in any order (the
 //! `request_id` is the correlation key); responses for one tenant are
 //! written in application order because only its one shard produces them.
 
+use crate::resume::{Route, SessionHandle, SessionRegistry};
 use crate::server::ServeEngine;
-use crate::wire::{self, FrameError, Request, Response, CODE_PARSE};
-use crate::ServeError;
-use std::io::{Read, Write};
+use crate::wire::{self, FrameError, FrameIo, Request, Response, CODE_PARSE, MAX_FRAME};
+use crate::{ServeError, CODE_SHUTTING_DOWN, CODE_SLOW_CLIENT};
+use std::io::{self, Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Where a connection's responses go. The read loop and worker
+/// completions both write through this; the stdin transport backs it
+/// with a locked writer, the socket transport with a bounded outbox.
+pub trait ResponseSink: Send + Sync {
+    /// Delivers one response frame (best-effort: a sink whose client
+    /// died may drop it).
+    fn send(&self, resp: &Response);
+}
+
+/// Per-connection guardrails shared by every transport.
+#[derive(Clone)]
+pub struct ConnOptions {
+    /// Hard bound on accepted frame payloads (clamped to the protocol's
+    /// [`MAX_FRAME`]); larger prefixes are framing damage.
+    pub max_frame: u32,
+    /// Kill the connection (typed code-21 reply) after this much
+    /// inactivity. `None` = wait forever. Takes effect only on streams
+    /// whose reads time out (sockets, [`ChannelReader`]).
+    pub idle: Option<Duration>,
+    /// Session registry for exactly-once resume; `None` answers `Hello`
+    /// frames with code 20.
+    pub sessions: Option<Arc<SessionRegistry>>,
+}
+
+impl Default for ConnOptions {
+    fn default() -> Self {
+        ConnOptions {
+            max_frame: MAX_FRAME,
+            idle: None,
+            sessions: None,
+        }
+    }
+}
 
 /// What one connection processed, returned when its stream ends.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -37,6 +89,8 @@ pub struct ConnectionReport {
     /// Whether the client asked for shutdown (the caller owns actually
     /// draining the engine).
     pub shutdown_requested: bool,
+    /// Whether the idle budget killed the connection.
+    pub idle_killed: bool,
 }
 
 /// A writer shared between the read loop and worker completions, with a
@@ -46,7 +100,7 @@ struct SharedWriter<W> {
     responses: AtomicU64,
 }
 
-impl<W: Write> SharedWriter<W> {
+impl<W: Write + Send> ResponseSink for SharedWriter<W> {
     /// Writes one response frame. Write failures are swallowed: the
     /// client is gone and tearing down the connection is the read
     /// loop's job (its next read fails), not a worker thread's.
@@ -62,139 +116,467 @@ impl<W: Write> SharedWriter<W> {
     }
 }
 
-fn error_response(request_id: u64, tenant: &str, err: &ServeError) -> Response {
+pub(crate) fn error_response(request_id: u64, tenant: &str, err: &ServeError) -> Response {
     let code = err.wire_code().min(u8::MAX as u32) as u8;
     Response::error(request_id, tenant, code, err.to_string())
         .with_retry_after(err.retry_after_ms().unwrap_or(0))
 }
 
+/// What the dispatcher wants the read loop to do next.
+pub(crate) enum Flow {
+    /// Keep reading frames.
+    Continue,
+    /// Stream is done; `shutdown` says the client asked the whole
+    /// server to drain.
+    Stop {
+        /// Whether a `Shutdown` frame (not just end-of-stream) ended it.
+        shutdown: bool,
+    },
+}
+
+/// Transport-independent request dispatch: decode, run against the
+/// engine, route the response. One per connection.
+pub(crate) struct Dispatcher {
+    engine: Arc<ServeEngine>,
+    registry: Option<Arc<SessionRegistry>>,
+    session: Option<Arc<SessionHandle>>,
+    sink: Arc<dyn ResponseSink>,
+}
+
+impl Dispatcher {
+    pub(crate) fn new(
+        engine: Arc<ServeEngine>,
+        registry: Option<Arc<SessionRegistry>>,
+        sink: Arc<dyn ResponseSink>,
+    ) -> Dispatcher {
+        Dispatcher {
+            engine,
+            registry,
+            session: None,
+            sink,
+        }
+    }
+
+    /// Unbinds this connection from its session (a reconnect may
+    /// already have re-bound it — then this is a no-op). Call when the
+    /// stream ends.
+    pub(crate) fn detach(&mut self) {
+        if let Some(session) = self.session.take() {
+            session.detach(&self.sink);
+        }
+    }
+
+    fn handle_hello(&mut self, request_id: u64, session_id: &str) {
+        let Some(registry) = self.registry.clone() else {
+            let err = ServeError::SessionViolation {
+                session: session_id.to_string(),
+                tenant: String::new(),
+                detail: "session resume is not enabled on this transport".into(),
+            };
+            self.sink.send(&error_response(request_id, "", &err));
+            return;
+        };
+        if !crate::valid_tenant_name(session_id) {
+            let err = ServeError::SessionViolation {
+                session: session_id.to_string(),
+                tenant: String::new(),
+                detail: "invalid session id".into(),
+            };
+            self.sink.send(&error_response(request_id, "", &err));
+            return;
+        }
+        // Re-binding the same connection to a new session releases the
+        // old one first.
+        self.detach();
+        let (handle, epoch) = registry.attach(session_id, Arc::clone(&self.sink));
+        self.session = Some(handle);
+        // The epoch rides the `seq` field: 1 = new session, >1 = resumed.
+        self.sink.send(&Response::ok(request_id, "", epoch, 0, 0));
+    }
+
+    fn submit_apply(
+        &self,
+        request_id: u64,
+        tenant: String,
+        deadline_ms: u64,
+        session_seq: u64,
+        batch: dynfd_relation::Batch,
+    ) {
+        // deadline_ms 0 = "server default" (possibly none).
+        let deadline = (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
+        let session = if session_seq > 0 {
+            let Some(session) = self.session.clone() else {
+                let err = ServeError::SessionViolation {
+                    session: String::new(),
+                    tenant: tenant.clone(),
+                    detail: format!("sessioned apply (seq {session_seq}) before hello"),
+                };
+                self.sink.send(&error_response(request_id, &tenant, &err));
+                return;
+            };
+            match session.route(&tenant, session_seq) {
+                Route::Fresh => Some(session),
+                Route::Replay(resp) => {
+                    self.engine.note_session_replay(&tenant);
+                    self.sink.send(&resp);
+                    return;
+                }
+                Route::InFlight => {
+                    self.engine.note_session_dedup(&tenant);
+                    return;
+                }
+                Route::Violation(detail) => {
+                    let err = ServeError::SessionViolation {
+                        session: session.id().to_string(),
+                        tenant: tenant.clone(),
+                        detail,
+                    };
+                    self.sink.send(&error_response(request_id, &tenant, &err));
+                    return;
+                }
+            }
+        } else {
+            None
+        };
+        let completion_sink = Arc::clone(&self.sink);
+        let completion_session = session.clone();
+        let submitted =
+            self.engine
+                .submit_with_deadline(&tenant, request_id, batch, deadline, move |reply| {
+                    let resp = match reply.outcome {
+                        Ok(s) => {
+                            Response::ok(reply.request_id, &reply.tenant, s.seq, s.added, s.removed)
+                        }
+                        Err(err) => error_response(reply.request_id, &reply.tenant, &err),
+                    };
+                    match &completion_session {
+                        // Sessioned: settle into the replay window and route
+                        // to wherever the session is attached *now*.
+                        Some(session) => session.settle(&reply.tenant, session_seq, resp),
+                        None => completion_sink.send(&resp),
+                    }
+                });
+        // Admission failures are synchronous: the job was never queued,
+        // so the reply is ours to write — and for a sessioned apply it
+        // still settles (a retrying client assigns a fresh seq).
+        if let Err(err) = submitted {
+            let resp = error_response(request_id, &tenant, &err);
+            match &session {
+                Some(session) => session.settle(&tenant, session_seq, resp),
+                None => self.sink.send(&resp),
+            }
+        }
+    }
+
+    /// Handles one frame payload.
+    pub(crate) fn dispatch(&mut self, payload: &[u8]) -> Flow {
+        match wire::decode_request(payload) {
+            Ok(Request::Open {
+                request_id,
+                tenant,
+                columns,
+                rows,
+            }) => {
+                let schema = dynfd_common::Schema::new(tenant.clone(), columns);
+                match self.engine.open_tenant(&tenant, schema, &rows) {
+                    Ok(report) => self
+                        .sink
+                        .send(&Response::ok(request_id, &tenant, report.seq, 0, 0)),
+                    Err(err) => self.sink.send(&error_response(request_id, &tenant, &err)),
+                }
+                Flow::Continue
+            }
+            Ok(Request::Apply {
+                request_id,
+                tenant,
+                deadline_ms,
+                session_seq,
+                batch,
+            }) => {
+                self.submit_apply(request_id, tenant, deadline_ms, session_seq, batch);
+                Flow::Continue
+            }
+            Ok(Request::Shutdown { request_id }) => {
+                self.sink.send(&Response::ok(request_id, "", 0, 0, 0));
+                Flow::Stop { shutdown: true }
+            }
+            Ok(Request::Close { request_id, tenant }) => {
+                // Synchronous by design: the drain blocks the read
+                // loop, so a client cannot race its own close with
+                // later applies to the same tenant on this stream.
+                match self.engine.close_tenant(&tenant) {
+                    Ok(report) => self.sink.send(&Response::ok(
+                        request_id,
+                        &tenant,
+                        report.seq.unwrap_or(0),
+                        0,
+                        0,
+                    )),
+                    Err(err) => self.sink.send(&error_response(request_id, &tenant, &err)),
+                }
+                Flow::Continue
+            }
+            Ok(Request::Hello {
+                request_id,
+                session_id,
+            }) => {
+                self.handle_hello(request_id, &session_id);
+                Flow::Continue
+            }
+            Err((request_id, detail)) => {
+                // Payload damage with intact framing: answer once,
+                // keep reading — the stream is still in sync.
+                self.sink.send(&Response::error(
+                    request_id,
+                    "",
+                    CODE_PARSE,
+                    format!("undecodable request: {detail}"),
+                ));
+                Flow::Continue
+            }
+        }
+    }
+}
+
+/// What [`drive_connection`] observed before the stream ended.
+pub(crate) struct DriveOutcome {
+    pub(crate) frames: u64,
+    pub(crate) shutdown_requested: bool,
+    pub(crate) idle_killed: bool,
+}
+
+/// The transport-independent read loop: frames in, dispatch, guard
+/// enforcement. Control notices (shutdown/idle/damage) go through
+/// `sink` like every other response. Does **not** quiesce or detach —
+/// the caller owns teardown order.
+pub(crate) fn drive_connection<R: Read>(
+    reader: R,
+    sink: &Arc<dyn ResponseSink>,
+    dispatcher: &mut Dispatcher,
+    options: &ConnOptions,
+    stop: impl Fn() -> bool,
+) -> DriveOutcome {
+    let mut io = FrameIo::with_max_frame(reader, options.max_frame);
+    let mut outcome = DriveOutcome {
+        frames: 0,
+        shutdown_requested: false,
+        idle_killed: false,
+    };
+    let mut last_progress = 0u64;
+    let mut quiet_since = Instant::now();
+    loop {
+        if stop() {
+            sink.send(&Response::error(
+                0,
+                "",
+                CODE_SHUTTING_DOWN.min(u8::MAX as u32) as u8,
+                "server draining; re-send unacked frames after reconnect",
+            ));
+            break;
+        }
+        match io.read() {
+            Ok(None) => break,
+            Ok(Some(payload)) => {
+                outcome.frames += 1;
+                last_progress = io.bytes_read();
+                quiet_since = Instant::now();
+                match dispatcher.dispatch(&payload) {
+                    Flow::Continue => {}
+                    Flow::Stop { shutdown } => {
+                        outcome.shutdown_requested = shutdown;
+                        break;
+                    }
+                }
+            }
+            Err(err) if err.is_timeout() => {
+                // A deadline tick, not damage: the partial frame (if
+                // any) is parked inside `io` and resumes next read.
+                if io.bytes_read() != last_progress {
+                    last_progress = io.bytes_read();
+                    quiet_since = Instant::now();
+                    continue;
+                }
+                let Some(idle) = options.idle else { continue };
+                if quiet_since.elapsed() < idle {
+                    continue;
+                }
+                outcome.idle_killed = true;
+                if io.mid_frame() {
+                    // The frame stalled mid-flight: torn by deadline.
+                    sink.send(&Response::error(
+                        0,
+                        "",
+                        CODE_PARSE,
+                        format!("read deadline mid-frame after {}ms idle", idle.as_millis()),
+                    ));
+                } else {
+                    sink.send(&Response::error(
+                        0,
+                        "",
+                        CODE_SLOW_CLIENT.min(u8::MAX as u32) as u8,
+                        format!("idle for {}ms; closing connection", idle.as_millis()),
+                    ));
+                }
+                break;
+            }
+            Err(err @ (FrameError::Torn { .. } | FrameError::Oversized { .. })) => {
+                // Framing damage: answer once, then stop — there is no
+                // frame boundary left to resynchronize on.
+                outcome.frames += 1;
+                sink.send(&Response::error(0, "", CODE_PARSE, err.to_string()));
+                break;
+            }
+            Err(FrameError::Io(_)) => break,
+        }
+    }
+    outcome
+}
+
 /// Serves one framed connection against `engine` until the stream ends,
-/// framing breaks, the client requests shutdown, or `stop` reports true
-/// between frames (the CLI's SIGINT hook; pass `|| false` when unused).
+/// framing breaks, a guard trips, the client requests shutdown, or
+/// `stop` reports true between frames (the CLI's SIGINT hook; pass
+/// `|| false` when unused). When `stop` ends the loop the client gets a
+/// typed `ShuttingDown` notice (code 16, id 0) before the stream closes.
 ///
 /// Before returning, the engine is quiesced so every in-flight apply
 /// has written its response — the writer is never dropped with replies
 /// outstanding.
-pub fn serve_connection<R: Read, W: Write + Send + 'static>(
+pub fn serve_connection_with<R: Read, W: Write + Send + 'static>(
     engine: &Arc<ServeEngine>,
-    mut reader: R,
+    reader: R,
     writer: W,
+    options: ConnOptions,
     stop: impl Fn() -> bool,
 ) -> ConnectionReport {
     let shared = Arc::new(SharedWriter {
         writer: Mutex::new(writer),
         responses: AtomicU64::new(0),
     });
-    let mut frames = 0u64;
-    let mut shutdown_requested = false;
-    loop {
-        if stop() {
-            break;
-        }
-        match wire::read_frame(&mut reader) {
-            Ok(None) => break,
-            Ok(Some(payload)) => {
-                frames += 1;
-                match wire::decode_request(&payload) {
-                    Ok(Request::Open {
-                        request_id,
-                        tenant,
-                        columns,
-                        rows,
-                    }) => {
-                        let schema = dynfd_common::Schema::new(tenant.clone(), columns);
-                        match engine.open_tenant(&tenant, schema, &rows) {
-                            Ok(report) => {
-                                shared.send(&Response::ok(request_id, &tenant, report.seq, 0, 0))
+    let sink: Arc<dyn ResponseSink> = Arc::clone(&shared) as Arc<dyn ResponseSink>;
+    let mut dispatcher = Dispatcher::new(
+        Arc::clone(engine),
+        options.sessions.clone(),
+        Arc::clone(&sink),
+    );
+    let outcome = drive_connection(reader, &sink, &mut dispatcher, &options, stop);
+    // Let every queued apply finish (and write its response) before the
+    // report claims the connection is done — and before detaching, so
+    // sessioned completions still reach this connection's writer. A
+    // paused engine never goes idle (crash-harness runs queue work that
+    // only the shutdown drain delivers), so skip the wait there.
+    if !engine.is_paused() {
+        engine.quiesce();
+    }
+    dispatcher.detach();
+    ConnectionReport {
+        frames: outcome.frames,
+        responses: shared.responses.load(Ordering::SeqCst),
+        shutdown_requested: outcome.shutdown_requested,
+        idle_killed: outcome.idle_killed,
+    }
+}
+
+/// [`serve_connection_with`] under default options — the legacy
+/// single-connection entry point (protocol-wide frame bound, no idle
+/// kill, no session resume).
+pub fn serve_connection<R: Read, W: Write + Send + 'static>(
+    engine: &Arc<ServeEngine>,
+    reader: R,
+    writer: W,
+    stop: impl Fn() -> bool,
+) -> ConnectionReport {
+    serve_connection_with(engine, reader, writer, ConnOptions::default(), stop)
+}
+
+/// Adapts a blocking reader (stdin) into one whose reads time out, so
+/// the idle guard and the stop flag get polled even when no bytes
+/// arrive. A pump thread performs the blocking reads and forwards
+/// chunks over a bounded channel; `read` surfaces `WouldBlock` after
+/// `tick` without data. The pump thread exits at EOF, on error, or when
+/// the `ChannelReader` is dropped mid-stream (next send fails); a pump
+/// blocked inside `read(2)` with no traffic lingers until process exit,
+/// which is the only option short of closing the fd out from under it.
+pub struct ChannelReader {
+    rx: mpsc::Receiver<io::Result<Vec<u8>>>,
+    buf: Vec<u8>,
+    pos: usize,
+    tick: Duration,
+    done: bool,
+}
+
+impl ChannelReader {
+    /// Pumps `reader` through a named thread; `tick` is the poll
+    /// granularity (how often a blocked `read` yields `WouldBlock`),
+    /// not the idle budget — that lives in [`ConnOptions::idle`].
+    pub fn spawn<R: Read + Send + 'static>(mut reader: R, tick: Duration) -> ChannelReader {
+        let (tx, rx) = mpsc::sync_channel::<io::Result<Vec<u8>>>(8);
+        // Spawn failure (resource exhaustion) degrades to instant EOF;
+        // the connection report simply shows zero frames.
+        let _ = std::thread::Builder::new()
+            .name("dynfd-conn-pump".into())
+            .spawn(move || {
+                let mut chunk = [0u8; 16 * 1024];
+                loop {
+                    match reader.read(&mut chunk) {
+                        Ok(0) => {
+                            let _ = tx.send(Ok(Vec::new()));
+                            return;
+                        }
+                        Ok(n) => {
+                            if tx.send(Ok(chunk[..n].to_vec())).is_err() {
+                                return;
                             }
-                            Err(err) => shared.send(&error_response(request_id, &tenant, &err)),
                         }
-                    }
-                    Ok(Request::Apply {
-                        request_id,
-                        tenant,
-                        deadline_ms,
-                        batch,
-                    }) => {
-                        let completion_writer = Arc::clone(&shared);
-                        // deadline_ms 0 = "server default" (possibly none).
-                        let deadline =
-                            (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms));
-                        let submitted = engine.submit_with_deadline(
-                            &tenant,
-                            request_id,
-                            batch,
-                            deadline,
-                            move |reply| {
-                                let resp = match reply.outcome {
-                                    Ok(s) => Response::ok(
-                                        reply.request_id,
-                                        &reply.tenant,
-                                        s.seq,
-                                        s.added,
-                                        s.removed,
-                                    ),
-                                    Err(err) => {
-                                        error_response(reply.request_id, &reply.tenant, &err)
-                                    }
-                                };
-                                completion_writer.send(&resp);
-                            },
-                        );
-                        // Admission failures are synchronous: the job was
-                        // never queued, so the reply is ours to write.
-                        if let Err(err) = submitted {
-                            shared.send(&error_response(request_id, &tenant, &err));
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(e) => {
+                            let _ = tx.send(Err(e));
+                            return;
                         }
-                    }
-                    Ok(Request::Shutdown { request_id }) => {
-                        shutdown_requested = true;
-                        shared.send(&Response::ok(request_id, "", 0, 0, 0));
-                        break;
-                    }
-                    Ok(Request::Close { request_id, tenant }) => {
-                        // Synchronous by design: the drain blocks the read
-                        // loop, so a client cannot race its own close with
-                        // later applies to the same tenant on this stream.
-                        match engine.close_tenant(&tenant) {
-                            Ok(report) => shared.send(&Response::ok(
-                                request_id,
-                                &tenant,
-                                report.seq.unwrap_or(0),
-                                0,
-                                0,
-                            )),
-                            Err(err) => shared.send(&error_response(request_id, &tenant, &err)),
-                        }
-                    }
-                    Err((request_id, detail)) => {
-                        // Payload damage with intact framing: answer once,
-                        // keep reading — the stream is still in sync.
-                        shared.send(&Response::error(
-                            request_id,
-                            "",
-                            CODE_PARSE,
-                            format!("undecodable request: {detail}"),
-                        ));
                     }
                 }
-            }
-            Err(err @ (FrameError::Torn { .. } | FrameError::Oversized { .. })) => {
-                // Framing damage: answer once, then stop — there is no
-                // frame boundary left to resynchronize on.
-                frames += 1;
-                shared.send(&Response::error(0, "", CODE_PARSE, err.to_string()));
-                break;
-            }
-            Err(FrameError::Io(_)) => break,
+            });
+        ChannelReader {
+            rx,
+            buf: Vec::new(),
+            pos: 0,
+            tick: tick.max(Duration::from_millis(1)),
+            done: false,
         }
     }
-    // Let every queued apply finish (and write its response) before the
-    // report claims the connection is done.
-    engine.quiesce();
-    ConnectionReport {
-        frames,
-        responses: shared.responses.load(Ordering::SeqCst),
-        shutdown_requested,
+}
+
+impl Read for ChannelReader {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        if self.pos < self.buf.len() {
+            let n = (self.buf.len() - self.pos).min(out.len());
+            out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+            self.pos += n;
+            return Ok(n);
+        }
+        if self.done {
+            return Ok(0);
+        }
+        match self.rx.recv_timeout(self.tick) {
+            Ok(Ok(chunk)) if chunk.is_empty() => {
+                self.done = true;
+                Ok(0)
+            }
+            Ok(Ok(chunk)) => {
+                self.buf = chunk;
+                self.pos = 0;
+                self.read(out)
+            }
+            Ok(Err(e)) => {
+                self.done = true;
+                Err(e)
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "read tick"))
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                self.done = true;
+                Ok(0)
+            }
+        }
     }
 }

@@ -5,7 +5,8 @@
 //! ```text
 //! frame   := len:u32 LE | payload           (len counts payload bytes)
 //! request := tag:u8 | request_id:u64 | ...  (tag 1 open, 2 apply,
-//!                                            3 shutdown, 4 close)
+//!                                            3 shutdown, 4 close,
+//!                                            5 hello)
 //! response:= 0x80  | request_id:u64 | tenant:str | code:u8 |
 //!            seq:u64 | added:u32 | removed:u32 |
 //!            retry_after_ms:u64 | detail:str
@@ -28,9 +29,16 @@
 //! stable exit-code discipline of
 //! [`DynFdError::exit_code`](dynfd_core::DynFdError::exit_code) (3–12)
 //! extended with the serve-layer codes of
-//! [`ServeError::wire_code`](crate::ServeError::wire_code) (13–19).
+//! [`ServeError::wire_code`](crate::ServeError::wire_code) (13–21).
 //! Governance rejections (codes 13, 17, 19) additionally carry a
 //! non-zero `retry_after_ms` hint; it is 0 everywhere else.
+//!
+//! Session resume (tag 5 + the `session_seq` field on `Apply`) layers
+//! exactly-once semantics on top: a `Hello` frame names a client
+//! session, sessioned applies carry a per-tenant monotone sequence
+//! number, and the server deduplicates re-sent frames against a bounded
+//! ack-replay window (see `crate::resume`). `session_seq` 0 means the
+//! apply is unsessioned (the legacy at-most-once-per-frame contract).
 
 use dynfd_persist::codec::{self, Reader};
 use dynfd_relation::Batch;
@@ -49,6 +57,9 @@ pub const TAG_APPLY: u8 = 2;
 pub const TAG_SHUTDOWN: u8 = 3;
 /// Request tag: close (evict) one tenant — drain, persist, release.
 pub const TAG_CLOSE: u8 = 4;
+/// Request tag: bind this connection to a (possibly resumed) client
+/// session for exactly-once apply semantics.
+pub const TAG_HELLO: u8 = 5;
 /// Response tag.
 pub const TAG_RESPONSE: u8 = 0x80;
 
@@ -84,6 +95,11 @@ pub enum Request {
         /// server's configured default" (which may be none). A job past
         /// its deadline is rejected before apply (code 18).
         deadline_ms: u64,
+        /// Per-tenant session sequence number; 0 = unsessioned. A
+        /// sessioned apply (after a `Hello`) must carry `highest + 1`;
+        /// re-sends of already-settled seqs replay the recorded
+        /// response instead of re-applying (code 20 on gaps).
+        session_seq: u64,
         /// The batch, in the WAL's encoding.
         batch: Batch,
     },
@@ -101,6 +117,16 @@ pub enum Request {
         /// The tenant to release.
         tenant: String,
     },
+    /// Bind this connection to client session `session_id`. The success
+    /// response's `seq` field carries the session epoch (1 = new
+    /// session, >1 = resumed); after a `Hello`, applies with a non-zero
+    /// `session_seq` get exactly-once dedup/replay semantics.
+    Hello {
+        /// Client-chosen id echoed in the response.
+        request_id: u64,
+        /// Client-chosen session name (same charset rules as tenants).
+        session_id: String,
+    },
 }
 
 impl Request {
@@ -110,7 +136,8 @@ impl Request {
             Request::Open { request_id, .. }
             | Request::Apply { request_id, .. }
             | Request::Shutdown { request_id }
-            | Request::Close { request_id, .. } => *request_id,
+            | Request::Close { request_id, .. }
+            | Request::Hello { request_id, .. } => *request_id,
         }
     }
 }
@@ -222,12 +249,14 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             request_id,
             tenant,
             deadline_ms,
+            session_seq,
             batch,
         } => {
             out.push(TAG_APPLY);
             codec::put_u64(&mut out, *request_id);
             codec::put_str(&mut out, tenant);
             codec::put_u64(&mut out, *deadline_ms);
+            codec::put_u64(&mut out, *session_seq);
             codec::encode_batch(&mut out, batch);
         }
         Request::Shutdown { request_id } => {
@@ -238,6 +267,14 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.push(TAG_CLOSE);
             codec::put_u64(&mut out, *request_id);
             codec::put_str(&mut out, tenant);
+        }
+        Request::Hello {
+            request_id,
+            session_id,
+        } => {
+            out.push(TAG_HELLO);
+            codec::put_u64(&mut out, *request_id);
+            codec::put_str(&mut out, session_id);
         }
     }
     out
@@ -274,11 +311,13 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, (u64, String)> {
         TAG_APPLY => {
             let tenant = r.str().map_err(fail)?;
             let deadline_ms = r.u64().map_err(fail)?;
+            let session_seq = r.u64().map_err(fail)?;
             let batch = codec::decode_batch(&mut r).map_err(fail)?;
             Request::Apply {
                 request_id,
                 tenant,
                 deadline_ms,
+                session_seq,
                 batch,
             }
         }
@@ -286,6 +325,13 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, (u64, String)> {
         TAG_CLOSE => {
             let tenant = r.str().map_err(fail)?;
             Request::Close { request_id, tenant }
+        }
+        TAG_HELLO => {
+            let session_id = r.str().map_err(fail)?;
+            Request::Hello {
+                request_id,
+                session_id,
+            }
         }
         other => return Err((request_id, format!("unknown request tag {other}"))),
     };
@@ -349,14 +395,29 @@ pub enum FrameError {
         /// Bytes the frame claimed (0 while still in the prefix).
         want: usize,
     },
-    /// The length prefix exceeds [`MAX_FRAME`] (or is zero) — framing
-    /// damage; the stream cannot be resynchronized.
+    /// The length prefix exceeds the reader's frame bound (or is zero)
+    /// — framing damage; the stream cannot be resynchronized.
     Oversized {
         /// The impossible length the prefix claimed.
         len: u32,
+        /// The bound in force ([`MAX_FRAME`] or a tighter configured
+        /// limit).
+        max: u32,
     },
     /// A real I/O error from the underlying stream.
     Io(io::Error),
+}
+
+impl FrameError {
+    /// Whether the underlying I/O error is a read timeout — the shape
+    /// transports with an armed read deadline poll on.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            FrameError::Io(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut
+        )
+    }
 }
 
 impl std::fmt::Display for FrameError {
@@ -365,56 +426,204 @@ impl std::fmt::Display for FrameError {
             FrameError::Torn { got, want } => {
                 write!(f, "torn frame: stream ended after {got} of {want} bytes")
             }
-            FrameError::Oversized { len } => {
-                write!(f, "impossible frame length {len} (max {MAX_FRAME})")
+            FrameError::Oversized { len, max } => {
+                write!(f, "impossible frame length {len} (max {max})")
             }
             FrameError::Io(e) => write!(f, "i/o error reading frame: {e}"),
         }
     }
 }
 
-/// Reads one frame payload. `Ok(None)` is a clean end of stream (EOF at
-/// a frame boundary); torn or oversized frames are typed errors, never
-/// panics or huge allocations.
-pub fn read_frame(reader: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
-    let mut prefix = [0u8; 4];
-    let mut got = 0usize;
-    while got < 4 {
-        match reader.read(&mut prefix[got..]) {
-            Ok(0) if got == 0 => return Ok(None),
-            Ok(0) => return Err(FrameError::Torn { got, want: 0 }),
-            Ok(n) => got += n,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(FrameError::Io(e)),
-        }
-    }
-    let len = u32::from_le_bytes(prefix);
-    if len == 0 || len > MAX_FRAME {
-        return Err(FrameError::Oversized { len });
-    }
-    let mut payload = vec![0u8; len as usize];
-    let mut filled = 0usize;
-    while filled < payload.len() {
-        match reader.read(&mut payload[filled..]) {
-            Ok(0) => {
-                return Err(FrameError::Torn {
-                    got: 4 + filled,
-                    want: 4 + len as usize,
-                })
-            }
-            Ok(n) => filled += n,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(FrameError::Io(e)),
-        }
-    }
-    Ok(Some(payload))
+/// The one length-prefix codec: every transport — stdin/stdout, socket,
+/// the testkit fuzzers and proxy — reads and writes frames through this
+/// type, so framing behavior (torn/oversized handling, the size bound,
+/// partial-read restarts) cannot drift between paths.
+#[derive(Debug)]
+pub struct FrameIo<S> {
+    stream: S,
+    max_frame: u32,
+    frames_read: u64,
+    frames_written: u64,
+    bytes_read: u64,
+    state: ReadState,
 }
 
-/// Writes one frame (length prefix + payload) and flushes.
+/// Where an in-progress frame read stands. Timeout errors
+/// (`WouldBlock`/`TimedOut`) from a deadline-armed stream park the
+/// state here so the next [`FrameIo::read`] resumes mid-frame instead
+/// of losing the bytes already consumed.
+#[derive(Debug)]
+enum ReadState {
+    Boundary,
+    Prefix { buf: [u8; 4], got: usize },
+    Payload { payload: Vec<u8>, filled: usize },
+}
+
+impl<S> FrameIo<S> {
+    /// Wraps `stream` with the protocol-wide [`MAX_FRAME`] bound.
+    pub fn new(stream: S) -> FrameIo<S> {
+        FrameIo::with_max_frame(stream, MAX_FRAME)
+    }
+
+    /// Wraps `stream` with a custom (usually tighter) payload bound.
+    /// The bound is clamped to [`MAX_FRAME`] and to at least 1.
+    pub fn with_max_frame(stream: S, max_frame: u32) -> FrameIo<S> {
+        FrameIo {
+            stream,
+            max_frame: max_frame.clamp(1, MAX_FRAME),
+            frames_read: 0,
+            frames_written: 0,
+            bytes_read: 0,
+            state: ReadState::Boundary,
+        }
+    }
+
+    /// The payload bound in force.
+    pub fn max_frame(&self) -> u32 {
+        self.max_frame
+    }
+
+    /// Frames successfully read so far.
+    pub fn frames_read(&self) -> u64 {
+        self.frames_read
+    }
+
+    /// Raw bytes consumed off the stream — progress detection for idle
+    /// accounting (advances even while parked mid-frame on a timeout).
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Whether a timeout parked the reader in the middle of a frame
+    /// (some bytes consumed, the frame incomplete).
+    pub fn mid_frame(&self) -> bool {
+        !matches!(self.state, ReadState::Boundary)
+    }
+
+    /// Frames successfully written so far.
+    pub fn frames_written(&self) -> u64 {
+        self.frames_written
+    }
+
+    /// Borrows the underlying stream.
+    pub fn get_ref(&self) -> &S {
+        &self.stream
+    }
+
+    /// Mutably borrows the underlying stream.
+    pub fn get_mut(&mut self) -> &mut S {
+        &mut self.stream
+    }
+
+    /// Unwraps back to the stream.
+    pub fn into_inner(self) -> S {
+        self.stream
+    }
+}
+
+impl<S: Read> FrameIo<S> {
+    /// Reads one frame payload. `Ok(None)` is a clean end of stream
+    /// (EOF at a frame boundary); torn or oversized frames are typed
+    /// errors, never panics or huge allocations.
+    ///
+    /// Timeout errors (`WouldBlock`/`TimedOut`) from a deadline-armed
+    /// stream are **resumable**: the partial frame is parked and the
+    /// next call picks up where it left off, so transports can poll a
+    /// stop flag or an idle budget between ticks without losing sync
+    /// (see [`FrameError::is_timeout`], [`FrameIo::mid_frame`]).
+    pub fn read(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        loop {
+            match &mut self.state {
+                ReadState::Boundary => {
+                    self.state = ReadState::Prefix {
+                        buf: [0u8; 4],
+                        got: 0,
+                    };
+                }
+                ReadState::Prefix { buf, got } => {
+                    while *got < 4 {
+                        match self.stream.read(&mut buf[*got..]) {
+                            Ok(0) if *got == 0 => {
+                                self.state = ReadState::Boundary;
+                                return Ok(None);
+                            }
+                            Ok(0) => {
+                                let got = *got;
+                                self.state = ReadState::Boundary;
+                                return Err(FrameError::Torn { got, want: 0 });
+                            }
+                            Ok(n) => {
+                                *got += n;
+                                self.bytes_read += n as u64;
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                            Err(e) => return Err(FrameError::Io(e)),
+                        }
+                    }
+                    let len = u32::from_le_bytes(*buf);
+                    if len == 0 || len > self.max_frame {
+                        self.state = ReadState::Boundary;
+                        return Err(FrameError::Oversized {
+                            len,
+                            max: self.max_frame,
+                        });
+                    }
+                    self.state = ReadState::Payload {
+                        payload: vec![0u8; len as usize],
+                        filled: 0,
+                    };
+                }
+                ReadState::Payload { payload, filled } => {
+                    while *filled < payload.len() {
+                        match self.stream.read(&mut payload[*filled..]) {
+                            Ok(0) => {
+                                let err = FrameError::Torn {
+                                    got: 4 + *filled,
+                                    want: 4 + payload.len(),
+                                };
+                                self.state = ReadState::Boundary;
+                                return Err(err);
+                            }
+                            Ok(n) => {
+                                *filled += n;
+                                self.bytes_read += n as u64;
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                            Err(e) => return Err(FrameError::Io(e)),
+                        }
+                    }
+                    let done = std::mem::take(payload);
+                    self.state = ReadState::Boundary;
+                    self.frames_read += 1;
+                    return Ok(Some(done));
+                }
+            }
+        }
+    }
+}
+
+impl<S: Write> FrameIo<S> {
+    /// Writes one frame (length prefix + payload) and flushes.
+    pub fn write(&mut self, payload: &[u8]) -> io::Result<()> {
+        self.stream
+            .write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.stream.write_all(payload)?;
+        self.stream.flush()?;
+        self.frames_written += 1;
+        Ok(())
+    }
+}
+
+/// Reads one frame payload with the default [`MAX_FRAME`] bound (see
+/// [`FrameIo::read`]).
+pub fn read_frame(reader: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
+    FrameIo::new(reader).read()
+}
+
+/// Writes one frame (length prefix + payload) and flushes (see
+/// [`FrameIo::write`]).
 pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> io::Result<()> {
-    writer.write_all(&(payload.len() as u32).to_le_bytes())?;
-    writer.write_all(payload)?;
-    writer.flush()
+    FrameIo::new(writer).write(payload)
 }
 
 #[cfg(test)]
@@ -442,12 +651,17 @@ mod tests {
                 request_id: 2,
                 tenant: "t0".into(),
                 deadline_ms: 250,
+                session_seq: 11,
                 batch,
             },
             Request::Shutdown { request_id: 3 },
             Request::Close {
                 request_id: 4,
                 tenant: "t0".into(),
+            },
+            Request::Hello {
+                request_id: 5,
+                session_id: "sess-a".into(),
             },
         ]
     }
@@ -519,13 +733,85 @@ mod tests {
         let mut oversized = (MAX_FRAME + 1).to_le_bytes().to_vec();
         oversized.extend_from_slice(&[0u8; 16]);
         match read_frame(&mut std::io::Cursor::new(oversized)) {
-            Err(FrameError::Oversized { len }) => assert_eq!(len, MAX_FRAME + 1),
+            Err(FrameError::Oversized { len, max }) => {
+                assert_eq!((len, max), (MAX_FRAME + 1, MAX_FRAME))
+            }
             other => panic!("expected oversized error, got {other:?}"),
         }
         // Zero-length frames cannot carry a tag: also framing damage.
         match read_frame(&mut std::io::Cursor::new(0u32.to_le_bytes().to_vec())) {
-            Err(FrameError::Oversized { len }) => assert_eq!(len, 0),
+            Err(FrameError::Oversized { len, .. }) => assert_eq!(len, 0),
             other => panic!("expected oversized error for len 0, got {other:?}"),
         }
+    }
+
+    /// Yields one byte per call, interleaved with timeout errors — the
+    /// shape of a deadline-armed socket receiving a slow trickle.
+    struct StutterReader {
+        data: Vec<u8>,
+        pos: usize,
+        tick: bool,
+    }
+
+    impl std::io::Read for StutterReader {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.tick = !self.tick;
+            if self.tick {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "tick"));
+            }
+            if self.pos == self.data.len() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn timeouts_park_and_resume_mid_frame() {
+        let payload = encode_request(&sample_requests()[3]);
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &payload).expect("vec write");
+        let total = stream.len();
+        let mut io = FrameIo::new(StutterReader {
+            data: stream,
+            pos: 0,
+            tick: false,
+        });
+        let mut timeouts = 0usize;
+        let got = loop {
+            match io.read() {
+                Ok(Some(p)) => break p,
+                Ok(None) => panic!("eof before frame completed"),
+                Err(e) if e.is_timeout() => timeouts += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        };
+        assert_eq!(got, payload, "frame survives arbitrary timeout parking");
+        assert_eq!(timeouts, total, "one tick per byte");
+        assert!(!io.mid_frame());
+        assert_eq!(io.bytes_read(), total as u64);
+    }
+
+    #[test]
+    fn frameio_enforces_custom_bound_and_counts() {
+        let mut stream = Vec::new();
+        let small = encode_request(&sample_requests()[3]); // Close: tiny
+        let large = encode_request(&sample_requests()[0]); // Open: bigger
+        write_frame(&mut stream, &small).expect("vec write");
+        write_frame(&mut stream, &large).expect("vec write");
+        let bound = small.len() as u32;
+        let mut io = FrameIo::with_max_frame(std::io::Cursor::new(stream), bound);
+        assert_eq!(io.read().expect("small fits").expect("not eof"), small);
+        assert_eq!(io.frames_read(), 1);
+        match io.read() {
+            Err(FrameError::Oversized { len, max }) => {
+                assert_eq!((len, max), (large.len() as u32, bound));
+            }
+            other => panic!("expected oversized under custom bound, got {other:?}"),
+        }
+        // A failed read does not advance the counter.
+        assert_eq!(io.frames_read(), 1);
     }
 }

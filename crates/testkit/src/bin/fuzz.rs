@@ -38,9 +38,9 @@
 //! keep running for the in-memory modes.
 
 use dynfd_testkit::{
-    check_chaos, check_trace, check_trace_durable, check_wire, shrink_trace, ChaosFault,
-    ChaosStats, CoverFault, CrashStats, EngineFault, Repro, RunnerOptions, Trace, TraceStats,
-    WalFault, WireFault, WireStats,
+    check_chaos, check_net, check_trace, check_trace_durable, check_wire, shrink_trace, ChaosFault,
+    ChaosStats, CoverFault, CrashStats, EngineFault, NetFault, NetStats, Repro, RunnerOptions,
+    Trace, TraceStats, WalFault, WireFault, WireStats,
 };
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -62,9 +62,11 @@ enum InjectMode {
     Wal(WalFault),
     Wire(WireFault),
     Chaos(ChaosFault),
+    Net(NetFault),
     WalAll,
     WireAll,
     ChaosAll,
+    NetAll,
     All,
 }
 
@@ -75,6 +77,7 @@ enum CaseFault {
     Wal(WalFault),
     Wire(WireFault),
     Chaos(ChaosFault),
+    Net(NetFault),
 }
 
 impl CaseFault {
@@ -84,6 +87,7 @@ impl CaseFault {
             CaseFault::Wal(mode) => mode.name(),
             CaseFault::Wire(mode) => mode.name(),
             CaseFault::Chaos(mode) => mode.name(),
+            CaseFault::Net(mode) => mode.name(),
         }
     }
 }
@@ -104,11 +108,16 @@ impl InjectMode {
             InjectMode::ChaosAll => {
                 CaseFault::Chaos(ChaosFault::ALL[(case % ChaosFault::ALL.len() as u64) as usize])
             }
+            InjectMode::Net(mode) => CaseFault::Net(mode),
+            InjectMode::NetAll => {
+                CaseFault::Net(NetFault::ALL[(case % NetFault::ALL.len() as u64) as usize])
+            }
             InjectMode::All => {
                 let n = (EngineFault::ALL.len()
                     + WalFault::ALL.len()
                     + WireFault::ALL.len()
-                    + ChaosFault::ALL.len()) as u64;
+                    + ChaosFault::ALL.len()
+                    + NetFault::ALL.len()) as u64;
                 let i = (case % n) as usize;
                 if i < EngineFault::ALL.len() {
                     CaseFault::Engine(EngineFault::ALL[i])
@@ -118,12 +127,24 @@ impl InjectMode {
                     CaseFault::Wire(
                         WireFault::ALL[i - EngineFault::ALL.len() - WalFault::ALL.len()],
                     )
-                } else {
+                } else if i < EngineFault::ALL.len()
+                    + WalFault::ALL.len()
+                    + WireFault::ALL.len()
+                    + ChaosFault::ALL.len()
+                {
                     CaseFault::Chaos(
                         ChaosFault::ALL[i
                             - EngineFault::ALL.len()
                             - WalFault::ALL.len()
                             - WireFault::ALL.len()],
+                    )
+                } else {
+                    CaseFault::Net(
+                        NetFault::ALL[i
+                            - EngineFault::ALL.len()
+                            - WalFault::ALL.len()
+                            - WireFault::ALL.len()
+                            - ChaosFault::ALL.len()],
                     )
                 }
             }
@@ -138,7 +159,8 @@ fn usage() -> ! {
          [--inject poisoned-batches|mid-batch-panic|cover-corruption|\\\n               \
          crash-at-frame|torn-tail|bit-flip-wal|wal-all|\\\n               \
          truncated-frame|garbage-frame|oversized-frame|wire-all|\\\n               \
-         quota-storm|deadline-storm|evict-during-apply|chaos-all|all]"
+         quota-storm|deadline-storm|evict-during-apply|chaos-all|\\\n               \
+         net-delay|net-torn|net-dup|net-half-open|net-reconnect|net-all|all]"
     );
     std::process::exit(2);
 }
@@ -176,11 +198,13 @@ fn parse_args() -> Args {
                     "wal-all" => InjectMode::WalAll,
                     "wire-all" => InjectMode::WireAll,
                     "chaos-all" => InjectMode::ChaosAll,
+                    "net-all" => InjectMode::NetAll,
                     name => EngineFault::by_name(name)
                         .map(InjectMode::One)
                         .or_else(|| WalFault::by_name(name).map(InjectMode::Wal))
                         .or_else(|| WireFault::by_name(name).map(InjectMode::Wire))
                         .or_else(|| ChaosFault::by_name(name).map(InjectMode::Chaos))
+                        .or_else(|| NetFault::by_name(name).map(InjectMode::Net))
                         .unwrap_or_else(|| usage()),
                 })
             }
@@ -202,6 +226,7 @@ fn main() {
     let mut crash_totals = CrashStats::default();
     let mut wire_totals = WireStats::default();
     let mut chaos_totals = ChaosStats::default();
+    let mut net_totals = NetStats::default();
     let mut completed = 0u64;
     let mut failures = 0u64;
 
@@ -341,6 +366,50 @@ fn main() {
             continue;
         }
 
+        // Network faults storm a real socket transport behind the
+        // deterministic proxy; the workload derives from (seed ^ case),
+        // so a failing case reproduces from the triple alone.
+        if let Some(CaseFault::Net(net_fault)) = case_fault {
+            let workers = [1usize, 2, 8][(case % 3) as usize];
+            let scratch = std::env::temp_dir().join(format!(
+                "dynfd-net-{}-{case}-{}",
+                args.seed,
+                std::process::id()
+            ));
+            let result = check_net(net_fault, args.seed ^ case, workers, &scratch);
+            let _ = std::fs::remove_dir_all(&scratch);
+            match result {
+                Ok(stats) => {
+                    net_totals.absorb(&stats);
+                    completed += 1;
+                    println!(
+                        "{label}: ok ({} workers, {} batches exactly-once, {} connects, \
+                         {} reconnects, {} resends, {} replays, {} dedups, {} WALs bit-identical)",
+                        stats.workers,
+                        stats.batches,
+                        stats.connects,
+                        stats.reconnects,
+                        stats.resends,
+                        stats.replays,
+                        stats.dedups,
+                        stats.wals_compared
+                    );
+                }
+                Err(failure) => {
+                    failures += 1;
+                    completed += 1;
+                    println!("{label}: FAILED — {failure}");
+                    println!(
+                        "  repro: fuzz --seed {} --cases {} --inject {} (case {case}, {workers} workers)",
+                        args.seed,
+                        case + 1,
+                        net_fault.name()
+                    );
+                }
+            }
+            continue;
+        }
+
         let engine_fault = match case_fault {
             Some(CaseFault::Engine(mode)) => Some(mode),
             _ => None,
@@ -434,6 +503,22 @@ fn main() {
             chaos_totals.evict_rejections,
             chaos_totals.degrades,
             chaos_totals.evictions
+        );
+    }
+    if net_totals.tenants > 0 {
+        println!(
+            "network chaos: {} tenants served, {} batches exactly-once, {} connects, \
+             {} reconnects, {} resends, {} window replays, {} in-flight dedups, \
+             {} states and {} WALs bit-identical",
+            net_totals.tenants,
+            net_totals.batches,
+            net_totals.connects,
+            net_totals.reconnects,
+            net_totals.resends,
+            net_totals.replays,
+            net_totals.dedups,
+            net_totals.states_compared,
+            net_totals.wals_compared
         );
     }
     if failures > 0 {

@@ -43,6 +43,13 @@
 //!   a trace as a framed request stream with seeded damage
 //!   (truncated/garbage/oversized frames) and hold the server to the
 //!   exactly-once typed-response contract;
+//! * [`NetFault`] / [`check_net`] — **network fault injection**: a
+//!   deterministic man-in-the-middle proxy ([`NetProxy`]) between a
+//!   reconnecting session client and the real socket transport injects
+//!   delays, torn writes, duplicated frames, half-open FINs, and
+//!   reconnect storms; the oracle asserts every batch still applies
+//!   **exactly once** (state and WAL bytes bit-identical to a
+//!   sequential replay, served sequence equal to the batch count);
 //! * [`ChaosFault`] / [`check_chaos`] — **governance chaos**: quota
 //!   storms (a hog inflating past a byte quota beside bystanders whose
 //!   covers must stay bit-identical to a no-hog replay), deadline
@@ -62,6 +69,7 @@ mod chaos;
 mod concurrent;
 mod crash;
 mod json;
+mod netproxy;
 mod repro;
 mod runner;
 mod shrink;
@@ -75,6 +83,7 @@ pub use chaos::{
 pub use concurrent::{check_concurrent_serve, sequential_oracle, tenant_traces, ConcurrentStats};
 pub use crash::{check_trace_durable, CrashStats, WalFault};
 pub use json::Json;
+pub use netproxy::{check_net, NetFault, NetProxy, NetStats};
 pub use repro::Repro;
 pub use runner::{
     check_trace, silence_injected_panics, CoverFault, EngineFault, RunnerOptions, TraceFailure,

@@ -152,6 +152,8 @@ pub fn check_wire(
             request_id: 2 + i as u64,
             tenant: tenant.to_string(),
             deadline_ms: 0,
+            // Unsessioned: the legacy stdin path, no replay window.
+            session_seq: 0,
             batch,
         })
         .collect();

@@ -7,7 +7,8 @@
 //! dynfd serve    <data.csv> <changes.log> --wal-dir <dir> [opts]
 //!                                                  replay durably (WAL + snapshots)
 //! dynfd serve    --multi [--root <dir>] [opts]     multi-tenant framed server on
-//!                                                  stdin/stdout
+//!                                                  stdin/stdout, or on a socket
+//!                                                  with --listen
 //! dynfd recover  <dir> [--save <f>] [--stats]      recover a WAL directory
 //!
 //! options for maintain and serve:
@@ -44,6 +45,19 @@
 //!   --deadline-ms <n>     default per-job deadline, refused with code 18
 //!                         before apply (an Apply frame's own deadline
 //!                         field overrides it)
+//!   --listen <addr>       serve the same protocol over a socket instead
+//!                         of stdin/stdout: a unix path (`/run/dynfd.sock`
+//!                         or `unix:path`) or a TCP address
+//!                         (`127.0.0.1:7333`); connections get session
+//!                         resume (Hello + ack-replay window) and
+//!                         slow-client shedding (code 21)
+//!   --idle-ms <n>         per-connection idle budget: a connection that
+//!                         sends nothing for this long is closed with a
+//!                         typed notice (code 21 at a frame boundary,
+//!                         code 4 mid-frame); on stdin this also arms the
+//!                         read-deadline pump
+//!   --max-frame <n>       per-connection frame-size bound in bytes
+//!                         (default 16 MiB, the protocol ceiling)
 //!   --stats               per-tenant + aggregate metrics on stderr at
 //!                         exit (includes quota/deadline/eviction
 //!                         counters)
@@ -51,9 +65,11 @@
 //!
 //! `serve --multi` speaks the length-prefixed binary protocol of
 //! [`dynfd::serve::wire`] on stdin/stdout (DESIGN.md §6g has the frame
-//! and error-code tables). The run ends on stdin EOF, a shutdown frame,
-//! or ctrl-c — all three drain every queued batch and fsync every
-//! tenant's WAL tail before the process exits.
+//! and error-code tables), or over a socket with `--listen` (DESIGN.md
+//! §6j). The run ends on stdin EOF, a shutdown frame, or ctrl-c — all
+//! three stop accepting, notify connected clients with typed
+//! `ShuttingDown` replies (code 16), drain every queued batch, and
+//! fsync every tenant's WAL tail before the process exits.
 //!
 //! `serve` is crash-safe `maintain`: every batch is appended to a
 //! checksummed write-ahead log and fsynced *before* it mutates the
@@ -81,7 +97,10 @@ use dynfd::lattice::closure::{bcnf_violations, candidate_keys};
 use dynfd::lattice::io::{read_cover, write_cover, write_cover_file};
 use dynfd::persist::{wal_path, FdEngine, RecoveryReport};
 use dynfd::relation::{parse_changelog, read_csv_file, Batch, DynamicRelation};
-use dynfd::serve::{serve_connection, AdmissionPolicy, ServeConfig, ServeEngine};
+use dynfd::serve::{
+    serve_connection_with, serve_listener, AdmissionPolicy, ChannelReader, ConnOptions, ListenAddr,
+    ServeConfig, ServeEngine, SessionRegistry, TransportConfig,
+};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -203,7 +222,7 @@ const USAGE: &str = "usage: dynfd profile <data.csv>
        dynfd keys <data.csv>
        dynfd maintain <data.csv> <changes.log> [--batch <n>] [--cover <f>] [--save <f>] [--quiet] [--stats]
        dynfd serve <data.csv> <changes.log> --wal-dir <dir> [--batch <n>] [--snapshot-every <n>] [--save <f>] [--quiet] [--stats]
-       dynfd serve --multi [--root <dir>] [--workers <n>] [--queue <n>] [--block] [--snapshot-every <n>] [--tenant-bytes <n>] [--tenant-cpu-ms <n>] [--global-bytes <n>] [--deadline-ms <n>] [--stats]
+       dynfd serve --multi [--listen <addr>] [--root <dir>] [--workers <n>] [--queue <n>] [--block] [--snapshot-every <n>] [--tenant-bytes <n>] [--tenant-cpu-ms <n>] [--global-bytes <n>] [--deadline-ms <n>] [--idle-ms <n>] [--max-frame <n>] [--stats]
        dynfd recover <dir> [--save <f>] [--stats]";
 
 fn load(path: &str) -> Result<(Schema, DynamicRelation), CliError> {
@@ -610,11 +629,50 @@ fn cmd_serve_multi(args: &[String]) -> Result<(), CliError> {
     let mut tenant_cpu_ms: Option<u64> = None;
     let mut global_bytes: Option<u64> = None;
     let mut deadline_ms: Option<u64> = None;
+    let mut listen: Option<String> = None;
+    let mut idle_ms: Option<u64> = None;
+    let mut max_frame: Option<u32> = None;
+    let mut start_paused = false;
+    let mut drain_kill_after: Option<u64> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--multi" => {}
+            "--listen" => {
+                listen = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::usage("--listen needs an address"))?
+                        .clone(),
+                );
+            }
+            "--idle-ms" => {
+                idle_ms = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| CliError::usage("--idle-ms needs a positive integer"))?,
+                );
+            }
+            "--max-frame" => {
+                max_frame = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| CliError::usage("--max-frame needs a positive integer"))?,
+                );
+            }
+            // Hidden crash-harness hooks (tests/serve_socket.rs): start
+            // with delivery paused, and abort the process after N more
+            // jobs complete inside shutdown's drain window.
+            "--start-paused" => start_paused = true,
+            "--drain-kill-after" => {
+                drain_kill_after = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| CliError::usage("--drain-kill-after needs an integer"))?,
+                );
+            }
             "--tenant-bytes" => {
                 tenant_bytes = Some(
                     it.next()
@@ -708,10 +766,12 @@ fn cmd_serve_multi(args: &[String]) -> Result<(), CliError> {
         },
         global_bytes_budget: global_bytes,
         default_deadline: deadline_ms.map(Duration::from_millis),
+        start_paused,
+        drain_kill_after,
         ..ServeConfig::default()
     }));
     eprintln!(
-        "# serve --multi: {} workers, per-tenant queue {queue_capacity} ({}), root {}",
+        "# serve --multi: {} workers, per-tenant queue {queue_capacity} ({}), root {}{}",
         engine.worker_count(),
         match policy {
             AdmissionPolicy::Shed => "shed",
@@ -721,25 +781,89 @@ fn cmd_serve_multi(args: &[String]) -> Result<(), CliError> {
             || "none (in-memory tenants)".to_string(),
             |d| d.display().to_string()
         ),
+        listen
+            .as_deref()
+            .map_or_else(String::new, |a| format!(", listening on {a}")),
     );
 
-    let report = serve_connection(
-        &engine,
-        std::io::stdin().lock(),
-        std::io::stdout(),
-        sigint::received,
-    );
+    // Session resume (Hello + ack-replay window) is available on both
+    // transports; connection options are shared.
+    let options = ConnOptions {
+        max_frame: max_frame.unwrap_or(dynfd::serve::wire::MAX_FRAME),
+        idle: idle_ms.map(Duration::from_millis),
+        sessions: Some(Arc::new(SessionRegistry::default())),
+    };
+    let report = if let Some(addr) = &listen {
+        let addr = ListenAddr::parse(addr);
+        let transport = serve_listener(
+            &engine,
+            &addr,
+            TransportConfig {
+                options,
+                ..TransportConfig::default()
+            },
+            sigint::received,
+        )
+        .map_err(|e| io_error(&addr.to_string(), e))?;
+        eprintln!(
+            "# transport: {} connections, {} sessions ({} resumed), \
+             {} slow-client sheds, {} idle kills",
+            transport.connections,
+            transport.sessions,
+            transport.sessions_resumed,
+            transport.slow_client_sheds,
+            transport.idle_kills,
+        );
+        (transport.frames, transport.responses)
+    } else if idle_ms.is_some() {
+        // The idle budget needs read deadlines; stdin gets them from the
+        // pump thread (a plain stdin read cannot time out).
+        let reader = ChannelReader::spawn(std::io::stdin(), Duration::from_millis(25));
+        let report = serve_connection_with(
+            &engine,
+            reader,
+            std::io::stdout(),
+            options,
+            sigint::received,
+        );
+        (report.frames, report.responses)
+    } else {
+        let report = serve_connection_with(
+            &engine,
+            std::io::stdin().lock(),
+            std::io::stdout(),
+            options,
+            sigint::received,
+        );
+        (report.frames, report.responses)
+    };
 
     let interrupted = sigint::received();
-    let Ok(engine) = Arc::try_unwrap(engine) else {
-        // Unreachable: serve_connection quiesces and drops every clone.
-        return Err(CliError::engine(
-            "serve --multi",
-            DynFdError::InvariantBreach {
-                phase: "shutdown",
-                detail: "engine still shared after connection end".into(),
-            },
-        ));
+    // Connection threads drop their engine clones as they unwind; a
+    // straggler past the transport's drain deadline gets a short grace
+    // before we give up.
+    let mut engine = engine;
+    let engine = {
+        let mut tries = 0u32;
+        loop {
+            match Arc::try_unwrap(engine) {
+                Ok(e) => break e,
+                Err(shared) if tries < 200 => {
+                    engine = shared;
+                    tries += 1;
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => {
+                    return Err(CliError::engine(
+                        "serve --multi",
+                        DynFdError::InvariantBreach {
+                            phase: "shutdown",
+                            detail: "engine still shared after connection end".into(),
+                        },
+                    ));
+                }
+            }
+        }
     };
     if stats {
         for name in engine.tenant_names() {
@@ -783,10 +907,11 @@ fn cmd_serve_multi(args: &[String]) -> Result<(), CliError> {
             g.resident_bytes,
         );
     }
+    let (frames, responses) = report;
     let shutdown = engine.shutdown();
     eprintln!(
-        "# shutdown: {} frames, {} responses, {} tenants, {} WAL tails synced",
-        report.frames, report.responses, shutdown.tenants, shutdown.synced
+        "# shutdown: {frames} frames, {responses} responses, {} tenants, {} WAL tails synced",
+        shutdown.tenants, shutdown.synced
     );
     for (tenant, err) in &shutdown.sync_errors {
         eprintln!("# warning: tenant {tenant}: final sync failed: {err}");
